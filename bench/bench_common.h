@@ -1,0 +1,93 @@
+// Shared helpers for the paper-table benches: instance construction, the
+// four solver configurations, and table formatting that mirrors the
+// paper's layout (runtimes in seconds, "-to-" for timeouts).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bitblast/bitblast.h"
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace rtlsat::bench {
+
+struct RunResult {
+  char verdict = '?';  // 'S', 'U', or 'T' (timeout)
+  double seconds = 0;
+  core::PredicateLearningReport learning;
+  std::int64_t datapath_implications = 0;
+};
+
+enum class Config { kHdpll, kStructural, kStructuralPred, kChrono };
+
+inline const char* config_name(Config c) {
+  switch (c) {
+    case Config::kHdpll: return "HDPLL";
+    case Config::kStructural: return "HDPLL+S";
+    case Config::kStructuralPred: return "HDPLL+S+P";
+    case Config::kChrono: return "chrono-CDP";
+  }
+  return "?";
+}
+
+inline core::HdpllOptions make_options(Config config, double timeout,
+                                       int learn_threshold) {
+  core::HdpllOptions options;
+  options.structural_decisions =
+      config == Config::kStructural || config == Config::kStructuralPred;
+  options.predicate_learning = config == Config::kStructuralPred;
+  options.learning.max_relations = learn_threshold;
+  options.conflict_learning = config != Config::kChrono;
+  options.timeout_seconds = timeout;
+  return options;
+}
+
+inline RunResult run_hdpll(const bmc::BmcInstance& instance,
+                           const core::HdpllOptions& options) {
+  core::HdpllSolver solver(instance.circuit, options);
+  solver.assume_bool(instance.goal, true);
+  const core::SolveResult result = solver.solve();
+  RunResult out;
+  out.seconds = result.seconds;
+  out.learning = result.learning;
+  out.datapath_implications = solver.engine().num_datapath_narrowings();
+  switch (result.status) {
+    case core::SolveStatus::kSat: out.verdict = 'S'; break;
+    case core::SolveStatus::kUnsat: out.verdict = 'U'; break;
+    case core::SolveStatus::kTimeout: out.verdict = 'T'; break;
+  }
+  return out;
+}
+
+inline RunResult run_bitblast(const bmc::BmcInstance& instance,
+                              double timeout) {
+  Timer timer;
+  sat::SolverOptions options;
+  options.timeout_seconds = timeout;
+  const auto oracle =
+      bitblast::check_sat(instance.circuit, instance.goal, true, options);
+  RunResult out;
+  out.seconds = timer.seconds();
+  out.verdict = oracle.result == sat::Result::kSat     ? 'S'
+                : oracle.result == sat::Result::kUnsat ? 'U'
+                                                       : 'T';
+  return out;
+}
+
+inline std::string cell(const RunResult& r) {
+  return format_runtime(r.seconds, r.verdict == 'T', false);
+}
+
+// "paper: x.xx" annotation; negative means the paper reported a timeout,
+// NaN (passed as < −1e8) means no paper figure for this row.
+inline std::string paper_cell(double value) {
+  if (value < -1e8) return "";
+  if (value < 0) return "-to-";
+  return str_format("%.2f", value);
+}
+
+}  // namespace rtlsat::bench

@@ -1,0 +1,71 @@
+// Microbenchmarks for the Fourier–Motzkin end-game solver.
+#include <benchmark/benchmark.h>
+
+#include "fme/fme.h"
+#include "util/rng.h"
+
+using namespace rtlsat;
+using namespace rtlsat::fme;
+
+namespace {
+
+// A difference-constraint chain x0 < x1 < … < xn with bounds — the typical
+// shape the arithmetic end-game hands over.
+System chain_system(int n) {
+  System s;
+  std::vector<Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.add_var(Interval(0, 4 * n)));
+  for (int i = 0; i + 1 < n; ++i)
+    s.add_le({{vars[i], 1}, {vars[i + 1], -1}}, -1);
+  return s;
+}
+
+void BM_FmeChainSat(benchmark::State& state) {
+  const System s = chain_system(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Solver solver;
+    std::vector<std::int64_t> model;
+    benchmark::DoNotOptimize(solver.solve(s, &model));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FmeChainSat)->Arg(4)->Arg(16)->Arg(64)->Complexity();
+
+void BM_FmeAdderNetwork(benchmark::State& state) {
+  // Chained modular adders with overflow variables, as arith_check emits.
+  const int n = static_cast<int>(state.range(0));
+  System s;
+  Rng rng(42);
+  Var prev = s.add_var(Interval(0, 255));
+  for (int i = 0; i < n; ++i) {
+    const Var in = s.add_var(Interval(0, 255));
+    const Var sum = s.add_var(Interval(0, 255));
+    const Var ov = s.add_var(Interval(0, 1));
+    s.add_eq({{prev, 1}, {in, 1}, {sum, -1}, {ov, -256}}, 0);
+    prev = sum;
+  }
+  s.add_eq({{prev, 1}}, 123);
+  for (auto _ : state) {
+    Solver solver;
+    std::vector<std::int64_t> model;
+    benchmark::DoNotOptimize(solver.solve(s, &model));
+  }
+}
+BENCHMARK(BM_FmeAdderNetwork)->Arg(4)->Arg(16);
+
+void BM_FmeUnsatRefutation(benchmark::State& state) {
+  System s;
+  const Var x = s.add_var(Interval(0, 1000));
+  const Var y = s.add_var(Interval(0, 1000));
+  s.add_le({{x, 3}, {y, -2}}, 0);
+  s.add_le({{y, 2}, {x, -3}}, -1);  // contradicts the first
+  for (auto _ : state) {
+    Solver solver;
+    benchmark::DoNotOptimize(solver.solve(s, nullptr));
+  }
+}
+BENCHMARK(BM_FmeUnsatRefutation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

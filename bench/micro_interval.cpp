@@ -1,0 +1,86 @@
+// Microbenchmarks for the interval arithmetic kernel — the innermost loop
+// of constraint propagation.
+#include <benchmark/benchmark.h>
+
+#include "interval/interval_ops.h"
+#include "util/rng.h"
+
+using namespace rtlsat;
+
+namespace {
+
+std::vector<Interval> random_intervals(int n, int width, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::int64_t m = (std::int64_t{1} << width) - 1;
+  std::vector<Interval> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::int64_t a = rng.range(0, m);
+    std::int64_t b = rng.range(0, m);
+    if (a > b) std::swap(a, b);
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+void BM_IntervalAddWrap(benchmark::State& state) {
+  const auto xs = random_intervals(1024, 8, 1);
+  const auto ys = random_intervals(1024, 8, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        iops::fwd_add_wrap(xs[i & 1023], ys[(i + 7) & 1023], 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalAddWrap);
+
+void BM_IntervalBackAddWrap(benchmark::State& state) {
+  const auto xs = random_intervals(1024, 8, 3);
+  const auto ys = random_intervals(1024, 8, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iops::back_add_wrap_x(
+        xs[i & 1023], ys[(i + 3) & 1023], Interval(0, 255), 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalBackAddWrap);
+
+void BM_IntervalComparatorNarrow(benchmark::State& state) {
+  const auto xs = random_intervals(1024, 10, 5);
+  const auto ys = random_intervals(1024, 10, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto p = iops::narrow_lt(xs[i & 1023], ys[(i + 11) & 1023]);
+    benchmark::DoNotOptimize(p.x);
+    benchmark::DoNotOptimize(p.y);
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalComparatorNarrow);
+
+void BM_IntervalExtract(benchmark::State& state) {
+  const auto xs = random_intervals(1024, 16, 7);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iops::fwd_extract(xs[i & 1023], 11, 4));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalExtract);
+
+void BM_IntervalIntersectHull(benchmark::State& state) {
+  const auto xs = random_intervals(1024, 12, 8);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Interval a = xs[i & 1023].intersect(xs[(i + 5) & 1023]);
+    benchmark::DoNotOptimize(a.hull(xs[(i + 9) & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalIntersectHull);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Microbenchmarks for the hybrid propagation engine: fixpoint throughput
+// on BMC-shaped circuits and the cost of trail rollbacks.
+#include <benchmark/benchmark.h>
+
+#include "bmc/unroll.h"
+#include "itc99/itc99.h"
+#include "prop/engine.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void BM_PropagateGoalImplication(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance = bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    prop::Engine engine(instance.circuit);
+    benchmark::DoNotOptimize(engine.narrow(
+        instance.goal, Interval::point(1), prop::ReasonKind::kAssumption));
+    benchmark::DoNotOptimize(engine.propagate());
+    benchmark::DoNotOptimize(engine.trail().size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PropagateGoalImplication)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Complexity();
+
+void BM_ProbeRollbackCycle(benchmark::State& state) {
+  // The static learner's inner loop: decide, propagate, roll back.
+  const auto seq = itc99::build("b04");
+  const auto instance = bmc::unroll(seq, "2", 10);
+  prop::Engine engine(instance.circuit);
+  (void)engine.propagate();
+  // Find some free Boolean nets to probe.
+  std::vector<ir::NetId> probes;
+  for (ir::NetId id = 0; id < instance.circuit.num_nets(); ++id) {
+    if (instance.circuit.is_bool(id) && engine.bool_value(id) < 0)
+      probes.push_back(id);
+    if (probes.size() >= 64) break;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const ir::NetId net = probes[i++ % probes.size()];
+    engine.push_level();
+    if (engine.narrow(net, Interval::point(1), prop::ReasonKind::kDecision))
+      (void)engine.propagate();
+    engine.backtrack_to_level(0);
+  }
+}
+BENCHMARK(BM_ProbeRollbackCycle);
+
+void BM_EngineConstruction(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance = bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    prop::Engine engine(instance.circuit);
+    benchmark::DoNotOptimize(engine.interval(instance.goal));
+  }
+}
+BENCHMARK(BM_EngineConstruction)->Arg(10)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

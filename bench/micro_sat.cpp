@@ -1,0 +1,58 @@
+// Microbenchmarks for the CDCL core and the bit-blast translation, the
+// baseline path of the Table 2 comparison.
+#include <benchmark/benchmark.h>
+
+#include "bitblast/bitblast.h"
+#include "bmc/unroll.h"
+#include "itc99/itc99.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void BM_PigeonHole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  for (auto _ : state) {
+    sat::Solver s;
+    std::vector<std::vector<sat::Var>> p(pigeons, std::vector<sat::Var>(holes));
+    for (auto& row : p)
+      for (auto& v : row) v = s.new_var();
+    for (auto& row : p) {
+      std::vector<sat::Lit> clause;
+      for (auto v : row) clause.push_back(sat::Lit(v, true));
+      s.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h)
+      for (int i = 0; i < pigeons; ++i)
+        for (int j = i + 1; j < pigeons; ++j)
+          s.add_clause({sat::Lit(p[i][h], false), sat::Lit(p[j][h], false)});
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonHole)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_BitblastEncode(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance = bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sat::Solver solver;
+    bitblast::BitBlaster blaster(instance.circuit, solver);
+    benchmark::DoNotOptimize(blaster.bit(instance.goal, 0));
+  }
+}
+BENCHMARK(BM_BitblastEncode)->Arg(5)->Arg(20);
+
+void BM_BitblastSolveBmc(benchmark::State& state) {
+  const auto seq = itc99::build("b01");
+  const auto instance = bmc::unroll(seq, "2", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bitblast::check_sat(instance.circuit, instance.goal));
+  }
+}
+BENCHMARK(BM_BitblastSolveBmc)->Arg(5)->Arg(15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Traffic-light controller with a demand sensor and a safety timer — a
+// small self-contained design for the Verilog frontend examples.
+//
+//   property mutex      — the two greens are never on together (holds)
+//   property timer_cap  — the phase timer stays below 12 (holds)
+//   property ped_served — a pedestrian request never outlives the cycle
+//                         into the all-red phase (violable at bounds ≥ 20:
+//                         BMC finds the full phase rotation with a late ped)
+module traffic(input clk, input demand, input ped,
+               output reg major_green, output reg minor_green);
+  reg [1:0] phase = 0;       // 0 major, 1 yellow, 2 minor, 3 all-red
+  reg [3:0] timer = 0;
+  reg ped_wait = 0;
+
+  wire phase_done = (phase == 2'd0) ? (timer >= 4'd8 && demand) :
+                    (phase == 2'd1) ? (timer >= 4'd2) :
+                    (phase == 2'd2) ? (timer >= 4'd6) :
+                                      (timer >= 4'd1);
+
+  always @(posedge clk) begin
+    if (phase_done) begin
+      phase <= phase + 1;
+      timer <= 0;
+    end else begin
+      timer <= timer + 1;
+    end
+    if (ped && phase != 2'd3) ped_wait <= 1'b1;
+    else if (phase == 2'd3) ped_wait <= 1'b0;
+    major_green <= phase == 2'd0;
+    minor_green <= phase == 2'd2;
+  end
+
+  property mutex = !(major_green && minor_green);
+  property timer_cap = timer < 4'd12;
+  property ped_served = !(ped_wait && phase == 2'd3);
+endmodule

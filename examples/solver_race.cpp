@@ -1,0 +1,72 @@
+// Races the word-level solver configurations against the bit-blasting
+// baseline on one BMC instance — a one-instance preview of the paper's
+// Table 2 comparison.
+//
+//   $ ./solver_race [circuit] [property] [bound]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bitblast/bitblast.h"
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "util/timer.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void report(const char* name, const char* verdict, double seconds) {
+  std::printf("  %-22s %-8s %8.3fs\n", name, verdict, seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string circuit_name = argc > 1 ? argv[1] : "b13";
+  const std::string property = argc > 2 ? argv[2] : "1";
+  const int bound = argc > 3 ? std::atoi(argv[3]) : 15;
+
+  const ir::SeqCircuit seq = itc99::build(circuit_name);
+  const bmc::BmcInstance instance = bmc::unroll(seq, property, bound);
+  const auto counts = instance.circuit.op_counts();
+  std::printf("%s — %zu arith / %zu bool ops\n", instance.name.c_str(),
+              counts.arith, counts.boolean);
+
+  struct Config {
+    const char* name;
+    bool structural;
+    bool learning;
+  };
+  for (const Config config : {Config{"HDPLL", false, false},
+                              Config{"HDPLL+S", true, false},
+                              Config{"HDPLL+S+P", true, true}}) {
+    core::HdpllOptions options;
+    options.structural_decisions = config.structural;
+    options.predicate_learning = config.learning;
+    options.timeout_seconds = 120;
+    core::HdpllSolver solver(instance.circuit, options);
+    solver.assume_bool(instance.goal, true);
+    const core::SolveResult result = solver.solve();
+    report(config.name,
+           result.status == core::SolveStatus::kSat     ? "SAT"
+           : result.status == core::SolveStatus::kUnsat ? "UNSAT"
+                                                        : "timeout",
+           result.seconds);
+  }
+
+  {
+    Timer timer;
+    sat::SolverOptions options;
+    options.timeout_seconds = 120;
+    const auto oracle =
+        bitblast::check_sat(instance.circuit, instance.goal, true, options);
+    report("bit-blast + CDCL",
+           oracle.result == sat::Result::kSat     ? "SAT"
+           : oracle.result == sat::Result::kUnsat ? "UNSAT"
+                                                  : "timeout",
+           timer.seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,278 @@
+#include "bitblast/bitblast.h"
+
+#include <algorithm>
+
+namespace rtlsat::bitblast {
+
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+using sat::Lit;
+
+BitBlaster::BitBlaster(const ir::Circuit& circuit, sat::Solver& solver)
+    : circuit_(circuit), solver_(solver) {
+  true_var_ = solver_.new_var();
+  solver_.add_clause({true_lit()});
+  bits_.resize(circuit_.num_nets());
+  for (NetId id = 0; id < circuit_.num_nets(); ++id) encode_node(id);
+}
+
+Lit BitBlaster::fresh() { return Lit(solver_.new_var(), true); }
+
+Lit BitBlaster::enc_and(const std::vector<Lit>& ins) {
+  if (ins.empty()) return true_lit();
+  if (ins.size() == 1) return ins[0];
+  const Lit z = fresh();
+  std::vector<Lit> big{z};
+  for (const Lit a : ins) {
+    solver_.add_clause({~z, a});  // z → a
+    big.push_back(~a);
+  }
+  solver_.add_clause(std::move(big));  // ∧a → z
+  return z;
+}
+
+Lit BitBlaster::enc_or(const std::vector<Lit>& ins) {
+  if (ins.empty()) return false_lit();
+  if (ins.size() == 1) return ins[0];
+  std::vector<Lit> negated;
+  negated.reserve(ins.size());
+  for (const Lit a : ins) negated.push_back(~a);
+  return ~enc_and(negated);
+}
+
+Lit BitBlaster::enc_xor(Lit a, Lit b) {
+  const Lit z = fresh();
+  solver_.add_clause({~z, a, b});
+  solver_.add_clause({~z, ~a, ~b});
+  solver_.add_clause({z, ~a, b});
+  solver_.add_clause({z, a, ~b});
+  return z;
+}
+
+Lit BitBlaster::enc_mux(Lit s, Lit t, Lit e) {
+  const Lit z = fresh();
+  solver_.add_clause({~s, ~t, z});
+  solver_.add_clause({~s, t, ~z});
+  solver_.add_clause({s, ~e, z});
+  solver_.add_clause({s, e, ~z});
+  // Redundant but arc-consistency-improving: equal branches force z.
+  solver_.add_clause({~t, ~e, z});
+  solver_.add_clause({t, e, ~z});
+  return z;
+}
+
+std::pair<Lit, Lit> BitBlaster::enc_full_adder(Lit a, Lit b, Lit cin) {
+  const Lit sum = enc_xor(enc_xor(a, b), cin);
+  const Lit cout = fresh();
+  solver_.add_clause({~a, ~b, cout});
+  solver_.add_clause({~a, ~cin, cout});
+  solver_.add_clause({~b, ~cin, cout});
+  solver_.add_clause({a, b, ~cout});
+  solver_.add_clause({a, cin, ~cout});
+  solver_.add_clause({b, cin, ~cout});
+  return {sum, cout};
+}
+
+std::vector<Lit> BitBlaster::enc_adder(const std::vector<Lit>& a,
+                                       const std::vector<Lit>& b, Lit cin) {
+  RTLSAT_ASSERT(a.size() == b.size());
+  std::vector<Lit> sum(a.size(), false_lit());
+  Lit carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = enc_full_adder(a[i], b[i], carry);
+    sum[i] = s;
+    carry = c;  // final carry drops: wrapping arithmetic
+  }
+  return sum;
+}
+
+Lit BitBlaster::enc_eq_words(const std::vector<Lit>& a,
+                             const std::vector<Lit>& b) {
+  RTLSAT_ASSERT(a.size() == b.size());
+  std::vector<Lit> bit_eqs;
+  bit_eqs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    bit_eqs.push_back(~enc_xor(a[i], b[i]));
+  return enc_and(bit_eqs);
+}
+
+Lit BitBlaster::enc_cmp_words(const std::vector<Lit>& a,
+                              const std::vector<Lit>& b, bool strict) {
+  RTLSAT_ASSERT(a.size() == b.size());
+  // LSB→MSB chain: res_i = (¬a_i ∧ b_i) ∨ ((a_i ↔ b_i) ∧ res_{i−1}),
+  // seeded with res_{−1} = (strict ? 0 : 1).
+  Lit res = constant(!strict);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit lt_here = enc_and({~a[i], b[i]});
+    const Lit eq_here = ~enc_xor(a[i], b[i]);
+    res = enc_or({lt_here, enc_and({eq_here, res})});
+  }
+  return res;
+}
+
+void BitBlaster::encode_node(NetId id) {
+  const Node& n = circuit_.node(id);
+  const int w = n.width;
+  std::vector<Lit>& out = bits_[id];
+  auto in = [&](std::size_t i) -> const std::vector<Lit>& {
+    return bits_[n.operands[i]];
+  };
+
+  switch (n.op) {
+    case Op::kInput:
+      out.reserve(w);
+      for (int k = 0; k < w; ++k) out.push_back(fresh());
+      return;
+    case Op::kConst:
+      out.reserve(w);
+      for (int k = 0; k < w; ++k) out.push_back(constant((n.imm >> k) & 1));
+      return;
+    case Op::kAnd: {
+      std::vector<Lit> ins;
+      for (NetId o : n.operands) ins.push_back(bits_[o][0]);
+      out = {enc_and(ins)};
+      return;
+    }
+    case Op::kOr: {
+      std::vector<Lit> ins;
+      for (NetId o : n.operands) ins.push_back(bits_[o][0]);
+      out = {enc_or(ins)};
+      return;
+    }
+    case Op::kNot:
+      out = {~in(0)[0]};
+      return;
+    case Op::kXor:
+      out = {enc_xor(in(0)[0], in(1)[0])};
+      return;
+    case Op::kMux: {
+      const Lit s = in(0)[0];
+      out.reserve(w);
+      for (int k = 0; k < w; ++k)
+        out.push_back(enc_mux(s, in(1)[static_cast<std::size_t>(k)],
+                              in(2)[static_cast<std::size_t>(k)]));
+      return;
+    }
+    case Op::kAdd:
+      out = enc_adder(in(0), in(1), false_lit());
+      return;
+    case Op::kSub: {
+      // a − b = a + ~b + 1.
+      std::vector<Lit> nb;
+      nb.reserve(w);
+      for (const Lit l : in(1)) nb.push_back(~l);
+      out = enc_adder(in(0), nb, true_lit());
+      return;
+    }
+    case Op::kMulC: {
+      // Σ over set bits j of k: (a << j), accumulated with wrapping adders.
+      std::vector<Lit> acc(static_cast<std::size_t>(w), false_lit());
+      for (int j = 0; j < w; ++j) {
+        if (((n.imm >> j) & 1) == 0) continue;
+        std::vector<Lit> shifted(static_cast<std::size_t>(w), false_lit());
+        for (int k = j; k < w; ++k)
+          shifted[static_cast<std::size_t>(k)] =
+              in(0)[static_cast<std::size_t>(k - j)];
+        acc = enc_adder(acc, shifted, false_lit());
+      }
+      out = std::move(acc);
+      return;
+    }
+    case Op::kShlC: {
+      const int k = static_cast<int>(n.imm);
+      out.assign(static_cast<std::size_t>(w), false_lit());
+      for (int i = k; i < w; ++i)
+        out[static_cast<std::size_t>(i)] = in(0)[static_cast<std::size_t>(i - k)];
+      return;
+    }
+    case Op::kShrC: {
+      const int k = static_cast<int>(n.imm);
+      out.assign(static_cast<std::size_t>(w), false_lit());
+      for (int i = 0; i + k < w; ++i)
+        out[static_cast<std::size_t>(i)] = in(0)[static_cast<std::size_t>(i + k)];
+      return;
+    }
+    case Op::kNotW:
+      out.reserve(w);
+      for (const Lit l : in(0)) out.push_back(~l);
+      return;
+    case Op::kConcat: {
+      const std::vector<Lit>& hi = in(0);
+      const std::vector<Lit>& lo = in(1);
+      out = lo;
+      out.insert(out.end(), hi.begin(), hi.end());
+      return;
+    }
+    case Op::kExtract: {
+      const int lo_bit = static_cast<int>(n.imm2);
+      out.reserve(w);
+      for (int k = 0; k < w; ++k)
+        out.push_back(in(0)[static_cast<std::size_t>(lo_bit + k)]);
+      return;
+    }
+    case Op::kZext:
+      out = in(0);
+      out.resize(static_cast<std::size_t>(w), false_lit());
+      return;
+    case Op::kMin:
+    case Op::kMax: {
+      const Lit a_lt_b = enc_cmp_words(in(0), in(1), /*strict=*/true);
+      const Lit pick_a = n.op == Op::kMin ? a_lt_b : ~a_lt_b;
+      out.reserve(w);
+      for (int k = 0; k < w; ++k)
+        out.push_back(enc_mux(pick_a, in(0)[static_cast<std::size_t>(k)],
+                              in(1)[static_cast<std::size_t>(k)]));
+      return;
+    }
+    case Op::kEq:
+      out = {enc_eq_words(in(0), in(1))};
+      return;
+    case Op::kNe:
+      out = {~enc_eq_words(in(0), in(1))};
+      return;
+    case Op::kLt:
+      out = {enc_cmp_words(in(0), in(1), /*strict=*/true)};
+      return;
+    case Op::kLe:
+      out = {enc_cmp_words(in(0), in(1), /*strict=*/false)};
+      return;
+  }
+  RTLSAT_UNREACHABLE("unhandled op in bitblast");
+}
+
+void BitBlaster::assert_equals(NetId net, std::int64_t value) {
+  RTLSAT_ASSERT(circuit_.domain(net).contains(value));
+  const int w = circuit_.width(net);
+  for (int k = 0; k < w; ++k) {
+    const Lit b = bit(net, k);
+    solver_.add_clause({((value >> k) & 1) ? b : ~b});
+  }
+}
+
+std::int64_t BitBlaster::model_value(NetId net) const {
+  std::int64_t v = 0;
+  const int w = circuit_.width(net);
+  for (int k = 0; k < w; ++k) {
+    const Lit b = bit(net, k);
+    const bool bit_set = solver_.model_value(b.var()) == b.positive();
+    if (bit_set) v |= std::int64_t{1} << k;
+  }
+  return v;
+}
+
+CheckResult check_sat(const ir::Circuit& circuit, ir::NetId goal,
+                      bool goal_value, sat::SolverOptions options) {
+  sat::Solver solver(options);
+  BitBlaster blaster(circuit, solver);
+  blaster.assert_bool(goal, goal_value);
+  CheckResult result;
+  result.result = solver.solve();
+  if (result.result == sat::Result::kSat) {
+    for (NetId input : circuit.inputs())
+      result.input_model.emplace(input, blaster.model_value(input));
+  }
+  return result;
+}
+
+}  // namespace rtlsat::bitblast

@@ -1,0 +1,160 @@
+#include "bmc/unroll.h"
+
+#include "util/assert.h"
+#include "util/strings.h"
+
+namespace rtlsat::bmc {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+
+namespace {
+
+// Copies the comb core into `out` for one time-frame. `state` maps each
+// register's q net to its value net for this frame; free inputs get fresh
+// per-frame inputs. Returns the map from seq nets to unrolled nets.
+std::vector<NetId> copy_frame(const ir::SeqCircuit& seq, Circuit& out,
+                              int frame,
+                              const std::vector<std::pair<NetId, NetId>>& state) {
+  const Circuit& comb = seq.comb();
+  std::vector<NetId> map(comb.num_nets(), ir::kNoNet);
+  for (const auto& [q, value] : state) map[q] = value;
+
+  for (NetId id = 0; id < comb.num_nets(); ++id) {
+    if (map[id] != ir::kNoNet) continue;  // register output, pre-mapped
+    const Node& n = comb.node(id);
+    switch (n.op) {
+      case Op::kInput:
+        map[id] = out.add_input(
+            str_format("%s@%d", comb.net_name(id).c_str(), frame), n.width);
+        break;
+      case Op::kConst:
+        map[id] = out.add_const(n.imm, n.width);
+        break;
+      case Op::kAnd: {
+        std::vector<NetId> ops;
+        for (NetId o : n.operands) ops.push_back(map[o]);
+        map[id] = out.add_and(std::move(ops));
+        break;
+      }
+      case Op::kOr: {
+        std::vector<NetId> ops;
+        for (NetId o : n.operands) ops.push_back(map[o]);
+        map[id] = out.add_or(std::move(ops));
+        break;
+      }
+      case Op::kNot: map[id] = out.add_not(map[n.operands[0]]); break;
+      case Op::kXor:
+        map[id] = out.add_xor(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kMux:
+        map[id] = out.add_mux(map[n.operands[0]], map[n.operands[1]],
+                              map[n.operands[2]]);
+        break;
+      case Op::kAdd:
+        map[id] = out.add_add(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kSub:
+        map[id] = out.add_sub(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kMulC: map[id] = out.add_mulc(map[n.operands[0]], n.imm); break;
+      case Op::kShlC:
+        map[id] = out.add_shl(map[n.operands[0]], static_cast<int>(n.imm));
+        break;
+      case Op::kShrC:
+        map[id] = out.add_shr(map[n.operands[0]], static_cast<int>(n.imm));
+        break;
+      case Op::kNotW: map[id] = out.add_notw(map[n.operands[0]]); break;
+      case Op::kConcat:
+        map[id] = out.add_concat(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kExtract:
+        map[id] = out.add_extract(map[n.operands[0]], static_cast<int>(n.imm),
+                                  static_cast<int>(n.imm2));
+        break;
+      case Op::kZext: map[id] = out.add_zext(map[n.operands[0]], n.width); break;
+      case Op::kMin:
+        map[id] = out.add_min_raw(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kMax:
+        map[id] = out.add_max_raw(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kEq:
+        map[id] = out.add_eq_raw(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kNe:
+        map[id] = out.add_not(out.add_eq_raw(map[n.operands[0]], map[n.operands[1]]));
+        break;
+      case Op::kLt:
+        map[id] = out.add_lt(map[n.operands[0]], map[n.operands[1]]);
+        break;
+      case Op::kLe:
+        map[id] = out.add_le(map[n.operands[0]], map[n.operands[1]]);
+        break;
+    }
+    RTLSAT_ASSERT(map[id] != ir::kNoNet);
+  }
+  return map;
+}
+
+BmcInstance unroll_impl(const ir::SeqCircuit& seq, std::string_view property,
+                        int bound, bool any_frame) {
+  RTLSAT_ASSERT(bound >= 1);
+  seq.validate();
+  const NetId prop = seq.property(property);
+  RTLSAT_ASSERT_MSG(prop != ir::kNoNet, "unknown property");
+
+  BmcInstance instance;
+  instance.bound = bound;
+  instance.name = str_format("%s_%s(%d)", seq.comb().name().c_str(),
+                             std::string(property).c_str(), bound);
+  Circuit& out = instance.circuit;
+  out.set_name(instance.name);
+
+  // Frame 0 state: reset values.
+  std::vector<std::pair<NetId, NetId>> state;
+  for (const ir::Register& r : seq.registers())
+    state.push_back({r.q, out.add_const(r.init, seq.comb().width(r.q))});
+
+  std::vector<NetId> violations;
+  for (int frame = 0; frame < bound; ++frame) {
+    const std::vector<NetId> map = copy_frame(seq, out, frame, state);
+    instance.frame_map.push_back(map);
+    // Next frame's state = this frame's next-state nets.
+    state.clear();
+    for (const ir::Register& r : seq.registers())
+      state.push_back({r.q, map[r.d]});
+    if (any_frame && frame + 1 < bound) {
+      // The property in the *post-transition* state equals P's value in the
+      // next frame's logic; collect intermediate violations by evaluating P
+      // of this frame (pre-transition state) for frames ≥ 1.
+      if (frame >= 1) violations.push_back(out.add_not(map[prop]));
+    }
+  }
+  // Final frame: evaluate the property over the state after `bound` steps.
+  std::vector<NetId> final_map = copy_frame(seq, out, bound, state);
+  instance.frame_map.push_back(final_map);
+  violations.push_back(out.add_not(final_map[prop]));
+
+  instance.goal =
+      violations.size() == 1 ? violations[0] : out.add_or(std::move(violations));
+  out.set_net_name(instance.goal, "goal");
+  out.validate();
+  return instance;
+}
+
+}  // namespace
+
+BmcInstance unroll(const ir::SeqCircuit& seq, std::string_view property,
+                   int bound) {
+  return unroll_impl(seq, property, bound, /*any_frame=*/false);
+}
+
+BmcInstance unroll_any(const ir::SeqCircuit& seq, std::string_view property,
+                       int bound) {
+  return unroll_impl(seq, property, bound, /*any_frame=*/true);
+}
+
+}  // namespace rtlsat::bmc

@@ -1,0 +1,37 @@
+// Bounded model checking unroller.
+//
+// Expands a sequential circuit for k time-frames into a combinational
+// satisfiability instance. Following the shape of the paper's test-cases
+// (e.g. b01_1(10) is "property 1 on b01 expanded for 10 time-frames", and
+// the same family is reported S at one bound and U at a larger one), the
+// goal asserts a violation of the property *in the final frame*: the
+// instance is satisfiable iff some input sequence drives the design from
+// reset to a state violating P after exactly k steps.
+//
+// unroll_any() is the cumulative variant (violation in ANY frame ≤ k),
+// provided for users who want classic monotone BMC.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.h"
+#include "ir/seq.h"
+
+namespace rtlsat::bmc {
+
+struct BmcInstance {
+  ir::Circuit circuit;
+  ir::NetId goal = ir::kNoNet;  // assert goal = 1 to search for a violation
+  int bound = 0;
+  std::string name;
+  // Frame-f image of a sequential net: frame_map[f][seq_net] (f in [0,k]
+  // for register outputs; inputs exist for f in [0,k−1]).
+  std::vector<std::vector<ir::NetId>> frame_map;
+};
+
+BmcInstance unroll(const ir::SeqCircuit& seq, std::string_view property,
+                   int bound);
+BmcInstance unroll_any(const ir::SeqCircuit& seq, std::string_view property,
+                       int bound);
+
+}  // namespace rtlsat::bmc

@@ -1,0 +1,41 @@
+// Conflict analysis on the hybrid implication graph (paper §2.4).
+//
+// Given the engine's recorded conflict, walks the trail backwards from the
+// conflicting antecedents, resolving implication events into their own
+// antecedents until a cut of the implication graph remains: Boolean
+// assignments and (optionally) word narrowings whose conjunction was
+// sufficient for the conflict. The negation of that cut is the learned
+// hybrid clause (Σ of Boolean literals and negative word literals), plus
+// the non-chronological backtrack level that makes the clause asserting.
+//
+// The cut construction is first-UIP: events at the conflicting decision
+// level are resolved until a single one remains, which becomes the
+// asserting literal.
+#pragma once
+
+#include "core/hybrid_clause.h"
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+struct AnalyzeOptions {
+  // Emit negative word literals for data-path narrowings below the current
+  // decision level instead of resolving them away into Boolean causes —
+  // the hybrid-clause learning of [9]. Off ⟹ learned clauses are purely
+  // Boolean (ablation).
+  bool hybrid_word_literals = true;
+};
+
+struct AnalysisResult {
+  // True when the conflict does not depend on any decision: the instance
+  // is UNSAT.
+  bool empty_clause = false;
+  // lits[0] is the asserting literal.
+  HybridClause clause;
+  std::uint32_t backtrack_level = 0;
+};
+
+AnalysisResult analyze_conflict(const prop::Engine& engine,
+                                const AnalyzeOptions& options = {});
+
+}  // namespace rtlsat::core

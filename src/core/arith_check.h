@@ -1,0 +1,28 @@
+// End-game arithmetic check (paper §2.4): once constraint propagation is
+// bounds-consistent and every Boolean variable is assigned, the remaining
+// data-path operators are all linear relations over the solution box P.
+// This module extracts those relations as an fme::System and asks the
+// Fourier–Motzkin solver for an integer point.
+//
+// Only nodes with at least one non-point incident net are extracted:
+// fully-point nodes were already checked exactly by propagation.
+#pragma once
+
+#include <unordered_map>
+
+#include "fme/fme.h"
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+struct ArithCheckResult {
+  bool sat = false;
+  // On sat: a concrete value for every net (points taken from the engine,
+  // the rest from the FME model / interval minima).
+  std::vector<std::int64_t> values;
+};
+
+// Precondition: engine not in conflict and all 1-bit nets assigned.
+ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver);
+
+}  // namespace rtlsat::core

@@ -1,0 +1,107 @@
+// Database of hybrid clauses with two-watched-literal unit propagation
+// over interval domains.
+//
+// Each clause watches two of its literals; a clause is re-examined only
+// when an engine event narrows the net under a watch. The classic watch
+// invariant carries over to interval literals because literal truth is
+// monotone along the trail (narrowing can only move a literal
+// unknown→false or unknown→true; backtracking only reverses that), so —
+// exactly as in a Boolean CDCL solver — a clause can never *become* unit
+// or conflicting without an event on a watched net, provided events are
+// processed in trail order.
+//
+// A clause whose literals are all false raises a conflict; a clause with
+// one non-false literal left implies it (for word literals, by narrowing
+// the net to the literal's implied interval — a negative literal whose
+// complement is not interval-representable stays pending, which is sound,
+// merely lazier). Implications are pushed into the prop::Engine with
+// ReasonKind::kClause so they participate in the hybrid implication graph
+// like any circuit implication (paper §2.4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/hybrid_clause.h"
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+class ClauseDb {
+ public:
+  explicit ClauseDb(const ir::Circuit& circuit)
+      : watchers_(circuit.num_nets()),
+        occurrences_(circuit.num_nets()),
+        net_weight_(circuit.num_nets(), 0),
+        literal_weight_(circuit.num_nets(), {0, 0}) {}
+
+  std::uint32_t add(HybridClause clause);
+
+  const HybridClause& clause(std::uint32_t id) const { return clauses_[id]; }
+  std::size_t size() const { return clauses_.size(); }
+  std::size_t learnt_count() const { return learnt_count_; }
+
+  // Runs clause unit propagation against the engine's current domains.
+  // `cursor` tracks how much of the engine trail this db has already
+  // processed; rollbacks are rewound via the engine's trail low-water
+  // mark. Newly added clauses are checked on their first propagate().
+  // Returns false when a conflict was raised.
+  bool propagate(prop::Engine& engine, std::size_t* cursor);
+
+  // Number of clauses each net occurs in — the decision heuristic's
+  // learned-clause weight (§2.4, §3 step 5).
+  int net_weight(ir::NetId net) const { return net_weight_[net]; }
+
+  // Number of learnt clauses containing the Boolean literal (net = value) —
+  // the §4.4 value-choice weight. Maintained incrementally so the decision
+  // loop reads it in O(1).
+  int bool_literal_weight(ir::NetId net, bool value) const {
+    return literal_weight_[net][value ? 1 : 0];
+  }
+
+  // Ids of the clauses mentioning a net.
+  const std::vector<std::uint32_t>& occurrences(ir::NetId net) const {
+    return occurrences_[net];
+  }
+
+  const std::vector<HybridClause>& all() const { return clauses_; }
+
+  // Learnt-clause database reduction: deletes the least-active half of the
+  // long (> 2 literal) learnt clauses, keeping any clause that is the
+  // reason of a current trail implication. Deleted clauses are dropped
+  // lazily from the watch lists. Returns the number deleted.
+  std::size_t reduce(const prop::Engine& engine);
+
+  // Age-based activity: bumped whenever a clause implies or conflicts;
+  // the solver decays the increment once per conflict (EVSIDS-style).
+  void decay_clause_activity(double factor) { activity_increment_ /= factor; }
+
+ private:
+  // Full (non-watched) examination used for fresh clauses and as the slow
+  // path: finds a satisfied literal or implies/conflicts. Returns false on
+  // conflict.
+  bool apply_clause_full(std::uint32_t id, prop::Engine& engine);
+  // Watched-path handler for one clause triggered by an event on `net`.
+  // Returns false on conflict. Sets *keep_watch when the clause should stay
+  // in net's watcher list.
+  bool on_watched_event(std::uint32_t id, ir::NetId net, prop::Engine& engine,
+                        bool* keep_watch);
+  bool imply_or_conflict(std::uint32_t id, std::size_t unit_index,
+                         bool conflicting, prop::Engine& engine);
+  void watch(std::uint32_t id, std::size_t lit_index);
+  void set_initial_watches(std::uint32_t id, const prop::Engine& engine);
+
+  std::vector<HybridClause> clauses_;
+  // Two watched literal indices per clause (equal for unit clauses).
+  std::vector<std::array<std::uint32_t, 2>> watch_idx_;
+  std::vector<std::vector<std::uint32_t>> watchers_;  // by net
+  std::vector<std::vector<std::uint32_t>> occurrences_;
+  std::vector<int> net_weight_;
+  std::vector<std::array<int, 2>> literal_weight_;
+  std::vector<std::uint32_t> fresh_;  // added but not yet propagated
+  std::size_t learnt_count_ = 0;
+  double activity_increment_ = 1.0;
+};
+
+}  // namespace rtlsat::core

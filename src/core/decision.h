@@ -1,0 +1,98 @@
+// Activity-ordered decision heap over Boolean nets (paper §2.4: "a decision
+// variable is picked based on an exponentially decaying function based on
+// its original fanout and the number of learned clauses that it appears
+// in"). Implemented as the usual lazy max-heap: popped entries are
+// re-inserted on backtrack; stale (assigned) entries are skipped by the
+// caller.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::core {
+
+class ActivityHeap {
+ public:
+  explicit ActivityHeap(std::size_t num_nets)
+      : activity_(num_nets, 0.0), pos_(num_nets, -1) {}
+
+  void set_activity(ir::NetId net, double a) {
+    activity_[net] = a;
+    if (pos_[net] >= 0) sift_up(pos_[net]);
+  }
+  double activity(ir::NetId net) const { return activity_[net]; }
+
+  void bump(ir::NetId net, double amount) {
+    activity_[net] += amount;
+    if (activity_[net] > 1e100) rescale();
+    if (pos_[net] >= 0) sift_up(pos_[net]);
+  }
+
+  bool contains(ir::NetId net) const { return pos_[net] >= 0; }
+  bool empty() const { return heap_.empty(); }
+
+  void insert(ir::NetId net) {
+    if (pos_[net] >= 0) return;
+    pos_[net] = static_cast<int>(heap_.size());
+    heap_.push_back(net);
+    sift_up(pos_[net]);
+  }
+
+  ir::NetId pop() {
+    const ir::NetId top = heap_[0];
+    pos_[top] = -1;
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      pos_[heap_[0]] = 0;
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+ private:
+  bool less(ir::NetId a, ir::NetId b) const {
+    return activity_[a] > activity_[b];
+  }
+  void rescale() {
+    for (double& a : activity_) a *= 1e-100;
+  }
+  void sift_up(int i) {
+    const ir::NetId v = heap_[static_cast<std::size_t>(i)];
+    while (i > 0) {
+      const int parent = (i - 1) / 2;
+      if (!less(v, heap_[static_cast<std::size_t>(parent)])) break;
+      heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+      pos_[heap_[static_cast<std::size_t>(i)]] = i;
+      i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    pos_[v] = i;
+  }
+  void sift_down(int i) {
+    const ir::NetId v = heap_[static_cast<std::size_t>(i)];
+    const int n = static_cast<int>(heap_.size());
+    while (true) {
+      int child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(heap_[static_cast<std::size_t>(child + 1)],
+                                heap_[static_cast<std::size_t>(child)]))
+        ++child;
+      if (!less(heap_[static_cast<std::size_t>(child)], v)) break;
+      heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+      pos_[heap_[static_cast<std::size_t>(i)]] = i;
+      i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    pos_[v] = i;
+  }
+
+  std::vector<double> activity_;
+  std::vector<int> pos_;
+  std::vector<ir::NetId> heap_;
+};
+
+}  // namespace rtlsat::core

@@ -1,0 +1,26 @@
+// Ddeduce()'s propagation half (paper §2.4): runs circuit interval/Boolean
+// propagation and hybrid-clause unit propagation to a mutual fixpoint.
+// Shared by the HDPLL search loop and the static learner's probes.
+#pragma once
+
+#include <algorithm>
+
+#include "core/clause_db.h"
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+// `cursor` is the clause DB's position in the engine trail; rollback
+// rewinding is handled inside ClauseDb::propagate via the engine's trail
+// low-water mark, so callers may freely roll the engine back between
+// calls. Returns false on conflict (recorded in the engine).
+inline bool deduce(prop::Engine& engine, ClauseDb& db, std::size_t* cursor) {
+  while (true) {
+    if (!engine.propagate()) return false;
+    const std::size_t before = engine.trail().size();
+    if (!db.propagate(engine, cursor)) return false;
+    if (engine.trail().size() == before) return true;
+  }
+}
+
+}  // namespace rtlsat::core

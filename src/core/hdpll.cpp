@@ -1,0 +1,305 @@
+#include "core/hdpll.h"
+
+#include <algorithm>
+
+#include "core/deduce.h"
+#include "ir/analysis.h"
+#include "util/log.h"
+
+namespace rtlsat::core {
+
+using ir::NetId;
+
+namespace {
+// Luby restart scaling (1 1 2 1 1 2 4 …).
+std::int64_t luby_like(std::int64_t i) {
+  std::int64_t k = 1;
+  while ((std::int64_t{1} << k) - 1 < i + 1) ++k;
+  while ((std::int64_t{1} << (k - 1)) - 1 != i) {
+    i -= (std::int64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((std::int64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return std::int64_t{1} << (k - 1);
+}
+}  // namespace
+
+HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
+    : circuit_(circuit),
+      options_(options),
+      engine_(circuit),
+      db_(circuit),
+      heap_(circuit.num_nets()),
+      rng_(options.random_seed),
+      phase_(circuit.num_nets(), false) {
+  if (options_.structural_decisions)
+    justifier_ = std::make_unique<Justifier>(circuit);
+  // Seed activities with original fanout counts (§2.4).
+  const auto fanout = ir::fanout_counts(circuit);
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    if (!circuit.is_bool(id)) continue;
+    if (circuit.node(id).op == ir::Op::kConst) continue;
+    heap_.set_activity(id, static_cast<double>(fanout[id]));
+    heap_.insert(id);
+  }
+}
+
+void HdpllSolver::assume(NetId net, const Interval& interval) {
+  RTLSAT_ASSERT(!interval.is_empty());
+  assumptions_.push_back({net, interval});
+}
+
+bool HdpllSolver::apply_assumptions() {
+  for (const auto& [net, interval] : assumptions_) {
+    if (!engine_.narrow(net, interval, prop::ReasonKind::kAssumption))
+      return false;
+  }
+  return deduce(engine_, db_, &clause_cursor_);
+}
+
+bool HdpllSolver::pick_phase(NetId net) {
+  if (options_.random_decisions) return rng_.flip();
+  if (options_.predicate_learning && options_.structural_decisions) {
+    // §4.4: prefer the value satisfying more learned relations. The paper
+    // ties this value choice to the structural strategy ("if we have a
+    // choice of values on a predicate signal, like a select to a mux");
+    // applied to plain activity decisions it biases the search towards
+    // satisfying learned clauses, which *delays* refutations.
+    const int w1 = relation_satisfaction(db_, net, true);
+    const int w0 = relation_satisfaction(db_, net, false);
+    if (w1 != w0) return w1 > w0;
+  }
+  return phase_[net];
+}
+
+std::optional<HdpllSolver::Decision> HdpllSolver::pick_decision() {
+  if (options_.structural_decisions) {
+    if (auto jd = justifier_->pick(
+            engine_, options_.predicate_learning ? &db_ : nullptr)) {
+      stats_.add("hdpll.structural_decisions", 1);
+      return Decision{jd->net, jd->value};
+    }
+  }
+  if (options_.random_decisions) {
+    // Reservoir-sample a free Boolean net (randomized ablation).
+    NetId chosen = ir::kNoNet;
+    std::uint64_t seen = 0;
+    for (NetId id = 0; id < circuit_.num_nets(); ++id) {
+      if (!circuit_.is_bool(id) || engine_.bool_value(id) >= 0) continue;
+      if (circuit_.node(id).op == ir::Op::kConst) continue;
+      ++seen;
+      if (rng_.below(seen) == 0) chosen = id;
+    }
+    if (chosen == ir::kNoNet) return std::nullopt;
+    return Decision{chosen, pick_phase(chosen)};
+  }
+  while (!heap_.empty()) {
+    const NetId net = heap_.pop();
+    if (engine_.bool_value(net) >= 0) continue;  // stale entry
+    return Decision{net, pick_phase(net)};
+  }
+  return std::nullopt;
+}
+
+void HdpllSolver::backtrack_to(std::uint32_t level) {
+  // Save phases and refill the decision heap for the undone assignments.
+  const auto& trail = engine_.trail();
+  for (std::size_t i = trail.size(); i > 0; --i) {
+    const prop::Event& ev = trail[i - 1];
+    if (ev.level <= level) break;
+    if (circuit_.is_bool(ev.net) && ev.cur.is_point()) {
+      phase_[ev.net] = ev.cur.lo() == 1;
+      heap_.insert(ev.net);
+    }
+  }
+  engine_.backtrack_to_level(level);
+  decision_stack_.resize(level);
+}
+
+void HdpllSolver::on_clause_learned(const HybridClause& clause) {
+  for (const HybridLit& l : clause.lits) {
+    heap_.bump(l.net, activity_bump_);
+  }
+  activity_bump_ /= options_.activity_decay;
+  if (activity_bump_ > 1e100) {
+    // ActivityHeap::bump rescales stored activities; rescale our increment
+    // in lockstep.
+    activity_bump_ = 1.0;
+  }
+}
+
+bool HdpllSolver::handle_conflict() {
+  stats_.add("hdpll.conflicts", 1);
+  if (engine_.level() == 0) return false;
+
+  if (!options_.conflict_learning) {
+    // Chronological DPLL: flip the deepest unflipped decision.
+    while (!decision_stack_.empty() && decision_stack_.back().flipped) {
+      backtrack_to(static_cast<std::uint32_t>(decision_stack_.size() - 1));
+    }
+    if (decision_stack_.empty()) return false;
+    LevelInfo info = decision_stack_.back();
+    backtrack_to(static_cast<std::uint32_t>(decision_stack_.size() - 1));
+    engine_.push_level();
+    decision_stack_.push_back({info.net, !info.value, true});
+    const bool ok =
+        engine_.narrow(info.net, Interval::point(info.value ? 0 : 1),
+                       prop::ReasonKind::kDecision);
+    if (!ok) return handle_conflict();
+    return true;
+  }
+
+  const AnalysisResult analysis = analyze_conflict(engine_, options_.analyze);
+  if (analysis.empty_clause) return false;
+  stats_.add("hdpll.learned_clauses", 1);
+  stats_.add("hdpll.learned_literals",
+             static_cast<std::int64_t>(analysis.clause.lits.size()));
+  backtrack_to(analysis.backtrack_level);
+  on_clause_learned(analysis.clause);
+  db_.add(analysis.clause);  // asserts via clause propagation in deduce()
+  db_.decay_clause_activity(options_.clause_activity_decay);
+
+  // Periodic learnt-database housekeeping.
+  if (options_.clause_reduction && db_.learnt_count() > reduction_budget_) {
+    stats_.add("hdpll.reductions", 1);
+    stats_.add("hdpll.clauses_deleted",
+               static_cast<std::int64_t>(db_.reduce(engine_)));
+    reduction_budget_ = static_cast<std::size_t>(
+        static_cast<double>(reduction_budget_) * options_.reduction_grow);
+  }
+  if (options_.restart_interval > 0 && --conflicts_until_restart_ <= 0) {
+    stats_.add("hdpll.restarts", 1);
+    ++restart_count_;
+    conflicts_until_restart_ =
+        options_.restart_interval * luby_like(restart_count_);
+    backtrack_to(0);
+  }
+  return true;
+}
+
+SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
+                                    const Timer& timer) {
+  SolveResult result;
+  result.status = SolveStatus::kSat;
+  result.seconds = timer.seconds();
+  for (NetId input : circuit_.inputs())
+    result.input_model.emplace(input, arith.values[input]);
+  if (options_.verify_models) {
+    const auto values = circuit_.evaluate(result.input_model);
+    for (const auto& [net, interval] : assumptions_) {
+      RTLSAT_ASSERT_MSG(interval.contains(values[net]),
+                        "model verification failed: assumption violated");
+    }
+  }
+  return result;
+}
+
+SolveResult HdpllSolver::solve() {
+  Timer timer;
+  const Deadline deadline(options_.timeout_seconds);
+  SolveResult result;
+  reduction_budget_ = options_.reduction_base;
+  conflicts_until_restart_ = options_.restart_interval;
+
+  if (!apply_assumptions()) {
+    result.status = SolveStatus::kUnsat;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  if (options_.predicate_learning) {
+    result.learning = run_predicate_learning(engine_, db_, &clause_cursor_,
+                                             options_.learning);
+    if (result.learning.proven_unsat) {
+      result.status = SolveStatus::kUnsat;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    // §3 step 5: bias decisions towards nets in learned relations.
+    for (NetId id = 0; id < circuit_.num_nets(); ++id) {
+      if (circuit_.is_bool(id) && db_.net_weight(id) > 0) {
+        heap_.bump(id, options_.learned_weight_bonus * db_.net_weight(id));
+      }
+    }
+  }
+
+  int steps_since_deadline_check = 0;
+  while (true) {
+    if (!deduce(engine_, db_, &clause_cursor_)) {
+      if (!handle_conflict()) {
+        result.status = SolveStatus::kUnsat;
+        result.seconds = timer.seconds();
+        return result;
+      }
+      continue;
+    }
+
+    if (deadline.armed() && ++steps_since_deadline_check >= 64) {
+      steps_since_deadline_check = 0;
+      if (deadline.expired()) {
+        result.status = SolveStatus::kTimeout;
+        result.seconds = timer.seconds();
+        return result;
+      }
+    }
+
+    const auto decision = pick_decision();
+    if (!decision) {
+      // Decide() == done: every Boolean net assigned, box bounds
+      // consistent — ask FME for a point solution (§2.4).
+      RTLSAT_DASSERT(engine_.all_booleans_assigned());
+      stats_.add("hdpll.arith_checks", 1);
+      const ArithCheckResult arith = arith_check(engine_, fme_);
+      if (arith.sat) {
+        const PredicateLearningReport learning = result.learning;
+        result = finish_sat(arith, timer);
+        result.learning = learning;
+        return result;
+      }
+      stats_.add("hdpll.arith_conflicts", 1);
+      if (engine_.level() == 0) {
+        result.status = SolveStatus::kUnsat;
+        result.seconds = timer.seconds();
+        return result;
+      }
+      if (options_.conflict_learning) {
+        // Learn the decision cut: ¬(d₁ ∧ … ∧ d_k). The asserting literal
+        // is the deepest decision's negation.
+        HybridClause cut;
+        cut.learnt = true;
+        cut.origin = HybridClause::Origin::kConflict;
+        for (auto it = decision_stack_.rbegin(); it != decision_stack_.rend();
+             ++it) {
+          cut.lits.push_back(HybridLit::boolean(it->net, !it->value));
+        }
+        backtrack_to(engine_.level() - 1);
+        on_clause_learned(cut);
+        db_.add(std::move(cut));
+      } else {
+        // Reuse the chronological flip path (it does not consult the
+        // engine's conflict record).
+        if (!handle_conflict()) {
+          result.status = SolveStatus::kUnsat;
+          result.seconds = timer.seconds();
+          return result;
+        }
+      }
+      continue;
+    }
+
+    stats_.add("hdpll.decisions", 1);
+    engine_.push_level();
+    decision_stack_.push_back({decision->net, decision->value, false});
+    if (!engine_.narrow(decision->net,
+                        Interval::point(decision->value ? 1 : 0),
+                        prop::ReasonKind::kDecision)) {
+      if (!handle_conflict()) {
+        result.status = SolveStatus::kUnsat;
+        result.seconds = timer.seconds();
+        return result;
+      }
+    }
+  }
+}
+
+}  // namespace rtlsat::core

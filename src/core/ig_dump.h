@@ -1,0 +1,16 @@
+// GraphViz rendering of the hybrid implication graph (paper §2.4): each
+// trail event is a node labelled with its narrowing and decision level;
+// edges run from antecedent events to their consequences. Decision and
+// assumption events are highlighted; a recorded conflict is drawn as a
+// terminal node. A debugging aid for solver development and teaching.
+#pragma once
+
+#include <string>
+
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+std::string implication_graph_dot(const prop::Engine& engine);
+
+}  // namespace rtlsat::core

@@ -1,0 +1,62 @@
+// Structural decision-making by RTL justification (paper §4, Algorithm 2).
+//
+// The J-frontier is the set of operators whose required output cannot yet
+// be produced by implication alone:
+//   * Boolean gates with an assigned output that no current input value
+//     explains (AND at 0 with no 0-input, OR at 1 with no 1-input, XOR with
+//     both inputs free),
+//   * word-level muxes whose select is free and whose required output
+//     interval genuinely constrains the branch choice (Def. 4.1 rule 2).
+// Pure arithmetic operators (+, −, shifts, …) are never justified — their
+// consistency is the propagation engine's and FME's job.
+//
+// justify() returns the next Boolean decision (net, value) that satisfies
+// some frontier gate, preferring — per §4.4 — the value that satisfies the
+// most learned predicate relations when static learning ran.
+#pragma once
+
+#include <optional>
+
+#include "core/clause_db.h"
+#include "prop/engine.h"
+
+namespace rtlsat::core {
+
+struct JustifyDecision {
+  ir::NetId net = ir::kNoNet;
+  bool value = false;
+};
+
+class Justifier {
+ public:
+  explicit Justifier(const ir::Circuit& circuit);
+
+  // Scans the implicit J-frontier (highest level first — justification
+  // flows from the constrained outputs back towards the inputs) and
+  // returns a decision for the first unjustified gate, or nullopt when the
+  // frontier is empty. `db` may be null; when present, free value choices
+  // are weighted by learned-relation satisfaction.
+  std::optional<JustifyDecision> pick(const prop::Engine& engine,
+                                      const ClauseDb* db) const;
+
+  // Diagnostic: the frontier size under the current assignment.
+  std::size_t frontier_size(const prop::Engine& engine) const;
+
+ private:
+  bool unjustified(const prop::Engine& engine, ir::NetId id) const;
+  std::optional<JustifyDecision> justify_gate(const prop::Engine& engine,
+                                              ir::NetId id,
+                                              const ClauseDb* db) const;
+
+  const ir::Circuit& circuit_;
+  // Candidate gates sorted by level, deepest first.
+  std::vector<ir::NetId> candidates_;
+  std::vector<int> fanout_count_;
+  std::vector<int> level_;
+};
+
+// §4.4 helper, shared with the base heuristic under +P: how many learned
+// clauses contain the literal (net = value)?
+int relation_satisfaction(const ClauseDb& db, ir::NetId net, bool value);
+
+}  // namespace rtlsat::core

@@ -1,0 +1,59 @@
+// Predicate-based static learning (paper §3): recursive learning of level 1
+// restricted to the RTL's predicate logic, with implications carried across
+// the data-path by interval constraint propagation.
+//
+// For each candidate signal b (predicates and the Boolean logic in their
+// cone, probed in level order) and each probe value v:
+//   1. assume b = v and propagate (hybrid: Boolean + interval).
+//   2. Enumerate the ways W the driver gate of b can produce v (OR at 1 —
+//      one way per input; AND at 0; XOR both input patterns; 1-bit mux both
+//      select arms). Satisfy each way in isolation one level deeper.
+//   3. Implications common to all feasible ways also follow from b = v:
+//      learn (¬(b=v) ∨ impl) as a clause. Word-interval implications yield
+//      hybrid clauses with a positive word literal.
+//   4. A probe or all of its ways conflicting learns the unit fact b = ¬v.
+// Learned clauses feed later probes (they propagate like any clause) and
+// the search itself; the relation count is capped (paper: 2500 for Table 1,
+// min(#predicate gates, 2000) for Table 2) because complete learning can
+// cost up to 10× the solve time.
+#pragma once
+
+#include "core/clause_db.h"
+#include "prop/engine.h"
+#include "util/stats.h"
+
+namespace rtlsat::core {
+
+struct PredicateLearningOptions {
+  // Maximum binary relations to learn; ≤ 0 disables learning entirely.
+  int max_relations = 2000;
+  // Also learn hybrid relations (¬b ∨ {w ∈ ⟨l,m⟩}) from common data-path
+  // narrowings, not just Boolean–Boolean ones.
+  bool learn_word_relations = true;
+  // Extension along the paper's §6 future-work direction: probe word
+  // variables by domain bisection. Implications common to both halves hold
+  // unconditionally and are committed as unit facts (Boolean units or
+  // {w ∈ ⟨l,m⟩} interval units) — probing-based bound shaving on the
+  // data-path. Off by default; the ablation bench exercises it.
+  bool word_probing = false;
+  int max_word_probes = 256;
+};
+
+struct PredicateLearningReport {
+  int relations_learned = 0;  // binary (and hybrid) clauses added
+  int units_learned = 0;      // probe values proven impossible
+  int probes = 0;
+  double seconds = 0;
+  // The preprocessing itself refuted the instance (level-0 conflict).
+  bool proven_unsat = false;
+};
+
+// Runs on an engine that is at decision level 0 with the instance's
+// assumptions already propagated. Learned clauses are added to `db`;
+// `clause_cursor` is the caller's clause-propagation cursor into the
+// engine trail (kept consistent across the probe rollbacks).
+PredicateLearningReport run_predicate_learning(
+    prop::Engine& engine, ClauseDb& db, std::size_t* clause_cursor,
+    const PredicateLearningOptions& options);
+
+}  // namespace rtlsat::core

@@ -1,0 +1,480 @@
+#include "fme/fme.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace rtlsat::fme {
+
+namespace {
+
+using I128 = __int128;
+constexpr Coeff kCoeffMax = std::numeric_limits<Coeff>::max();
+constexpr Coeff kCoeffMin = std::numeric_limits<Coeff>::min();
+
+bool fits64(I128 v) {
+  return v >= static_cast<I128>(kCoeffMin) && v <= static_cast<I128>(kCoeffMax);
+}
+
+Coeff div_floor(Coeff a, Coeff b) {
+  RTLSAT_ASSERT(b > 0);
+  Coeff q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+Coeff div_ceil(Coeff a, Coeff b) {
+  RTLSAT_ASSERT(b > 0);
+  Coeff q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+// A self-contained subproblem: interval bounds plus constraints, with
+// variable ids from the original System.
+struct Problem {
+  std::vector<Interval> bounds;
+  std::vector<LinearConstraint> constraints;
+};
+
+// One variable elimination record, kept for back-substitution: the
+// constraints that mentioned the variable, as they stood when eliminated.
+struct Elimination {
+  Var var = 0;
+  std::vector<LinearConstraint> uppers;  // positive coefficient on var
+  std::vector<LinearConstraint> lowers;  // negative coefficient on var
+};
+
+enum class ShadowResult { kFeasible, kInfeasible, kBlowup };
+
+class Eliminator {
+ public:
+  Eliminator(const Problem& problem, bool dark, const SolveOptions& options)
+      : problem_(problem), dark_(dark), options_(options) {}
+
+  ShadowResult run() {
+    // Bounds become ordinary constraints so elimination sees them.
+    work_ = problem_.constraints;
+    std::vector<bool> used(problem_.bounds.size(), false);
+    for (const auto& c : work_) {
+      for (const Term& t : c.terms) used[t.var] = true;
+    }
+    for (Var v = 0; v < problem_.bounds.size(); ++v) {
+      if (!used[v]) continue;  // unconstrained: any in-bounds value works
+      const Interval& b = problem_.bounds[v];
+      work_.push_back({{{v, 1}}, b.hi()});
+      work_.push_back({{{v, -1}}, -b.lo()});
+      remaining_.push_back(v);
+    }
+    if (!drop_ground()) return ShadowResult::kInfeasible;
+
+    while (!remaining_.empty()) {
+      const Var v = pick_variable();
+      if (!eliminate(v)) return ShadowResult::kInfeasible;
+      if (work_.size() > options_.max_constraints)
+        return ShadowResult::kBlowup;
+    }
+    return ShadowResult::kFeasible;
+  }
+
+  bool all_exact() const { return all_exact_; }
+
+  // Assigns the eliminated variables in reverse order; unassigned entries in
+  // `model` must be pre-set for variables outside this component.
+  bool extract_model(std::vector<std::int64_t>& model) const {
+    std::vector<bool> assigned(problem_.bounds.size(), false);
+    for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+      Coeff lo = problem_.bounds[it->var].lo();
+      Coeff hi = problem_.bounds[it->var].hi();
+      for (const auto& c : it->uppers) {  // a·v + rest ≤ bound, a > 0
+        const Coeff a = c.coeff_of(it->var);
+        I128 rest = 0;
+        for (const Term& t : c.terms) {
+          if (t.var != it->var) rest += static_cast<I128>(t.coeff) * model[t.var];
+        }
+        const I128 room = static_cast<I128>(c.bound) - rest;
+        if (!fits64(room)) return false;
+        hi = std::min(hi, div_floor(static_cast<Coeff>(room), a));
+      }
+      for (const auto& c : it->lowers) {  // −b·v + rest ≤ bound, b > 0
+        const Coeff b = -c.coeff_of(it->var);
+        I128 rest = 0;
+        for (const Term& t : c.terms) {
+          if (t.var != it->var) rest += static_cast<I128>(t.coeff) * model[t.var];
+        }
+        const I128 room = rest - static_cast<I128>(c.bound);
+        if (!fits64(room)) return false;
+        lo = std::max(lo, div_ceil(static_cast<Coeff>(room), b));
+      }
+      if (lo > hi) return false;  // real shadow was hollow here
+      model[it->var] = lo;
+      assigned[it->var] = true;
+    }
+    return true;
+  }
+
+ private:
+  // Removes ground constraints; false if a violated one was found.
+  bool drop_ground() {
+    for (auto& c : work_) {
+      if (c.is_ground() && !c.ground_holds()) return false;
+    }
+    std::erase_if(work_, [](const LinearConstraint& c) { return c.is_ground(); });
+    return true;
+  }
+
+  Var pick_variable() const {
+    Var best = remaining_.front();
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    for (Var v : remaining_) {
+      std::uint64_t pos = 0, neg = 0;
+      for (const auto& c : work_) {
+        const Coeff a = c.coeff_of(v);
+        if (a > 0) ++pos;
+        if (a < 0) ++neg;
+      }
+      const std::uint64_t cost = pos * neg;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = v;
+      }
+    }
+    return best;
+  }
+
+  bool eliminate(Var v) {
+    Elimination step;
+    step.var = v;
+    std::vector<LinearConstraint> rest;
+    for (auto& c : work_) {
+      const Coeff a = c.coeff_of(v);
+      if (a > 0) {
+        step.uppers.push_back(std::move(c));
+      } else if (a < 0) {
+        step.lowers.push_back(std::move(c));
+      } else {
+        rest.push_back(std::move(c));
+      }
+    }
+    work_ = std::move(rest);
+
+    for (const auto& up : step.uppers) {
+      const Coeff a = up.coeff_of(v);
+      for (const auto& low : step.lowers) {
+        const Coeff b = -low.coeff_of(v);
+        if (a != 1 && b != 1) all_exact_ = false;
+        LinearConstraint combined;
+        if (!combine(up, low, v, a, b, combined)) return false;  // overflow → treat as infeasible at this level? no:
+        combined.normalize();
+        if (combined.is_ground()) {
+          if (!combined.ground_holds()) return false;
+        } else {
+          work_.push_back(std::move(combined));
+        }
+      }
+    }
+    std::erase(remaining_, v);
+    steps_.push_back(std::move(step));
+    return true;
+  }
+
+  // combined = b·up + a·low with the v terms cancelling; dark shadow
+  // subtracts (a−1)(b−1) from the slack. Returns false on coefficient
+  // overflow, which the caller maps to a blowup/splinter.
+  bool combine(const LinearConstraint& up, const LinearConstraint& low, Var v,
+               Coeff a, Coeff b, LinearConstraint& combined) {
+    std::map<Var, I128> sum;
+    for (const Term& t : up.terms) {
+      if (t.var != v) sum[t.var] += static_cast<I128>(b) * t.coeff;
+    }
+    for (const Term& t : low.terms) {
+      if (t.var != v) sum[t.var] += static_cast<I128>(a) * t.coeff;
+    }
+    I128 bound = static_cast<I128>(b) * up.bound + static_cast<I128>(a) * low.bound;
+    if (dark_) bound -= static_cast<I128>(a - 1) * (b - 1);
+    if (!fits64(bound)) {
+      overflow_ = true;
+      return false;
+    }
+    for (const auto& [var, coeff] : sum) {
+      if (!fits64(coeff)) {
+        overflow_ = true;
+        return false;
+      }
+      if (coeff != 0) combined.terms.push_back({var, static_cast<Coeff>(coeff)});
+    }
+    combined.bound = static_cast<Coeff>(bound);
+    return true;
+  }
+
+ public:
+  bool overflowed() const { return overflow_; }
+
+ private:
+  const Problem& problem_;
+  const bool dark_;
+  const SolveOptions& options_;
+  std::vector<LinearConstraint> work_;
+  std::vector<Var> remaining_;
+  std::vector<Elimination> steps_;
+  bool all_exact_ = true;
+  bool overflow_ = false;
+};
+
+// ------------------------------------------------------------- presolve
+
+// Folds single-variable constraints into the bounds and does one-round
+// bound tightening for multi-variable constraints. Returns false on an
+// empty domain.
+bool presolve(Problem& problem) {
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    std::vector<LinearConstraint> kept;
+    for (auto& c : problem.constraints) {
+      if (c.is_ground()) {
+        if (!c.ground_holds()) return false;
+        continue;
+      }
+      if (c.terms.size() == 1) {
+        const Term t = c.terms[0];
+        Interval& b = problem.bounds[t.var];
+        const Interval before = b;
+        if (t.coeff > 0) {
+          b = b.at_most(div_floor(c.bound, t.coeff));
+        } else {
+          b = b.at_least(div_ceil(-c.bound, -t.coeff));
+        }
+        if (b.is_empty()) return false;
+        if (b != before) changed = true;
+        continue;  // folded into bounds
+      }
+      // Tighten each variable against the extremes of the others.
+      for (const Term& t : c.terms) {
+        I128 rest_min = 0;
+        for (const Term& u : c.terms) {
+          if (u.var == t.var) continue;
+          const Interval& ub = problem.bounds[u.var];
+          rest_min += static_cast<I128>(u.coeff) *
+                      (u.coeff > 0 ? ub.lo() : ub.hi());
+        }
+        const I128 room = static_cast<I128>(c.bound) - rest_min;
+        if (!fits64(room)) continue;
+        Interval& b = problem.bounds[t.var];
+        const Interval before = b;
+        if (t.coeff > 0) {
+          b = b.at_most(div_floor(static_cast<Coeff>(room), t.coeff));
+        } else {
+          b = b.at_least(div_ceil(-static_cast<Coeff>(room), -t.coeff));
+        }
+        if (b.is_empty()) return false;
+        if (b != before) changed = true;
+      }
+      kept.push_back(std::move(c));
+    }
+    problem.constraints = std::move(kept);
+  }
+  return true;
+}
+
+// Substitutes point-valued variables into the constraints.
+void substitute_points(Problem& problem) {
+  for (auto& c : problem.constraints) {
+    std::vector<Term> kept;
+    for (const Term& t : c.terms) {
+      const Interval& b = problem.bounds[t.var];
+      if (b.is_point()) {
+        c.bound -= t.coeff * b.lo();
+      } else {
+        kept.push_back(t);
+      }
+    }
+    c.terms = std::move(kept);
+  }
+}
+
+// Union-find for the connected-component decomposition.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void merge(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+class Driver {
+ public:
+  Driver(const SolveOptions& options, Stats& stats)
+      : options_(options), stats_(stats) {}
+
+  Result solve(Problem problem, std::vector<std::int64_t>& model, int depth) {
+    stats_.add("fme.calls", 1);
+    if (depth > options_.max_splinter_depth) {
+      // Should be unreachable (domains are finite); fail safe on the sound
+      // side for UNSAT claims by exhaustively enumerating would be
+      // exponential — treat as internal error instead.
+      RTLSAT_UNREACHABLE("fme splinter depth exceeded");
+    }
+    if (!presolve(problem)) return Result::kUnsat;
+    substitute_points(problem);
+    std::erase_if(problem.constraints,
+                  [](const LinearConstraint& c) { return c.is_ground() && c.ground_holds(); });
+    for (const auto& c : problem.constraints) {
+      if (c.is_ground() && !c.ground_holds()) return Result::kUnsat;
+    }
+
+    // Default every variable to its lower bound; constraints below refine.
+    for (Var v = 0; v < problem.bounds.size(); ++v) model[v] = problem.bounds[v].lo();
+    if (problem.constraints.empty()) return Result::kSat;
+
+    // Connected components share no variables, so they solve independently.
+    UnionFind uf(problem.bounds.size());
+    for (const auto& c : problem.constraints) {
+      for (std::size_t i = 1; i < c.terms.size(); ++i)
+        uf.merge(c.terms[0].var, c.terms[i].var);
+    }
+    std::map<std::size_t, Problem> components;
+    for (const auto& c : problem.constraints) {
+      auto& comp = components[uf.find(c.terms[0].var)];
+      if (comp.bounds.empty()) comp.bounds = problem.bounds;
+      comp.constraints.push_back(c);
+    }
+    for (auto& [root, comp] : components) {
+      // Solve on a scratch copy and merge back only this component's
+      // variables: splinter recursion re-defaults every entry of the model
+      // it is handed, which must not clobber earlier components.
+      std::vector<std::int64_t> comp_model = model;
+      if (solve_component(comp, comp_model, depth) == Result::kUnsat)
+        return Result::kUnsat;
+      for (const auto& c : comp.constraints) {
+        for (const Term& t : c.terms) model[t.var] = comp_model[t.var];
+      }
+    }
+    return Result::kSat;
+  }
+
+ private:
+  Result solve_component(const Problem& problem,
+                         std::vector<std::int64_t>& model, int depth) {
+    // Real shadow first: its infeasibility is an exact UNSAT answer.
+    Eliminator real(problem, /*dark=*/false, options_);
+    const ShadowResult real_result = real.run();
+    stats_.add("fme.real_runs", 1);
+    if (real_result == ShadowResult::kInfeasible && !real.overflowed())
+      return Result::kUnsat;
+    if (real_result == ShadowResult::kFeasible && real.all_exact()) {
+      if (real.extract_model(model) && verify(problem, model))
+        return Result::kSat;
+    }
+    if (real_result == ShadowResult::kFeasible || real.overflowed() ||
+        real_result == ShadowResult::kBlowup) {
+      // Try the dark shadow: feasibility here is an exact SAT answer.
+      Eliminator dark(problem, /*dark=*/true, options_);
+      const ShadowResult dark_result = dark.run();
+      stats_.add("fme.dark_runs", 1);
+      if (dark_result == ShadowResult::kFeasible &&
+          dark.extract_model(model) && verify(problem, model)) {
+        return Result::kSat;
+      }
+    }
+    // Undecided: splinter on some variable.
+    return splinter(problem, model, depth);
+  }
+
+  Result splinter(const Problem& problem, std::vector<std::int64_t>& model,
+                  int depth) {
+    stats_.add("fme.splinters", 1);
+    // Branch on the narrowest non-point variable that appears in a
+    // constraint (a point variable would have been substituted).
+    Var best = 0;
+    std::uint64_t best_count = 0;
+    bool found = false;
+    for (const auto& c : problem.constraints) {
+      for (const Term& t : c.terms) {
+        const std::uint64_t n = problem.bounds[t.var].count();
+        if (n >= 2 && (!found || n < best_count)) {
+          best = t.var;
+          best_count = n;
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      // All variables pinned: direct check.
+      for (Var v = 0; v < problem.bounds.size(); ++v)
+        model[v] = problem.bounds[v].lo();
+      for (const auto& c : problem.constraints) {
+        if (!satisfied(c, model)) return Result::kUnsat;
+      }
+      return Result::kSat;
+    }
+
+    const Interval b = problem.bounds[best];
+    if (b.count() <= options_.enumerate_limit) {
+      for (Coeff v = b.lo(); v <= b.hi(); ++v) {
+        Problem sub = problem;
+        sub.bounds[best] = Interval::point(v);
+        if (solve(std::move(sub), model, depth + 1) == Result::kSat)
+          return Result::kSat;
+      }
+      return Result::kUnsat;
+    }
+    const Coeff mid = b.lo() + static_cast<Coeff>(b.count() / 2) - 1;
+    Problem left = problem;
+    left.bounds[best] = Interval(b.lo(), mid);
+    if (solve(std::move(left), model, depth + 1) == Result::kSat)
+      return Result::kSat;
+    Problem right = problem;
+    right.bounds[best] = Interval(mid + 1, b.hi());
+    return solve(std::move(right), model, depth + 1);
+  }
+
+  // Checks the model against this problem's constraints and the bounds of
+  // the variables they mention (other variables belong to sibling
+  // components and are validated there).
+  static bool verify(const Problem& problem,
+                     const std::vector<std::int64_t>& model) {
+    for (const auto& c : problem.constraints) {
+      for (const Term& t : c.terms) {
+        if (!problem.bounds[t.var].contains(model[t.var])) return false;
+      }
+      if (!satisfied(c, model)) return false;
+    }
+    return true;
+  }
+
+  const SolveOptions& options_;
+  Stats& stats_;
+};
+
+}  // namespace
+
+Result Solver::solve(const System& system, std::vector<std::int64_t>* model) {
+  Problem problem;
+  problem.bounds.reserve(system.num_vars());
+  for (Var v = 0; v < system.num_vars(); ++v) {
+    const Interval& b = system.bounds(v);
+    if (b.is_empty()) return Result::kUnsat;
+    problem.bounds.push_back(b);
+  }
+  problem.constraints = system.constraints();
+  for (auto& c : problem.constraints) c.normalize();
+
+  std::vector<std::int64_t> scratch(system.num_vars(), 0);
+  Driver driver(options_, stats_);
+  const Result result = driver.solve(std::move(problem), scratch, 0);
+  if (result == Result::kSat && model != nullptr) *model = std::move(scratch);
+  return result;
+}
+
+}  // namespace rtlsat::fme

@@ -1,0 +1,81 @@
+#include "fme/linear.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace rtlsat::fme {
+
+void LinearConstraint::normalize() {
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> merged;
+  for (const Term& t : terms) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coeff == 0; }),
+               merged.end());
+  terms = std::move(merged);
+}
+
+Coeff LinearConstraint::coeff_of(Var v) const {
+  for (const Term& t : terms) {
+    if (t.var == v) return t.coeff;
+  }
+  return 0;
+}
+
+std::string LinearConstraint::to_string() const {
+  std::ostringstream os;
+  if (terms.empty()) os << '0';
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) os << " + ";
+    os << terms[i].coeff << "*x" << terms[i].var;
+  }
+  os << " <= " << bound;
+  return os.str();
+}
+
+bool satisfied(const LinearConstraint& c,
+               const std::vector<std::int64_t>& assignment) {
+  __int128 sum = 0;
+  for (const Term& t : c.terms) {
+    RTLSAT_ASSERT(t.var < assignment.size());
+    sum += static_cast<__int128>(t.coeff) * assignment[t.var];
+  }
+  return sum <= static_cast<__int128>(c.bound);
+}
+
+Var System::add_var(Interval bounds) {
+  RTLSAT_ASSERT(!bounds.is_empty());
+  bounds_.push_back(bounds);
+  return static_cast<Var>(bounds_.size() - 1);
+}
+
+void System::add_le(std::vector<Term> terms, Coeff c) {
+  LinearConstraint lc{std::move(terms), c};
+  lc.normalize();
+  constraints_.push_back(std::move(lc));
+}
+
+void System::add_eq(std::vector<Term> terms, Coeff c) {
+  add_le(terms, c);
+  for (Term& t : terms) t.coeff = -t.coeff;
+  add_le(std::move(terms), -c);
+}
+
+std::string System::to_string() const {
+  std::ostringstream os;
+  for (Var v = 0; v < bounds_.size(); ++v)
+    os << 'x' << v << " in " << bounds_[v].to_string() << '\n';
+  for (const auto& c : constraints_) os << c.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace rtlsat::fme

@@ -1,0 +1,72 @@
+// Linear integer constraints over bounded variables — the input language of
+// the Fourier–Motzkin end-game solver (paper §2.4: "the solution box P is
+// checked for a point solution using an integer-linear solver that performs
+// Fourier-Motzkin elimination").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interval/interval.h"
+
+namespace rtlsat::fme {
+
+using Var = std::uint32_t;
+using Coeff = std::int64_t;
+
+struct Term {
+  Var var = 0;
+  Coeff coeff = 0;
+};
+
+// Σ terms ≤ bound. Terms are kept sorted by var with nonzero coefficients
+// and at most one term per var (normalize() enforces this).
+struct LinearConstraint {
+  std::vector<Term> terms;
+  Coeff bound = 0;
+
+  void normalize();
+  bool is_ground() const { return terms.empty(); }
+  // For a ground constraint: satisfied iff 0 ≤ bound.
+  bool ground_holds() const { return bound >= 0; }
+  Coeff coeff_of(Var v) const;
+  std::string to_string() const;
+};
+
+// Evaluate Σ terms under an assignment; true when the constraint holds.
+bool satisfied(const LinearConstraint& c,
+               const std::vector<std::int64_t>& assignment);
+
+// A conjunction of linear constraints over variables with interval bounds.
+class System {
+ public:
+  Var add_var(Interval bounds);
+  std::size_t num_vars() const { return bounds_.size(); }
+  const Interval& bounds(Var v) const { return bounds_[v]; }
+  void restrict_bounds(Var v, const Interval& b) {
+    bounds_[v] = bounds_[v].intersect(b);
+  }
+
+  // Σ a_i·x_i ≤ c.
+  void add_le(std::vector<Term> terms, Coeff c);
+  // Σ a_i·x_i = c (expands to two inequalities at solve time).
+  void add_eq(std::vector<Term> terms, Coeff c);
+  // Convenience forms used by the arithmetic extraction.
+  void add_le_1(Var x, Coeff a, Coeff c) { add_le({{x, a}}, c); }
+  void add_eq_2(Var x, Coeff a, Var y, Coeff b, Coeff c) {
+    add_eq({{x, a}, {y, b}}, c);
+  }
+
+  const std::vector<LinearConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Interval> bounds_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+}  // namespace rtlsat::fme

@@ -1,0 +1,276 @@
+#include "interval/interval_ops.h"
+
+#include <algorithm>
+
+namespace rtlsat::iops {
+
+namespace {
+
+V pow2(int k) {
+  RTLSAT_ASSERT(k >= 0 && k <= 60);
+  return V{1} << k;
+}
+
+// Floor/ceil division for signed operands, divisor > 0.
+V div_floor(V a, V b) {
+  RTLSAT_ASSERT(b > 0);
+  V q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+V div_ceil(V a, V b) {
+  RTLSAT_ASSERT(b > 0);
+  V q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+V mod_floor(V a, V m) {
+  RTLSAT_ASSERT(m > 0);
+  V r = a % m;
+  if (r < 0) r += m;
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- forward
+
+Interval fwd_add(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  return Interval(sat_add(x.lo(), y.lo()), sat_add(x.hi(), y.hi()));
+}
+
+Interval fwd_sub(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  return Interval(sat_sub(x.lo(), y.hi()), sat_sub(x.hi(), y.lo()));
+}
+
+Interval fwd_neg(const Interval& x) {
+  if (x.is_empty()) return Interval::empty();
+  return Interval(sat_sub(0, x.hi()), sat_sub(0, x.lo()));
+}
+
+Interval fwd_mul_const(const Interval& x, V k) {
+  if (x.is_empty()) return Interval::empty();
+  if (k == 0) return Interval::point(0);
+  const V a = sat_mul(x.lo(), k);
+  const V b = sat_mul(x.hi(), k);
+  return k > 0 ? Interval(a, b) : Interval(b, a);
+}
+
+Interval fwd_not(const Interval& x, int width) {
+  if (x.is_empty()) return Interval::empty();
+  const V top = pow2(width) - 1;
+  return Interval(top - x.hi(), top - x.lo());
+}
+
+Interval fwd_mod(const Interval& x, V m) {
+  RTLSAT_ASSERT(m >= 1);
+  if (x.is_empty()) return Interval::empty();
+  if (x.count() >= static_cast<std::uint64_t>(m)) return Interval(0, m - 1);
+  const V rlo = mod_floor(x.lo(), m);
+  const V rhi = mod_floor(x.hi(), m);
+  // Same residue block and no wrap → exact; otherwise the value set wraps
+  // past m−1 and the tightest single interval is the full range.
+  if (rlo <= rhi && rhi - rlo == x.hi() - x.lo()) return Interval(rlo, rhi);
+  return Interval(0, m - 1);
+}
+
+Interval fwd_lshr(const Interval& x, int k) {
+  if (x.is_empty()) return Interval::empty();
+  RTLSAT_ASSERT(x.lo() >= 0);
+  const V m = pow2(k);
+  return Interval(div_floor(x.lo(), m), div_floor(x.hi(), m));
+}
+
+Interval fwd_shl(const Interval& x, int k, int width) {
+  return fwd_mod(fwd_mul_const(x, pow2(k)), pow2(width));
+}
+
+Interval fwd_concat(const Interval& hi_part, const Interval& lo_part,
+                    int low_width) {
+  return fwd_add(fwd_mul_const(hi_part, pow2(low_width)), lo_part);
+}
+
+Interval fwd_extract(const Interval& x, int hi_bit, int lo_bit) {
+  RTLSAT_ASSERT(hi_bit >= lo_bit && lo_bit >= 0);
+  return fwd_mod(fwd_lshr(x, lo_bit), pow2(hi_bit - lo_bit + 1));
+}
+
+Interval fwd_min(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  return Interval(std::min(x.lo(), y.lo()), std::min(x.hi(), y.hi()));
+}
+
+Interval fwd_max(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  return Interval(std::max(x.lo(), y.lo()), std::max(x.hi(), y.hi()));
+}
+
+Interval fwd_add_wrap(const Interval& x, const Interval& y, int width) {
+  return fwd_mod(fwd_add(x, y), pow2(width));
+}
+
+Interval fwd_sub_wrap(const Interval& x, const Interval& y, int width) {
+  return fwd_mod(fwd_sub(x, y), pow2(width));
+}
+
+Interval fwd_eq(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  if (!x.intersects(y)) return Interval::point(0);
+  if (x.is_point() && x == y) return Interval::point(1);
+  return Interval::booleans();
+}
+
+Interval fwd_lt(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  if (x.hi() < y.lo()) return Interval::point(1);
+  if (x.lo() >= y.hi()) return Interval::point(0);
+  return Interval::booleans();
+}
+
+Interval fwd_le(const Interval& x, const Interval& y) {
+  if (x.is_empty() || y.is_empty()) return Interval::empty();
+  if (x.hi() <= y.lo()) return Interval::point(1);
+  if (x.lo() > y.hi()) return Interval::point(0);
+  return Interval::booleans();
+}
+
+// --------------------------------------------------------------- backward
+
+Interval back_add_x(const Interval& z, const Interval& y) {
+  return fwd_sub(z, y);
+}
+
+Interval back_sub_x(const Interval& z, const Interval& y) {
+  return fwd_add(z, y);
+}
+
+Interval back_sub_y(const Interval& z, const Interval& x) {
+  return fwd_sub(x, z);
+}
+
+Interval back_neg(const Interval& z) { return fwd_neg(z); }
+
+Interval back_mul_const(const Interval& z, V k) {
+  RTLSAT_ASSERT(k != 0);
+  if (z.is_empty()) return Interval::empty();
+  if (k > 0) return Interval(div_ceil(z.lo(), k), div_floor(z.hi(), k));
+  // k < 0: k·x ∈ z ⟺ (−k)·(−x) ∈ z ⟺ −x ∈ back_mul_const(z, −k).
+  return fwd_neg(back_mul_const(z, -k));
+}
+
+Interval back_not(const Interval& z, int width) { return fwd_not(z, width); }
+
+Interval back_lshr(const Interval& z, int k) {
+  if (z.is_empty()) return Interval::empty();
+  const V m = pow2(k);
+  return Interval(sat_mul(z.lo(), m), sat_add(sat_mul(z.hi(), m), m - 1));
+}
+
+namespace {
+// x ⊇ (base ∪ base±m) ∩ x_cur, as a hull of the candidate branches — the
+// standard sound treatment for modular arithmetic over a single interval.
+Interval wrap_candidates(const Interval& base, const Interval& x_cur, V m) {
+  const Interval c0 = base.intersect(x_cur);
+  const Interval c1 = fwd_add(base, Interval::point(m)).intersect(x_cur);
+  const Interval c2 = fwd_sub(base, Interval::point(m)).intersect(x_cur);
+  return c0.hull(c1).hull(c2);
+}
+}  // namespace
+
+Interval back_add_wrap_x(const Interval& z, const Interval& y,
+                         const Interval& x_cur, int width) {
+  // x + y = z or z + 2^w (operands in-width make larger multiples impossible).
+  return wrap_candidates(fwd_sub(z, y), x_cur, pow2(width));
+}
+
+Interval back_sub_wrap_x(const Interval& z, const Interval& y,
+                         const Interval& x_cur, int width) {
+  // x − y = z or z − 2^w.
+  return wrap_candidates(fwd_add(z, y), x_cur, pow2(width));
+}
+
+Interval back_sub_wrap_y(const Interval& z, const Interval& x,
+                         const Interval& y_cur, int width) {
+  // y = x − z or x − z + 2^w.
+  return wrap_candidates(fwd_sub(x, z), y_cur, pow2(width));
+}
+
+Interval back_concat_hi(const Interval& z, int low_width) {
+  return fwd_lshr(z, low_width);
+}
+
+Interval back_concat_lo(const Interval& z, const Interval& hi_cur,
+                        const Interval& lo_cur, int low_width) {
+  // lo = z − hi·2^lw; exact when hi is a point, else bound by the extremes.
+  const Interval shifted = fwd_mul_const(hi_cur, pow2(low_width));
+  return fwd_sub(z, shifted).intersect(lo_cur);
+}
+
+Interval back_extract(const Interval& z, const Interval& x_cur, int hi_bit,
+                      int lo_bit) {
+  if (z.is_empty() || x_cur.is_empty()) return Interval::empty();
+  const V block = pow2(lo_bit);
+  const V span = pow2(hi_bit - lo_bit + 1);
+  const V window = block * span;
+  // Exact inversion when the field is the low end of the word (lo_bit = 0)
+  // and x_cur stays inside one aligned window (fixed high bits): then
+  // x = base + field, contiguous in the field value.
+  if (lo_bit == 0 && div_floor(x_cur.lo(), window) ==
+                         div_floor(x_cur.hi(), window)) {
+    const V base = div_floor(x_cur.lo(), window) * window;
+    return Interval(base + z.lo(), base + z.hi()).intersect(x_cur);
+  }
+  // General sound bound: x must contain *some* value whose field is in z.
+  // If even the loosest containment fails, conflict; else keep x_cur.
+  const Interval field = fwd_extract(x_cur, hi_bit, lo_bit);
+  if (!field.intersects(z)) return Interval::empty();
+  return x_cur;
+}
+
+Interval back_min_x(const Interval& z, const Interval& y,
+                    const Interval& x_cur) {
+  if (z.is_empty()) return Interval::empty();
+  // min(x,y) = z ⟹ x ≥ z̲ always; and if y cannot reach down to z̄ then x
+  // must itself produce the minimum, so x ≤ z̄.
+  Interval x = x_cur.at_least(z.lo());
+  if (y.lo() > z.hi()) x = x.at_most(z.hi());
+  return x;
+}
+
+Interval back_max_x(const Interval& z, const Interval& y,
+                    const Interval& x_cur) {
+  if (z.is_empty()) return Interval::empty();
+  Interval x = x_cur.at_most(z.hi());
+  if (y.hi() < z.lo()) x = x.at_least(z.lo());
+  return x;
+}
+
+// ------------------------------------------------- comparator narrowings
+
+Pair narrow_lt(const Interval& x, const Interval& y) {
+  // Eq. (3): x ∈ ⟨x̲, min(x̄, ȳ−1)⟩, y ∈ ⟨max(y̲, x̲+1), ȳ⟩.
+  if (x.is_empty() || y.is_empty()) return {Interval::empty(), Interval::empty()};
+  return {x.at_most(sat_sub(y.hi(), 1)), y.at_least(sat_add(x.lo(), 1))};
+}
+
+Pair narrow_le(const Interval& x, const Interval& y) {
+  return {x.at_most(y.hi()), y.at_least(x.lo())};
+}
+
+Pair narrow_eq(const Interval& x, const Interval& y) {
+  const Interval both = x.intersect(y);
+  return {both, both};
+}
+
+Pair narrow_ne(const Interval& x, const Interval& y) {
+  Interval nx = x, ny = y;
+  // Only a point on the other side can trim an interval end.
+  if (y.is_point()) nx = nx.minus(y);
+  if (x.is_point()) ny = ny.minus(x);
+  return {nx, ny};
+}
+
+}  // namespace rtlsat::iops

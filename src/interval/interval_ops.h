@@ -1,0 +1,109 @@
+// Forward evaluation and backward (inverse) narrowing rules for interval
+// constraint propagation (paper §2.2, Eq. (1)–(3)).
+//
+// Forward rules compute the tightest interval for an operator's result from
+// its operand intervals. Backward rules narrow an operand given the result
+// interval — e.g. Eq. (3): from x − z < 0, x ∈ ⟨x̲, min(x̄, z̄−1)⟩ and
+// z ∈ ⟨max(z̲, x̲+1), z̄⟩. All rules are sound over-approximations and
+// monotonic (they only ever shrink intervals), which is what guarantees the
+// propagation fixpoint terminates on finite domains.
+//
+// Wrapping (modular) variants model RTL adders/subtractors of width w,
+// where the mathematical sum is reduced mod m = 2^w.
+#pragma once
+
+#include "interval/interval.h"
+
+namespace rtlsat::iops {
+
+using V = Interval::Value;
+
+// ---------------------------------------------------------------- forward
+
+Interval fwd_add(const Interval& x, const Interval& y);
+Interval fwd_sub(const Interval& x, const Interval& y);
+Interval fwd_neg(const Interval& x);
+Interval fwd_mul_const(const Interval& x, V k);
+// Bitwise complement of an unsigned w-bit value: 2^w − 1 − x.
+Interval fwd_not(const Interval& x, int width);
+// z = x mod m for m ≥ 1 (x may be any interval; handles negatives).
+Interval fwd_mod(const Interval& x, V m);
+// z = floor(x / 2^k) for x ≥ 0.
+Interval fwd_lshr(const Interval& x, int k);
+// z = (x · 2^k) mod 2^width — a left shift that drops overflowing bits.
+Interval fwd_shl(const Interval& x, int k, int width);
+// z = hi-part · 2^low_width + lo-part.
+Interval fwd_concat(const Interval& hi_part, const Interval& lo_part,
+                    int low_width);
+// z = bits [hi_bit : lo_bit] of x (x ≥ 0).
+Interval fwd_extract(const Interval& x, int hi_bit, int lo_bit);
+Interval fwd_min(const Interval& x, const Interval& y);
+Interval fwd_max(const Interval& x, const Interval& y);
+// Wrapping add/sub of unsigned w-bit operands.
+Interval fwd_add_wrap(const Interval& x, const Interval& y, int width);
+Interval fwd_sub_wrap(const Interval& x, const Interval& y, int width);
+
+// Three-valued result of comparing two intervals: ⟨1,1⟩ definitely true,
+// ⟨0,0⟩ definitely false, ⟨0,1⟩ unknown.
+Interval fwd_eq(const Interval& x, const Interval& y);
+Interval fwd_lt(const Interval& x, const Interval& y);
+Interval fwd_le(const Interval& x, const Interval& y);
+
+// --------------------------------------------------------------- backward
+//
+// Each back_* narrows the named operand given the result interval z and the
+// other operand's current interval; the return value must be intersected
+// with the operand's current interval by the caller (the rules already do
+// that where it is free). An empty result signals a conflict.
+
+// z = x + y (exact).
+Interval back_add_x(const Interval& z, const Interval& y);  // x ⊇ z − y
+// z = x − y (exact).
+Interval back_sub_x(const Interval& z, const Interval& y);  // x ⊇ z + y
+Interval back_sub_y(const Interval& z, const Interval& x);  // y ⊇ x − z
+// z = −x.
+Interval back_neg(const Interval& z);
+// z = k·x, k ≠ 0: x ⊇ { v : k·v ∈ z }.
+Interval back_mul_const(const Interval& z, V k);
+// z = 2^w − 1 − x.
+Interval back_not(const Interval& z, int width);
+// z = floor(x / 2^k): x ⊇ [z̲·2^k, z̄·2^k + 2^k − 1].
+Interval back_lshr(const Interval& z, int k);
+// z = (x + y) mod 2^width with x, y in-width: narrows x.
+Interval back_add_wrap_x(const Interval& z, const Interval& y,
+                         const Interval& x_cur, int width);
+// z = (x − y) mod 2^width: narrows x (x ⊇ z + y possibly − 2^w).
+Interval back_sub_wrap_x(const Interval& z, const Interval& y,
+                         const Interval& x_cur, int width);
+// z = (x − y) mod 2^width: narrows y (y ⊇ x − z possibly + 2^w).
+Interval back_sub_wrap_y(const Interval& z, const Interval& x,
+                         const Interval& y_cur, int width);
+// z = concat(hi, lo): narrow the parts.
+Interval back_concat_hi(const Interval& z, int low_width);
+Interval back_concat_lo(const Interval& z, const Interval& hi_cur,
+                        const Interval& lo_cur, int low_width);
+// z = extract(x, hi_bit, lo_bit): narrows x only when the untouched bits of
+// x are already fixed; otherwise returns x_cur (sound no-op).
+Interval back_extract(const Interval& z, const Interval& x_cur, int hi_bit,
+                      int lo_bit);
+// z = min(x,y) / max(x,y): narrows x.
+Interval back_min_x(const Interval& z, const Interval& y,
+                    const Interval& x_cur);
+Interval back_max_x(const Interval& z, const Interval& y,
+                    const Interval& x_cur);
+
+// ------------------------------------------------- comparator narrowings
+//
+// Apply a now-known comparison outcome to both operands (Eq. (3) family).
+// Results are the narrowed (x, y) pair.
+
+struct Pair {
+  Interval x, y;
+};
+
+Pair narrow_lt(const Interval& x, const Interval& y);  // assert x <  y
+Pair narrow_le(const Interval& x, const Interval& y);  // assert x ≤ y
+Pair narrow_eq(const Interval& x, const Interval& y);  // assert x = y
+Pair narrow_ne(const Interval& x, const Interval& y);  // assert x ≠ y
+
+}  // namespace rtlsat::iops

@@ -1,0 +1,88 @@
+// Operator vocabulary of the word-level netlist IR (paper §2.1).
+//
+// Boolean gates operate on 1-bit nets (the control logic). Word operators
+// operate on unsigned bit-vectors modelled as integer-valued nets.
+// Comparators are the *predicates*: word-valued inputs, 1-bit output — the
+// boundary between data-path and control that §3's learning targets.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rtlsat::ir {
+
+enum class Op : std::uint8_t {
+  // Sources.
+  kInput,    // primary input
+  kConst,    // literal; value in Node::imm
+
+  // Boolean gates (all nets width 1; kAnd/kOr are n-ary).
+  kAnd,
+  kOr,
+  kNot,
+  kXor,
+
+  // Word-level operators.
+  kMux,      // ops = {sel(1-bit), then, else}: sel ? then : else
+  kAdd,      // wrapping add at the operands' width
+  kSub,      // wrapping subtract
+  kMulC,     // multiply by constant k (imm); wraps at width
+  kShlC,     // shift left by k (imm); drops overflow bits
+  kShrC,     // logical shift right by k (imm)
+  kNotW,     // bitwise complement: 2^w−1−x
+  kConcat,   // ops = {hi, lo}; width = w(hi)+w(lo)
+  kExtract,  // bits [imm : imm2] of the operand
+  kZext,     // zero-extend to Node::width
+  kMin,      // unsigned minimum
+  kMax,      // unsigned maximum
+
+  // Predicates (unsigned comparison; 1-bit result). The builder
+  // canonicalizes >, ≥ by swapping operands, so only these four exist in
+  // built circuits.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+};
+
+constexpr bool is_boolean_gate(Op op) {
+  return op == Op::kAnd || op == Op::kOr || op == Op::kNot || op == Op::kXor;
+}
+
+constexpr bool is_comparator(Op op) {
+  return op == Op::kEq || op == Op::kNe || op == Op::kLt || op == Op::kLe;
+}
+
+constexpr bool is_word_op(Op op) {
+  switch (op) {
+    case Op::kMux:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMulC:
+    case Op::kShlC:
+    case Op::kShrC:
+    case Op::kNotW:
+    case Op::kConcat:
+    case Op::kExtract:
+    case Op::kZext:
+    case Op::kMin:
+    case Op::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_source(Op op) {
+  return op == Op::kInput || op == Op::kConst;
+}
+
+// Def. 4.1: an operator is *justifiable* when it has a Boolean input that
+// offers a choice of data-path relations — in this vocabulary, exactly the
+// mux. Boolean gates are justifiable in the classic ATPG sense. Everything
+// else is resolved purely by constraint propagation.
+constexpr bool is_justifiable_word_op(Op op) { return op == Op::kMux; }
+
+std::string_view op_name(Op op);
+
+}  // namespace rtlsat::ir

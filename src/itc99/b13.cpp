@@ -1,0 +1,154 @@
+// b13 — weather-station interface (the largest circuit in the paper's
+// tables: two interacting FSMs, sample counters, a serial transmitter and
+// a timeout path).
+//
+// Reconstruction: a 6-state main controller sequences sampling (eoc
+// handshake), channel selection, and hand-off to a 4-state serial
+// transmitter that shifts a start-bit-framed 9-bit word out while counting
+// bits; a timeout counter guards the dsr handshake. Properties 1/2/3/5/8
+// are UNSAT (invariant) families of graded difficulty and property 40 is a
+// reachability (SAT) probe, mirroring each family's role in Tables 1–2.
+#include "itc99/itc99.h"
+
+namespace rtlsat::itc99 {
+
+using ir::Circuit;
+using ir::NetId;
+
+ir::SeqCircuit build_b13() {
+  ir::SeqCircuit seq("b13");
+  Circuit& c = seq.comb();
+
+  const NetId eoc = c.add_input("eoc", 1);
+  const NetId data_in = c.add_input("data_in", 8);
+  const NetId dsr = c.add_input("dsr", 1);
+
+  // Main controller.
+  enum : std::int64_t { IDLE = 0, SAMPLE = 1, LOAD = 2, WAIT_TX = 3, SEND = 4, DONE = 5 };
+  // Serial transmitter.
+  enum : std::int64_t { TIDLE = 0, TSTART = 1, TBITS = 2, TSTOP = 3 };
+
+  const NetId fsm = seq.add_register("fsm", 3, IDLE);
+  const NetId txs = seq.add_register("txs", 2, TIDLE);
+  const NetId conta_tmp = seq.add_register("conta_tmp", 4, 0);
+  const NetId canale = seq.add_register("canale", 2, 0);
+  const NetId data_reg = seq.add_register("data_reg", 8, 0);
+  const NetId shift_reg = seq.add_register("shift_reg", 9, 0);
+  const NetId bit_cnt = seq.add_register("bit_cnt", 5, 0);
+  const NetId timeout = seq.add_register("timeout", 8, 0);
+  const NetId error = seq.add_register("error", 1, 0);
+  const NetId load_dato = seq.add_register("load_dato", 1, 0);
+  const NetId send_data = seq.add_register("send_data", 1, 0);
+  const NetId mux_backplane = seq.add_register("mux_backplane", 1, 0);
+
+  auto k = [&](std::int64_t v, int w) { return c.add_const(v, w); };
+  auto in_fsm = [&](std::int64_t s) { return c.add_eq(fsm, k(s, 3)); };
+  auto in_txs = [&](std::int64_t s) { return c.add_eq(txs, k(s, 2)); };
+
+  const NetId tx_done = in_txs(TSTOP);
+  const NetId timed_out = c.add_ge(timeout, k(250, 8));
+
+  // ------------------------------------------------------- main controller
+  NetId fsm_next = k(IDLE, 3);
+  auto fsm_from = [&](std::int64_t s, NetId target) {
+    fsm_next = c.add_mux(in_fsm(s), target, fsm_next);
+  };
+  fsm_from(IDLE, c.add_mux(eoc, k(SAMPLE, 3), k(IDLE, 3)));
+  // The linear SAMPLE→LOAD→WAIT_TX advance is computed arithmetically
+  // (state+1), as the original's synthesized next-state logic does. This
+  // widens the forward interval of `fsm` past the legal codes, so property
+  // 3 genuinely requires search over the state predicates rather than
+  // falling to forward propagation.
+  fsm_from(SAMPLE, c.add_inc(fsm));
+  fsm_from(LOAD, c.add_inc(fsm));
+  fsm_from(WAIT_TX,
+           c.add_mux(timed_out, k(IDLE, 3),
+                     c.add_mux(dsr, k(SEND, 3), k(WAIT_TX, 3))));
+  fsm_from(SEND, c.add_mux(tx_done, k(DONE, 3), k(SEND, 3)));
+  // DONE holds until the peer drops dsr — the non-constant branch keeps
+  // property 3's proof from collapsing to pure forward propagation.
+  fsm_from(DONE, c.add_mux(dsr, fsm, k(IDLE, 3)));
+  seq.bind_next(fsm, fsm_next);
+
+  // ----------------------------------------------------------- sample path
+  const NetId sampling = in_fsm(SAMPLE);
+  const NetId conta_wrap = c.add_eqc(conta_tmp, 11);
+  const NetId conta_step =
+      c.add_mux(conta_wrap, k(0, 4), c.add_inc(conta_tmp));
+  seq.bind_next(conta_tmp, c.add_mux(sampling, conta_step, conta_tmp));
+  seq.bind_next(canale, c.add_mux(sampling, c.add_inc(canale), canale));
+  seq.bind_next(data_reg, c.add_mux(sampling, data_in, data_reg));
+  seq.bind_next(mux_backplane,
+                c.add_mux(sampling, c.add_bit(canale, 0), mux_backplane));
+
+  // ------------------------------------------------------------ handshakes
+  seq.bind_next(load_dato, in_fsm(LOAD));
+  const NetId start_tx = c.add_and(in_fsm(WAIT_TX), dsr);
+  seq.bind_next(send_data, start_tx);
+
+  const NetId timeout_run = c.add_mux(in_fsm(WAIT_TX), c.add_inc(timeout),
+                                      k(0, 8));
+  seq.bind_next(timeout, timeout_run);
+  seq.bind_next(error, c.add_or(error,
+                                c.add_and(in_fsm(WAIT_TX), timed_out)));
+
+  // ------------------------------------------------------- serial transmit
+  NetId txs_next = k(TIDLE, 2);
+  auto txs_from = [&](std::int64_t s, NetId target) {
+    txs_next = c.add_mux(in_txs(s), target, txs_next);
+  };
+  const NetId last_bit = c.add_eqc(bit_cnt, 9);
+  txs_from(TIDLE, c.add_mux(send_data, k(TSTART, 2), k(TIDLE, 2)));
+  txs_from(TSTART, k(TBITS, 2));
+  txs_from(TBITS, c.add_mux(last_bit, k(TSTOP, 2), k(TBITS, 2)));
+  txs_from(TSTOP, k(TIDLE, 2));
+  seq.bind_next(txs, txs_next);
+
+  const NetId framed = c.add_concat(data_reg, k(1, 1));  // start bit
+  const NetId shifting = in_txs(TBITS);
+  seq.bind_next(shift_reg,
+                c.add_mux(in_txs(TSTART), framed,
+                          c.add_mux(shifting, c.add_shr(shift_reg, 1),
+                                    shift_reg)));
+  seq.bind_next(bit_cnt,
+                c.add_mux(in_txs(TSTART), k(0, 5),
+                          c.add_mux(shifting, c.add_inc(bit_cnt), bit_cnt)));
+
+  c.set_net_name(c.add_bit(shift_reg, 0), "tx_line");
+
+  // ------------------------------------------------------------ properties
+  // 1: the transmit bit counter never exceeds 10 (it only counts in
+  //    TBITS, which it leaves at 9 → peak value 10; the bound is tight).
+  //    Hard UNSAT family: the proof correlates the txs state predicates
+  //    with the counter value in every frame.
+  seq.add_property("1", c.add_le(bit_cnt, k(10, 5)));
+
+  // 2: the load and send handshake strobes are mutually exclusive (UNSAT;
+  //    control-dominated with one data-path comparator in the cone).
+  seq.add_property("2", c.add_not(c.add_and(load_dato, send_data)));
+
+  // 3: the main controller never reaches the unused code points 6/7
+  //    (UNSAT; provable in the control logic alone — the family where the
+  //    paper's randomized baseline beats pure structural search).
+  seq.add_property("3", c.add_le(fsm, k(5, 3)));
+
+  // 5: the sample counter respects its modulus (≤ 11; UNSAT — the family
+  //    with the paper's largest predicate-learning speedups: the wrap
+  //    predicate eq(conta_tmp,11) must be correlated with the mux selects).
+  seq.add_property("5", c.add_le(conta_tmp, k(11, 4)));
+
+  // 8: leaving the transmitter (TSTOP) implies the full word was counted
+  //    out (UNSAT; a one-frame correlation — easy for every configuration).
+  seq.add_property("8", c.add_implies(in_txs(TSTOP),
+                                      c.add_ge(bit_cnt, k(9, 5))));
+
+  // 40: a mid-transmission snapshot is reachable (SAT probe at moderate
+  //     bounds, e.g. bound 13 as in Table 2's b13_40(13) row).
+  seq.add_property("40", c.add_not(c.add_and(in_fsm(SEND),
+                                             c.add_eqc(bit_cnt, 3))));
+
+  seq.validate();
+  return seq;
+}
+
+}  // namespace rtlsat::itc99

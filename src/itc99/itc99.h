@@ -1,0 +1,35 @@
+// Behavioural re-implementations of the ITC'99 benchmark circuits used in
+// the paper's experiments (§3.1, §5), as word-level sequential netlists.
+//
+// The original VHDL (distributed with VIS) is not available here, so these
+// are reconstructions from the public circuit descriptions — b01/b02 serial
+// FSMs, b03 resource arbiter, b04 min/max register file, b13 weather-
+// station interface — with control/data-path structure, operator mix, and
+// bit-widths (3–10) matching what the paper's tables report per frame.
+// The safety properties (b01_1, b02_1, b04_1, b13_{1,2,3,5,8,40}) are
+// likewise reconstructions chosen to reproduce each instance family's
+// SAT/UNSAT pattern across bounds; see DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/seq.h"
+
+namespace rtlsat::itc99 {
+
+ir::SeqCircuit build_b01();
+ir::SeqCircuit build_b02();
+ir::SeqCircuit build_b03();
+ir::SeqCircuit build_b04();
+ir::SeqCircuit build_b06();
+ir::SeqCircuit build_b10();
+ir::SeqCircuit build_b13();
+
+// Lookup by name ("b01"…); asserts on unknown names.
+ir::SeqCircuit build(std::string_view name);
+std::vector<std::string> available();
+
+}  // namespace rtlsat::itc99

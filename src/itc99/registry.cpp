@@ -1,0 +1,22 @@
+#include "itc99/itc99.h"
+
+#include "util/assert.h"
+
+namespace rtlsat::itc99 {
+
+ir::SeqCircuit build(std::string_view name) {
+  if (name == "b01") return build_b01();
+  if (name == "b02") return build_b02();
+  if (name == "b03") return build_b03();
+  if (name == "b04") return build_b04();
+  if (name == "b06") return build_b06();
+  if (name == "b10") return build_b10();
+  if (name == "b13") return build_b13();
+  RTLSAT_UNREACHABLE("unknown ITC'99 circuit");
+}
+
+std::vector<std::string> available() {
+  return {"b01", "b02", "b03", "b04", "b06", "b10", "b13"};
+}
+
+}  // namespace rtlsat::itc99

@@ -1,0 +1,429 @@
+#include "parser/rtl_format.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <variant>
+
+namespace rtlsat::parser {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+struct Token {
+  enum class Kind { kLParen, kRParen, kSymbol, kNumber, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  const Token& peek() {
+    if (!buffered_) {
+      next_ = scan();
+      buffered_ = true;
+    }
+    return next_;
+  }
+
+  Token take() {
+    const Token t = peek();
+    buffered_ = false;
+    return t;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  Token scan() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (ch == ' ' || ch == '\t' || ch == '\r') {
+        ++pos_;
+      } else if (ch == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;
+    const char ch = text_[pos_];
+    if (ch == '(') {
+      ++pos_;
+      t.kind = Token::Kind::kLParen;
+      return t;
+    }
+    if (ch == ')') {
+      ++pos_;
+      t.kind = Token::Kind::kRParen;
+      return t;
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != ')' &&
+           text_[pos_] != ';' && !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    const char first = t.text[0];
+    if (std::isdigit(static_cast<unsigned char>(first)) ||
+        (first == '-' && t.text.size() > 1)) {
+      auto [ptr, ec] = std::from_chars(t.text.data(),
+                                       t.text.data() + t.text.size(), t.number);
+      if (ec != std::errc() || ptr != t.text.data() + t.text.size())
+        throw ParseError("malformed number '" + t.text + "'", t.line);
+      t.kind = Token::Kind::kNumber;
+    } else {
+      t.kind = Token::Kind::kSymbol;
+    }
+    return t;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token next_;
+  bool buffered_ = false;
+};
+
+// ----------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) {}
+
+  Circuit parse_circuit() {
+    expect_lparen();
+    expect_symbol("circuit");
+    Circuit c(expect_name());
+    parse_items(c, nullptr);
+    return c;
+  }
+
+  ir::SeqCircuit parse_seq() {
+    expect_lparen();
+    expect_symbol("seq-circuit");
+    ir::SeqCircuit seq(expect_name());
+    parse_items(seq.comb(), &seq);
+    seq.validate();
+    return seq;
+  }
+
+ private:
+  void parse_items(Circuit& c, ir::SeqCircuit* seq) {
+    while (lex_.peek().kind == Token::Kind::kLParen) {
+      lex_.take();
+      const Token head = lex_.take();
+      if (head.kind != Token::Kind::kSymbol)
+        throw ParseError("expected item keyword", head.line);
+      if (head.text == "input") {
+        const std::string name = expect_name();
+        const std::int64_t width = expect_number();
+        check_width(width, head.line);
+        check_fresh(name, head.line);
+        names_.emplace(name, c.add_input(name, static_cast<int>(width)));
+      } else if (head.text == "register") {
+        if (seq == nullptr)
+          throw ParseError("register in combinational circuit", head.line);
+        const std::string name = expect_name();
+        const std::int64_t width = expect_number();
+        check_width(width, head.line);
+        const std::int64_t init = expect_number();
+        check_fresh(name, head.line);
+        names_.emplace(name,
+                       seq->add_register(name, static_cast<int>(width), init));
+      } else if (head.text == "net") {
+        const std::string name = expect_name();
+        const NetId id = parse_expr(c);
+        check_fresh(name, head.line);
+        names_.emplace(name, id);
+        // Builder folding may alias this line to an already-named node;
+        // keep the first name (references resolve through names_ anyway).
+        if (c.node(id).name.empty()) c.set_net_name(id, name);
+      } else if (head.text == "next") {
+        if (seq == nullptr)
+          throw ParseError("next in combinational circuit", head.line);
+        const NetId q = lookup(expect_name(), head.line);
+        seq->bind_next(q, parse_expr(c));
+      } else if (head.text == "property") {
+        if (seq == nullptr)
+          throw ParseError("property in combinational circuit", head.line);
+        const std::string name = expect_name();
+        seq->add_property(name, parse_expr(c));
+      } else if (head.text == "output") {
+        lookup(expect_name(), head.line);  // must reference a known net
+      } else {
+        throw ParseError("unknown item '" + head.text + "'", head.line);
+      }
+      expect_rparen();
+    }
+    expect_rparen();
+  }
+
+  NetId parse_expr(Circuit& c) {
+    const Token t = lex_.take();
+    if (t.kind == Token::Kind::kSymbol) return lookup(t.text, t.line);
+    if (t.kind != Token::Kind::kLParen)
+      throw ParseError("expected expression", t.line);
+    const Token op = lex_.take();
+    if (op.kind != Token::Kind::kSymbol)
+      throw ParseError("expected operator", op.line);
+    const NetId id = parse_op(c, op);
+    expect_rparen();
+    return id;
+  }
+
+  NetId parse_op(Circuit& c, const Token& op) {
+    const std::string& name = op.text;
+    auto args = [&](std::size_t n) {
+      std::vector<NetId> v;
+      for (std::size_t i = 0; i < n; ++i) v.push_back(parse_expr(c));
+      return v;
+    };
+    if (name == "and" || name == "or") {
+      std::vector<NetId> ops;
+      while (lex_.peek().kind != Token::Kind::kRParen)
+        ops.push_back(parse_expr(c));
+      if (ops.size() < 2) throw ParseError(name + " needs >=2 operands", op.line);
+      return name == "and" ? c.add_and(std::move(ops))
+                           : c.add_or(std::move(ops));
+    }
+    if (name == "not") return c.add_not(args(1)[0]);
+    if (name == "xor") { auto a = args(2); return c.add_xor(a[0], a[1]); }
+    if (name == "mux") { auto a = args(3); return c.add_mux(a[0], a[1], a[2]); }
+    if (name == "add") { auto a = args(2); return c.add_add(a[0], a[1]); }
+    if (name == "sub") { auto a = args(2); return c.add_sub(a[0], a[1]); }
+    if (name == "notw") return c.add_notw(args(1)[0]);
+    if (name == "concat") { auto a = args(2); return c.add_concat(a[0], a[1]); }
+    if (name == "min") { auto a = args(2); return c.add_min(a[0], a[1]); }
+    if (name == "max") { auto a = args(2); return c.add_max(a[0], a[1]); }
+    if (name == "eq") { auto a = args(2); return c.add_eq(a[0], a[1]); }
+    if (name == "ne") { auto a = args(2); return c.add_ne(a[0], a[1]); }
+    if (name == "lt") { auto a = args(2); return c.add_lt(a[0], a[1]); }
+    if (name == "le") { auto a = args(2); return c.add_le(a[0], a[1]); }
+    if (name == "gt") { auto a = args(2); return c.add_gt(a[0], a[1]); }
+    if (name == "ge") { auto a = args(2); return c.add_ge(a[0], a[1]); }
+    if (name == "const") {
+      const std::int64_t v = expect_number();
+      const std::int64_t w = expect_number();
+      check_width(w, op.line);
+      return c.add_const(v, static_cast<int>(w));
+    }
+    if (name == "mulc") {
+      const NetId x = parse_expr(c);
+      return c.add_mulc(x, expect_number());
+    }
+    if (name == "shl" || name == "shr") {
+      const NetId x = parse_expr(c);
+      const std::int64_t k = expect_number();
+      return name == "shl" ? c.add_shl(x, static_cast<int>(k))
+                           : c.add_shr(x, static_cast<int>(k));
+    }
+    if (name == "extract") {
+      const NetId x = parse_expr(c);
+      const std::int64_t hi = expect_number();
+      const std::int64_t lo = expect_number();
+      return c.add_extract(x, static_cast<int>(hi), static_cast<int>(lo));
+    }
+    if (name == "zext") {
+      const NetId x = parse_expr(c);
+      const std::int64_t w = expect_number();
+      check_width(w, op.line);
+      return c.add_zext(x, static_cast<int>(w));
+    }
+    throw ParseError("unknown operator '" + name + "'", op.line);
+  }
+
+  NetId lookup(const std::string& name, int line) const {
+    auto it = names_.find(name);
+    if (it == names_.end())
+      throw ParseError("unknown net '" + name + "'", line);
+    return it->second;
+  }
+
+  static void check_width(std::int64_t w, int line) {
+    if (w < 1 || w > ir::kMaxWidth)
+      throw ParseError("width out of range", line);
+  }
+
+  void check_fresh(const std::string& name, int line) const {
+    if (names_.contains(name))
+      throw ParseError("duplicate name '" + name + "'", line);
+  }
+
+  void expect_lparen() {
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kLParen) throw ParseError("expected '('", t.line);
+  }
+  void expect_rparen() {
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kRParen) throw ParseError("expected ')'", t.line);
+  }
+  void expect_symbol(std::string_view sym) {
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kSymbol || t.text != sym)
+      throw ParseError("expected '" + std::string(sym) + "'", t.line);
+  }
+  std::string expect_name() {
+    // Names are usually symbols, but purely numeric names occur too — the
+    // ITC'99 property names are "1", "40", etc.
+    const Token t = lex_.take();
+    if (t.kind == Token::Kind::kSymbol) return t.text;
+    if (t.kind == Token::Kind::kNumber) return t.text;
+    throw ParseError("expected name", t.line);
+  }
+  std::int64_t expect_number() {
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kNumber)
+      throw ParseError("expected number", t.line);
+    return t.number;
+  }
+
+  Lexer lex_;
+  std::unordered_map<std::string, NetId> names_;
+};
+
+// ----------------------------------------------------------------- writer
+
+class Writer {
+ public:
+  explicit Writer(const Circuit& c) : c_(c) {}
+
+  void emit_body(std::ostream& os, const ir::SeqCircuit* seq) {
+    std::vector<bool> is_reg(c_.num_nets(), false);
+    if (seq != nullptr) {
+      for (const auto& r : seq->registers()) is_reg[r.q] = true;
+    }
+    for (NetId id = 0; id < c_.num_nets(); ++id) {
+      const Node& n = c_.node(id);
+      if (n.op == Op::kInput) {
+        if (is_reg[id]) continue;  // emitted as (register …) by caller
+        os << "  (input " << c_.net_name(id) << ' ' << n.width << ")\n";
+      } else if (n.op != Op::kConst) {
+        os << "  (net " << ref(id) << ' ';
+        emit_expr(os, id);
+        os << ")\n";
+      }
+    }
+  }
+
+  // Flat reference: the net's name (every non-const node gets one line).
+  std::string ref(NetId id) const {
+    const Node& n = c_.node(id);
+    if (n.op == Op::kConst)
+      return "(const " + std::to_string(n.imm) + ' ' + std::to_string(n.width) + ')';
+    return c_.net_name(id);
+  }
+
+ private:
+  void emit_expr(std::ostream& os, NetId id) {
+    const Node& n = c_.node(id);
+    auto operands = [&] {
+      for (NetId o : n.operands) os << ' ' << ref(o);
+    };
+    switch (n.op) {
+      case Op::kAnd: os << "(and"; operands(); os << ')'; return;
+      case Op::kOr: os << "(or"; operands(); os << ')'; return;
+      case Op::kNot: os << "(not"; operands(); os << ')'; return;
+      case Op::kXor: os << "(xor"; operands(); os << ')'; return;
+      case Op::kMux: os << "(mux"; operands(); os << ')'; return;
+      case Op::kAdd: os << "(add"; operands(); os << ')'; return;
+      case Op::kSub: os << "(sub"; operands(); os << ')'; return;
+      case Op::kNotW: os << "(notw"; operands(); os << ')'; return;
+      case Op::kConcat: os << "(concat"; operands(); os << ')'; return;
+      case Op::kMin: os << "(min"; operands(); os << ')'; return;
+      case Op::kMax: os << "(max"; operands(); os << ')'; return;
+      case Op::kEq: os << "(eq"; operands(); os << ')'; return;
+      case Op::kNe: os << "(ne"; operands(); os << ')'; return;
+      case Op::kLt: os << "(lt"; operands(); os << ')'; return;
+      case Op::kLe: os << "(le"; operands(); os << ')'; return;
+      case Op::kMulC:
+        os << "(mulc"; operands(); os << ' ' << n.imm << ')'; return;
+      case Op::kShlC:
+        os << "(shl"; operands(); os << ' ' << n.imm << ')'; return;
+      case Op::kShrC:
+        os << "(shr"; operands(); os << ' ' << n.imm << ')'; return;
+      case Op::kExtract:
+        os << "(extract"; operands();
+        os << ' ' << n.imm << ' ' << n.imm2 << ')';
+        return;
+      case Op::kZext:
+        os << "(zext"; operands(); os << ' ' << n.width << ')'; return;
+      case Op::kInput:
+      case Op::kConst:
+        RTLSAT_UNREACHABLE("sources are not expressions");
+    }
+  }
+
+  const Circuit& c_;
+};
+
+}  // namespace
+
+Circuit parse_circuit(std::string_view text) {
+  return Parser(text).parse_circuit();
+}
+
+ir::SeqCircuit parse_seq_circuit(std::string_view text) {
+  return Parser(text).parse_seq();
+}
+
+std::string write_circuit(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "(circuit " << circuit.name() << '\n';
+  Writer writer(circuit);
+  writer.emit_body(os, nullptr);
+  os << ")\n";
+  return os.str();
+}
+
+std::string write_seq_circuit(const ir::SeqCircuit& seq) {
+  std::ostringstream os;
+  const Circuit& c = seq.comb();
+  os << "(seq-circuit " << c.name() << '\n';
+  for (const auto& r : seq.registers()) {
+    os << "  (register " << r.name << ' ' << c.width(r.q) << ' ' << r.init
+       << ")\n";
+  }
+  Writer writer(c);
+  writer.emit_body(os, &seq);
+  for (const auto& r : seq.registers()) {
+    os << "  (next " << r.name << ' ' << writer.ref(r.d) << ")\n";
+  }
+  for (const auto& p : seq.properties()) {
+    os << "  (property " << p.name << ' ' << writer.ref(p.net) << ")\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+ir::SeqCircuit load_seq_circuit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_seq_circuit(buffer.str());
+}
+
+void save_seq_circuit(const ir::SeqCircuit& seq, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << write_seq_circuit(seq);
+}
+
+}  // namespace rtlsat::parser

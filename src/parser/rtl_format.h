@@ -1,0 +1,54 @@
+// A small S-expression netlist format (.rtl) for storing and exchanging
+// word-level circuits — combinational and sequential — so benchmark models
+// and BMC instances can live outside C++ builders.
+//
+// Grammar sketch:
+//   file      := circuit | seq
+//   circuit   := "(" "circuit" name item* ")"
+//   seq       := "(" "seq-circuit" name item* ")"
+//   item      := "(" "input" name width ")"
+//              | "(" "register" name width init ")"          (seq only)
+//              | "(" "net" name expr ")"
+//              | "(" "next" regname expr ")"                 (seq only)
+//              | "(" "property" name expr ")"                (seq only)
+//              | "(" "output" name ")"                       (marker)
+//   expr      := name | "(" op expr* imm* ")"
+//   op        := and|or|not|xor|mux|add|sub|notw|concat|min|max
+//              | eq|ne|lt|le|gt|ge                   (builder-lowered)
+//              | const v w | mulc x k | shl x k | shr x k
+//              | extract x hi lo | zext x w
+//
+// Line comments start with ';'. Parse failures throw ParseError with a
+// 1-based line number.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/circuit.h"
+#include "ir/seq.h"
+
+namespace rtlsat::parser {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+ir::Circuit parse_circuit(std::string_view text);
+ir::SeqCircuit parse_seq_circuit(std::string_view text);
+
+std::string write_circuit(const ir::Circuit& circuit);
+std::string write_seq_circuit(const ir::SeqCircuit& seq);
+
+// File helpers (throw std::runtime_error on I/O failure).
+ir::SeqCircuit load_seq_circuit(const std::string& path);
+void save_seq_circuit(const ir::SeqCircuit& seq, const std::string& path);
+
+}  // namespace rtlsat::parser

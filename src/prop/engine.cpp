@@ -1,0 +1,166 @@
+#include "prop/engine.h"
+
+#include "ir/analysis.h"
+#include "util/log.h"
+
+namespace rtlsat::prop {
+
+using ir::NetId;
+
+Engine::Engine(const ir::Circuit& circuit)
+    : circuit_(circuit),
+      fanout_(ir::fanouts(circuit)),
+      latest_(circuit.num_nets(), -1),
+      in_queue_(circuit.num_nets(), false) {
+  domain_.reserve(circuit.num_nets());
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    const ir::Node& n = circuit.node(id);
+    // Constants are pinned from the start; everything else gets its full
+    // width domain. Initial domains are universal facts and need no events.
+    domain_.push_back(n.op == ir::Op::kConst ? Interval::point(n.imm)
+                                             : circuit.domain(id));
+  }
+  // Seed the queue with every node so the first propagate() establishes
+  // bounds consistency over the untouched circuit — constant-fed nodes
+  // (a concat of a pinned high part, a comparator against a constant)
+  // must tighten before the first decision, or the structural strategy
+  // justifies operators that were never really free.
+  for (NetId id = 0; id < circuit.num_nets(); ++id) enqueue_node(id);
+}
+
+bool Engine::narrow(NetId net, const Interval& to, ReasonKind kind,
+                    std::uint32_t reason_id,
+                    std::vector<std::int32_t> antecedents) {
+  RTLSAT_ASSERT(!conflict_.valid);
+  const Interval next = domain_[net].intersect(to);
+  if (next == domain_[net]) return true;
+  if (next.is_empty()) {
+    conflict_.valid = true;
+    conflict_.kind = kind;
+    conflict_.reason_id = reason_id;
+    conflict_.net = net;
+    conflict_.antecedents = std::move(antecedents);
+    if (latest_[net] >= 0) conflict_.antecedents.push_back(latest_[net]);
+    return false;
+  }
+  record_event(net, next, kind, reason_id, std::move(antecedents));
+  return true;
+}
+
+void Engine::record_event(NetId net, const Interval& next, ReasonKind kind,
+                          std::uint32_t reason_id,
+                          std::vector<std::int32_t> antecedents) {
+  Event ev;
+  ev.net = net;
+  ev.prev = domain_[net];
+  ev.cur = next;
+  ev.level = level_;
+  ev.kind = kind;
+  ev.reason_id = reason_id;
+  ev.prev_on_net = latest_[net];
+  ev.antecedents = std::move(antecedents);
+  latest_[net] = static_cast<std::int32_t>(trail_.size());
+  domain_[net] = next;
+  if (!circuit_.is_bool(net)) ++num_datapath_narrowings_;
+  trail_.push_back(std::move(ev));
+  enqueue_neighbourhood(net);
+}
+
+void Engine::enqueue_node(NetId node) {
+  if (!in_queue_[node]) {
+    in_queue_[node] = true;
+    queue_.push_back(node);
+  }
+}
+
+void Engine::enqueue_neighbourhood(NetId net) {
+  enqueue_node(net);  // the driver node re-examines its own inputs
+  for (NetId reader : fanout_[net]) enqueue_node(reader);
+}
+
+std::vector<std::int32_t> Engine::incident_events(NetId node,
+                                                  NetId skip) const {
+  std::vector<std::int32_t> events;
+  auto add = [&](NetId n) {
+    if (n == skip) return;
+    const std::int32_t e = latest_[n];
+    if (e >= 0) events.push_back(e);
+  };
+  add(node);
+  for (NetId o : circuit_.node(node).operands) add(o);
+  return events;
+}
+
+bool Engine::propagate() {
+  RTLSAT_ASSERT(!conflict_.valid);
+  while (!queue_.empty()) {
+    const NetId node = queue_.back();
+    queue_.pop_back();
+    in_queue_[node] = false;
+    ++num_propagations_;
+
+    scratch_.clear();
+    node_rules(circuit_, node, domain_, scratch_);
+    for (const Narrowing& nw : scratch_) {
+      if (nw.interval.is_empty()) {
+        conflict_.valid = true;
+        conflict_.kind = ReasonKind::kNode;
+        conflict_.reason_id = node;
+        conflict_.net = nw.net;
+        conflict_.antecedents = incident_events(node, ir::kNoNet);
+        // Drain the queue flags so a later propagate() starts clean.
+        for (NetId q : queue_) in_queue_[q] = false;
+        queue_.clear();
+        return false;
+      }
+      // The rule result was computed against the domains as they were when
+      // node_rules ran; an earlier narrowing in this same batch may already
+      // have tightened the net further, so re-intersect.
+      const Interval next = domain_[nw.net].intersect(nw.interval);
+      if (next == domain_[nw.net]) continue;
+      record_event(nw.net, next, ReasonKind::kNode, node,
+                   incident_events(node, nw.net));
+    }
+  }
+  return true;
+}
+
+void Engine::rollback_to(std::size_t mark) {
+  RTLSAT_ASSERT(mark <= trail_.size());
+  low_water_ = std::min(low_water_, mark);
+  while (trail_.size() > mark) {
+    const Event& ev = trail_.back();
+    domain_[ev.net] = ev.prev;
+    latest_[ev.net] = ev.prev_on_net;
+    trail_.pop_back();
+  }
+  for (NetId q : queue_) in_queue_[q] = false;
+  queue_.clear();
+  conflict_ = Conflict{};
+}
+
+void Engine::backtrack_to_level(std::uint32_t level) {
+  std::size_t keep = trail_.size();
+  while (keep > 0 && trail_[keep - 1].level > level) --keep;
+  rollback_to(keep);
+  level_ = level;
+}
+
+std::vector<std::int32_t> Engine::all_antecedents(
+    std::int32_t event_index) const {
+  RTLSAT_ASSERT(event_index >= 0 &&
+                static_cast<std::size_t>(event_index) < trail_.size());
+  const Event& ev = trail_[event_index];
+  std::vector<std::int32_t> result = ev.antecedents;
+  if (ev.prev_on_net >= 0) result.push_back(ev.prev_on_net);
+  return result;
+}
+
+bool Engine::all_booleans_assigned() const {
+  for (NetId id = 0; id < circuit_.num_nets(); ++id) {
+    if (circuit_.is_bool(id) && !domain_[id].is_point()) return false;
+  }
+  return true;
+}
+
+}  // namespace rtlsat::prop

@@ -1,0 +1,157 @@
+// Event-driven hybrid constraint propagation engine with an implication
+// trail (paper §2.2 and the Ddeduce()/implication-graph machinery of §2.4).
+//
+// The engine owns one interval per net and runs the per-operator rules of
+// prop/rules.h to a bounds-consistency fixpoint. Every narrowing is logged
+// as a trail Event carrying its *reason* (which node or clause implied it)
+// and its *antecedents* (indices of the trail events whose intervals fed
+// the rule). The trail is exactly the hybrid implication graph IG(N,E):
+// nodes are events, edges run from antecedent to consequence.
+//
+// Narrowings are monotonic (intervals only shrink) so the fixpoint
+// terminates on the finite circuit domains, and the trail supports
+// chronological undo for backtracking and for the probe/rollback cycle of
+// §3's recursive learning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval.h"
+#include "ir/circuit.h"
+#include "prop/rules.h"
+
+namespace rtlsat::prop {
+
+enum class ReasonKind : std::uint8_t {
+  kAssumption,  // external fact, e.g. the proposition under test (level 0)
+  kDecision,    // a Decide() assignment
+  kNode,        // implied by a circuit operator (reason_id = node net)
+  kClause,      // implied by a hybrid clause (reason_id = clause index)
+};
+
+// One narrowing on the trail. prev_on_net chains the events of a single
+// net; `antecedents` lists the latest events of the other nets that entered
+// the implying rule (−1-free; initial full domains need no antecedent).
+struct Event {
+  ir::NetId net = ir::kNoNet;
+  Interval prev;
+  Interval cur;
+  std::uint32_t level = 0;
+  ReasonKind kind = ReasonKind::kAssumption;
+  std::uint32_t reason_id = 0;
+  std::int32_t prev_on_net = -1;
+  std::vector<std::int32_t> antecedents;
+
+  // A Boolean assignment event: a 1-bit net narrowed to a point.
+  bool is_bool_assignment() const { return cur.is_point() && prev.count() == 2; }
+};
+
+// What contradicted what when propagation hit an empty interval.
+struct Conflict {
+  bool valid = false;
+  ReasonKind kind = ReasonKind::kNode;
+  std::uint32_t reason_id = 0;
+  ir::NetId net = ir::kNoNet;               // the net that went empty
+  std::vector<std::int32_t> antecedents;    // events jointly responsible
+};
+
+class Engine {
+ public:
+  explicit Engine(const ir::Circuit& circuit);
+
+  const ir::Circuit& circuit() const { return circuit_; }
+
+  const Interval& interval(ir::NetId net) const { return domain_[net]; }
+  // −1 unassigned, else 0/1. Net must be 1-bit.
+  int bool_value(ir::NetId net) const {
+    const Interval& d = domain_[net];
+    if (!d.is_point()) return -1;
+    return static_cast<int>(d.lo());
+  }
+
+  std::uint32_t level() const { return level_; }
+  void push_level() { ++level_; }
+
+  // Externally narrow a net (assumption, decision, or clause implication).
+  // Returns false and records a conflict when the result is empty. A
+  // narrowing that does not change the interval is a silent no-op.
+  bool narrow(ir::NetId net, const Interval& to, ReasonKind kind,
+              std::uint32_t reason_id = 0,
+              std::vector<std::int32_t> antecedents = {});
+
+  // Runs node rules to fixpoint. Returns false on conflict.
+  bool propagate();
+
+  bool in_conflict() const { return conflict_.valid; }
+  const Conflict& conflict() const { return conflict_; }
+  void clear_conflict() { conflict_ = Conflict{}; }
+  // Records an externally detected conflict (e.g. an all-false hybrid
+  // clause, which has no single net to narrow).
+  void fail(Conflict conflict) {
+    RTLSAT_ASSERT(!conflict_.valid);
+    conflict_ = std::move(conflict);
+    conflict_.valid = true;
+  }
+
+  const std::vector<Event>& trail() const { return trail_; }
+  // Latest event on a net; −1 when the net still has its initial domain.
+  std::int32_t latest_event(ir::NetId net) const { return latest_[net]; }
+
+  std::size_t mark() const { return trail_.size(); }
+  // Undoes all events at trail index ≥ mark and clears any conflict.
+  void rollback_to(std::size_t mark);
+  // Lowest trail size reached since the previous call (single consumer:
+  // the clause database uses it to rewind its trail cursor past events
+  // undone by backtracking — a plain clamp to the current size is not
+  // enough, because new events may already have replaced the undone ones).
+  std::size_t consume_trail_low_water() {
+    const std::size_t low = std::min(low_water_, trail_.size());
+    low_water_ = trail_.size();
+    return low;
+  }
+  // Undoes all events with level > `level` (events are level-monotone along
+  // the trail) and makes `level` current.
+  void backtrack_to_level(std::uint32_t level);
+
+  // Antecedent events of `event_index`: its recorded antecedents plus the
+  // chain predecessor on the same net.
+  std::vector<std::int32_t> all_antecedents(std::int32_t event_index) const;
+
+  // True when every 1-bit net inside `mask` (or everywhere if empty) is
+  // assigned. Word nets may still be non-point — that is the FME solver's
+  // part of the search (§2.4).
+  bool all_booleans_assigned() const;
+
+  std::int64_t num_propagations() const { return num_propagations_; }
+  std::int64_t num_datapath_narrowings() const {
+    return num_datapath_narrowings_;
+  }
+
+ private:
+  void record_event(ir::NetId net, const Interval& next, ReasonKind kind,
+                    std::uint32_t reason_id,
+                    std::vector<std::int32_t> antecedents);
+  void enqueue_neighbourhood(ir::NetId net);
+  void enqueue_node(ir::NetId node);
+  // Latest events of all nets incident to `node` (operands + output),
+  // optionally skipping `skip`.
+  std::vector<std::int32_t> incident_events(ir::NetId node,
+                                            ir::NetId skip) const;
+
+  const ir::Circuit& circuit_;
+  std::vector<Interval> domain_;
+  std::vector<std::vector<ir::NetId>> fanout_;
+  std::vector<Event> trail_;
+  std::vector<std::int32_t> latest_;
+  std::vector<ir::NetId> queue_;
+  std::vector<bool> in_queue_;
+  Conflict conflict_;
+  std::size_t low_water_ = 0;
+  std::uint32_t level_ = 0;
+  std::int64_t num_propagations_ = 0;
+  std::int64_t num_datapath_narrowings_ = 0;
+  std::vector<Narrowing> scratch_;
+};
+
+}  // namespace rtlsat::prop

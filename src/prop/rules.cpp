@@ -1,0 +1,329 @@
+#include "prop/rules.h"
+
+#include "interval/interval_ops.h"
+
+namespace rtlsat::prop {
+
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+namespace io = iops;
+
+namespace {
+
+constexpr Interval kTrue = Interval(1, 1);
+constexpr Interval kFalse = Interval(0, 0);
+
+// Emit helper: intersects with the current domain and records only real
+// shrinkage (or emptiness, which the engine treats as a conflict).
+class Emitter {
+ public:
+  Emitter(const std::vector<Interval>& domain, std::vector<Narrowing>& out)
+      : domain_(domain), out_(out) {}
+
+  void narrow(NetId net, const Interval& to) {
+    const Interval next = domain_[net].intersect(to);
+    if (next != domain_[net]) out_.push_back({net, next});
+  }
+
+  const Interval& dom(NetId net) const { return domain_[net]; }
+
+ private:
+  const std::vector<Interval>& domain_;
+  std::vector<Narrowing>& out_;
+};
+
+// Three-valued view of a Boolean net.
+enum class Tri { kFalse, kTrue, kUnknown };
+
+Tri tri(const Interval& iv) {
+  if (iv == kTrue) return Tri::kTrue;
+  if (iv == kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+void rule_and(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const Tri out = tri(em.dom(id));
+  int unknown = 0;
+  NetId last_unknown = ir::kNoNet;
+  bool any_false = false;
+  for (NetId o : n.operands) {
+    switch (tri(em.dom(o))) {
+      case Tri::kFalse: any_false = true; break;
+      case Tri::kUnknown: ++unknown; last_unknown = o; break;
+      case Tri::kTrue: break;
+    }
+  }
+  if (any_false) {
+    em.narrow(id, kFalse);
+    return;
+  }
+  if (unknown == 0) {
+    em.narrow(id, kTrue);  // all operands true
+    return;
+  }
+  if (out == Tri::kTrue) {
+    for (NetId o : n.operands) em.narrow(o, kTrue);
+  } else if (out == Tri::kFalse && unknown == 1) {
+    em.narrow(last_unknown, kFalse);  // the only free operand must be 0
+  }
+}
+
+void rule_or(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const Tri out = tri(em.dom(id));
+  int unknown = 0;
+  NetId last_unknown = ir::kNoNet;
+  bool any_true = false;
+  for (NetId o : n.operands) {
+    switch (tri(em.dom(o))) {
+      case Tri::kTrue: any_true = true; break;
+      case Tri::kUnknown: ++unknown; last_unknown = o; break;
+      case Tri::kFalse: break;
+    }
+  }
+  if (any_true) {
+    em.narrow(id, kTrue);
+    return;
+  }
+  if (unknown == 0) {
+    em.narrow(id, kFalse);
+    return;
+  }
+  if (out == Tri::kFalse) {
+    for (NetId o : n.operands) em.narrow(o, kFalse);
+  } else if (out == Tri::kTrue && unknown == 1) {
+    em.narrow(last_unknown, kTrue);
+  }
+}
+
+void rule_not(const ir::Circuit& c, NetId id, Emitter& em) {
+  const NetId a = c.node(id).operands[0];
+  em.narrow(id, io::fwd_not(em.dom(a), 1));
+  em.narrow(a, io::back_not(em.dom(id), 1));
+}
+
+void rule_xor(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const Tri a = tri(em.dom(n.operands[0]));
+  const Tri b = tri(em.dom(n.operands[1]));
+  const Tri z = tri(em.dom(id));
+  auto as_iv = [](bool v) { return v ? kTrue : kFalse; };
+  auto known = [](Tri t) { return t != Tri::kUnknown; };
+  auto val = [](Tri t) { return t == Tri::kTrue; };
+  if (known(a) && known(b)) em.narrow(id, as_iv(val(a) != val(b)));
+  if (known(z) && known(a)) em.narrow(n.operands[1], as_iv(val(z) != val(a)));
+  if (known(z) && known(b)) em.narrow(n.operands[0], as_iv(val(z) != val(b)));
+}
+
+void rule_mux(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId sel = n.operands[0];
+  const NetId t = n.operands[1];
+  const NetId e = n.operands[2];
+  switch (tri(em.dom(sel))) {
+    case Tri::kTrue:
+      em.narrow(id, em.dom(t));
+      em.narrow(t, em.dom(id));
+      return;
+    case Tri::kFalse:
+      em.narrow(id, em.dom(e));
+      em.narrow(e, em.dom(id));
+      return;
+    case Tri::kUnknown:
+      break;
+  }
+  // Select undecided: the output can only come from one of the branches.
+  em.narrow(id, em.dom(t).hull(em.dom(e)));
+  // Branch incompatible with the required output ⟹ select is forced
+  // (this is exactly the §4.2 example: w4∩w2 = ∅ implies the other branch).
+  const bool t_possible = em.dom(t).intersects(em.dom(id));
+  const bool e_possible = em.dom(e).intersects(em.dom(id));
+  if (!t_possible && !e_possible) {
+    em.narrow(id, Interval::empty());
+  } else if (!t_possible) {
+    em.narrow(sel, kFalse);
+  } else if (!e_possible) {
+    em.narrow(sel, kTrue);
+  }
+}
+
+void rule_add(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const NetId b = n.operands[1];
+  const int w = n.width;
+  em.narrow(id, io::fwd_add_wrap(em.dom(a), em.dom(b), w));
+  em.narrow(a, io::back_add_wrap_x(em.dom(id), em.dom(b), em.dom(a), w));
+  em.narrow(b, io::back_add_wrap_x(em.dom(id), em.dom(a), em.dom(b), w));
+}
+
+void rule_sub(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const NetId b = n.operands[1];
+  const int w = n.width;
+  em.narrow(id, io::fwd_sub_wrap(em.dom(a), em.dom(b), w));
+  em.narrow(a, io::back_sub_wrap_x(em.dom(id), em.dom(b), em.dom(a), w));
+  em.narrow(b, io::back_sub_wrap_y(em.dom(id), em.dom(a), em.dom(b), w));
+}
+
+void rule_mulc(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const Interval::Value m = Interval::Value{1} << n.width;
+  const Interval product = io::fwd_mul_const(em.dom(a), n.imm);
+  em.narrow(id, io::fwd_mod(product, m));
+  // Backward only when the product provably does not wrap.
+  if (product.hi() < m) em.narrow(a, io::back_mul_const(em.dom(id), n.imm));
+}
+
+void rule_shl(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const int k = static_cast<int>(n.imm);
+  em.narrow(id, io::fwd_shl(em.dom(a), k, n.width));
+  const Interval product =
+      io::fwd_mul_const(em.dom(a), Interval::Value{1} << k);
+  if (product.hi() < (Interval::Value{1} << n.width))
+    em.narrow(a, io::back_mul_const(em.dom(id), Interval::Value{1} << k));
+}
+
+void rule_shr(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const int k = static_cast<int>(n.imm);
+  em.narrow(id, io::fwd_lshr(em.dom(a), k));
+  em.narrow(a, io::back_lshr(em.dom(id), k));
+}
+
+void rule_notw(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  em.narrow(id, io::fwd_not(em.dom(a), n.width));
+  em.narrow(a, io::back_not(em.dom(id), n.width));
+}
+
+void rule_concat(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId hi = n.operands[0];
+  const NetId lo = n.operands[1];
+  const int lw = c.width(lo);
+  em.narrow(id, io::fwd_concat(em.dom(hi), em.dom(lo), lw));
+  em.narrow(hi, io::back_concat_hi(em.dom(id), lw));
+  em.narrow(lo, io::back_concat_lo(em.dom(id), em.dom(hi), em.dom(lo), lw));
+}
+
+void rule_extract(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const int hi_bit = static_cast<int>(n.imm);
+  const int lo_bit = static_cast<int>(n.imm2);
+  em.narrow(id, io::fwd_extract(em.dom(a), hi_bit, lo_bit));
+  em.narrow(a, io::back_extract(em.dom(id), em.dom(a), hi_bit, lo_bit));
+}
+
+void rule_zext(const ir::Circuit& c, NetId id, Emitter& em) {
+  const NetId a = c.node(id).operands[0];
+  em.narrow(id, em.dom(a));
+  em.narrow(a, em.dom(id));
+}
+
+void rule_min(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const NetId b = n.operands[1];
+  em.narrow(id, io::fwd_min(em.dom(a), em.dom(b)));
+  em.narrow(a, io::back_min_x(em.dom(id), em.dom(b), em.dom(a)));
+  em.narrow(b, io::back_min_x(em.dom(id), em.dom(a), em.dom(b)));
+}
+
+void rule_max(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId a = n.operands[0];
+  const NetId b = n.operands[1];
+  em.narrow(id, io::fwd_max(em.dom(a), em.dom(b)));
+  em.narrow(a, io::back_max_x(em.dom(id), em.dom(b), em.dom(a)));
+  em.narrow(b, io::back_max_x(em.dom(id), em.dom(a), em.dom(b)));
+}
+
+void rule_cmp(const ir::Circuit& c, NetId id, Emitter& em) {
+  const Node& n = c.node(id);
+  const NetId x = n.operands[0];
+  const NetId y = n.operands[1];
+  const Interval dx = em.dom(x);
+  const Interval dy = em.dom(y);
+
+  // Forward: decide the predicate from the operand intervals when possible.
+  switch (n.op) {
+    case Op::kEq: em.narrow(id, io::fwd_eq(dx, dy)); break;
+    case Op::kNe: em.narrow(id, io::fwd_not(io::fwd_eq(dx, dy), 1)); break;
+    case Op::kLt: em.narrow(id, io::fwd_lt(dx, dy)); break;
+    case Op::kLe: em.narrow(id, io::fwd_le(dx, dy)); break;
+    default: RTLSAT_UNREACHABLE("not a comparator");
+  }
+
+  // Backward: a decided predicate narrows both operands (Eq. (3) family).
+  const Tri out = tri(em.dom(id));
+  if (out == Tri::kUnknown) return;
+  const bool v = out == Tri::kTrue;
+  io::Pair p;
+  switch (n.op) {
+    case Op::kEq: p = v ? io::narrow_eq(dx, dy) : io::narrow_ne(dx, dy); break;
+    case Op::kNe: p = v ? io::narrow_ne(dx, dy) : io::narrow_eq(dx, dy); break;
+    case Op::kLt:
+      if (v) {
+        p = io::narrow_lt(dx, dy);
+      } else {  // ¬(x<y) ⟺ y ≤ x
+        auto q = io::narrow_le(dy, dx);
+        p = {q.y, q.x};
+      }
+      break;
+    case Op::kLe:
+      if (v) {
+        p = io::narrow_le(dx, dy);
+      } else {  // ¬(x≤y) ⟺ y < x
+        auto q = io::narrow_lt(dy, dx);
+        p = {q.y, q.x};
+      }
+      break;
+    default: RTLSAT_UNREACHABLE("not a comparator");
+  }
+  em.narrow(x, p.x);
+  em.narrow(y, p.y);
+}
+
+}  // namespace
+
+void node_rules(const ir::Circuit& circuit, NetId id,
+                const std::vector<Interval>& domain,
+                std::vector<Narrowing>& out) {
+  Emitter em(domain, out);
+  switch (circuit.node(id).op) {
+    case Op::kInput: return;
+    case Op::kConst: return;  // pinned at initialization
+    case Op::kAnd: return rule_and(circuit, id, em);
+    case Op::kOr: return rule_or(circuit, id, em);
+    case Op::kNot: return rule_not(circuit, id, em);
+    case Op::kXor: return rule_xor(circuit, id, em);
+    case Op::kMux: return rule_mux(circuit, id, em);
+    case Op::kAdd: return rule_add(circuit, id, em);
+    case Op::kSub: return rule_sub(circuit, id, em);
+    case Op::kMulC: return rule_mulc(circuit, id, em);
+    case Op::kShlC: return rule_shl(circuit, id, em);
+    case Op::kShrC: return rule_shr(circuit, id, em);
+    case Op::kNotW: return rule_notw(circuit, id, em);
+    case Op::kConcat: return rule_concat(circuit, id, em);
+    case Op::kExtract: return rule_extract(circuit, id, em);
+    case Op::kZext: return rule_zext(circuit, id, em);
+    case Op::kMin: return rule_min(circuit, id, em);
+    case Op::kMax: return rule_max(circuit, id, em);
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe: return rule_cmp(circuit, id, em);
+  }
+}
+
+}  // namespace rtlsat::prop

@@ -1,0 +1,32 @@
+// Per-operator hybrid constraint propagation rules (paper §2.2, §4.2).
+//
+// For one circuit node, node_rules() reads the current intervals of the
+// node's output and operand nets and emits every narrowing the operator's
+// semantics implies — forward onto the output and backward onto the
+// operands. Rules are sound over-approximations; running them to fixpoint
+// over all nodes yields bounds consistency. They never *widen*: each
+// emitted interval is already intersected with the net's current one.
+//
+// Emitting an empty interval signals that the constraint is violated under
+// the current domains (a conflict).
+#pragma once
+
+#include <vector>
+
+#include "interval/interval.h"
+#include "ir/circuit.h"
+
+namespace rtlsat::prop {
+
+struct Narrowing {
+  ir::NetId net = ir::kNoNet;
+  Interval interval;  // new (smaller or equal) interval for `net`
+};
+
+// Appends the narrowings implied by node `id` to `out`. `domain` is indexed
+// by net id and must cover the whole circuit.
+void node_rules(const ir::Circuit& circuit, ir::NetId id,
+                const std::vector<Interval>& domain,
+                std::vector<Narrowing>& out);
+
+}  // namespace rtlsat::prop

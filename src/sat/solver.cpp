@@ -1,0 +1,436 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace rtlsat::sat {
+
+Solver::Solver(SolverOptions options) : options_(options) {}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(activity_.size());
+  activity_.push_back(0.0);
+  assigns_.push_back(Value::kUnassigned);
+  phase_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  seen_.push_back(false);
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+void Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return;
+  // Simplify: drop duplicate literals and false-at-root literals; detect
+  // tautologies and root-satisfied clauses.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> kept;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i + 1 < lits.size() && lits[i + 1] == ~lits[i]) return;  // tautology
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    if (value(lits[i]) == Value::kTrue && level_[lits[i].var()] == 0) return;
+    if (value(lits[i]) == Value::kFalse && level_[lits[i].var()] == 0)
+      continue;
+    kept.push_back(lits[i]);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return;
+  }
+  if (kept.size() == 1) {
+    if (value(kept[0]) == Value::kFalse) {
+      ok_ = false;
+      return;
+    }
+    if (value(kept[0]) == Value::kUnassigned) {
+      enqueue(kept[0], kNoReason);
+      if (propagate() != kNoReason) ok_ = false;
+    }
+    return;
+  }
+  Clause c;
+  c.lits = std::move(kept);
+  clauses_.push_back(std::move(c));
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+}
+
+void Solver::attach(ClauseRef cr) {
+  const Clause& c = clauses_[cr];
+  watches_[(~c.lits[0]).code()].push_back(cr);
+  watches_[(~c.lits[1]).code()].push_back(cr);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  RTLSAT_DASSERT(value(l) == Value::kUnassigned);
+  assigns_[l.var()] = l.positive() ? Value::kTrue : Value::kFalse;
+  phase_[l.var()] = l.positive();
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    stats_.add("sat.propagations", 1);
+    auto& watch_list = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const ClauseRef cr = watch_list[i];
+      Clause& c = clauses_[cr];
+      if (c.deleted) continue;  // lazily dropped from the watch list
+      // Ensure the falsified watch is lits[1].
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      RTLSAT_DASSERT(c.lits[1] == false_lit);
+      if (value(c.lits[0]) == Value::kTrue) {
+        watch_list[keep++] = cr;  // clause satisfied; keep watching
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != Value::kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code()].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      watch_list[keep++] = cr;
+      if (value(c.lits[0]) == Value::kFalse) {
+        // Conflict: keep the remaining watches, reset queue.
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j)
+          watch_list[keep++] = watch_list[j];
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(c.lits[0], cr);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     int& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit());  // slot for the asserting literal
+  int counter = 0;
+  Lit p;
+  bool p_valid = false;
+  std::size_t index = trail_.size();
+  ClauseRef reason = conflict;
+  const int current = static_cast<int>(trail_lim_.size());
+
+  do {
+    RTLSAT_ASSERT(reason != kNoReason);
+    Clause& c = clauses_[reason];
+    if (c.learnt) bump_clause(reason);
+    // lits[0] of a reason clause is the literal it implied (= p), which is
+    // already resolved away; the conflict clause scans from 0.
+    for (std::size_t k = p_valid ? 1 : 0; k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = true;
+      bump_var(v);
+      if (level_[v] >= current) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail back to the next marked literal.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    p_valid = true;
+    seen_[p.var()] = false;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Recursive clause minimization: drop literals implied by the rest.
+  // Every literal marked during collection must be unmarked at the end —
+  // including the ones minimization drops — or stale marks corrupt the
+  // next conflict's trail walk.
+  const std::vector<Lit> collected = learnt;
+  std::uint32_t levels_mask = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    levels_mask |= 1u << (level_[learnt[i].var()] & 31);
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == kNoReason ||
+        !lit_redundant(learnt[i], levels_mask)) {
+      learnt[kept++] = learnt[i];
+    }
+  }
+  learnt.resize(kept);
+
+  // Backtrack level: the second-highest level in the clause.
+  bt_level = 0;
+  std::size_t max_i = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+  }
+  if (learnt.size() > 1) {
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+  for (const Lit l : collected) seen_[l.var()] = false;
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t levels_mask) {
+  // DFS through reasons; a literal is redundant if every path terminates in
+  // marked (seen_) literals or level-0 facts.
+  std::vector<Lit> stack{l};
+  std::vector<Var> cleared;
+  bool redundant = true;
+  while (!stack.empty() && redundant) {
+    const Lit p = stack.back();
+    stack.pop_back();
+    const ClauseRef r = reason_[p.var()];
+    if (r == kNoReason) {
+      redundant = false;
+      break;
+    }
+    const Clause& c = clauses_[r];
+    for (const Lit q : c.lits) {
+      const Var v = q.var();
+      if (v == p.var() || seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] == kNoReason ||
+          ((1u << (level_[v] & 31)) & levels_mask) == 0) {
+        redundant = false;
+        break;
+      }
+      seen_[v] = true;
+      cleared.push_back(v);
+      stack.push_back(q);
+    }
+  }
+  for (Var v : cleared) seen_[v] = false;
+  return redundant;
+}
+
+void Solver::backtrack(int target) {
+  if (static_cast<int>(trail_lim_.size()) <= target) return;
+  const std::size_t bound = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    assigns_[v] = Value::kUnassigned;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target);
+  qhead_ = bound;
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assigns_[v] == Value::kUnassigned) return Lit(v, phase_[v]);
+  }
+  return Lit(0, true);  // callers check for completeness first
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::bump_clause(ClauseRef cr) {
+  Clause& c = clauses_[cr];
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (Clause& cl : clauses_) {
+      if (cl.learnt) cl.activity *= 1e-20;
+    }
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_activities() {
+  var_inc_ /= options_.var_decay;
+  clause_inc_ /= options_.clause_decay;
+}
+
+void Solver::reduce_db() {
+  // Keep binaries and locked clauses; drop the least active half of the rest.
+  std::vector<ClauseRef> learnts;
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    const Clause& c = clauses_[i];
+    if (c.learnt && !c.deleted && c.lits.size() > 2) learnts.push_back(i);
+  }
+  std::sort(learnts.begin(), learnts.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> locked(clauses_.size(), false);
+  for (const Lit l : trail_) {
+    if (reason_[l.var()] != kNoReason) locked[reason_[l.var()]] = true;
+  }
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < learnts.size() / 2; ++i) {
+    if (locked[learnts[i]]) continue;
+    clauses_[learnts[i]].deleted = true;
+    clauses_[learnts[i]].lits.clear();
+    clauses_[learnts[i]].lits.shrink_to_fit();
+    ++removed;
+    --learnt_count_;
+  }
+  stats_.add("sat.clauses_deleted", static_cast<std::int64_t>(removed));
+}
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // Luby sequence 1 1 2 1 1 2 4 ...
+  std::int64_t k = 1;
+  while ((std::int64_t{1} << k) - 1 < i + 1) ++k;
+  while ((std::int64_t{1} << (k - 1)) - 1 != i) {
+    i -= (std::int64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((std::int64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return std::int64_t{1} << (k - 1);
+}
+
+Result Solver::solve() { return solve({}); }
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return Result::kUnsat;
+  Timer timer;
+  const Deadline deadline(options_.timeout_seconds);
+  max_learnts_ = std::max<std::size_t>(clauses_.size() / 3, 1000);
+  std::int64_t restart_count = 0;
+  std::int64_t conflicts_until_restart =
+      options_.restart_base * luby(restart_count);
+  std::int64_t conflict_budget = conflicts_until_restart;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      stats_.add("sat.conflicts", 1);
+      if (trail_lim_.empty()) return Result::kUnsat;
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        c.activity = clause_inc_;
+        clauses_.push_back(std::move(c));
+        attach(static_cast<ClauseRef>(clauses_.size() - 1));
+        ++learnt_count_;
+        enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));
+      }
+      decay_activities();
+      if (--conflict_budget <= 0) {
+        // Restart.
+        stats_.add("sat.restarts", 1);
+        backtrack(0);
+        ++restart_count;
+        conflict_budget = options_.restart_base * luby(restart_count);
+      }
+      if (learnt_count_ > max_learnts_) {
+        reduce_db();
+        max_learnts_ = static_cast<std::size_t>(
+            static_cast<double>(max_learnts_) * options_.learnt_grow);
+      }
+      continue;
+    }
+
+    if (deadline.expired()) return Result::kTimeout;
+
+    // Apply assumptions, then decide.
+    bool assumption_pending = false;
+    for (const Lit a : assumptions) {
+      if (value(a) == Value::kTrue) continue;
+      if (value(a) == Value::kFalse) return Result::kUnsat;
+      trail_lim_.push_back(trail_.size());
+      enqueue(a, kNoReason);
+      assumption_pending = true;
+      break;
+    }
+    if (assumption_pending) continue;
+
+    if (trail_.size() == num_vars()) return Result::kSat;
+    stats_.add("sat.decisions", 1);
+    trail_lim_.push_back(trail_.size());
+    enqueue(pick_branch(), kNoReason);
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  RTLSAT_ASSERT(assigns_[v] != Value::kUnassigned);
+  return assigns_[v] == Value::kTrue;
+}
+
+// ---------------------------------------------------------------- heap
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_pos_[v]);
+}
+
+void Solver::heap_sift_up(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (!heap_less(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  while (true) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_less(heap_[child + 1], heap_[child])) ++child;
+    if (!heap_less(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+}  // namespace rtlsat::sat

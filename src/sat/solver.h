@@ -1,0 +1,136 @@
+// A complete CDCL Boolean SAT solver.
+//
+// This is the engine behind the bit-blasting baseline — the "Boolean SAT
+// solver on the RTL's Boolean translation" that the paper's introduction
+// identifies as the popular-but-poorly-scaling approach — and the oracle
+// the property tests cross-check HDPLL against. Standard modern feature
+// set: two-watched-literal propagation, first-UIP conflict learning with
+// recursive clause minimization, EVSIDS variable activities with phase
+// saving, Luby restarts, and activity-driven learnt-clause deletion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace rtlsat::sat {
+
+using Var = std::uint32_t;
+
+// Literal: variable with polarity, encoded as 2·var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() = default;
+  Lit(Var var, bool positive) : code_(2 * var + (positive ? 0 : 1)) {}
+
+  static Lit from_code(std::uint32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool positive() const { return (code_ & 1) == 0; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  std::uint32_t code() const { return code_; }
+
+  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
+
+ private:
+  std::uint32_t code_ = 0;
+};
+
+enum class Value : std::uint8_t { kFalse = 0, kTrue = 1, kUnassigned = 2 };
+
+enum class Result { kSat, kUnsat, kTimeout };
+
+struct SolverOptions {
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int restart_base = 100;       // Luby unit, in conflicts
+  double learnt_grow = 1.1;     // learnt-DB cap growth per reduction
+  double timeout_seconds = 0;   // 0 = none
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  Var new_var();
+  std::size_t num_vars() const { return activity_.size(); }
+
+  // Adds a clause (empty ⟹ immediate UNSAT; duplicates/tautologies are
+  // simplified). Must be called before solve().
+  void add_clause(std::vector<Lit> lits);
+
+  Result solve();
+  // Incremental interface: solve under the given assumptions.
+  Result solve(const std::vector<Lit>& assumptions);
+
+  // Model access after kSat.
+  bool model_value(Var v) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = 0xffffffffu;
+
+  Value value(Lit l) const {
+    const Value v = assigns_[l.var()];
+    if (v == Value::kUnassigned) return v;
+    return (v == Value::kTrue) == l.positive() ? Value::kTrue : Value::kFalse;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();  // kNoReason when no conflict
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
+  bool lit_redundant(Lit l, std::uint32_t levels_mask);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void bump_clause(ClauseRef c);
+  void decay_activities();
+  void reduce_db();
+  void attach(ClauseRef c);
+  static std::int64_t luby(std::int64_t i);
+
+  SolverOptions options_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by lit code
+  std::vector<Value> assigns_;
+  std::vector<bool> phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  // Binary heap over variable activities.
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;
+  void heap_insert(Var v);
+  void heap_sift_up(int i);
+  void heap_sift_down(int i);
+  Var heap_pop();
+  bool heap_less(Var a, Var b) const { return activity_[a] > activity_[b]; }
+
+  std::vector<bool> seen_;
+  bool ok_ = true;
+  std::size_t learnt_count_ = 0;
+  std::size_t max_learnts_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rtlsat::sat

@@ -1,0 +1,42 @@
+// Internal invariant checking for rtlsat.
+//
+// RTLSAT_ASSERT is active in all build types: solver bugs (a wrong UNSAT
+// answer, a corrupted trail) are far more expensive than the check, and the
+// hot paths have been benchmarked with the checks in place. Use
+// RTLSAT_DASSERT for checks that are too hot to keep in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtlsat {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "rtlsat: assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rtlsat
+
+#define RTLSAT_ASSERT(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::rtlsat::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RTLSAT_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) ::rtlsat::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifndef NDEBUG
+#define RTLSAT_DASSERT(expr) RTLSAT_ASSERT(expr)
+#else
+#define RTLSAT_DASSERT(expr) \
+  do {                       \
+  } while (0)
+#endif
+
+#define RTLSAT_UNREACHABLE(msg) \
+  ::rtlsat::assert_fail("unreachable", __FILE__, __LINE__, (msg))

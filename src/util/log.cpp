@@ -1,0 +1,42 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace rtlsat {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+void log_msg(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::fprintf(stderr, "[rtlsat:%s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace rtlsat

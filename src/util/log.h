@@ -1,0 +1,35 @@
+// Minimal leveled logging.
+//
+// The solver is a library; by default it is silent (kWarn). Examples and
+// benches raise the level with set_log_level(). Messages are printf-style
+// because the hot call sites predate std::format being cheap to compile.
+#pragma once
+
+#include <cstdarg>
+
+namespace rtlsat {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// True if a message at `level` would be emitted; guards expensive argument
+// construction at call sites.
+bool log_enabled(LogLevel level);
+
+void log_msg(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace rtlsat
+
+#define RTLSAT_LOG(level, ...)                                  \
+  do {                                                          \
+    if (::rtlsat::log_enabled(level))                           \
+      ::rtlsat::log_msg(level, __VA_ARGS__);                    \
+  } while (0)
+
+#define RTLSAT_INFO(...) RTLSAT_LOG(::rtlsat::LogLevel::kInfo, __VA_ARGS__)
+#define RTLSAT_WARN(...) RTLSAT_LOG(::rtlsat::LogLevel::kWarn, __VA_ARGS__)
+#define RTLSAT_DEBUG(...) RTLSAT_LOG(::rtlsat::LogLevel::kDebug, __VA_ARGS__)
+#define RTLSAT_TRACE(...) RTLSAT_LOG(::rtlsat::LogLevel::kTrace, __VA_ARGS__)

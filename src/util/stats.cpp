@@ -1,0 +1,15 @@
+#include "util/stats.h"
+
+#include <sstream>
+
+namespace rtlsat {
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rtlsat

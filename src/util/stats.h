@@ -1,0 +1,36 @@
+// Named counters the solver exports so experiments can report, e.g., the
+// number of data-path implications (the paper's §5.1 explanation of the
+// b13_3 anomaly rests on that counter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rtlsat {
+
+class Stats {
+ public:
+  std::int64_t& counter(const std::string& name) { return counters_[name]; }
+
+  std::int64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void add(const std::string& name, std::int64_t delta) {
+    counters_[name] += delta;
+  }
+
+  void clear() { counters_.clear(); }
+
+  const std::map<std::string, std::int64_t>& all() const { return counters_; }
+
+  // Multi-line "name = value" dump, sorted by name.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace rtlsat

@@ -1,0 +1,62 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rtlsat {
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view seps) {
+  std::vector<std::string_view> fields;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = text.find_first_not_of(seps, pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find_first_of(seps, start);
+    if (end == std::string_view::npos) end = text.size();
+    fields.push_back(text.substr(start, end - start));
+    pos = end;
+  }
+  return fields;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string format_runtime(double seconds, bool timed_out, bool aborted) {
+  if (aborted) return "-A-";
+  if (timed_out) return "-to-";
+  return str_format("%.2f", seconds);
+}
+
+}  // namespace rtlsat

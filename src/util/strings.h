@@ -1,0 +1,29 @@
+// Small string helpers shared by the parser, table printers, and dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlsat {
+
+// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Splits on any character in `seps`, dropping empty fields.
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view seps = " \t\r\n");
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Fixed-width left/right alignment for the bench table printers.
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+// Formats seconds the way the paper's tables do: two decimals, "-to-" for
+// timeouts, "-A-" for aborts.
+std::string format_runtime(double seconds, bool timed_out, bool aborted);
+
+}  // namespace rtlsat

@@ -1,0 +1,52 @@
+// Wall-clock timing helpers used by the benches and the solver's
+// per-instance timeout (the paper ran with a 1200 s CPU timeout; we expose
+// the same knob via Deadline).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rtlsat {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::int64_t micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// A deadline that solver loops poll occasionally. A default-constructed
+// Deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double seconds_from_now)
+      : armed_(seconds_from_now > 0),
+        end_(Clock::now() +
+             std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(seconds_from_now))) {}
+
+  bool expired() const { return armed_ && Clock::now() >= end_; }
+  bool armed() const { return armed_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool armed_ = false;
+  Clock::time_point end_{};
+};
+
+}  // namespace rtlsat

@@ -1,0 +1,843 @@
+#include "verilog/verilog.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace rtlsat::verilog {
+
+using ir::Circuit;
+using ir::NetId;
+
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+enum class Tok {
+  kEnd, kIdent, kNumber, kSizedNumber,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon, kQuestion, kAt, kDot,
+  kAssignEq,    // =
+  kNonBlock,    // <=  (context-dependent vs less-equal; lexed as kLe)
+  kPlus, kMinus, kXor, kAnd, kOr, kAndAnd, kOrOr, kNot, kTilde,
+  kEq, kNe, kLt, kLe, kGt, kGe, kShl, kShr,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t value = 0;   // numeric value
+  int width = 0;            // sized literals; 0 = unsized
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+  int line() const { return current_.line; }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= source_.size()) return;  // kEnd
+    const char ch = source_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_' ||
+        ch == '$') {
+      const std::size_t start = pos_;
+      while (pos_ < source_.size() &&
+             (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+              source_[pos_] == '_' || source_[pos_] == '$')) {
+        ++pos_;
+      }
+      current_.kind = Tok::kIdent;
+      current_.text = std::string(source_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      lex_number();
+      return;
+    }
+    ++pos_;
+    auto two = [&](char next, Tok with, Tok without) {
+      if (pos_ < source_.size() && source_[pos_] == next) {
+        ++pos_;
+        current_.kind = with;
+      } else {
+        current_.kind = without;
+      }
+    };
+    switch (ch) {
+      case '(': current_.kind = Tok::kLParen; return;
+      case ')': current_.kind = Tok::kRParen; return;
+      case '{': current_.kind = Tok::kLBrace; return;
+      case '}': current_.kind = Tok::kRBrace; return;
+      case '[': current_.kind = Tok::kLBracket; return;
+      case ']': current_.kind = Tok::kRBracket; return;
+      case ';': current_.kind = Tok::kSemi; return;
+      case ',': current_.kind = Tok::kComma; return;
+      case ':': current_.kind = Tok::kColon; return;
+      case '?': current_.kind = Tok::kQuestion; return;
+      case '@': current_.kind = Tok::kAt; return;
+      case '.': current_.kind = Tok::kDot; return;
+      case '+': current_.kind = Tok::kPlus; return;
+      case '-': current_.kind = Tok::kMinus; return;
+      case '^': current_.kind = Tok::kXor; return;
+      case '~': current_.kind = Tok::kTilde; return;
+      case '&': two('&', Tok::kAndAnd, Tok::kAnd); return;
+      case '|': two('|', Tok::kOrOr, Tok::kOr); return;
+      case '=': two('=', Tok::kEq, Tok::kAssignEq); return;
+      case '!': two('=', Tok::kNe, Tok::kNot); return;
+      case '<':
+        if (pos_ < source_.size() && source_[pos_] == '<') {
+          ++pos_;
+          current_.kind = Tok::kShl;
+        } else {
+          two('=', Tok::kLe, Tok::kLt);
+        }
+        return;
+      case '>':
+        if (pos_ < source_.size() && source_[pos_] == '>') {
+          ++pos_;
+          current_.kind = Tok::kShr;
+        } else {
+          two('=', Tok::kGe, Tok::kGt);
+        }
+        return;
+      default:
+        throw VerilogError(std::string("unexpected character '") + ch + "'",
+                           line_);
+    }
+  }
+
+  void lex_number() {
+    // <digits> or <digits>'<base><digits>.
+    std::int64_t first = 0;
+    const std::size_t start = pos_;
+    while (pos_ < source_.size() &&
+           (std::isdigit(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_')) {
+      if (source_[pos_] != '_') first = first * 10 + (source_[pos_] - '0');
+      ++pos_;
+    }
+    (void)start;
+    if (pos_ < source_.size() && source_[pos_] == '\'') {
+      ++pos_;
+      if (pos_ >= source_.size()) throw VerilogError("bad literal", line_);
+      const char base_ch =
+          static_cast<char>(std::tolower(static_cast<unsigned char>(source_[pos_++])));
+      int base = 10;
+      switch (base_ch) {
+        case 'd': base = 10; break;
+        case 'h': base = 16; break;
+        case 'b': base = 2; break;
+        case 'o': base = 8; break;
+        default: throw VerilogError("unknown literal base", line_);
+      }
+      std::int64_t value = 0;
+      bool any = false;
+      while (pos_ < source_.size()) {
+        const char d = static_cast<char>(std::tolower(static_cast<unsigned char>(source_[pos_])));
+        int digit;
+        if (d >= '0' && d <= '9') {
+          digit = d - '0';
+        } else if (d >= 'a' && d <= 'f') {
+          digit = d - 'a' + 10;
+        } else if (d == '_') {
+          ++pos_;
+          continue;
+        } else {
+          break;
+        }
+        if (digit >= base) break;
+        value = value * base + digit;
+        any = true;
+        ++pos_;
+      }
+      if (!any) throw VerilogError("empty literal digits", line_);
+      current_.kind = Tok::kSizedNumber;
+      current_.value = value;
+      current_.width = static_cast<int>(first);
+      if (current_.width < 1 || current_.width > ir::kMaxWidth)
+        throw VerilogError("literal width out of range", line_);
+      return;
+    }
+    current_.kind = Tok::kNumber;  // unsized decimal
+    current_.value = first;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < source_.size()) {
+      const char ch = source_[pos_];
+      if (ch == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(ch))) {
+        ++pos_;
+      } else if (ch == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+      } else if (ch == '/' && pos_ + 1 < source_.size() &&
+                 source_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < source_.size() &&
+               !(source_[pos_] == '*' && source_[pos_ + 1] == '/')) {
+          if (source_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ += 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+// ----------------------------------------------------------------- values
+
+// An expression value: either a built net or an unsized constant whose
+// width is fixed by context (Verilog's self-determined-width rules,
+// simplified to the unsigned cases we need).
+struct Value {
+  NetId net = ir::kNoNet;
+  bool is_const = false;
+  std::int64_t const_value = 0;
+};
+
+// ----------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source)
+      : lex_(source), seq_("module") {}
+
+  ir::SeqCircuit run() {
+    expect_ident("module");
+    seq_.comb().set_name(expect_any_ident());
+    parse_port_list();
+    expect(Tok::kSemi);
+    while (!at_ident("endmodule")) parse_item();
+    take();  // endmodule
+    finalize_registers();
+    seq_.validate();
+    return std::move(seq_);
+  }
+
+ private:
+  // ---------------------------------------------------------- module items
+
+  void parse_port_list() {
+    expect(Tok::kLParen);
+    if (lex_.peek().kind == Tok::kRParen) {
+      take();
+      return;
+    }
+    while (true) {
+      parse_port();
+      if (lex_.peek().kind == Tok::kComma) {
+        take();
+        continue;
+      }
+      expect(Tok::kRParen);
+      return;
+    }
+  }
+
+  void parse_port() {
+    const int line = lex_.line();
+    bool is_input;
+    if (at_ident("input")) {
+      is_input = true;
+    } else if (at_ident("output")) {
+      is_input = false;
+    } else {
+      throw VerilogError("expected input/output", line);
+    }
+    take();
+    bool is_reg = false;
+    if (at_ident("wire")) take();
+    if (at_ident("reg")) {
+      is_reg = true;
+      take();
+    }
+    const int width = parse_optional_range();
+    const std::string name = expect_any_ident();
+    if (is_input) {
+      // Clock ports carry no logic in the one-implicit-clock model.
+      if (name == "clk" || name == "clock") {
+        clock_name_ = name;
+        return;
+      }
+      define(name, seq_.comb().add_input(name, width), width);
+    } else if (is_reg) {
+      // `output reg [w:0] q` declares a register (reset value 0).
+      define(name, seq_.add_register(name, width, 0), width);
+      regs_.insert(name);
+    } else {
+      outputs_.push_back({name, width});
+      widths_[name] = width;
+    }
+  }
+
+  void parse_item() {
+    const int line = lex_.line();
+    if (at_ident("wire")) {
+      take();
+      parse_wire_decl();
+    } else if (at_ident("reg")) {
+      take();
+      parse_reg_decl();
+    } else if (at_ident("assign")) {
+      take();
+      parse_assign();
+    } else if (at_ident("always")) {
+      take();
+      parse_always();
+    } else if (at_ident("property")) {
+      take();
+      parse_property();
+    } else {
+      throw VerilogError("unexpected item '" + lex_.peek().text + "'", line);
+    }
+  }
+
+  void parse_wire_decl() {
+    const int width = parse_optional_range();
+    while (true) {
+      const int line = lex_.line();
+      const std::string name = expect_any_ident();
+      if (lex_.peek().kind == Tok::kAssignEq) {
+        take();
+        const NetId net = materialize(parse_expr(), width, line);
+        define(name, net, width);
+      } else {
+        // Forward declaration; must be assigned later.
+        widths_[name] = width;
+      }
+      if (lex_.peek().kind == Tok::kComma) {
+        take();
+        continue;
+      }
+      expect(Tok::kSemi);
+      return;
+    }
+  }
+
+  void parse_reg_decl() {
+    const int width = parse_optional_range();
+    while (true) {
+      const int line = lex_.line();
+      const std::string name = expect_any_ident();
+      std::int64_t init = 0;
+      if (lex_.peek().kind == Tok::kAssignEq) {
+        take();
+        const Value v = parse_expr();
+        if (!v.is_const)
+          throw VerilogError("reg initializer must be constant", line);
+        init = v.const_value;
+      }
+      const NetId q = seq_.add_register(name, width, init);
+      define(name, q, width);
+      regs_.insert(name);
+      if (lex_.peek().kind == Tok::kComma) {
+        take();
+        continue;
+      }
+      expect(Tok::kSemi);
+      return;
+    }
+  }
+
+  void parse_assign() {
+    const int line = lex_.line();
+    const std::string name = expect_any_ident();
+    expect(Tok::kAssignEq);
+    auto it = widths_.find(name);
+    if (it == widths_.end())
+      throw VerilogError("assign to undeclared '" + name + "'", line);
+    if (nets_.contains(name))
+      throw VerilogError("'" + name + "' assigned twice", line);
+    const NetId net = materialize(parse_expr(), it->second, line);
+    define(name, net, it->second);
+    expect(Tok::kSemi);
+  }
+
+  void parse_property() {
+    const int line = lex_.line();
+    const std::string name = expect_any_ident();
+    expect(Tok::kAssignEq);
+    const NetId net = materialize(parse_expr(), 1, line);
+    seq_.add_property(name, net);
+    expect(Tok::kSemi);
+  }
+
+  // ------------------------------------------------------------ always
+
+  using Env = std::unordered_map<std::string, NetId>;
+
+  void parse_always() {
+    const int line = lex_.line();
+    expect(Tok::kAt);
+    expect(Tok::kLParen);
+    expect_ident("posedge");
+    const std::string clk = expect_any_ident();
+    if (!clock_name_.empty() && clk != clock_name_)
+      throw VerilogError("multiple clocks are not supported", line);
+    expect(Tok::kRParen);
+    Env env;  // reg name → next-state net for this block
+    parse_statement(env);
+    for (auto& [name, net] : env) {
+      if (next_state_.contains(name))
+        throw VerilogError("'" + name + "' driven by two always blocks", line);
+      next_state_[name] = net;
+    }
+  }
+
+  void parse_statement(Env& env) {
+    const int line = lex_.line();
+    if (at_ident("begin")) {
+      take();
+      while (!at_ident("end")) parse_statement(env);
+      take();
+      return;
+    }
+    if (at_ident("if")) {
+      take();
+      expect(Tok::kLParen);
+      const NetId cond = materialize(parse_expr(), 1, line);
+      expect(Tok::kRParen);
+      Env then_env = env;
+      parse_statement(then_env);
+      Env else_env = env;
+      if (at_ident("else")) {
+        take();
+        parse_statement(else_env);
+      }
+      merge_branches(cond, then_env, else_env, env);
+      return;
+    }
+    // Nonblocking assignment: <reg> <= expr ;
+    const std::string name = expect_any_ident();
+    if (!regs_.contains(name))
+      throw VerilogError("'" + name + "' is not a reg", line);
+    if (lex_.peek().kind != Tok::kLe)
+      throw VerilogError("expected '<=' in always block", line);
+    take();
+    env[name] = materialize(parse_expr(), widths_.at(name), line);
+    expect(Tok::kSemi);
+  }
+
+  void merge_branches(NetId cond, const Env& then_env, const Env& else_env,
+                      Env& out) {
+    Env merged = out;
+    auto current = [&](const std::string& name) {
+      auto it = out.find(name);
+      if (it != out.end()) return it->second;
+      return nets_.at(name);  // hold the register's current value
+    };
+    for (const auto& [name, net] : then_env) {
+      const NetId other =
+          else_env.contains(name) ? else_env.at(name) : current(name);
+      merged[name] = seq_.comb().add_mux(cond, net, other);
+    }
+    for (const auto& [name, net] : else_env) {
+      if (then_env.contains(name)) continue;
+      merged[name] = seq_.comb().add_mux(cond, current(name), net);
+    }
+    out = std::move(merged);
+  }
+
+  void finalize_registers() {
+    for (const auto& reg : seq_.registers()) {
+      auto it = next_state_.find(reg.name);
+      // An undriven register holds its value forever.
+      seq_.bind_next(reg.q, it == next_state_.end() ? reg.q : it->second);
+    }
+    for (const auto& [name, width] : outputs_) {
+      if (!nets_.contains(name))
+        throw VerilogError("output '" + name + "' never assigned", 0);
+    }
+  }
+
+  // ------------------------------------------------------- expressions
+  //
+  // Precedence (low → high): ?: , ||, &&, |, ^, &, equality, relational,
+  // shift, additive, unary, primary.
+
+  Value parse_expr() { return parse_ternary(); }
+
+  Value parse_ternary() {
+    const int line = lex_.line();
+    Value cond = parse_or();
+    if (lex_.peek().kind != Tok::kQuestion) return cond;
+    take();
+    const Value t = parse_ternary();
+    expect(Tok::kColon);
+    const Value e = parse_ternary();
+    const NetId cnet = materialize(cond, 1, line);
+    auto [tn, en] = harmonize(t, e, line);
+    return wrap(seq_.comb().add_mux(cnet, tn, en));
+  }
+
+  Value parse_or() {
+    Value lhs = parse_and_bool();
+    while (lex_.peek().kind == Tok::kOrOr) {
+      const int line = lex_.line();
+      take();
+      const Value rhs = parse_and_bool();
+      lhs = wrap(seq_.comb().add_or(materialize(lhs, 1, line),
+                                    materialize(rhs, 1, line)));
+    }
+    return lhs;
+  }
+
+  Value parse_and_bool() {
+    Value lhs = parse_bitor();
+    while (lex_.peek().kind == Tok::kAndAnd) {
+      const int line = lex_.line();
+      take();
+      const Value rhs = parse_bitor();
+      lhs = wrap(seq_.comb().add_and(materialize(lhs, 1, line),
+                                     materialize(rhs, 1, line)));
+    }
+    return lhs;
+  }
+
+  Value parse_bitor() {
+    Value lhs = parse_bitxor();
+    while (lex_.peek().kind == Tok::kOr) {
+      const int line = lex_.line();
+      take();
+      lhs = bitwise(lhs, parse_bitxor(), 'o', line);
+    }
+    return lhs;
+  }
+
+  Value parse_bitxor() {
+    Value lhs = parse_bitand();
+    while (lex_.peek().kind == Tok::kXor) {
+      const int line = lex_.line();
+      take();
+      lhs = bitwise(lhs, parse_bitand(), 'x', line);
+    }
+    return lhs;
+  }
+
+  Value parse_bitand() {
+    Value lhs = parse_equality();
+    while (lex_.peek().kind == Tok::kAnd) {
+      const int line = lex_.line();
+      take();
+      lhs = bitwise(lhs, parse_equality(), 'a', line);
+    }
+    return lhs;
+  }
+
+  Value parse_equality() {
+    Value lhs = parse_relational();
+    while (lex_.peek().kind == Tok::kEq || lex_.peek().kind == Tok::kNe) {
+      const int line = lex_.line();
+      const Tok op = take().kind;
+      const Value rhs = parse_relational();
+      auto [a, b] = harmonize(lhs, rhs, line);
+      lhs = wrap(op == Tok::kEq ? seq_.comb().add_eq(a, b)
+                                : seq_.comb().add_ne(a, b));
+    }
+    return lhs;
+  }
+
+  Value parse_relational() {
+    Value lhs = parse_shift();
+    while (lex_.peek().kind == Tok::kLt || lex_.peek().kind == Tok::kLe ||
+           lex_.peek().kind == Tok::kGt || lex_.peek().kind == Tok::kGe) {
+      const int line = lex_.line();
+      const Tok op = take().kind;
+      const Value rhs = parse_shift();
+      auto [a, b] = harmonize(lhs, rhs, line);
+      Circuit& c = seq_.comb();
+      switch (op) {
+        case Tok::kLt: lhs = wrap(c.add_lt(a, b)); break;
+        case Tok::kLe: lhs = wrap(c.add_le(a, b)); break;
+        case Tok::kGt: lhs = wrap(c.add_gt(a, b)); break;
+        default: lhs = wrap(c.add_ge(a, b)); break;
+      }
+    }
+    return lhs;
+  }
+
+  Value parse_shift() {
+    Value lhs = parse_additive();
+    while (lex_.peek().kind == Tok::kShl || lex_.peek().kind == Tok::kShr) {
+      const int line = lex_.line();
+      const Tok op = take().kind;
+      const Value rhs = parse_additive();
+      if (!rhs.is_const)
+        throw VerilogError("shift amount must be constant", line);
+      const NetId a = require_net(lhs, line);
+      lhs = wrap(op == Tok::kShl
+                     ? seq_.comb().add_shl(a, static_cast<int>(rhs.const_value))
+                     : seq_.comb().add_shr(a, static_cast<int>(rhs.const_value)));
+    }
+    return lhs;
+  }
+
+  Value parse_additive() {
+    Value lhs = parse_unary();
+    while (lex_.peek().kind == Tok::kPlus || lex_.peek().kind == Tok::kMinus) {
+      const int line = lex_.line();
+      const Tok op = take().kind;
+      const Value rhs = parse_unary();
+      auto [a, b] = harmonize(lhs, rhs, line);
+      lhs = wrap(op == Tok::kPlus ? seq_.comb().add_add(a, b)
+                                  : seq_.comb().add_sub(a, b));
+    }
+    return lhs;
+  }
+
+  Value parse_unary() {
+    const int line = lex_.line();
+    if (lex_.peek().kind == Tok::kNot) {
+      take();
+      return wrap(seq_.comb().add_not(materialize(parse_unary(), 1, line)));
+    }
+    if (lex_.peek().kind == Tok::kTilde) {
+      take();
+      const NetId a = require_net(parse_unary(), line);
+      return wrap(seq_.comb().width(a) == 1 ? seq_.comb().add_not(a)
+                                            : seq_.comb().add_notw(a));
+    }
+    return parse_primary();
+  }
+
+  Value parse_primary() {
+    const int line = lex_.line();
+    const Token t = lex_.peek();
+    switch (t.kind) {
+      case Tok::kNumber: {
+        take();
+        Value v;
+        v.is_const = true;
+        v.const_value = t.value;
+        return v;
+      }
+      case Tok::kSizedNumber:
+        take();
+        return wrap(seq_.comb().add_const(t.value, t.width));
+      case Tok::kLParen: {
+        take();
+        const Value v = parse_expr();
+        expect(Tok::kRParen);
+        return v;
+      }
+      case Tok::kLBrace: {
+        // Concatenation {a, b, c} — left part is the high end.
+        take();
+        NetId acc = require_net(parse_expr(), line);
+        while (lex_.peek().kind == Tok::kComma) {
+          take();
+          const NetId next = require_net(parse_expr(), line);
+          acc = seq_.comb().add_concat(acc, next);
+        }
+        expect(Tok::kRBrace);
+        return wrap(acc);
+      }
+      case Tok::kIdent: {
+        take();
+        auto it = nets_.find(t.text);
+        if (it == nets_.end())
+          throw VerilogError("unknown identifier '" + t.text + "'", line);
+        NetId net = it->second;
+        if (lex_.peek().kind == Tok::kLBracket) {
+          take();
+          const Value hi = parse_expr();
+          if (!hi.is_const)
+            throw VerilogError("bit index must be constant", line);
+          std::int64_t lo = hi.const_value;
+          if (lex_.peek().kind == Tok::kColon) {
+            take();
+            const Value lov = parse_expr();
+            if (!lov.is_const)
+              throw VerilogError("part-select bound must be constant", line);
+            lo = lov.const_value;
+          }
+          expect(Tok::kRBracket);
+          net = seq_.comb().add_extract(net, static_cast<int>(hi.const_value),
+                                        static_cast<int>(lo));
+        }
+        return wrap(net);
+      }
+      default:
+        throw VerilogError("expected expression", line);
+    }
+  }
+
+  // ------------------------------------------------------------- helpers
+
+  Value wrap(NetId net) {
+    Value v;
+    v.net = net;
+    return v;
+  }
+
+  NetId require_net(const Value& v, int line) {
+    if (v.is_const)
+      throw VerilogError("unsized constant needs width context", line);
+    return v.net;
+  }
+
+  // Builds the value as a net of exactly `width` bits (zero-extending
+  // narrower nets, sizing unsized constants).
+  NetId materialize(const Value& v, int width, int line) {
+    Circuit& c = seq_.comb();
+    if (v.is_const) {
+      if (!Interval::full_width(width).contains(v.const_value))
+        throw VerilogError("constant does not fit in width", line);
+      return c.add_const(v.const_value, width);
+    }
+    const int have = c.width(v.net);
+    if (have == width) return v.net;
+    if (have < width) return c.add_zext(v.net, width);
+    throw VerilogError("width mismatch (have " + std::to_string(have) +
+                           ", need " + std::to_string(width) + ")",
+                       line);
+  }
+
+  // Harmonizes two operands to a common width (Verilog's unsigned
+  // extension of the narrower side).
+  std::pair<NetId, NetId> harmonize(const Value& a, const Value& b, int line) {
+    Circuit& c = seq_.comb();
+    if (a.is_const && b.is_const)
+      throw VerilogError("constant expression needs width context", line);
+    if (a.is_const) {
+      const NetId bn = b.net;
+      return {materialize(a, c.width(bn), line), bn};
+    }
+    if (b.is_const) {
+      const NetId an = a.net;
+      return {an, materialize(b, c.width(an), line)};
+    }
+    const int w = std::max(c.width(a.net), c.width(b.net));
+    return {c.add_zext(a.net, w), c.add_zext(b.net, w)};
+  }
+
+  // Bitwise & | ^: Boolean gates at width 1; per-bit expansion otherwise.
+  Value bitwise(const Value& lhs, const Value& rhs, char op, int line) {
+    auto [a, b] = harmonize(lhs, rhs, line);
+    Circuit& c = seq_.comb();
+    const int w = c.width(a);
+    if (w == 1) {
+      switch (op) {
+        case 'a': return wrap(c.add_and(a, b));
+        case 'o': return wrap(c.add_or(a, b));
+        default: return wrap(c.add_xor(a, b));
+      }
+    }
+    // Per-bit expansion, recombined with concat (MSB first).
+    NetId acc = ir::kNoNet;
+    for (int k = w - 1; k >= 0; --k) {
+      const NetId ab = c.add_bit(a, k);
+      const NetId bb = c.add_bit(b, k);
+      NetId bit;
+      switch (op) {
+        case 'a': bit = c.add_and(ab, bb); break;
+        case 'o': bit = c.add_or(ab, bb); break;
+        default: bit = c.add_xor(ab, bb); break;
+      }
+      acc = acc == ir::kNoNet ? bit : c.add_concat(acc, bit);
+    }
+    return wrap(acc);
+  }
+
+  void define(const std::string& name, NetId net, int width) {
+    if (nets_.contains(name))
+      throw VerilogError("duplicate declaration of '" + name + "'",
+                         lex_.line());
+    nets_[name] = net;
+    widths_[name] = width;
+    if (seq_.comb().node(net).name.empty()) {
+      seq_.comb().set_net_name(net, name);
+    } else {
+      seq_.comb().add_name_alias(name, net);  // hash-consed alias
+    }
+  }
+
+  int parse_optional_range() {
+    if (lex_.peek().kind != Tok::kLBracket) return 1;
+    take();
+    const Token msb = take();
+    if (msb.kind != Tok::kNumber)
+      throw VerilogError("expected constant msb", msb.line);
+    expect(Tok::kColon);
+    const Token lsb = take();
+    if (lsb.kind != Tok::kNumber || lsb.value != 0)
+      throw VerilogError("ranges must be [msb:0]", lsb.line);
+    expect(Tok::kRBracket);
+    const int width = static_cast<int>(msb.value) + 1;
+    if (width < 1 || width > ir::kMaxWidth)
+      throw VerilogError("width out of range", msb.line);
+    return width;
+  }
+
+  bool at_ident(std::string_view word) const {
+    return lex_.peek().kind == Tok::kIdent && lex_.peek().text == word;
+  }
+  Token take() { return lex_.take(); }
+  void expect(Tok kind) {
+    const Token t = take();
+    if (t.kind != kind)
+      throw VerilogError("unexpected token '" + t.text + "'", t.line);
+  }
+  void expect_ident(std::string_view word) {
+    const Token t = take();
+    if (t.kind != Tok::kIdent || t.text != word)
+      throw VerilogError("expected '" + std::string(word) + "'", t.line);
+  }
+  std::string expect_any_ident() {
+    const Token t = take();
+    if (t.kind != Tok::kIdent)
+      throw VerilogError("expected identifier", t.line);
+    return t.text;
+  }
+
+  Lexer lex_;
+  ir::SeqCircuit seq_;
+  std::string clock_name_;
+  std::unordered_map<std::string, NetId> nets_;
+  std::unordered_map<std::string, int> widths_;
+  std::set<std::string> regs_;
+  std::unordered_map<std::string, NetId> next_state_;
+  std::vector<std::pair<std::string, int>> outputs_;
+};
+
+}  // namespace
+
+ir::SeqCircuit parse(std::string_view source) { return Parser(source).run(); }
+
+ir::SeqCircuit load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace rtlsat::verilog

@@ -1,0 +1,50 @@
+// A synthesizable-Verilog-subset frontend producing ir::SeqCircuit.
+//
+// Supported constructs — enough for the control/data-path RTL the paper's
+// benchmarks are written in:
+//
+//   module m(input clk, input [7:0] a, output [7:0] y, ...);
+//     wire [7:0] sum = a + b;            // or: assign sum = a + b;
+//     reg  [3:0] state = 0;              // initializer = reset value
+//     always @(posedge clk) begin
+//       if (cond) state <= state + 1;    // if / else if / else chains
+//       else      state <= 0;            // unassigned path holds
+//     end
+//     property p1 = state <= 4'd9;       // extension: named safety property
+//   endmodule
+//
+// Expressions: ?:, ||, &&, |, ^, & (1-bit logic; & | ^ also bitwise on
+// equal-width words), == != < <= > >=, + -, << >> (constant shift), ! ~,
+// {a, b} concatenation, bit/part selects a[3], a[5:2], sized literals
+// (4'd12, 8'hFF, 1'b0) and unsized decimals (width inferred from context).
+// Operands of different widths are zero-extended to the wider side, as in
+// unsigned Verilog.
+//
+// One implicit clock: every `always @(posedge <id>)` belongs to it and the
+// clock port drives no logic. `<=` targets must be declared `reg`; each
+// reg's next-state is built from the statement walk with hold semantics
+// for unassigned paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/seq.h"
+
+namespace rtlsat::verilog {
+
+class VerilogError : public std::runtime_error {
+ public:
+  VerilogError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+ir::SeqCircuit parse(std::string_view source);
+ir::SeqCircuit load_file(const std::string& path);
+
+}  // namespace rtlsat::verilog

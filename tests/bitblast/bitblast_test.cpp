@@ -1,0 +1,153 @@
+#include "bitblast/bitblast.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rtlsat::bitblast {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+// Pins all inputs, solves, and checks the blasted value of `net` equals the
+// evaluator's result — the core encoding-correctness harness.
+void check_against_evaluator(
+    Circuit& c, const std::unordered_map<NetId, std::int64_t>& inputs,
+    std::initializer_list<NetId> observed) {
+  sat::Solver solver;
+  BitBlaster blaster(c, solver);
+  for (const auto& [net, value] : inputs) blaster.assert_equals(net, value);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  const auto values = c.evaluate(inputs);
+  for (const NetId net : observed) {
+    EXPECT_EQ(blaster.model_value(net), values[net])
+        << "net " << c.net_name(net);
+  }
+}
+
+TEST(BitBlast, AdderMatchesEvaluator) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 8);
+  const NetId b = c.add_input("b", 8);
+  const NetId s = c.add_add(a, b);
+  check_against_evaluator(c, {{a, 200}, {b, 100}}, {s});
+}
+
+TEST(BitBlast, SubtractorWraps) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 8);
+  const NetId b = c.add_input("b", 8);
+  const NetId d = c.add_sub(a, b);
+  check_against_evaluator(c, {{a, 5}, {b, 10}}, {d});
+}
+
+TEST(BitBlast, ComparatorsAllRelations) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 6);
+  const NetId b = c.add_input("b", 6);
+  const NetId lt = c.add_lt(a, b);
+  const NetId le = c.add_le(a, b);
+  const NetId eq = c.add_eq(a, b);
+  for (const auto& [av, bv] :
+       std::vector<std::pair<int, int>>{{3, 7}, {7, 3}, {5, 5}, {0, 63}}) {
+    check_against_evaluator(
+        c, {{a, av}, {b, bv}}, {lt, le, eq});
+  }
+}
+
+TEST(BitBlast, MuxAndWiring) {
+  Circuit c("t");
+  const NetId s = c.add_input("s", 1);
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId m = c.add_mux(s, x, y);
+  const NetId cat = c.add_concat(c.add_extract(x, 7, 4), c.add_extract(y, 3, 0));
+  const NetId z = c.add_zext(c.add_extract(x, 3, 1), 9);
+  check_against_evaluator(c, {{s, 1}, {x, 0xAB}, {y, 0x5C}}, {m, cat, z});
+  check_against_evaluator(c, {{s, 0}, {x, 0xAB}, {y, 0x5C}}, {m, cat, z});
+}
+
+TEST(BitBlast, ShiftsAndMulc) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId a = c.add_shl(x, 3);
+  const NetId b = c.add_shr(x, 2);
+  const NetId m = c.add_mulc(x, 5);
+  const NetId n = c.add_notw(x);
+  check_against_evaluator(c, {{x, 0b10110110}}, {a, b, m, n});
+}
+
+TEST(BitBlast, MinMaxRawNodes) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId mn = c.add_min_raw(x, y);
+  const NetId mx = c.add_max_raw(x, y);
+  check_against_evaluator(c, {{x, 77}, {y, 33}}, {mn, mx});
+  check_against_evaluator(c, {{x, 12}, {y, 200}}, {mn, mx});
+}
+
+TEST(BitBlast, CheckSatFindsWitness) {
+  // a + b == 300 is satisfiable at width 9.
+  Circuit c("t");
+  const NetId a = c.add_input("a", 9);
+  const NetId b = c.add_input("b", 9);
+  const NetId goal = c.add_eq(c.add_add(a, b), c.add_const(300, 9));
+  const CheckResult result = check_sat(c, goal);
+  ASSERT_EQ(result.result, sat::Result::kSat);
+  const auto values = c.evaluate(result.input_model);
+  EXPECT_EQ(values[goal], 1);
+}
+
+TEST(BitBlast, CheckSatRefutes) {
+  // x < x is unsatisfiable.
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId goal =
+      c.add_and(c.add_lt(x, y), c.add_lt(y, x));
+  EXPECT_EQ(check_sat(c, goal).result, sat::Result::kUnsat);
+}
+
+TEST(BitBlast, RandomizedCircuitAgreesWithEvaluator) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    Circuit c("rand");
+    std::vector<NetId> words;
+    std::vector<NetId> bools;
+    for (int i = 0; i < 3; ++i) words.push_back(c.add_input("w" + std::to_string(i), 6));
+    for (int i = 0; i < 2; ++i) bools.push_back(c.add_input("b" + std::to_string(i), 1));
+    // Random expression growth.
+    for (int step = 0; step < 12; ++step) {
+      const NetId a = words[rng.below(words.size())];
+      const NetId b = words[rng.below(words.size())];
+      switch (rng.below(6)) {
+        case 0: words.push_back(c.add_add(a, b)); break;
+        case 1: words.push_back(c.add_sub(a, b)); break;
+        case 2:
+          words.push_back(c.add_mux(bools[rng.below(bools.size())], a, b));
+          break;
+        case 3: bools.push_back(c.add_lt(a, b)); break;
+        case 4: bools.push_back(c.add_le(a, b)); break;
+        case 5:
+          bools.push_back(c.add_and(bools[rng.below(bools.size())],
+                                    bools[rng.below(bools.size())]));
+          break;
+      }
+    }
+    std::unordered_map<NetId, std::int64_t> inputs;
+    for (const NetId in : c.inputs())
+      inputs[in] = rng.range(0, c.domain(in).hi());
+    sat::Solver solver;
+    BitBlaster blaster(c, solver);
+    for (const auto& [net, value] : inputs) blaster.assert_equals(net, value);
+    ASSERT_EQ(solver.solve(), sat::Result::kSat);
+    const auto values = c.evaluate(inputs);
+    for (NetId id = 0; id < c.num_nets(); ++id)
+      ASSERT_EQ(blaster.model_value(id), values[id]) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::bitblast

@@ -1,0 +1,109 @@
+#include "bmc/unroll.h"
+
+#include <gtest/gtest.h>
+
+#include "bitblast/bitblast.h"
+
+namespace rtlsat::bmc {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+// A 4-bit counter with enable; property: q < 15 at the checked frame.
+ir::SeqCircuit counter() {
+  ir::SeqCircuit seq("cnt");
+  Circuit& c = seq.comb();
+  const NetId en = c.add_input("en", 1);
+  const NetId q = seq.add_register("q", 4, 0);
+  seq.bind_next(q, c.add_mux(en, c.add_inc(q), q));
+  seq.add_property("lt15", c.add_lt(q, c.add_const(15, 4)));
+  seq.add_property("lt8", c.add_lt(q, c.add_const(8, 4)));
+  return seq;
+}
+
+TEST(Unroll, NamesEncodeInstance) {
+  const auto instance = unroll(counter(), "lt15", 3);
+  EXPECT_EQ(instance.name, "cnt_lt15(3)");
+  EXPECT_EQ(instance.bound, 3);
+  EXPECT_NE(instance.goal, ir::kNoNet);
+}
+
+TEST(Unroll, FrameInputsAreFresh) {
+  const auto instance = unroll(counter(), "lt15", 4);
+  // One free input (en) per frame 0..4 (the final frame also gets one).
+  EXPECT_EQ(instance.circuit.inputs().size(), 5u);
+  EXPECT_NE(instance.circuit.find_net("en@0"), ir::kNoNet);
+  EXPECT_NE(instance.circuit.find_net("en@3"), ir::kNoNet);
+}
+
+TEST(Unroll, FinalFrameSemantics) {
+  // q can reach 15 only after 15 enabled steps: the violation of lt15 at
+  // exactly bound 15 is SAT, at bound 14 UNSAT.
+  const auto sat_instance = unroll(counter(), "lt15", 15);
+  EXPECT_EQ(bitblast::check_sat(sat_instance.circuit, sat_instance.goal).result,
+            sat::Result::kSat);
+  const auto unsat_instance = unroll(counter(), "lt15", 14);
+  EXPECT_EQ(
+      bitblast::check_sat(unsat_instance.circuit, unsat_instance.goal).result,
+      sat::Result::kUnsat);
+}
+
+TEST(Unroll, ExactDepthIsNotMonotone) {
+  // A free-running counter shows the paper's non-monotone b01_1 pattern:
+  // "q = 3" holds after exactly k steps iff k ≡ 3 (mod 4).
+  ir::SeqCircuit seq("free");
+  Circuit& c = seq.comb();
+  const NetId unused = c.add_input("in", 1);
+  (void)unused;
+  const NetId q = seq.add_register("q", 2, 0);
+  seq.bind_next(q, c.add_inc(q));
+  seq.add_property("ne3", c.add_not(c.add_eqc(q, 3)));
+  const auto instance3 = unroll(seq, "ne3", 3);
+  EXPECT_EQ(bitblast::check_sat(instance3.circuit, instance3.goal).result,
+            sat::Result::kSat);
+  const auto instance4 = unroll(seq, "ne3", 4);
+  EXPECT_EQ(bitblast::check_sat(instance4.circuit, instance4.goal).result,
+            sat::Result::kUnsat);
+  const auto instance7 = unroll(seq, "ne3", 7);
+  EXPECT_EQ(bitblast::check_sat(instance7.circuit, instance7.goal).result,
+            sat::Result::kSat);
+}
+
+TEST(UnrollAny, CumulativeIsMonotone) {
+  // unroll_any covers every frame ≤ k, so SAT persists as k grows.
+  const auto instance = unroll_any(counter(), "lt8", 9);
+  EXPECT_EQ(bitblast::check_sat(instance.circuit, instance.goal).result,
+            sat::Result::kSat);
+  const auto bigger = unroll_any(counter(), "lt8", 12);
+  EXPECT_EQ(bitblast::check_sat(bigger.circuit, bigger.goal).result,
+            sat::Result::kSat);
+}
+
+TEST(Unroll, FrameMapTracksRegisters) {
+  const auto seq = counter();
+  const auto instance = unroll(seq, "lt15", 2);
+  ASSERT_EQ(instance.frame_map.size(), 3u);  // frames 0,1,2
+  const NetId q = seq.registers()[0].q;
+  // Frame 0 register value is the reset constant.
+  const NetId q0 = instance.frame_map[0][q];
+  EXPECT_EQ(instance.circuit.node(q0).op, ir::Op::kConst);
+  EXPECT_EQ(instance.circuit.node(q0).imm, 0);
+}
+
+TEST(Unroll, OpCountsScaleLinearly) {
+  const auto i10 = unroll(counter(), "lt15", 10);
+  const auto i20 = unroll(counter(), "lt15", 20);
+  const auto c10 = i10.circuit.op_counts();
+  const auto c20 = i20.circuit.op_counts();
+  EXPECT_GT(c20.arith, c10.arith);
+  EXPECT_LE(c20.arith, 2 * c10.arith + 8);  // roughly linear in the bound
+}
+
+TEST(Unroll, GoalIsNamed) {
+  const auto instance = unroll(counter(), "lt15", 2);
+  EXPECT_EQ(instance.circuit.find_net("goal"), instance.goal);
+}
+
+}  // namespace
+}  // namespace rtlsat::bmc

@@ -1,0 +1,149 @@
+#include "core/clause_db.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deduce.h"
+
+namespace rtlsat::core {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+struct Fixture {
+  Circuit c{"t"};
+  NetId a = c.add_input("a", 1);
+  NetId b = c.add_input("b", 1);
+  NetId w = c.add_input("w", 8);
+  prop::Engine engine{c};
+  ClauseDb db{c};
+  std::size_t cursor = 0;
+};
+
+TEST(ClauseDb, UnitBooleanImplication) {
+  Fixture f;
+  // (¬a ∨ b), assert a ⟹ b implied.
+  f.db.add({{HybridLit::boolean(f.a, false), HybridLit::boolean(f.b, true)},
+            true,
+            HybridClause::Origin::kConflict});
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), 1);
+  // The implication carries the clause id as reason.
+  const auto& ev = f.engine.trail()[f.engine.latest_event(f.b)];
+  EXPECT_EQ(ev.kind, prop::ReasonKind::kClause);
+}
+
+TEST(ClauseDb, UnitWordImplication) {
+  Fixture f;
+  // (¬a ∨ {w ∈ ⟨1,7⟩}).
+  f.db.add({{HybridLit::boolean(f.a, false),
+             HybridLit::word_in(f.w, Interval(1, 7))},
+            true,
+            HybridClause::Origin::kPredicateLearning});
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.interval(f.w), Interval(1, 7));
+}
+
+TEST(ClauseDb, SatisfiedClauseDoesNothing) {
+  Fixture f;
+  f.db.add({{HybridLit::boolean(f.a, true), HybridLit::boolean(f.b, true)},
+            false,
+            HybridClause::Origin::kProblem});
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), -1);
+}
+
+TEST(ClauseDb, ConflictWhenAllFalse) {
+  Fixture f;
+  f.db.add({{HybridLit::boolean(f.a, true), HybridLit::boolean(f.b, true)},
+            false,
+            HybridClause::Origin::kProblem});
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(0),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(f.engine.narrow(f.b, Interval::point(0),
+                              prop::ReasonKind::kAssumption));
+  EXPECT_FALSE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_TRUE(f.engine.in_conflict());
+  EXPECT_EQ(f.engine.conflict().kind, prop::ReasonKind::kClause);
+  // Both falsifying events are antecedents.
+  EXPECT_EQ(f.engine.conflict().antecedents.size(), 2u);
+}
+
+TEST(ClauseDb, WordLiteralFalsifiedByDisjointInterval) {
+  Fixture f;
+  // ({w ∈ ⟨0,3⟩} ∨ b): narrow w to ⟨10,20⟩ ⟹ b implied.
+  f.db.add({{HybridLit::word_in(f.w, Interval(0, 3)),
+             HybridLit::boolean(f.b, true)},
+            true,
+            HybridClause::Origin::kConflict});
+  ASSERT_TRUE(f.engine.narrow(f.w, Interval(10, 20),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), 1);
+}
+
+TEST(ClauseDb, NegativeWordUnitTrimsInterval) {
+  Fixture f;
+  // (a ∨ {w ∉ ⟨0,4⟩}): with a false, w must avoid ⟨0,4⟩.
+  f.db.add({{HybridLit::boolean(f.a, true),
+             HybridLit::word_not_in(f.w, Interval(0, 4))},
+            true,
+            HybridClause::Origin::kConflict});
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(0),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.interval(f.w), Interval(5, 255));
+}
+
+TEST(ClauseDb, NetWeightCountsOccurrences) {
+  Fixture f;
+  f.db.add({{HybridLit::boolean(f.a, true), HybridLit::boolean(f.b, true)},
+            true, HybridClause::Origin::kPredicateLearning});
+  f.db.add({{HybridLit::boolean(f.a, false),
+             HybridLit::word_in(f.w, Interval(0, 1))},
+            true, HybridClause::Origin::kPredicateLearning});
+  EXPECT_EQ(f.db.net_weight(f.a), 2);
+  EXPECT_EQ(f.db.net_weight(f.b), 1);
+  EXPECT_EQ(f.db.net_weight(f.w), 1);
+  EXPECT_EQ(f.db.learnt_count(), 2u);
+}
+
+TEST(ClauseDb, FreshClauseCheckedWithoutNewEvents) {
+  Fixture f;
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  // Clause added after the events it depends on — must still fire.
+  f.db.add({{HybridLit::boolean(f.a, false), HybridLit::boolean(f.b, true)},
+            true, HybridClause::Origin::kConflict});
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), 1);
+}
+
+TEST(ClauseDb, CursorClampAfterRollback) {
+  Fixture f;
+  f.db.add({{HybridLit::boolean(f.a, false), HybridLit::boolean(f.b, true)},
+            true, HybridClause::Origin::kConflict});
+  const std::size_t mark = f.engine.mark();
+  f.engine.push_level();
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kDecision));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), 1);
+  f.engine.rollback_to(mark);
+  f.engine.backtrack_to_level(0);
+  // Re-assert; the clause must re-fire despite the rollback.
+  ASSERT_TRUE(f.engine.narrow(f.a, Interval::point(1),
+                              prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(f.engine, f.db, &f.cursor));
+  EXPECT_EQ(f.engine.bool_value(f.b), 1);
+}
+
+}  // namespace
+}  // namespace rtlsat::core

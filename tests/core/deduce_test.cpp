@@ -1,0 +1,86 @@
+// Tests for the Ddeduce() composition: circuit propagation and clause
+// propagation must reach a *mutual* fixpoint — clause implications feed
+// node rules and vice versa, possibly for several rounds.
+#include <gtest/gtest.h>
+
+#include "core/deduce.h"
+
+namespace rtlsat::core {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+TEST(Deduce, ClauseThenCircuitThenClause) {
+  // clause1: (¬a ∨ b). Circuit: c = b ∧ d. clause2: (¬c ∨ {w ∈ ⟨0,3⟩}).
+  // Asserting a and d must chain through both layers: a → b → c → w.
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId d = c.add_input("d", 1);
+  const NetId g = c.add_and(b, d);
+  const NetId w = c.add_input("w", 8);
+  prop::Engine engine(c);
+  ClauseDb db(c);
+  std::size_t cursor = 0;
+  db.add({{HybridLit::boolean(a, false), HybridLit::boolean(b, true)},
+          true, HybridClause::Origin::kConflict});
+  db.add({{HybridLit::boolean(g, false),
+           HybridLit::word_in(w, Interval(0, 3))},
+          true, HybridClause::Origin::kPredicateLearning});
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(d, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(engine, db, &cursor));
+  EXPECT_EQ(engine.bool_value(b), 1);
+  EXPECT_EQ(engine.bool_value(g), 1);
+  EXPECT_EQ(engine.interval(w), Interval(0, 3));
+}
+
+TEST(Deduce, CircuitFeedsClauseConflict) {
+  // Circuit forces b; clause (¬b) then conflicts.
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_not(a);
+  prop::Engine engine(c);
+  ClauseDb db(c);
+  std::size_t cursor = 0;
+  db.add({{HybridLit::boolean(b, false)}, true,
+          HybridClause::Origin::kConflict});
+  ASSERT_TRUE(engine.narrow(a, Interval::point(0), prop::ReasonKind::kAssumption));
+  EXPECT_FALSE(deduce(engine, db, &cursor));
+  EXPECT_TRUE(engine.in_conflict());
+}
+
+TEST(Deduce, WordClauseTriggersComparatorBackward) {
+  // clause: ({w ∈ ⟨10,20⟩}); comparator b = (w ≤ 15). The interval unit
+  // must flow into the comparator's backward rule once b is asserted.
+  Circuit c("t");
+  const NetId w = c.add_input("w", 8);
+  const NetId b = c.add_le(w, c.add_const(15, 8));
+  prop::Engine engine(c);
+  ClauseDb db(c);
+  std::size_t cursor = 0;
+  db.add({{HybridLit::word_in(w, Interval(10, 20))}, true,
+          HybridClause::Origin::kPredicateLearning});
+  ASSERT_TRUE(engine.narrow(b, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(engine, db, &cursor));
+  EXPECT_EQ(engine.interval(w), Interval(10, 15));
+}
+
+TEST(Deduce, RepeatedCallsAreIdempotent) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  c.add_and(a, b);
+  prop::Engine engine(c);
+  ClauseDb db(c);
+  std::size_t cursor = 0;
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(deduce(engine, db, &cursor));
+  const std::size_t events = engine.trail().size();
+  ASSERT_TRUE(deduce(engine, db, &cursor));
+  EXPECT_EQ(engine.trail().size(), events);
+}
+
+}  // namespace
+}  // namespace rtlsat::core

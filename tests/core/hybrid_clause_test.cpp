@@ -1,0 +1,60 @@
+#include "core/hybrid_clause.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::core {
+namespace {
+
+TEST(HybridLit, BooleanEvaluation) {
+  const HybridLit l = HybridLit::boolean(3, true);  // net3 = 1
+  EXPECT_EQ(l.value(Interval::point(1)), LitValue::kTrue);
+  EXPECT_EQ(l.value(Interval::point(0)), LitValue::kFalse);
+  EXPECT_EQ(l.value(Interval::booleans()), LitValue::kUnknown);
+}
+
+TEST(HybridLit, PositiveWordLiteral) {
+  // {w, ⟨3,7⟩}: true when w ⊆ ⟨3,7⟩, false when disjoint (§2.1).
+  const HybridLit l = HybridLit::word_in(5, Interval(3, 7));
+  EXPECT_EQ(l.value(Interval(4, 6)), LitValue::kTrue);
+  EXPECT_EQ(l.value(Interval(8, 12)), LitValue::kFalse);
+  EXPECT_EQ(l.value(Interval(5, 9)), LitValue::kUnknown);
+}
+
+TEST(HybridLit, NegativeWordLiteral) {
+  // {w, ⟨3,7⟩}̄: w takes values in D\⟨3,7⟩.
+  const HybridLit l = HybridLit::word_not_in(5, Interval(3, 7));
+  EXPECT_EQ(l.value(Interval(8, 12)), LitValue::kTrue);
+  EXPECT_EQ(l.value(Interval(4, 6)), LitValue::kFalse);
+  EXPECT_EQ(l.value(Interval(5, 9)), LitValue::kUnknown);
+}
+
+TEST(HybridLit, ImpliedIntervalPositive) {
+  const HybridLit l = HybridLit::word_in(5, Interval(3, 7));
+  EXPECT_EQ(l.implied_interval(Interval(0, 5)), Interval(3, 5));
+}
+
+TEST(HybridLit, ImpliedIntervalNegativeTrimsEnd) {
+  const HybridLit l = HybridLit::word_not_in(5, Interval(0, 3));
+  EXPECT_EQ(l.implied_interval(Interval(0, 10)), Interval(4, 10));
+}
+
+TEST(HybridLit, ImpliedIntervalNegativeMidHoleIsNoOp) {
+  const HybridLit l = HybridLit::word_not_in(5, Interval(4, 6));
+  // The complement is not one interval: sound no-op.
+  EXPECT_EQ(l.implied_interval(Interval(0, 10)), Interval(0, 10));
+}
+
+TEST(HybridClause, ToStringReadable) {
+  ir::Circuit c("t");
+  const ir::NetId b = c.add_input("b5", 1);
+  const ir::NetId w = c.add_input("w1", 3);
+  HybridClause clause;
+  clause.lits = {HybridLit::boolean(b, false),
+                 HybridLit::word_in(w, Interval(1, 7))};
+  const std::string text = clause.to_string(c);
+  EXPECT_NE(text.find("!b5"), std::string::npos);
+  EXPECT_NE(text.find("w1 in <1,7>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlsat::core

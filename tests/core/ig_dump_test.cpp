@@ -1,0 +1,42 @@
+#include "core/ig_dump.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::core {
+namespace {
+
+TEST(IgDump, RendersEventsAndEdges) {
+  ir::Circuit c("t");
+  const ir::NetId a = c.add_input("a", 1);
+  const ir::NetId b = c.add_input("b", 1);
+  const ir::NetId g = c.add_and(a, b);
+  c.set_net_name(g, "g");
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(g, Interval::point(1),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  const std::string dot = implication_graph_dot(engine);
+  EXPECT_NE(dot.find("digraph IG"), std::string::npos);
+  EXPECT_NE(dot.find("g = <1>"), std::string::npos);
+  EXPECT_NE(dot.find("a = <1>"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(IgDump, RendersConflictNode) {
+  ir::Circuit c("t");
+  const ir::NetId a = c.add_input("a", 1);
+  const ir::NetId na = c.add_not(a);
+  c.set_net_name(na, "na");
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(na, Interval::point(1),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_FALSE(engine.propagate());
+  const std::string dot = implication_graph_dot(engine);
+  EXPECT_NE(dot.find("conflict"), std::string::npos);
+  EXPECT_NE(dot.find("salmon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlsat::core

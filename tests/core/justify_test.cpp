@@ -1,0 +1,159 @@
+#include "core/justify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/deduce.h"
+
+namespace rtlsat::core {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+TEST(Justify, AndGateAtZeroNeedsJustification) {
+  // Fig. 3(a): o = i1 ∧ i2 with o = 0 cannot be satisfied by implication.
+  Circuit c("t");
+  const NetId i1 = c.add_input("i1", 1);
+  const NetId i2 = c.add_input("i2", 1);
+  const NetId o = c.add_and(i1, i2);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(o, Interval::point(0), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  EXPECT_EQ(justifier.frontier_size(engine), 1u);
+  const auto decision = justifier.pick(engine, nullptr);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->net == i1 || decision->net == i2);
+  EXPECT_FALSE(decision->value);  // controlling value for AND is 0
+}
+
+TEST(Justify, AndGateAtOneIsImplied) {
+  Circuit c("t");
+  const NetId i1 = c.add_input("i1", 1);
+  const NetId i2 = c.add_input("i2", 1);
+  const NetId o = c.add_and(i1, i2);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(o, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  EXPECT_EQ(justifier.frontier_size(engine), 0u);  // inputs already forced
+  EXPECT_FALSE(justifier.pick(engine, nullptr).has_value());
+}
+
+TEST(Justify, OrGateAtOnePicksHighFanoutInput) {
+  Circuit c("t");
+  const NetId i1 = c.add_input("i1", 1);
+  const NetId i2 = c.add_input("i2", 1);
+  const NetId o = c.add_or(i1, i2);
+  // Give i2 extra fanout so the §4.2 heuristic prefers it.
+  c.add_and(i2, c.add_input("other", 1));
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(o, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  const auto decision = justifier.pick(engine, nullptr);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->net, i2);
+  EXPECT_TRUE(decision->value);
+}
+
+TEST(Justify, MuxConstrainedOutputIsFrontier) {
+  // Fig. 3(b): mux with required output interval and free select.
+  Circuit c("t");
+  const NetId sel = c.add_input("sel", 1);
+  const NetId i1 = c.add_input("i1", 8);
+  const NetId i2 = c.add_input("i2", 8);
+  const NetId o = c.add_mux(sel, i2, i1);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(i1, Interval(0, 4), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(i2, Interval(10, 14), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(o, Interval(12, 20), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  // ⟨12,20⟩ ∩ i1 = ∅, so propagation already forces sel = 1: the operator
+  // justifies itself by implication (Def. 4.1's "uniquely determined").
+  EXPECT_EQ(engine.bool_value(sel), 1);
+}
+
+TEST(Justify, MuxFreeChoiceDecidesSelect) {
+  Circuit c("t");
+  const NetId sel = c.add_input("sel", 1);
+  const NetId i1 = c.add_input("i1", 8);
+  const NetId i2 = c.add_input("i2", 8);
+  const NetId o = c.add_mux(sel, i2, i1);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(i1, Interval(0, 10), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(i2, Interval(5, 14), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(o, Interval(6, 8), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  EXPECT_GE(justifier.frontier_size(engine), 1u);
+  const auto decision = justifier.pick(engine, nullptr);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->net, sel);
+}
+
+TEST(Justify, UnconstrainedMuxNotInFrontier) {
+  // Output ⊇ hull(branches): any select works, no urgency (Def. 4.1).
+  Circuit c("t");
+  const NetId sel = c.add_input("sel", 1);
+  const NetId i1 = c.add_input("i1", 8);
+  const NetId i2 = c.add_input("i2", 8);
+  c.add_mux(sel, i2, i1);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  EXPECT_EQ(justifier.frontier_size(engine), 0u);
+}
+
+TEST(Justify, XorWithAssignedOutput) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId x = c.add_xor(a, b);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(x, Interval::point(1), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  const auto decision = justifier.pick(engine, nullptr);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->net == a || decision->net == b);
+}
+
+TEST(Justify, DeepestGateFirst) {
+  // Frontier scanning starts at the highest level (closest to the goal).
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId d = c.add_input("d", 1);
+  const NetId inner = c.add_or(a, b);
+  const NetId outer = c.add_and(inner, d);
+  prop::Engine engine(c);
+  // outer = 0 with d = 1 ⟹ inner = 0 ⟹ a=b=0 by implication: frontier
+  // empty. Instead assert outer = 0 only: the AND is the deepest
+  // unjustified gate.
+  ASSERT_TRUE(engine.narrow(outer, Interval::point(0), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  Justifier justifier(c);
+  const auto decision = justifier.pick(engine, nullptr);
+  ASSERT_TRUE(decision.has_value());
+  // Justifying the outer AND decides one of its free inputs.
+  EXPECT_TRUE(decision->net == inner || decision->net == d);
+}
+
+TEST(RelationSatisfaction, CountsMatchingLearntClauses) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  ClauseDb db(c);
+  db.add({{HybridLit::boolean(a, true), HybridLit::boolean(b, false)},
+          true, HybridClause::Origin::kPredicateLearning});
+  db.add({{HybridLit::boolean(a, true), HybridLit::boolean(b, true)},
+          true, HybridClause::Origin::kPredicateLearning});
+  db.add({{HybridLit::boolean(a, false)}, false, HybridClause::Origin::kProblem});
+  EXPECT_EQ(relation_satisfaction(db, a, true), 2);
+  EXPECT_EQ(relation_satisfaction(db, a, false), 0);  // problem clause skipped
+  EXPECT_EQ(relation_satisfaction(db, b, false), 1);
+}
+
+}  // namespace
+}  // namespace rtlsat::core

@@ -1,0 +1,220 @@
+#include "fme/fme.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rtlsat::fme {
+namespace {
+
+std::vector<std::int64_t> solve_sat(const System& s) {
+  Solver solver;
+  std::vector<std::int64_t> model;
+  EXPECT_EQ(solver.solve(s, &model), Result::kSat);
+  return model;
+}
+
+void expect_unsat(const System& s) {
+  Solver solver;
+  EXPECT_EQ(solver.solve(s, nullptr), Result::kUnsat);
+}
+
+TEST(Fme, EmptySystemIsSat) {
+  System s;
+  s.add_var(Interval(0, 7));
+  const auto model = solve_sat(s);
+  EXPECT_TRUE(Interval(0, 7).contains(model[0]));
+}
+
+TEST(Fme, SingleVariableChain) {
+  System s;
+  const Var x = s.add_var(Interval(0, 100));
+  s.add_le({{x, 1}}, 30);    // x ≤ 30
+  s.add_le({{x, -1}}, -25);  // x ≥ 25
+  const auto model = solve_sat(s);
+  EXPECT_GE(model[x], 25);
+  EXPECT_LE(model[x], 30);
+}
+
+TEST(Fme, InfeasibleBounds) {
+  System s;
+  const Var x = s.add_var(Interval(0, 10));
+  s.add_le({{x, 1}}, 3);
+  s.add_le({{x, -1}}, -7);  // x ≥ 7 contradicts x ≤ 3
+  expect_unsat(s);
+}
+
+TEST(Fme, TwoVariableElimination) {
+  System s;
+  const Var x = s.add_var(Interval(0, 15));
+  const Var y = s.add_var(Interval(0, 15));
+  s.add_le({{x, 1}, {y, -1}}, -1);  // x < y
+  s.add_le({{y, 1}}, 5);
+  const auto model = solve_sat(s);
+  EXPECT_LT(model[x], model[y]);
+  EXPECT_LE(model[y], 5);
+}
+
+TEST(Fme, EqualityChainPropagates) {
+  System s;
+  const Var a = s.add_var(Interval(0, 255));
+  const Var b = s.add_var(Interval(0, 255));
+  const Var c = s.add_var(Interval(0, 255));
+  s.add_eq_2(a, 1, b, -1, 0);   // a = b
+  s.add_eq_2(b, 1, c, -1, -3);  // b = c − 3
+  s.add_eq({{c, 1}}, 10);       // c = 10
+  const auto model = solve_sat(s);
+  EXPECT_EQ(model[c], 10);
+  EXPECT_EQ(model[b], 7);
+  EXPECT_EQ(model[a], 7);
+}
+
+TEST(Fme, IntegerGapDetected) {
+  // 2x = 7 has no integer solution though the real relaxation is feasible.
+  System s;
+  const Var x = s.add_var(Interval(0, 10));
+  s.add_eq({{x, 2}}, 7);
+  expect_unsat(s);
+}
+
+TEST(Fme, DarkShadowCoefficients) {
+  // 3x ≤ 2y ∧ 2y ≤ 3x + 1 with wide bounds: needs non-unit eliminations.
+  System s;
+  const Var x = s.add_var(Interval(0, 50));
+  const Var y = s.add_var(Interval(0, 50));
+  s.add_le({{x, 3}, {y, -2}}, 0);
+  s.add_le({{y, 2}, {x, -3}}, 1);
+  const auto model = solve_sat(s);
+  EXPECT_LE(3 * model[x], 2 * model[y]);
+  EXPECT_LE(2 * model[y], 3 * model[x] + 1);
+}
+
+TEST(Fme, OmegaClassicNoSolution) {
+  // 3x + 2y = 1 over non-negative ints with y ≥ 2 and x ≥ 0 is infeasible.
+  System s;
+  const Var x = s.add_var(Interval(0, 100));
+  const Var y = s.add_var(Interval(2, 100));
+  s.add_eq({{x, 3}, {y, 2}}, 1);
+  expect_unsat(s);
+}
+
+TEST(Fme, IndependentComponentsSolveSeparately) {
+  System s;
+  const Var a = s.add_var(Interval(0, 9));
+  const Var b = s.add_var(Interval(0, 9));
+  const Var c = s.add_var(Interval(0, 9));
+  const Var d = s.add_var(Interval(0, 9));
+  s.add_eq_2(a, 1, b, -1, 2);  // a = b + 2
+  s.add_eq_2(c, 1, d, -1, -4);  // c = d − 4
+  const auto model = solve_sat(s);
+  EXPECT_EQ(model[a], model[b] + 2);
+  EXPECT_EQ(model[c], model[d] - 4);
+}
+
+TEST(Fme, ComponentUnsatFailsWhole) {
+  System s;
+  const Var a = s.add_var(Interval(0, 9));
+  const Var b = s.add_var(Interval(0, 9));
+  s.add_eq_2(a, 1, b, -1, 0);  // a = b (fine)
+  const Var c = s.add_var(Interval(0, 3));
+  s.add_le({{c, -1}}, -5);  // c ≥ 5 out of bounds
+  expect_unsat(s);
+}
+
+TEST(Fme, ModularAdderConstraint) {
+  // The arith_check encoding of an 8-bit adder: x + y − z − 256·o = 0,
+  // o ∈ {0,1}, with x=200, y=100 forced ⟹ z = 44, o = 1.
+  System s;
+  const Var x = s.add_var(Interval::point(200));
+  const Var y = s.add_var(Interval::point(100));
+  const Var z = s.add_var(Interval(0, 255));
+  const Var o = s.add_var(Interval(0, 1));
+  s.add_le({{x, 1}, {y, 1}, {z, -1}, {o, -256}}, 0);
+  s.add_le({{x, -1}, {y, -1}, {z, 1}, {o, 256}}, 0);
+  const auto model = solve_sat(s);
+  EXPECT_EQ(model[z], 44);
+  EXPECT_EQ(model[o], 1);
+}
+
+TEST(Fme, SplinterOnDisjointLattice) {
+  // 4x − 4y = 2 is infeasible (left side always ≡ 0 mod 4); triggers
+  // non-unit eliminations whose dark shadow refutes.
+  System s;
+  const Var x = s.add_var(Interval(0, 20));
+  const Var y = s.add_var(Interval(0, 20));
+  s.add_eq({{x, 4}, {y, -4}}, 2);
+  expect_unsat(s);
+}
+
+TEST(Fme, ModelRespectsBoundsAlways) {
+  Rng rng(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    System s;
+    std::vector<Var> vars;
+    for (int v = 0; v < 4; ++v) {
+      const std::int64_t lo = rng.range(0, 20);
+      vars.push_back(s.add_var(Interval(lo, lo + rng.range(0, 20))));
+    }
+    // Random difference constraints.
+    for (int k = 0; k < 4; ++k) {
+      const Var a = vars[rng.below(vars.size())];
+      const Var b = vars[rng.below(vars.size())];
+      if (a == b) continue;
+      s.add_le({{a, 1}, {b, -1}}, rng.range(-5, 10));
+    }
+    Solver solver;
+    std::vector<std::int64_t> model;
+    if (solver.solve(s, &model) == Result::kSat) {
+      for (Var v = 0; v < s.num_vars(); ++v)
+        EXPECT_TRUE(s.bounds(v).contains(model[v]));
+      for (const auto& c : s.constraints())
+        EXPECT_TRUE(satisfied(c, model));
+    }
+  }
+}
+
+// Exhaustive cross-check against brute force on tiny random systems: the
+// solver's SAT/UNSAT answer must match enumeration exactly.
+class FmeBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FmeBruteForce, MatchesEnumeration) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    System s;
+    const int n = 3;
+    for (int v = 0; v < n; ++v) s.add_var(Interval(0, 6));
+    const int m = static_cast<int>(rng.range(1, 4));
+    for (int k = 0; k < m; ++k) {
+      std::vector<Term> terms;
+      for (Var v = 0; v < static_cast<Var>(n); ++v) {
+        const std::int64_t coeff = rng.range(-3, 3);
+        if (coeff != 0) terms.push_back({v, coeff});
+      }
+      if (terms.empty()) continue;
+      s.add_le(std::move(terms), rng.range(-6, 12));
+    }
+    bool brute_sat = false;
+    for (std::int64_t a = 0; a <= 6 && !brute_sat; ++a)
+      for (std::int64_t b = 0; b <= 6 && !brute_sat; ++b)
+        for (std::int64_t c = 0; c <= 6 && !brute_sat; ++c) {
+          bool all = true;
+          for (const auto& lc : s.constraints())
+            all = all && satisfied(lc, {a, b, c});
+          brute_sat = all;
+        }
+    Solver solver;
+    std::vector<std::int64_t> model;
+    const Result got = solver.solve(s, &model);
+    ASSERT_EQ(got == Result::kSat, brute_sat) << s.to_string();
+    if (brute_sat) {
+      for (const auto& lc : s.constraints())
+        EXPECT_TRUE(satisfied(lc, model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmeBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rtlsat::fme

@@ -1,0 +1,65 @@
+#include "fme/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::fme {
+namespace {
+
+TEST(LinearConstraint, NormalizeMergesAndSorts) {
+  LinearConstraint c{{{2, 3}, {0, 1}, {2, -3}, {1, 5}}, 7};
+  c.normalize();
+  ASSERT_EQ(c.terms.size(), 2u);
+  EXPECT_EQ(c.terms[0].var, 0u);
+  EXPECT_EQ(c.terms[0].coeff, 1);
+  EXPECT_EQ(c.terms[1].var, 1u);
+  EXPECT_EQ(c.terms[1].coeff, 5);
+}
+
+TEST(LinearConstraint, GroundHolds) {
+  LinearConstraint sat{{}, 0};
+  LinearConstraint unsat{{}, -1};
+  EXPECT_TRUE(sat.ground_holds());
+  EXPECT_FALSE(unsat.ground_holds());
+}
+
+TEST(LinearConstraint, CoeffOf) {
+  LinearConstraint c{{{0, 2}, {3, -1}}, 0};
+  EXPECT_EQ(c.coeff_of(0), 2);
+  EXPECT_EQ(c.coeff_of(3), -1);
+  EXPECT_EQ(c.coeff_of(1), 0);
+}
+
+TEST(LinearConstraint, Satisfied) {
+  LinearConstraint c{{{0, 1}, {1, 2}}, 10};  // x + 2y ≤ 10
+  EXPECT_TRUE(satisfied(c, {2, 4}));
+  EXPECT_FALSE(satisfied(c, {3, 4}));
+}
+
+TEST(System, AddEqExpandsToTwoInequalities) {
+  System s;
+  const Var x = s.add_var(Interval(0, 10));
+  s.add_eq({{x, 1}}, 5);
+  ASSERT_EQ(s.constraints().size(), 2u);
+  EXPECT_EQ(s.constraints()[0].bound, 5);
+  EXPECT_EQ(s.constraints()[1].bound, -5);
+  EXPECT_EQ(s.constraints()[1].terms[0].coeff, -1);
+}
+
+TEST(System, BoundsRestriction) {
+  System s;
+  const Var x = s.add_var(Interval(0, 255));
+  s.restrict_bounds(x, Interval(10, 300));
+  EXPECT_EQ(s.bounds(x), Interval(10, 255));
+}
+
+TEST(System, ToStringMentionsEverything) {
+  System s;
+  const Var x = s.add_var(Interval(0, 3));
+  s.add_le({{x, 2}}, 5);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("x0"), std::string::npos);
+  EXPECT_NE(text.find("<= 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlsat::fme

@@ -1,0 +1,118 @@
+#include "interval/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.is_empty());
+  EXPECT_EQ(iv.count(), 0u);
+}
+
+TEST(Interval, EmptyCanonicalForm) {
+  // Every inverted construction collapses to the canonical ⟨1,0⟩ so that
+  // operator== is structural.
+  EXPECT_EQ(Interval(5, 3), Interval::empty());
+  EXPECT_EQ(Interval(100, -100), Interval::empty());
+}
+
+TEST(Interval, PointProperties) {
+  const Interval p = Interval::point(7);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_FALSE(p.is_empty());
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_TRUE(p.contains(7));
+  EXPECT_FALSE(p.contains(6));
+}
+
+TEST(Interval, FullWidthDomains) {
+  EXPECT_EQ(Interval::full_width(1), Interval(0, 1));
+  EXPECT_EQ(Interval::full_width(8), Interval(0, 255));
+  EXPECT_EQ(Interval::full_width(60).hi(), (std::int64_t{1} << 60) - 1);
+}
+
+TEST(Interval, CountHandlesWideRanges) {
+  EXPECT_EQ(Interval(0, 9).count(), 10u);
+  EXPECT_EQ(Interval(-5, 5).count(), 11u);
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval big(0, 10);
+  EXPECT_TRUE(big.contains(Interval(2, 5)));
+  EXPECT_TRUE(big.contains(big));
+  EXPECT_TRUE(big.contains(Interval::empty()));  // vacuous
+  EXPECT_FALSE(big.contains(Interval(5, 11)));
+}
+
+TEST(Interval, Intersects) {
+  EXPECT_TRUE(Interval(0, 5).intersects(Interval(5, 9)));
+  EXPECT_FALSE(Interval(0, 4).intersects(Interval(5, 9)));
+  EXPECT_FALSE(Interval(0, 4).intersects(Interval::empty()));
+  EXPECT_FALSE(Interval::empty().intersects(Interval::empty()));
+}
+
+TEST(Interval, Intersect) {
+  EXPECT_EQ(Interval(0, 10).intersect(Interval(5, 20)), Interval(5, 10));
+  EXPECT_EQ(Interval(0, 4).intersect(Interval(5, 9)), Interval::empty());
+  EXPECT_EQ(Interval(3, 3).intersect(Interval(0, 10)), Interval::point(3));
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(Interval(0, 2).hull(Interval(8, 9)), Interval(0, 9));
+  EXPECT_EQ(Interval::empty().hull(Interval(1, 2)), Interval(1, 2));
+  EXPECT_EQ(Interval(1, 2).hull(Interval::empty()), Interval(1, 2));
+}
+
+TEST(Interval, BelowAbove) {
+  const Interval iv(3, 8);
+  EXPECT_EQ(iv.below(6), Interval(3, 5));
+  EXPECT_EQ(iv.below(3), Interval::empty());
+  EXPECT_EQ(iv.below(100), iv);
+  EXPECT_EQ(iv.above(5), Interval(6, 8));
+  EXPECT_EQ(iv.above(8), Interval::empty());
+  EXPECT_EQ(iv.above(-5), iv);
+  EXPECT_EQ(iv.at_most(5), Interval(3, 5));
+  EXPECT_EQ(iv.at_least(5), Interval(5, 8));
+}
+
+TEST(Interval, MinusTrimsEnds) {
+  const Interval iv(0, 10);
+  EXPECT_EQ(iv.minus(Interval(0, 3)), Interval(4, 10));
+  EXPECT_EQ(iv.minus(Interval(8, 10)), Interval(0, 7));
+  EXPECT_EQ(iv.minus(Interval(-5, 20)), Interval::empty());
+  EXPECT_EQ(iv.minus(Interval(20, 30)), iv);  // disjoint: unchanged
+}
+
+TEST(Interval, MinusMiddleHoleIsSoundNoOp) {
+  // A hole strictly inside is not representable as one interval; the
+  // over-approximation keeps the original.
+  const Interval iv(0, 10);
+  EXPECT_EQ(iv.minus(Interval(4, 6)), iv);
+}
+
+TEST(Interval, MinusPoint) {
+  EXPECT_EQ(Interval(3, 3).minus(Interval::point(3)), Interval::empty());
+  EXPECT_EQ(Interval(3, 4).minus(Interval::point(3)), Interval::point(4));
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(Interval(1, 7).to_string(), "<1,7>");
+  EXPECT_EQ(Interval::point(5).to_string(), "<5>");
+  EXPECT_EQ(Interval::empty().to_string(), "<empty>");
+}
+
+TEST(Interval, SaturatingHelpers) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(sat_add(max, 1), max);
+  EXPECT_EQ(sat_add(1, 2), 3);
+  EXPECT_EQ(sat_sub(min, 1), min);
+  EXPECT_EQ(sat_mul(max, 2), max);
+  EXPECT_EQ(sat_mul(min, 2), min);
+  EXPECT_EQ(sat_mul(-3, 4), -12);
+}
+
+}  // namespace
+}  // namespace rtlsat

@@ -1,0 +1,190 @@
+#include "ir/circuit.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::ir {
+namespace {
+
+TEST(Circuit, InputsAreTracked) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 8);
+  const NetId b = c.add_input("b", 1);
+  EXPECT_EQ(c.inputs(), (std::vector<NetId>{a, b}));
+  EXPECT_EQ(c.width(a), 8);
+  EXPECT_TRUE(c.is_bool(b));
+  EXPECT_EQ(c.domain(a), Interval(0, 255));
+}
+
+TEST(Circuit, HashConsingDeduplicates) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  EXPECT_EQ(c.add_and(a, b), c.add_and(a, b));
+  EXPECT_EQ(c.add_and(a, b), c.add_and(b, a));  // canonical operand order
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  EXPECT_EQ(c.add_add(x, y), c.add_add(y, x));
+}
+
+TEST(Circuit, InputsNeverDeduplicate) {
+  Circuit c("t");
+  EXPECT_NE(c.add_input("a", 4), c.add_input("b", 4));
+}
+
+TEST(Circuit, ConstantFolding) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId one = c.add_const(1, 1);
+  const NetId zero = c.add_const(0, 1);
+  EXPECT_EQ(c.add_and(a, one), a);
+  EXPECT_EQ(c.add_and(a, zero), zero);
+  EXPECT_EQ(c.add_or(a, zero), a);
+  EXPECT_EQ(c.add_or(a, one), one);
+  EXPECT_EQ(c.add_not(c.add_not(a)), a);
+  EXPECT_EQ(c.add_xor(a, a), zero);
+  EXPECT_EQ(c.add_xor(a, zero), a);
+  EXPECT_EQ(c.node(c.add_xor(a, one)).op, Op::kNot);
+}
+
+TEST(Circuit, WordFolding) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId k0 = c.add_const(0, 8);
+  EXPECT_EQ(c.add_add(x, k0), x);
+  EXPECT_EQ(c.add_sub(x, k0), x);
+  EXPECT_EQ(c.add_sub(x, x), k0);
+  EXPECT_EQ(c.add_mulc(x, 1), x);
+  EXPECT_EQ(c.add_mulc(x, 0), k0);
+  EXPECT_EQ(c.add_shl(x, 0), x);
+  // Constant arithmetic folds with wrap.
+  const NetId k200 = c.add_const(200, 8);
+  const NetId k100 = c.add_const(100, 8);
+  EXPECT_EQ(c.node(c.add_add(k200, k100)).imm, 44);  // 300 mod 256
+  EXPECT_EQ(c.node(c.add_sub(k100, k200)).imm, 156);
+}
+
+TEST(Circuit, MuxFolding) {
+  Circuit c("t");
+  const NetId s = c.add_input("s", 1);
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  EXPECT_EQ(c.add_mux(s, x, x), x);
+  EXPECT_EQ(c.add_mux(c.add_const(1, 1), x, y), x);
+  EXPECT_EQ(c.add_mux(c.add_const(0, 1), x, y), y);
+}
+
+TEST(Circuit, EqLowersToInequalityPair) {
+  // §2.1: comparison operators are represented as a pair of inequalities.
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId eq = c.add_eq(x, y);
+  EXPECT_EQ(c.node(eq).op, Op::kAnd);
+  for (NetId o : c.node(eq).operands) EXPECT_EQ(c.node(o).op, Op::kLe);
+}
+
+TEST(Circuit, BooleanEqIsXnor) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId eq = c.add_eq(a, b);
+  EXPECT_EQ(c.node(eq).op, Op::kNot);
+}
+
+TEST(Circuit, MinMaxLowerToComparatorPlusMux) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId mn = c.add_min(x, y);
+  EXPECT_EQ(c.node(mn).op, Op::kMux);
+  EXPECT_EQ(c.node(c.node(mn).operands[0]).op, Op::kLt);
+  EXPECT_EQ(c.node(c.add_min_raw(x, y)).op, Op::kMin);
+}
+
+TEST(Circuit, GtGeCanonicalizeBySwap) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  EXPECT_EQ(c.add_gt(x, y), c.add_lt(y, x));
+  EXPECT_EQ(c.add_ge(x, y), c.add_le(y, x));
+}
+
+TEST(Circuit, ExtractIdentityFolds) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  EXPECT_EQ(c.add_extract(x, 7, 0), x);
+  EXPECT_EQ(c.width(c.add_extract(x, 5, 2)), 4);
+  EXPECT_EQ(c.add_zext(x, 8), x);
+  EXPECT_EQ(c.width(c.add_zext(x, 12)), 12);
+}
+
+TEST(Circuit, NamesRoundTrip) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 4);
+  const NetId s = c.add_inc(a);
+  c.set_net_name(s, "a_plus_1");
+  EXPECT_EQ(c.find_net("a_plus_1"), s);
+  EXPECT_EQ(c.find_net("a"), a);
+  EXPECT_EQ(c.find_net("nothing"), kNoNet);
+  EXPECT_EQ(c.net_name(s), "a_plus_1");
+}
+
+TEST(Circuit, EvaluateCombinational) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 8);
+  const NetId b = c.add_input("b", 8);
+  const NetId sum = c.add_add(a, b);
+  const NetId lt = c.add_lt(a, b);
+  const NetId pick = c.add_mux(lt, a, b);  // min(a,b)
+  const auto values = c.evaluate({{a, 200}, {b, 100}});
+  EXPECT_EQ(values[sum], 44);  // wraps at 8 bits
+  EXPECT_EQ(values[lt], 0);
+  EXPECT_EQ(values[pick], 100);
+}
+
+TEST(Circuit, EvaluateWiringOps) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId hi_nibble = c.add_extract(x, 7, 4);
+  const NetId shr2 = c.add_shr(x, 2);
+  const NetId shl1 = c.add_shl(x, 1);
+  const NetId inv = c.add_notw(x);
+  const auto values = c.evaluate({{x, 0b10110100}});
+  EXPECT_EQ(values[hi_nibble], 0b1011);
+  EXPECT_EQ(values[shr2], 0b101101);
+  EXPECT_EQ(values[shl1], 0b01101000);  // top bit drops
+  EXPECT_EQ(values[inv], 0b01001011);
+}
+
+TEST(Circuit, OpCountsSeparateArithAndBool) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  c.add_and(a, b);           // 1 bool
+  c.add_add(x, y);           // 1 arith
+  c.add_lt(x, y);            // 1 arith (comparators count as arith)
+  const auto counts = c.op_counts();
+  EXPECT_EQ(counts.boolean, 1u);
+  EXPECT_EQ(counts.arith, 2u);
+}
+
+TEST(Circuit, ValidatePassesOnWellFormed) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  c.add_lt(c.add_inc(x), x);
+  c.validate();
+}
+
+TEST(Circuit, DotDumpMentionsNames) {
+  Circuit c("t");
+  const NetId a = c.add_input("alpha", 2);
+  c.add_inc(a);
+  const std::string dot = c.to_dot();
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtlsat::ir

@@ -1,0 +1,51 @@
+#include "ir/seq.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::ir {
+namespace {
+
+SeqCircuit counter() {
+  SeqCircuit seq("cnt");
+  Circuit& c = seq.comb();
+  const NetId en = c.add_input("en", 1);
+  const NetId q = seq.add_register("q", 4, 0);
+  seq.bind_next(q, c.add_mux(en, c.add_inc(q), q));
+  seq.add_property("bounded", c.add_lt(q, c.add_const(15, 4)));
+  return seq;
+}
+
+TEST(SeqCircuit, RegistersAreCombInputs) {
+  SeqCircuit seq("t");
+  Circuit& c = seq.comb();
+  const NetId in = c.add_input("in", 8);
+  const NetId q = seq.add_register("q", 8, 42);
+  seq.bind_next(q, in);
+  EXPECT_EQ(seq.registers().size(), 1u);
+  EXPECT_EQ(seq.registers()[0].init, 42);
+  EXPECT_EQ(seq.registers()[0].q, q);
+  // q is an input of the comb core but not a free input.
+  EXPECT_EQ(c.inputs().size(), 2u);
+  EXPECT_EQ(seq.free_inputs(), std::vector<NetId>{in});
+  seq.validate();
+}
+
+TEST(SeqCircuit, PropertyLookup) {
+  SeqCircuit seq("t");
+  Circuit& c = seq.comb();
+  const NetId q = seq.add_register("q", 1, 0);
+  seq.bind_next(q, c.add_not(q));
+  seq.add_property("p1", q);
+  EXPECT_EQ(seq.property("p1"), q);
+  EXPECT_EQ(seq.property("nope"), kNoNet);
+}
+
+TEST(SeqCircuit, CounterShape) {
+  const SeqCircuit seq = counter();
+  EXPECT_EQ(seq.registers().size(), 1u);
+  EXPECT_EQ(seq.free_inputs().size(), 1u);
+  EXPECT_EQ(seq.properties().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtlsat::ir

@@ -1,0 +1,93 @@
+// Width-edge semantics: 1-bit arithmetic, maximum widths, and the
+// agreements between evaluator, propagation rules, and bit-blasting that
+// the rest of the system assumes.
+#include <gtest/gtest.h>
+
+#include "bitblast/bitblast.h"
+#include "ir/circuit.h"
+#include "prop/engine.h"
+
+namespace rtlsat::ir {
+namespace {
+
+TEST(WidthSemantics, OneBitAdditionIsXor) {
+  // (a + b) mod 2 — the degenerate adder.
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId s = c.add_add(a, b);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      const auto values = c.evaluate({{a, av}, {b, bv}});
+      EXPECT_EQ(values[s], (av + bv) % 2);
+    }
+  }
+}
+
+TEST(WidthSemantics, OneBitAddBitblastAgrees) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId s = c.add_add(a, b);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      sat::Solver solver;
+      bitblast::BitBlaster blaster(c, solver);
+      blaster.assert_equals(a, av);
+      blaster.assert_equals(b, bv);
+      ASSERT_EQ(solver.solve(), sat::Result::kSat);
+      EXPECT_EQ(blaster.model_value(s), (av + bv) % 2);
+    }
+  }
+}
+
+TEST(WidthSemantics, MaxWidthDomain) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", kMaxWidth);
+  EXPECT_EQ(c.domain(x).hi(), (std::int64_t{1} << kMaxWidth) - 1);
+  prop::Engine engine(c);
+  EXPECT_EQ(engine.interval(x).hi(), (std::int64_t{1} << kMaxWidth) - 1);
+}
+
+TEST(WidthSemantics, WideArithmeticPropagates) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 40);
+  const NetId y = c.add_input("y", 40);
+  const NetId s = c.add_add(x, y);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(x, Interval(1'000'000'000'000, 1'000'000'000'010),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(y, Interval::point(5), prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_EQ(engine.interval(s),
+            Interval(1'000'000'000'005, 1'000'000'000'015));
+}
+
+TEST(WidthSemantics, ConcatToMaxWidthRejectedBeyondCap) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 30);
+  const NetId b = c.add_input("b", 30);
+  const NetId cat = c.add_concat(a, b);  // exactly 60: allowed
+  EXPECT_EQ(c.width(cat), 60);
+}
+
+TEST(WidthSemantics, EvaluateWideConcat) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 20);
+  const NetId b = c.add_input("b", 20);
+  const NetId cat = c.add_concat(a, b);
+  const auto values = c.evaluate({{a, 0x12345}, {b, 0xABCDE}});
+  EXPECT_EQ(values[cat], (std::int64_t{0x12345} << 20) | 0xABCDE);
+}
+
+TEST(WidthSemantics, ZextThenTruncPreservesValue) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 6);
+  const NetId z = c.add_trunc(c.add_zext(x, 12), 6);
+  for (const std::int64_t v : {0, 1, 31, 63}) {
+    EXPECT_EQ(c.evaluate({{x, v}})[z], v);
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::ir

@@ -1,0 +1,154 @@
+#include "parser/rtl_format.h"
+
+#include <gtest/gtest.h>
+
+#include "itc99/itc99.h"
+
+namespace rtlsat::parser {
+namespace {
+
+TEST(Parse, CombinationalCircuit) {
+  const ir::Circuit c = parse_circuit(R"(
+    (circuit adder
+      (input a 8)
+      (input b 8)
+      (net s (add a b))
+      (net big (lt (const 100 8) s))
+    ))");
+  EXPECT_EQ(c.name(), "adder");
+  const ir::NetId s = c.find_net("s");
+  ASSERT_NE(s, ir::kNoNet);
+  EXPECT_EQ(c.node(s).op, ir::Op::kAdd);
+  EXPECT_EQ(c.width(s), 8);
+}
+
+TEST(Parse, NestedExpressions) {
+  const ir::Circuit c = parse_circuit(R"(
+    (circuit t
+      (input x 4)
+      (input s 1)
+      (net out (mux s (add x (const 1 4)) (sub x (const 1 4))))
+    ))");
+  const ir::NetId out = c.find_net("out");
+  ASSERT_NE(out, ir::kNoNet);
+  EXPECT_EQ(c.node(out).op, ir::Op::kMux);
+}
+
+TEST(Parse, ImmediateOperators) {
+  const ir::Circuit c = parse_circuit(R"(
+    (circuit t
+      (input x 8)
+      (net a (mulc x 3))
+      (net b (shl x 2))
+      (net c (shr x 1))
+      (net d (extract x 5 2))
+      (net e (zext d 12))
+    ))");
+  EXPECT_EQ(c.node(c.find_net("a")).imm, 3);
+  EXPECT_EQ(c.width(c.find_net("d")), 4);
+  EXPECT_EQ(c.width(c.find_net("e")), 12);
+}
+
+TEST(Parse, SequentialCircuit) {
+  const ir::SeqCircuit seq = parse_seq_circuit(R"(
+    ; a 4-bit enabled counter
+    (seq-circuit cnt
+      (input en 1)
+      (register q 4 0)
+      (net q1 (add q (const 1 4)))
+      (next q (mux en q1 q))
+      (property bounded (lt q (const 15 4)))
+    ))");
+  EXPECT_EQ(seq.registers().size(), 1u);
+  EXPECT_EQ(seq.registers()[0].init, 0);
+  EXPECT_NE(seq.property("bounded"), ir::kNoNet);
+}
+
+TEST(Parse, CommentsAndWhitespace) {
+  const ir::Circuit c = parse_circuit(
+      "(circuit t ; name\n  (input a 1) ;; the input\n\t(net b (not a)))");
+  EXPECT_NE(c.find_net("b"), ir::kNoNet);
+}
+
+TEST(Parse, ErrorsCarryLineNumbers) {
+  try {
+    parse_circuit("(circuit t\n  (input a 1)\n  (net b (frobnicate a)))");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(Parse, UnknownNetRejected) {
+  EXPECT_THROW(parse_circuit("(circuit t (net b (not nothere)))"), ParseError);
+}
+
+TEST(Parse, RegisterOutsideSeqRejected) {
+  EXPECT_THROW(parse_circuit("(circuit t (register q 4 0))"), ParseError);
+}
+
+TEST(Parse, WidthRangeEnforced) {
+  EXPECT_THROW(parse_circuit("(circuit t (input a 0))"), ParseError);
+  EXPECT_THROW(parse_circuit("(circuit t (input a 61))"), ParseError);
+}
+
+
+TEST(Parse, DuplicateNamesRejected) {
+  EXPECT_THROW(parse_circuit("(circuit t (input a 1) (input a 2))"),
+               ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 1) (net x (not a)) (net x (not a)))"),
+      ParseError);
+  EXPECT_THROW(parse_seq_circuit(
+                   "(seq-circuit t (register q 4 0) (register q 4 1) "
+                   "(next q q))"),
+               ParseError);
+}
+
+TEST(RoundTrip, CombinationalPreservesSemantics) {
+  ir::Circuit c("t");
+  const ir::NetId a = c.add_input("a", 8);
+  const ir::NetId b = c.add_input("b", 8);
+  const ir::NetId out = c.add_mux(c.add_lt(a, b), c.add_add(a, b),
+                                  c.add_sub(a, b));
+  c.set_net_name(out, "out");
+  const ir::Circuit c2 = parse_circuit(write_circuit(c));
+  const ir::NetId a2 = c2.find_net("a");
+  const ir::NetId b2 = c2.find_net("b");
+  const ir::NetId out2 = c2.find_net("out");
+  ASSERT_NE(out2, ir::kNoNet);
+  for (const auto& [av, bv] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {3, 200}, {200, 3}, {7, 7}}) {
+    const auto v1 = c.evaluate({{a, av}, {b, bv}});
+    const auto v2 = c2.evaluate({{a2, av}, {b2, bv}});
+    EXPECT_EQ(v1[out], v2[out2]);
+  }
+}
+
+TEST(RoundTrip, ItcCircuitsSurviveSerialization) {
+  for (const std::string& name : itc99::available()) {
+    const ir::SeqCircuit seq = itc99::build(name);
+    const std::string text = write_seq_circuit(seq);
+    const ir::SeqCircuit back = parse_seq_circuit(text);
+    EXPECT_EQ(back.registers().size(), seq.registers().size()) << name;
+    EXPECT_EQ(back.properties().size(), seq.properties().size()) << name;
+    const auto counts1 = seq.comb().op_counts();
+    const auto counts2 = back.comb().op_counts();
+    EXPECT_EQ(counts1.arith, counts2.arith) << name;
+    EXPECT_EQ(counts1.boolean, counts2.boolean) << name;
+  }
+}
+
+TEST(FileIo, SaveAndLoad) {
+  const ir::SeqCircuit seq = itc99::build("b01");
+  const std::string path = ::testing::TempDir() + "/b01.rtl";
+  save_seq_circuit(seq, path);
+  const ir::SeqCircuit back = load_seq_circuit(path);
+  EXPECT_EQ(back.comb().name(), "b01");
+  EXPECT_THROW(load_seq_circuit("/nonexistent/dir/x.rtl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtlsat::parser

@@ -1,0 +1,159 @@
+#include "prop/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace rtlsat::prop {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+TEST(Engine, InitialDomains) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 8);
+  const NetId k = c.add_const(7, 4);
+  Engine engine(c);
+  EXPECT_EQ(engine.interval(a), Interval(0, 255));
+  EXPECT_EQ(engine.interval(k), Interval::point(7));
+  EXPECT_EQ(engine.bool_value(a), -1);
+}
+
+TEST(Engine, PropagatesToFixpoint) {
+  // A chain: z = (x + 1) < y, assert z and narrow y.
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId z = c.add_lt(c.add_inc(x), y);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(z, Interval::point(1), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(y, Interval(0, 10), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  // x+1 < y ≤ 10 ⟹ x+1 ≤ 9... x+1 can wrap, but x ≤ 8 comes from the
+  // non-wrapping branch being the only one below 10.
+  EXPECT_LE(engine.interval(x).lo(), 8);
+  EXPECT_FALSE(engine.interval(x).is_empty());
+}
+
+TEST(Engine, DetectsConflict) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_not(a);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(b, Interval::point(1), ReasonKind::kAssumption));
+  EXPECT_FALSE(engine.propagate());
+  EXPECT_TRUE(engine.in_conflict());
+}
+
+TEST(Engine, TrailRecordsEventsWithReasons) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  const NetId g = c.add_and(a, b);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(g, Interval::point(1), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_EQ(engine.bool_value(a), 1);
+  EXPECT_EQ(engine.bool_value(b), 1);
+  // Implied events carry kNode reasons referencing the AND gate.
+  const std::int32_t ea = engine.latest_event(a);
+  ASSERT_GE(ea, 0);
+  EXPECT_EQ(engine.trail()[ea].kind, ReasonKind::kNode);
+  EXPECT_EQ(engine.trail()[ea].reason_id, g);
+  // The gate event is among a's antecedents.
+  const auto ants = engine.all_antecedents(ea);
+  bool found = false;
+  for (std::int32_t e : ants) found = found || engine.trail()[e].net == g;
+  EXPECT_TRUE(found);
+}
+
+TEST(Engine, RollbackRestoresDomains) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_inc(x);
+  Engine engine(c);
+  const std::size_t mark = engine.mark();
+  ASSERT_TRUE(engine.narrow(x, Interval(3, 5), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_EQ(engine.interval(y), Interval(4, 6));
+  engine.rollback_to(mark);
+  EXPECT_EQ(engine.interval(x), Interval(0, 255));
+  EXPECT_EQ(engine.interval(y), Interval(0, 255));
+  EXPECT_EQ(engine.latest_event(x), -1);
+}
+
+TEST(Engine, BacktrackToLevelUndoesDeeperEvents) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), ReasonKind::kAssumption));
+  engine.push_level();
+  ASSERT_TRUE(engine.narrow(b, Interval::point(0), ReasonKind::kDecision));
+  EXPECT_EQ(engine.level(), 1u);
+  engine.backtrack_to_level(0);
+  EXPECT_EQ(engine.level(), 0u);
+  EXPECT_EQ(engine.bool_value(a), 1);   // level-0 fact survives
+  EXPECT_EQ(engine.bool_value(b), -1);  // decision undone
+}
+
+TEST(Engine, ConflictClearsOnRollback) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  Engine engine(c);
+  const std::size_t mark = engine.mark();
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), ReasonKind::kAssumption));
+  EXPECT_FALSE(engine.narrow(a, Interval::point(0), ReasonKind::kAssumption));
+  EXPECT_TRUE(engine.in_conflict());
+  engine.rollback_to(mark);
+  EXPECT_FALSE(engine.in_conflict());
+}
+
+TEST(Engine, NarrowingIsMonotonic) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(x, Interval(0, 100), ReasonKind::kAssumption));
+  // Widening attempts are silent no-ops.
+  ASSERT_TRUE(engine.narrow(x, Interval(0, 200), ReasonKind::kAssumption));
+  EXPECT_EQ(engine.interval(x), Interval(0, 100));
+  EXPECT_EQ(engine.trail().size(), 1u);
+}
+
+TEST(Engine, AllBooleansAssigned) {
+  Circuit c("t");
+  const NetId a = c.add_input("a", 1);
+  const NetId x = c.add_input("x", 8);
+  Engine engine(c);
+  EXPECT_FALSE(engine.all_booleans_assigned());
+  ASSERT_TRUE(engine.narrow(a, Interval::point(0), ReasonKind::kAssumption));
+  EXPECT_TRUE(engine.all_booleans_assigned());  // x is a word net
+  (void)x;
+}
+
+TEST(Engine, CountsDatapathNarrowings) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 8);
+  const NetId a = c.add_input("a", 1);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(x, Interval(0, 9), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.narrow(a, Interval::point(1), ReasonKind::kAssumption));
+  EXPECT_EQ(engine.num_datapath_narrowings(), 1);
+}
+
+// The paper's worked interval example from §2.2: x − z < 0 with both in
+// ⟨0,15⟩ narrows to x ∈ ⟨0,14⟩, z ∈ ⟨1,15⟩.
+TEST(Engine, PaperSection22Example) {
+  Circuit c("t");
+  const NetId x = c.add_input("x", 4);
+  const NetId z = c.add_input("z", 4);
+  const NetId lt = c.add_lt(x, z);
+  Engine engine(c);
+  ASSERT_TRUE(engine.narrow(lt, Interval::point(1), ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_EQ(engine.interval(x), Interval(0, 14));
+  EXPECT_EQ(engine.interval(z), Interval(1, 15));
+}
+
+}  // namespace
+}  // namespace rtlsat::prop

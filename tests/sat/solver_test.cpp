@@ -1,0 +1,187 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rtlsat::sat {
+namespace {
+
+TEST(Lit, EncodingRoundTrips) {
+  const Lit p(5, true);
+  EXPECT_EQ(p.var(), 5u);
+  EXPECT_TRUE(p.positive());
+  EXPECT_FALSE((~p).positive());
+  EXPECT_EQ((~~p), p);
+  EXPECT_NE(p, ~p);
+}
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({Lit(a, true)});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({Lit(a, true)});
+  s.add_clause({Lit(a, false)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Solver s;
+  s.new_var();
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({Lit(a, true), Lit(a, false)});
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({Lit(a, true)});
+  s.add_clause({Lit(a, false), Lit(b, true)});   // a → b
+  s.add_clause({Lit(b, false), Lit(c, true)});   // b → c
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Solver, PigeonHole32IsUnsat) {
+  // 3 pigeons, 2 holes: classic small UNSAT needing real search.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p)
+    s.add_clause({Lit(row[0], true), Lit(row[1], true)});
+  for (int h = 0; h < 2; ++h)
+    for (int i = 0; i < 3; ++i)
+      for (int j = i + 1; j < 3; ++j)
+        s.add_clause({Lit(p[i][h], false), Lit(p[j][h], false)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, PigeonHole54IsUnsat) {
+  Solver s;
+  constexpr int kPigeons = 5, kHoles = 4;
+  Var p[kPigeons][kHoles];
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<Lit> clause;
+    for (Var v : row) clause.push_back(Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h)
+    for (int i = 0; i < kPigeons; ++i)
+      for (int j = i + 1; j < kPigeons; ++j)
+        s.add_clause({Lit(p[i][h], false), Lit(p[j][h], false)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(Solver, Assumptions) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({Lit(a, false), Lit(b, true)});  // a → b
+  EXPECT_EQ(s.solve({Lit(a, true), Lit(b, false)}), Result::kUnsat);
+  EXPECT_EQ(s.solve({Lit(a, true)}), Result::kSat);
+  EXPECT_TRUE(s.model_value(b));
+}
+
+// Random 3-SAT near/below the phase transition, cross-checked against
+// brute-force enumeration.
+class Random3Sat : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Random3Sat, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = 10;
+    const int m = static_cast<int>(rng.range(20, 50));
+    std::vector<std::vector<Lit>> clauses;
+    for (int k = 0; k < m; ++k) {
+      std::vector<Lit> clause;
+      for (int j = 0; j < 3; ++j)
+        clause.push_back(Lit(static_cast<Var>(rng.below(n)), rng.flip()));
+      clauses.push_back(clause);
+    }
+    bool brute_sat = false;
+    for (std::uint32_t assign = 0; assign < (1u << n) && !brute_sat;
+         ++assign) {
+      bool all = true;
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (const Lit l : clause)
+          any = any || (((assign >> l.var()) & 1) == (l.positive() ? 1u : 0u));
+        all = all && any;
+      }
+      brute_sat = all;
+    }
+    Solver s;
+    for (int v = 0; v < n; ++v) s.new_var();
+    for (auto& clause : clauses) s.add_clause(clause);
+    const Result got = s.solve();
+    ASSERT_EQ(got == Result::kSat, brute_sat);
+    if (brute_sat) {
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (const Lit l : clause)
+          any = any || (s.model_value(l.var()) == l.positive());
+        EXPECT_TRUE(any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3Sat,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(Solver, ManyRestartsStillSound) {
+  // Tight restart interval to exercise the restart path.
+  SolverOptions options;
+  options.restart_base = 2;
+  Solver s(options);
+  constexpr int kPigeons = 6, kHoles = 5;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<Lit> clause;
+    for (Var v : row) clause.push_back(Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h)
+    for (int i = 0; i < kPigeons; ++i)
+      for (int j = i + 1; j < kPigeons; ++j)
+        s.add_clause({Lit(p[i][h], false), Lit(p[j][h], false)});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().get("sat.restarts"), 0);
+}
+
+TEST(Solver, StatsPopulated) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  s.add_clause({Lit(a, false), Lit(b, true)});
+  s.add_clause({Lit(a, true), Lit(b, false)});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_GT(s.stats().get("sat.decisions") + s.stats().get("sat.propagations"),
+            0);
+}
+
+}  // namespace
+}  // namespace rtlsat::sat

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace rtlsat {
+namespace {
+
+// Keeps a computed value alive without volatile compound assignment.
+void benchmarkish_use(std::int64_t v) { EXPECT_GE(v, 0); }
+
+TEST(Strings, Format) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(str_format("%s", ""), "");
+}
+
+TEST(Strings, Split) {
+  const auto fields = split("  a b\tc\n d  ");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[3], "d");
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("b13_1(100)", "b13"));
+  EXPECT_FALSE(starts_with("b1", "b13"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("7", 3), "7  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Strings, FormatRuntimeMatchesPaperConventions) {
+  EXPECT_EQ(format_runtime(1.234, false, false), "1.23");
+  EXPECT_EQ(format_runtime(500, true, false), "-to-");
+  EXPECT_EQ(format_runtime(0, false, true), "-A-");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, FlipIsBalancedEnough) {
+  Rng rng(2);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.flip();
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Stats, CountersAccumulate) {
+  Stats stats;
+  stats.add("x", 3);
+  stats.counter("x") += 2;
+  EXPECT_EQ(stats.get("x"), 5);
+  EXPECT_EQ(stats.get("missing"), 0);
+  EXPECT_NE(stats.to_string().find("x = 5"), std::string::npos);
+  stats.clear();
+  EXPECT_EQ(stats.get("x"), 0);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmarkish_use(sink);
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.micros(), 0);
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.armed());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ArmedExpires) {
+  Deadline d(1e-9);
+  EXPECT_TRUE(d.armed());
+  std::int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  benchmarkish_use(sink);
+  EXPECT_TRUE(d.expired());
+}
+
+}  // namespace
+}  // namespace rtlsat

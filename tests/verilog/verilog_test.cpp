@@ -1,0 +1,199 @@
+#include "verilog/verilog.h"
+
+#include <gtest/gtest.h>
+
+#include "bmc/sim.h"
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+
+namespace rtlsat::verilog {
+namespace {
+
+TEST(Verilog, PortsAndWires) {
+  const auto seq = parse(R"(
+    module adder(input clk, input [7:0] a, input [7:0] b, output [8:0] y);
+      wire [8:0] sum = {1'b0, a} + {1'b0, b};
+      assign y = sum;
+    endmodule
+  )");
+  EXPECT_EQ(seq.comb().name(), "adder");
+  EXPECT_EQ(seq.free_inputs().size(), 2u);  // clk dropped
+  const ir::NetId y = seq.comb().find_net("y");
+  ASSERT_NE(y, ir::kNoNet);
+  EXPECT_EQ(seq.comb().width(y), 9);
+}
+
+TEST(Verilog, ExpressionsEvaluateCorrectly) {
+  const auto seq = parse(R"(
+    module expr(input clk, input [7:0] a, input [7:0] b, input s);
+      wire [7:0] add = a + b;
+      wire [7:0] sub = a - b;
+      wire [7:0] shifted = a << 2;
+      wire [7:0] picked = s ? a : b;
+      wire lt = a < b;
+      wire eqc = a == 8'd42;
+      wire [3:0] nib = a[7:4];
+      wire bit0 = a[0];
+      wire both = lt && bit0;
+      wire [7:0] inv = ~a;
+      property dummy = 1'b1 == 1'b1;
+    endmodule
+  )");
+  const ir::Circuit& c = seq.comb();
+  const auto values = c.evaluate({{c.find_net("a"), 0b10101100},
+                                  {c.find_net("b"), 200},
+                                  {c.find_net("s"), 1}});
+  EXPECT_EQ(values[c.find_net("add")], (0b10101100 + 200) % 256);
+  EXPECT_EQ(values[c.find_net("sub")], (0b10101100 - 200 + 256) % 256);
+  EXPECT_EQ(values[c.find_net("shifted")], (0b10101100 << 2) % 256);
+  EXPECT_EQ(values[c.find_net("picked")], 0b10101100);
+  EXPECT_EQ(values[c.find_net("lt")], 1);
+  EXPECT_EQ(values[c.find_net("eqc")], 0);
+  EXPECT_EQ(values[c.find_net("nib")], 0b1010);
+  EXPECT_EQ(values[c.find_net("inv")], 0b01010011);
+}
+
+TEST(Verilog, RegistersAndAlways) {
+  const auto seq = parse(R"(
+    module cnt(input clk, input en, output reg [3:0] q);
+      always @(posedge clk) begin
+        if (en) q <= q + 1;
+      end
+      property bounded = q <= 4'd15;
+    endmodule
+  )");
+  ASSERT_EQ(seq.registers().size(), 1u);
+  const ir::NetId q = seq.registers()[0].q;
+  const ir::NetId en = seq.free_inputs()[0];
+  bmc::Simulator sim(seq);
+  sim.step({{en, 1}});
+  sim.step({{en, 1}});
+  sim.step({{en, 0}});
+  EXPECT_EQ(sim.register_value(q), 2);  // two enabled steps, one hold
+}
+
+TEST(Verilog, IfElseChainsBecomeMuxTrees) {
+  const auto seq = parse(R"(
+    module fsm(input clk, input go, input stop);
+      reg [1:0] state = 0;
+      always @(posedge clk) begin
+        if (state == 2'd0) begin
+          if (go) state <= 2'd1;
+        end else if (state == 2'd1) begin
+          state <= stop ? 2'd2 : 2'd1;
+        end else begin
+          state <= 2'd0;
+        end
+      end
+      property sane = state <= 2'd2;
+    endmodule
+  )");
+  const ir::NetId state = seq.registers()[0].q;
+  const ir::NetId go = seq.comb().find_net("go");
+  const ir::NetId stop = seq.comb().find_net("stop");
+  bmc::Simulator sim(seq);
+  sim.step({{go, 0}, {stop, 0}});
+  EXPECT_EQ(sim.register_value(state), 0);  // hold without go
+  sim.step({{go, 1}, {stop, 0}});
+  EXPECT_EQ(sim.register_value(state), 1);
+  sim.step({{go, 0}, {stop, 1}});
+  EXPECT_EQ(sim.register_value(state), 2);
+  sim.step({{go, 0}, {stop, 0}});
+  EXPECT_EQ(sim.register_value(state), 0);  // unconditional return
+}
+
+TEST(Verilog, UnsizedConstantsTakeContextWidth) {
+  const auto seq = parse(R"(
+    module w(input clk, input [5:0] x);
+      wire [5:0] y = x + 7;
+      wire big = x > 40;
+      property p = y >= 0;
+    endmodule
+  )");
+  const ir::Circuit& c = seq.comb();
+  const auto values = c.evaluate({{c.find_net("x"), 60}});
+  EXPECT_EQ(values[c.find_net("y")], (60 + 7) % 64);
+  EXPECT_EQ(values[c.find_net("big")], 1);
+}
+
+TEST(Verilog, BitwiseWordOps) {
+  const auto seq = parse(R"(
+    module bw(input clk, input [3:0] a, input [3:0] b);
+      wire [3:0] o = a | b;
+      wire [3:0] x = a ^ b;
+      wire [3:0] n = a & b;
+      property p = o >= n;
+    endmodule
+  )");
+  const ir::Circuit& c = seq.comb();
+  const auto values =
+      c.evaluate({{c.find_net("a"), 0b1100}, {c.find_net("b"), 0b1010}});
+  EXPECT_EQ(values[c.find_net("o")], 0b1110);
+  EXPECT_EQ(values[c.find_net("x")], 0b0110);
+  EXPECT_EQ(values[c.find_net("n")], 0b1000);
+}
+
+TEST(Verilog, CommentsAndLiterals) {
+  const auto seq = parse(R"(
+    module lit(input clk); // line comment
+      /* block
+         comment */
+      wire [7:0] h = 8'hA5;
+      wire [7:0] b = 8'b1010_0101;
+      wire [7:0] o = 8'o245;
+      property all_equal = h == b && b == o;
+    endmodule
+  )");
+  const ir::Circuit& c = seq.comb();
+  const auto values = c.evaluate({});
+  EXPECT_EQ(values[seq.property("all_equal")], 1);
+}
+
+TEST(Verilog, ErrorsCarryLines) {
+  try {
+    parse("module m(input clk);\n  wire q = nothere;\nendmodule");
+    FAIL() << "expected VerilogError";
+  } catch (const VerilogError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse("module m(input clk); wire [7:0] w = 1'b0 + 9'd0; endmodule"),
+               VerilogError);  // width mismatch
+  EXPECT_THROW(parse("module m(input clk); reg r = 0; assign r = 1'b1; endmodule"),
+               VerilogError);  // assign to reg... (reg is not assignable)
+  EXPECT_THROW(parse("module m(input clk, input x); always @(posedge clk) x <= 1'b0; endmodule"),
+               VerilogError);  // nonblocking to non-reg
+}
+
+TEST(Verilog, EndToEndBmc) {
+  // A property-checking round trip: parse, unroll, solve, replay.
+  const auto seq = parse(R"(
+    module sat_counter(input clk, input [3:0] inc, output reg [7:0] acc);
+      always @(posedge clk) begin
+        if (acc + {4'd0, inc} <= 8'd200) acc <= acc + {4'd0, inc};
+        else acc <= 8'd200;
+      end
+      property capped = acc <= 8'd200;
+      property small = acc <= 8'd100;
+    endmodule
+  )");
+  {
+    const auto instance = bmc::unroll(seq, "capped", 6);
+    core::HdpllOptions options;
+    options.structural_decisions = true;
+    core::HdpllSolver solver(instance.circuit, options);
+    solver.assume_bool(instance.goal, true);
+    EXPECT_EQ(solver.solve().status, core::SolveStatus::kUnsat);
+  }
+  {
+    const auto instance = bmc::unroll(seq, "small", 8);
+    core::HdpllOptions options;
+    options.structural_decisions = true;
+    options.predicate_learning = true;
+    core::HdpllSolver solver(instance.circuit, options);
+    solver.assume_bool(instance.goal, true);
+    EXPECT_EQ(solver.solve().status, core::SolveStatus::kSat);
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::verilog
