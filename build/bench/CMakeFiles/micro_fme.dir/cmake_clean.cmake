@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fme.dir/micro_fme.cpp.o"
+  "CMakeFiles/micro_fme.dir/micro_fme.cpp.o.d"
+  "micro_fme"
+  "micro_fme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interval.dir/micro_interval.cpp.o"
+  "CMakeFiles/micro_interval.dir/micro_interval.cpp.o.d"
+  "micro_interval"
+  "micro_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

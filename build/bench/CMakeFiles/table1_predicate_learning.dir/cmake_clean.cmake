@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_predicate_learning.dir/table1_predicate_learning.cpp.o"
+  "CMakeFiles/table1_predicate_learning.dir/table1_predicate_learning.cpp.o.d"
+  "table1_predicate_learning"
+  "table1_predicate_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_predicate_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

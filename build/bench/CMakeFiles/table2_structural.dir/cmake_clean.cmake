@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_structural.dir/table2_structural.cpp.o"
+  "CMakeFiles/table2_structural.dir/table2_structural.cpp.o.d"
+  "table2_structural"
+  "table2_structural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_structural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_structural.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmc_checker.dir/bmc_checker.cpp.o"
+  "CMakeFiles/bmc_checker.dir/bmc_checker.cpp.o.d"
+  "bmc_checker"
+  "bmc_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmc_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

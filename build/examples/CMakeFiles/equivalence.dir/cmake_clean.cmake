@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence.dir/equivalence.cpp.o"
+  "CMakeFiles/equivalence.dir/equivalence.cpp.o.d"
+  "equivalence"
+  "equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_file_solver.dir/rtl_file_solver.cpp.o"
+  "CMakeFiles/rtl_file_solver.dir/rtl_file_solver.cpp.o.d"
+  "rtl_file_solver"
+  "rtl_file_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_file_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("interval")
+subdirs("ir")
+subdirs("parser")
+subdirs("verilog")
+subdirs("prop")
+subdirs("fme")
+subdirs("sat")
+subdirs("bitblast")
+subdirs("core")
+subdirs("bmc")
+subdirs("itc99")

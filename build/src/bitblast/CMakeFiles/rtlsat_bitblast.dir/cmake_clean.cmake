@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_bitblast.dir/bitblast.cpp.o"
+  "CMakeFiles/rtlsat_bitblast.dir/bitblast.cpp.o.d"
+  "librtlsat_bitblast.a"
+  "librtlsat_bitblast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_bitblast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

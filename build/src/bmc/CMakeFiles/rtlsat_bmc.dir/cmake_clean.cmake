@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_bmc.dir/unroll.cpp.o"
+  "CMakeFiles/rtlsat_bmc.dir/unroll.cpp.o.d"
+  "librtlsat_bmc.a"
+  "librtlsat_bmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_bmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

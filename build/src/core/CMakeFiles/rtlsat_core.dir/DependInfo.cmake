@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyze.cpp" "src/core/CMakeFiles/rtlsat_core.dir/analyze.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/analyze.cpp.o.d"
+  "/root/repo/src/core/arith_check.cpp" "src/core/CMakeFiles/rtlsat_core.dir/arith_check.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/arith_check.cpp.o.d"
+  "/root/repo/src/core/clause_db.cpp" "src/core/CMakeFiles/rtlsat_core.dir/clause_db.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/clause_db.cpp.o.d"
+  "/root/repo/src/core/hdpll.cpp" "src/core/CMakeFiles/rtlsat_core.dir/hdpll.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/hdpll.cpp.o.d"
+  "/root/repo/src/core/hybrid_clause.cpp" "src/core/CMakeFiles/rtlsat_core.dir/hybrid_clause.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/hybrid_clause.cpp.o.d"
+  "/root/repo/src/core/ig_dump.cpp" "src/core/CMakeFiles/rtlsat_core.dir/ig_dump.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/ig_dump.cpp.o.d"
+  "/root/repo/src/core/justify.cpp" "src/core/CMakeFiles/rtlsat_core.dir/justify.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/justify.cpp.o.d"
+  "/root/repo/src/core/predicate_learning.cpp" "src/core/CMakeFiles/rtlsat_core.dir/predicate_learning.cpp.o" "gcc" "src/core/CMakeFiles/rtlsat_core.dir/predicate_learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtlsat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/rtlsat_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rtlsat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/rtlsat_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fme/CMakeFiles/rtlsat_fme.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

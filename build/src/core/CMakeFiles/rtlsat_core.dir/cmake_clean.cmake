@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_core.dir/analyze.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/analyze.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/arith_check.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/arith_check.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/clause_db.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/clause_db.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/hdpll.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/hdpll.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/hybrid_clause.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/hybrid_clause.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/ig_dump.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/ig_dump.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/justify.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/justify.cpp.o.d"
+  "CMakeFiles/rtlsat_core.dir/predicate_learning.cpp.o"
+  "CMakeFiles/rtlsat_core.dir/predicate_learning.cpp.o.d"
+  "librtlsat_core.a"
+  "librtlsat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

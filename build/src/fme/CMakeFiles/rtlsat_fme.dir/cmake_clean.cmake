@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_fme.dir/fme.cpp.o"
+  "CMakeFiles/rtlsat_fme.dir/fme.cpp.o.d"
+  "CMakeFiles/rtlsat_fme.dir/linear.cpp.o"
+  "CMakeFiles/rtlsat_fme.dir/linear.cpp.o.d"
+  "librtlsat_fme.a"
+  "librtlsat_fme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_fme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtlsat_fme.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_interval.dir/interval.cpp.o"
+  "CMakeFiles/rtlsat_interval.dir/interval.cpp.o.d"
+  "CMakeFiles/rtlsat_interval.dir/interval_ops.cpp.o"
+  "CMakeFiles/rtlsat_interval.dir/interval_ops.cpp.o.d"
+  "librtlsat_interval.a"
+  "librtlsat_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/ir/CMakeFiles/rtlsat_ir.dir/analysis.cpp.o" "gcc" "src/ir/CMakeFiles/rtlsat_ir.dir/analysis.cpp.o.d"
+  "/root/repo/src/ir/circuit.cpp" "src/ir/CMakeFiles/rtlsat_ir.dir/circuit.cpp.o" "gcc" "src/ir/CMakeFiles/rtlsat_ir.dir/circuit.cpp.o.d"
+  "/root/repo/src/ir/transform.cpp" "src/ir/CMakeFiles/rtlsat_ir.dir/transform.cpp.o" "gcc" "src/ir/CMakeFiles/rtlsat_ir.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtlsat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/rtlsat_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_ir.dir/analysis.cpp.o"
+  "CMakeFiles/rtlsat_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/rtlsat_ir.dir/circuit.cpp.o"
+  "CMakeFiles/rtlsat_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/rtlsat_ir.dir/transform.cpp.o"
+  "CMakeFiles/rtlsat_ir.dir/transform.cpp.o.d"
+  "librtlsat_ir.a"
+  "librtlsat_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/itc99/b01.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b01.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b01.cpp.o.d"
+  "/root/repo/src/itc99/b02.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b02.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b02.cpp.o.d"
+  "/root/repo/src/itc99/b03.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b03.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b03.cpp.o.d"
+  "/root/repo/src/itc99/b04.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b04.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b04.cpp.o.d"
+  "/root/repo/src/itc99/b06.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b06.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b06.cpp.o.d"
+  "/root/repo/src/itc99/b10.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b10.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b10.cpp.o.d"
+  "/root/repo/src/itc99/b13.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b13.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/b13.cpp.o.d"
+  "/root/repo/src/itc99/registry.cpp" "src/itc99/CMakeFiles/rtlsat_itc99.dir/registry.cpp.o" "gcc" "src/itc99/CMakeFiles/rtlsat_itc99.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rtlsat_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rtlsat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/rtlsat_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

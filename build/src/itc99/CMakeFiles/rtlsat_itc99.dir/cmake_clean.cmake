@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_itc99.dir/b01.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b01.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b02.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b02.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b03.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b03.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b04.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b04.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b06.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b06.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b10.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b10.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/b13.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/b13.cpp.o.d"
+  "CMakeFiles/rtlsat_itc99.dir/registry.cpp.o"
+  "CMakeFiles/rtlsat_itc99.dir/registry.cpp.o.d"
+  "librtlsat_itc99.a"
+  "librtlsat_itc99.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_itc99.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

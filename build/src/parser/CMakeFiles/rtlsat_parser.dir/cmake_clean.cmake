@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_parser.dir/rtl_format.cpp.o"
+  "CMakeFiles/rtlsat_parser.dir/rtl_format.cpp.o.d"
+  "librtlsat_parser.a"
+  "librtlsat_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

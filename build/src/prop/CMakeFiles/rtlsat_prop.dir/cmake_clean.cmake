@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_prop.dir/engine.cpp.o"
+  "CMakeFiles/rtlsat_prop.dir/engine.cpp.o.d"
+  "CMakeFiles/rtlsat_prop.dir/rules.cpp.o"
+  "CMakeFiles/rtlsat_prop.dir/rules.cpp.o.d"
+  "librtlsat_prop.a"
+  "librtlsat_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

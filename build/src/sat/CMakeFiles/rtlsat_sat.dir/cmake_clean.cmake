@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_sat.dir/solver.cpp.o"
+  "CMakeFiles/rtlsat_sat.dir/solver.cpp.o.d"
+  "librtlsat_sat.a"
+  "librtlsat_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

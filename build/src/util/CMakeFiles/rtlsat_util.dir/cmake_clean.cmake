@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_util.dir/log.cpp.o"
+  "CMakeFiles/rtlsat_util.dir/log.cpp.o.d"
+  "CMakeFiles/rtlsat_util.dir/stats.cpp.o"
+  "CMakeFiles/rtlsat_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rtlsat_util.dir/strings.cpp.o"
+  "CMakeFiles/rtlsat_util.dir/strings.cpp.o.d"
+  "librtlsat_util.a"
+  "librtlsat_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

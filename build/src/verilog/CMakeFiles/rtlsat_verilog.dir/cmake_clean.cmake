@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlsat_verilog.dir/verilog.cpp.o"
+  "CMakeFiles/rtlsat_verilog.dir/verilog.cpp.o.d"
+  "librtlsat_verilog.a"
+  "librtlsat_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlsat_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

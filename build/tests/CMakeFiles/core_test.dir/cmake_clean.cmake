@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analyze_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/analyze_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/arith_check_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/arith_check_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/clause_db_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/clause_db_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/deduce_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/deduce_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/figures_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/figures_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hdpll_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hdpll_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hybrid_clause_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hybrid_clause_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/ig_dump_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/ig_dump_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/justify_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/justify_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/justify_weighted_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/justify_weighted_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/learned_clause_validity_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/learned_clause_validity_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/predicate_learning_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/predicate_learning_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/stress_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/stress_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_test.dir/ir/analysis_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/analysis_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/circuit_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/circuit_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/seq_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/seq_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/transform_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/transform_test.cpp.o.d"
+  "CMakeFiles/ir_test.dir/ir/width_semantics_test.cpp.o"
+  "CMakeFiles/ir_test.dir/ir/width_semantics_test.cpp.o.d"
+  "ir_test"
+  "ir_test.pdb"
+  "ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

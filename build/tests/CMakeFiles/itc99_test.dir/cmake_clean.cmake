@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itc99_test.dir/itc99/itc99_test.cpp.o"
+  "CMakeFiles/itc99_test.dir/itc99/itc99_test.cpp.o.d"
+  "itc99_test"
+  "itc99_test.pdb"
+  "itc99_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itc99_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

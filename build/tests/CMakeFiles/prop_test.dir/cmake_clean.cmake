@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_test.dir/prop/engine_test.cpp.o"
+  "CMakeFiles/prop_test.dir/prop/engine_test.cpp.o.d"
+  "CMakeFiles/prop_test.dir/prop/rules_test.cpp.o"
+  "CMakeFiles/prop_test.dir/prop/rules_test.cpp.o.d"
+  "CMakeFiles/prop_test.dir/prop/soundness_test.cpp.o"
+  "CMakeFiles/prop_test.dir/prop/soundness_test.cpp.o.d"
+  "prop_test"
+  "prop_test.pdb"
+  "prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

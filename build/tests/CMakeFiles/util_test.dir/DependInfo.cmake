@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/util_test.cpp" "tests/CMakeFiles/util_test.dir/util/util_test.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/rtlsat_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/rtlsat_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitblast/CMakeFiles/rtlsat_bitblast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/rtlsat_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtlsat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/rtlsat_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fme/CMakeFiles/rtlsat_fme.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmc/CMakeFiles/rtlsat_bmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/itc99/CMakeFiles/rtlsat_itc99.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rtlsat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/rtlsat_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtlsat_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
