@@ -1,0 +1,110 @@
+// Netlist lint driver — runs the rule registry (src/lint/) over sequential
+// netlists and prints structured diagnostics.
+//
+//   $ ./rtlsat_lint [--json] [--errors-only] <target>...
+//   $ ./rtlsat_lint --list-rules
+//
+// A <target> is an ITC'99 model name ("b01"…), the word "all" (every
+// registry model), or a path to a .rtl file. Exit status: 0 when no
+// error-severity diagnostics were produced, 1 when at least one was,
+// 2 on usage or load errors.
+//
+// Try it:
+//   $ ./rtlsat_lint all
+//   $ ./rtlsat_lint --json ../data/b13.rtl
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "itc99/itc99.h"
+#include "lint/lint.h"
+#include "lint/report.h"
+#include "parser/rtl_format.h"
+
+using namespace rtlsat;
+
+namespace {
+
+bool is_registry_model(const std::string& target) {
+  for (const std::string& name : itc99::available()) {
+    if (name == target) return true;
+  }
+  return false;
+}
+
+void list_rules() {
+  for (const lint::RuleInfo& rule : lint::rule_catalog()) {
+    const std::string_view severity = lint::severity_name(rule.severity);
+    std::printf("%-20.*s %-8.*s %.*s%s\n",
+                static_cast<int>(rule.id.size()), rule.id.data(),
+                static_cast<int>(severity.size()), severity.data(),
+                static_cast<int>(rule.description.size()),
+                rule.description.data(),
+                rule.seq_only ? " [sequential only]" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool errors_only = false;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--errors-only") == 0) {
+      errors_only = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      list_rules();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      targets.emplace_back(argv[i]);
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--errors-only] <target>...\n"
+                 "       %s --list-rules\n"
+                 "a target is an ITC'99 model name, 'all', or a .rtl path\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  // Expand "all" into the full registry.
+  std::vector<std::string> expanded;
+  for (const std::string& target : targets) {
+    if (target == "all") {
+      for (const std::string& name : itc99::available())
+        expanded.push_back(name);
+    } else {
+      expanded.push_back(target);
+    }
+  }
+
+  lint::LintOptions options;
+  options.warnings = !errors_only;
+
+  bool any_errors = false;
+  for (const std::string& target : expanded) {
+    ir::SeqCircuit seq("empty");
+    try {
+      seq = is_registry_model(target) ? itc99::build(target)
+                                      : parser::load_seq_circuit(target);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s: %s\n", target.c_str(), e.what());
+      return 2;
+    }
+    const lint::LintReport report = lint::lint_seq_circuit(seq, options);
+    any_errors = any_errors || report.has_errors();
+    const std::string text =
+        json ? lint::to_json(report, seq.comb(), target)
+             : lint::to_text(report, seq.comb(), target);
+    std::fputs(text.c_str(), stdout);
+  }
+  return any_errors ? 1 : 0;
+}

@@ -67,6 +67,18 @@ class ClauseDb {
 
   const std::vector<HybridClause>& all() const { return clauses_; }
 
+  // Introspection for the invariant verifier (core/selfcheck.h): the two
+  // watched literal indices of a clause, the (lazily pruned, so possibly
+  // stale-containing) watcher list of a net, and whether clauses are still
+  // awaiting their first propagate().
+  const std::array<std::uint32_t, 2>& watch_pair(std::uint32_t id) const {
+    return watch_idx_[id];
+  }
+  const std::vector<std::uint32_t>& watch_list(ir::NetId net) const {
+    return watchers_[net];
+  }
+  bool fresh_pending() const { return !fresh_.empty(); }
+
   // Learnt-clause database reduction: deletes the least-active half of the
   // long (> 2 literal) learnt clauses, keeping any clause that is the
   // reason of a current trail implication. Deleted clauses are dropped

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/deduce.h"
+#include "core/selfcheck.h"
 #include "ir/analysis.h"
 #include "util/log.h"
 
@@ -155,6 +156,19 @@ bool HdpllSolver::handle_conflict() {
   stats_.add("hdpll.learned_literals",
              static_cast<std::int64_t>(analysis.clause.lits.size()));
   backtrack_to(analysis.backtrack_level);
+  if (options_.self_check) {
+    selfcheck::enforce(
+        selfcheck::check_asserting_clause(analysis.clause, engine_),
+        "hdpll learned clause");
+    if (--selfcheck_countdown_ <= 0) {
+      selfcheck_countdown_ = options_.self_check_interval;
+      stats_.add("hdpll.self_checks", 1);
+      selfcheck::enforce(selfcheck::check_engine(engine_),
+                         "hdpll implication graph");
+      selfcheck::enforce(selfcheck::check_clause_db(db_, engine_),
+                         "hdpll clause database");
+    }
+  }
   on_clause_learned(analysis.clause);
   db_.add(analysis.clause);  // asserts via clause propagation in deduce()
   db_.decay_clause_activity(options_.clause_activity_decay);
@@ -191,6 +205,16 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
                         "model verification failed: assumption violated");
     }
   }
+  if (options_.self_check) {
+    stats_.add("hdpll.self_checks", 1);
+    selfcheck::enforce(selfcheck::check_engine(engine_),
+                       "hdpll SAT implication graph");
+    selfcheck::enforce(selfcheck::check_clause_db(db_, engine_),
+                       "hdpll SAT clause database");
+    selfcheck::enforce(
+        selfcheck::check_interval_soundness(engine_, result.input_model),
+        "hdpll SAT interval soundness");
+  }
   return result;
 }
 
@@ -199,6 +223,7 @@ SolveResult HdpllSolver::solve() {
   const Deadline deadline(options_.timeout_seconds);
   SolveResult result;
   reduction_budget_ = options_.reduction_base;
+  selfcheck_countdown_ = options_.self_check_interval;
   conflicts_until_restart_ = options_.restart_interval;
 
   if (!apply_assumptions()) {

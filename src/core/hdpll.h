@@ -66,6 +66,14 @@ struct HdpllOptions {
   // Evaluate the circuit on every SAT model and assert the assumptions
   // hold — cheap insurance that a bug can never report a false SAT.
   bool verify_models = true;
+
+  // Run the invariant verifier (core/selfcheck.h) during search: asserting-
+  // clause checks on every learned clause, full trail/implication-graph and
+  // clause-database audits every `self_check_interval` conflicts and at
+  // every SAT answer (including interval soundness against the model).
+  // Defaults on in -DRTLSAT_SELFCHECK=ON builds; any violation aborts.
+  bool self_check = kSelfCheckBuild;
+  int self_check_interval = 64;
 };
 
 enum class SolveStatus { kSat, kUnsat, kTimeout };
@@ -135,6 +143,7 @@ class HdpllSolver {
   std::vector<LevelInfo> decision_stack_;
   double activity_bump_ = 1.0;
   std::size_t reduction_budget_ = 0;
+  std::int64_t selfcheck_countdown_ = 0;
   std::int64_t conflicts_until_restart_ = 0;
   std::int64_t restart_count_ = 0;
   Stats stats_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "interval/interval_ops.h"
+#include "ir/structure_check.h"
 
 namespace rtlsat::ir {
 
@@ -372,6 +373,14 @@ NetId Circuit::add_le(NetId a, NetId b) {
   return push(std::move(n));
 }
 
+NetId Circuit::add_unchecked(Node node) {
+  const NetId id = static_cast<NetId>(nodes_.size());
+  if (node.op == Op::kInput) inputs_.push_back(id);
+  if (!node.name.empty()) names_.emplace(node.name, id);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
 void Circuit::set_net_name(NetId id, std::string name) {
   RTLSAT_ASSERT(id < nodes_.size());
   if (!nodes_[id].name.empty()) names_.erase(nodes_[id].name);
@@ -448,19 +457,13 @@ std::vector<std::int64_t> Circuit::evaluate(
 }
 
 void Circuit::validate() const {
-  for (NetId id = 0; id < nodes_.size(); ++id) {
-    const Node& n = nodes_[id];
-    for (NetId o : n.operands)
-      RTLSAT_ASSERT_MSG(o < id, "operand must precede node (DAG order)");
-    if (is_boolean_gate(n.op)) {
-      RTLSAT_ASSERT(n.width == 1);
-      for (NetId o : n.operands) RTLSAT_ASSERT(nodes_[o].width == 1);
-    }
-    if (is_comparator(n.op)) {
-      RTLSAT_ASSERT(n.width == 1);
-      RTLSAT_ASSERT(nodes_[n.operands[0]].width == nodes_[n.operands[1]].width);
-    }
-  }
+  check_structure(*this, [this](const StructuralDefect& defect) {
+    assert_fail(std::string(structure_defect_id(defect.kind)).c_str(),
+                __FILE__, __LINE__,
+                (name_ + ", net " + net_name(defect.net) + ": " +
+                 defect.message)
+                    .c_str());
+  });
 }
 
 Circuit::OpCounts Circuit::op_counts() const {

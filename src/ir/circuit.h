@@ -112,6 +112,12 @@ class Circuit {
     return add_eq(a, add_const(c, width(a)));
   }
 
+  // Appends a node verbatim: no hash-consing, no folding, no width or
+  // operand validation. For deserializers and for tests that need
+  // deliberately malformed netlists to exercise validate()/lint — circuits
+  // built this way must be checked before use.
+  NetId add_unchecked(Node node);
+
   // Name an already-built net (for debugging/dumps); inputs keep the name
   // given at creation.
   void set_net_name(NetId id, std::string name);
@@ -131,7 +137,9 @@ class Circuit {
   std::vector<std::int64_t> evaluate(
       const std::unordered_map<NetId, std::int64_t>& input_values) const;
 
-  // Structural sanity checks (operand widths, DAG property by construction).
+  // Structural sanity checks; aborts on the first defect found. Delegates
+  // to ir::check_structure (structure_check.h), the shared rule set behind
+  // the lint subsystem — lint for a diagnosis, validate() for a guard.
   void validate() const;
 
   // Counts for the paper tables: word-level operator nodes vs Boolean ones.

@@ -57,6 +57,12 @@ class SeqCircuit {
     properties_.push_back({std::move(name), net});
   }
 
+  // Unchecked appends for deserializers and for the lint tests'
+  // deliberately broken sequential netlists — no width/init/binding
+  // assertions. Circuits built this way must be linted before use.
+  void add_register_unchecked(Register r) { registers_.push_back(std::move(r)); }
+  void add_property_unchecked(Property p) { properties_.push_back(std::move(p)); }
+
   const std::vector<Register>& registers() const { return registers_; }
   const std::vector<Property>& properties() const { return properties_; }
   NetId property(std::string_view name) const {

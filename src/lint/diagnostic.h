@@ -1,0 +1,58 @@
+// Structured lint findings.
+//
+// Every rule in the registry (lint.h) emits Diagnostic records; a
+// LintReport is the ordered batch produced by one run over one netlist.
+// Severities follow the usual compiler convention: errors mean the netlist
+// violates a contract some consumer relies on (solving it risks a silent
+// wrong answer), warnings mean the netlist is suspicious but well-formed,
+// infos are observations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::lint {
+
+enum class Severity { kInfo, kWarning, kError };
+
+std::string_view severity_name(Severity severity);  // "info"/"warning"/"error"
+
+struct Diagnostic {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  // The offending net; ir::kNoNet for netlist-level findings (e.g. a
+  // register whose next-state was never bound has no net to point at).
+  ir::NetId net = ir::kNoNet;
+  std::string message;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity severity) const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) n += d.severity == severity;
+    return n;
+  }
+  std::size_t error_count() const { return count(Severity::kError); }
+  std::size_t warning_count() const { return count(Severity::kWarning); }
+  bool has_errors() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+  // All diagnostics emitted by one rule (unit tests key off this).
+  std::vector<Diagnostic> by_rule(std::string_view rule_id) const {
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.rule_id == rule_id) out.push_back(d);
+    }
+    return out;
+  }
+};
+
+}  // namespace rtlsat::lint

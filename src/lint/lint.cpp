@@ -1,0 +1,359 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ir/structure_check.h"
+#include "util/strings.h"
+
+namespace rtlsat::lint {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+using ir::SeqCircuit;
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> catalog = {
+      // Structural rules, shared with Circuit::validate().
+      {"operand-count", Severity::kError,
+       "node has the wrong number of operands for its operator"},
+      {"operand-width", Severity::kError,
+       "operand widths are inconsistent with the operator and result width"},
+      {"boolean-width", Severity::kError,
+       "boolean gate or predicate involves a non-1-bit net"},
+      {"mux-select", Severity::kError, "mux select net is not 1-bit"},
+      {"extract-bounds", Severity::kError,
+       "extract bit range lies outside the operand's width"},
+      {"imm-range", Severity::kError,
+       "constant-operand immediate (mulc factor, shift amount) out of range"},
+      {"max-width", Severity::kError,
+       "net width outside [1, ir::kMaxWidth]"},
+      {"const-range", Severity::kError,
+       "constant value does not fit its declared width"},
+      {"comb-cycle", Severity::kError,
+       "operand does not precede its node — a combinational cycle"},
+      {"undriven-net", Severity::kError,
+       "operand references a net that no node drives"},
+      {"unnamed-input", Severity::kWarning, "primary input has no name"},
+      // Lint-only circuit rules.
+      {"dead-net", Severity::kWarning,
+       "net is read by nothing reachable from a root, register, or property"},
+      {"missed-const-fold", Severity::kWarning,
+       "node the builder would have constant-folded survived (netlist was "
+       "built outside the canonicalizing builder)"},
+      // Sequential rules.
+      {"unbound-register", Severity::kError,
+       "register has no bound next-state net", /*seq_only=*/true},
+      {"register-width", Severity::kError,
+       "register state/next-state nets are missing or width-mismatched",
+       /*seq_only=*/true},
+      {"register-init-range", Severity::kError,
+       "register reset value does not fit the register's width",
+       /*seq_only=*/true},
+      {"property-bool", Severity::kError,
+       "safety property net is missing or not 1-bit", /*seq_only=*/true},
+      {"constant-register", Severity::kWarning,
+       "register's next state is its own output — it can never change",
+       /*seq_only=*/true},
+      {"duplicate-register", Severity::kWarning,
+       "two registers share the same state net", /*seq_only=*/true},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (rule.id == id) return &rule;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Collects raw findings during a run; ordering and filtering happen once at
+// the end so rules can emit in whatever order is natural to compute.
+class Collector {
+ public:
+  explicit Collector(const LintOptions& options) : options_(options) {}
+
+  void emit(std::string_view rule_id, NetId net, std::string message) {
+    const RuleInfo* rule = find_rule(rule_id);
+    RTLSAT_ASSERT_MSG(rule != nullptr, "lint rule not in catalog");
+    if (rule->severity != Severity::kError && !options_.warnings) return;
+    for (const std::string& disabled : options_.disabled_rules) {
+      if (disabled == rule_id) return;
+    }
+    diagnostics_.push_back(
+        {std::string(rule_id), rule->severity, net, std::move(message)});
+  }
+
+  bool has_errors() const {
+    for (const Diagnostic& d : diagnostics_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+
+  LintReport finish() && {
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       const auto rank = [](const Diagnostic& d) {
+                         const auto& catalog = rule_catalog();
+                         for (std::size_t i = 0; i < catalog.size(); ++i) {
+                           if (catalog[i].id == d.rule_id) return i;
+                         }
+                         return catalog.size();
+                       };
+                       const std::size_t ra = rank(a), rb = rank(b);
+                       if (ra != rb) return ra < rb;
+                       return a.net < b.net;
+                     });
+    return LintReport{std::move(diagnostics_)};
+  }
+
+ private:
+  const LintOptions& options_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+// Returns true when any error-severity structural defect was found —
+// regardless of whether options filtered it out of the report, because the
+// semantic rules below walk operand edges and must not trust a broken
+// netlist just because its defects were silenced.
+bool run_structural_rules(const Circuit& circuit, Collector& out) {
+  bool broken = false;
+  ir::check_structure(circuit, [&](const ir::StructuralDefect& defect) {
+    const std::string_view id = ir::structure_defect_id(defect.kind);
+    const RuleInfo* rule = find_rule(id);
+    broken = broken || (rule != nullptr && rule->severity == Severity::kError);
+    out.emit(id, defect.net, defect.message);
+  });
+  return broken;
+}
+
+// Reverse reachability from the sink set; anything else is dead. Only safe
+// on structurally sound circuits (operand ids must be valid).
+void run_dead_net_rule(const Circuit& circuit, const std::vector<NetId>& sinks,
+                       Collector& out) {
+  if (sinks.empty()) return;
+  std::vector<bool> live(circuit.num_nets(), false);
+  std::vector<NetId> stack;
+  for (const NetId s : sinks) {
+    if (s < circuit.num_nets() && !live[s]) {
+      live[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const NetId id = stack.back();
+    stack.pop_back();
+    for (const NetId o : circuit.node(id).operands) {
+      if (!live[o]) {
+        live[o] = true;
+        stack.push_back(o);
+      }
+    }
+  }
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    if (live[id]) continue;
+    const Node& node = circuit.node(id);
+    // Interned constants are shared artifacts of builder folds; an unused
+    // one carries no signal.
+    if (node.op == Op::kConst) continue;
+    out.emit("dead-net", id,
+             str_format("%s '%s' drives nothing reachable from a sink",
+                        node.op == Op::kInput ? "input" : "net",
+                        circuit.net_name(id).c_str()));
+  }
+}
+
+// Flags nodes the canonicalizing builder is guaranteed to have folded away:
+// their presence means the netlist bypassed the builder (deserializer bug,
+// hand assembly) and downstream passes will see non-canonical structure.
+void run_const_fold_rule(const Circuit& circuit, Collector& out) {
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    const Node& node = circuit.node(id);
+    const auto is_const = [&](std::size_t i) {
+      return circuit.node(node.operands[i]).op == Op::kConst;
+    };
+    const char* why = nullptr;
+    switch (node.op) {
+      case Op::kAnd:
+      case Op::kOr:
+        for (const NetId o : node.operands) {
+          if (circuit.node(o).op == Op::kConst) why = "constant gate operand";
+        }
+        break;
+      case Op::kNot:
+        if (is_const(0)) why = "constant operand";
+        if (circuit.node(node.operands[0]).op == Op::kNot)
+          why = "double negation";
+        break;
+      case Op::kXor:
+        if (is_const(0) || is_const(1)) why = "constant operand";
+        if (node.operands[0] == node.operands[1]) why = "x xor x";
+        break;
+      case Op::kMux:
+        if (is_const(0)) why = "constant select";
+        if (node.operands[1] == node.operands[2]) why = "identical branches";
+        break;
+      case Op::kAdd:
+        if (is_const(0) && is_const(1)) why = "constant operands";
+        for (int i = 0; i < 2; ++i) {
+          if (is_const(i) && circuit.node(node.operands[i]).imm == 0)
+            why = "addition of zero";
+        }
+        break;
+      case Op::kSub:
+        if (is_const(0) && is_const(1)) why = "constant operands";
+        if (is_const(1) && circuit.node(node.operands[1]).imm == 0)
+          why = "subtraction of zero";
+        if (node.operands[0] == node.operands[1]) why = "x - x";
+        break;
+      case Op::kMulC:
+        if (node.imm == 0 || node.imm == 1) why = "multiply by 0 or 1";
+        break;
+      case Op::kShlC:
+      case Op::kShrC:
+        if (node.imm == 0) why = "shift by zero";
+        break;
+      case Op::kExtract:
+        if (node.operands.size() == 1 && node.imm2 == 0 &&
+            node.imm == circuit.node(node.operands[0]).width - 1)
+          why = "full-width extract";
+        break;
+      case Op::kZext:
+        if (node.operands.size() == 1 &&
+            node.width == circuit.node(node.operands[0]).width)
+          why = "zero-extension to the same width";
+        break;
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe:
+        if (is_const(0) && is_const(1)) why = "constant comparison";
+        if (node.operands[0] == node.operands[1])
+          why = "comparison of a net with itself";
+        break;
+      case Op::kMin:
+      case Op::kMax:
+        if (node.operands[0] == node.operands[1]) why = "min/max of one net";
+        break;
+      default:
+        break;
+    }
+    if (why != nullptr) {
+      out.emit("missed-const-fold", id,
+               str_format("%s node should have been folded (%s)",
+                          std::string(ir::op_name(node.op)).c_str(), why));
+    }
+  }
+}
+
+void run_seq_rules(const SeqCircuit& seq, Collector& out) {
+  const Circuit& comb = seq.comb();
+  std::unordered_map<NetId, std::size_t> q_seen;
+  for (std::size_t i = 0; i < seq.registers().size(); ++i) {
+    const ir::Register& r = seq.registers()[i];
+    const char* label = r.name.empty() ? "<unnamed>" : r.name.c_str();
+    const bool q_ok = r.q != ir::kNoNet && r.q < comb.num_nets();
+    if (!q_ok || comb.node(r.q).op != Op::kInput) {
+      out.emit("register-width", q_ok ? r.q : ir::kNoNet,
+               str_format("register '%s': state net is not a primary input "
+                          "of the combinational core",
+                          label));
+    }
+    if (r.d == ir::kNoNet) {
+      out.emit("unbound-register", r.q,
+               str_format("register '%s' has no next-state binding", label));
+    } else if (r.d >= comb.num_nets()) {
+      out.emit("register-width", r.q,
+               str_format("register '%s': next-state net n%u does not exist",
+                          label, r.d));
+    } else if (q_ok && comb.width(r.d) != comb.width(r.q)) {
+      out.emit("register-width", r.q,
+               str_format("register '%s': next-state width %d does not match "
+                          "state width %d",
+                          label, comb.width(r.d), comb.width(r.q)));
+    } else if (q_ok && r.d == r.q) {
+      out.emit("constant-register", r.q,
+               str_format("register '%s' feeds back its own output and "
+                          "stays at %lld forever",
+                          label, static_cast<long long>(r.init)));
+    }
+    if (q_ok && !Interval::full_width(comb.width(r.q)).contains(r.init)) {
+      out.emit("register-init-range", r.q,
+               str_format("register '%s': reset value %lld does not fit %d "
+                          "bit%s",
+                          label, static_cast<long long>(r.init),
+                          comb.width(r.q), comb.width(r.q) == 1 ? "" : "s"));
+    }
+    if (q_ok) {
+      const auto [it, inserted] = q_seen.emplace(r.q, i);
+      if (!inserted) {
+        out.emit("duplicate-register", r.q,
+                 str_format("register '%s' shares state net n%u with "
+                            "register '%s'",
+                            label, r.q,
+                            seq.registers()[it->second].name.c_str()));
+      }
+    }
+  }
+  for (const ir::Property& p : seq.properties()) {
+    const char* label = p.name.empty() ? "<unnamed>" : p.name.c_str();
+    if (p.net == ir::kNoNet || p.net >= comb.num_nets()) {
+      out.emit("property-bool", ir::kNoNet,
+               str_format("property '%s' references no net", label));
+    } else if (comb.width(p.net) != 1) {
+      out.emit("property-bool", p.net,
+               str_format("property '%s' is %d bits wide, expected 1", label,
+                          comb.width(p.net)));
+    }
+  }
+}
+
+LintReport run(const Circuit& circuit, const SeqCircuit* seq,
+               const LintOptions& options) {
+  Collector out(options);
+  const bool broken = run_structural_rules(circuit, out);
+  if (seq != nullptr) run_seq_rules(*seq, out);
+  // Semantic rules walk operand edges and assume a sound structure; on a
+  // structurally broken netlist they would chase dangling ids.
+  if (!broken) {
+    std::vector<NetId> sinks = options.roots;
+    if (seq != nullptr) {
+      for (const ir::Register& r : seq->registers()) {
+        if (r.d != ir::kNoNet) sinks.push_back(r.d);
+      }
+      for (const ir::Property& p : seq->properties()) {
+        if (p.net != ir::kNoNet) sinks.push_back(p.net);
+      }
+    }
+    run_dead_net_rule(circuit, sinks, out);
+    run_const_fold_rule(circuit, out);
+  }
+  return std::move(out).finish();
+}
+
+}  // namespace
+
+LintReport lint_circuit(const Circuit& circuit, const LintOptions& options) {
+  return run(circuit, nullptr, options);
+}
+
+LintReport lint_seq_circuit(const SeqCircuit& seq, const LintOptions& options) {
+  return run(seq.comb(), &seq, options);
+}
+
+}  // namespace rtlsat::lint

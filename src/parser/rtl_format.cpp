@@ -120,6 +120,11 @@ class Parser {
     expect_symbol("seq-circuit");
     ir::SeqCircuit seq(expect_name());
     parse_items(seq.comb(), &seq);
+    for (const auto& r : seq.registers()) {
+      if (r.d == ir::kNoNet)
+        throw ParseError("register '" + r.name + "' has no next binding",
+                         lex_.peek().line);
+    }
     seq.validate();
     return seq;
   }
@@ -144,6 +149,7 @@ class Parser {
         const std::int64_t width = expect_number();
         check_width(width, head.line);
         const std::int64_t init = expect_number();
+        check_fits(init, width, "register init", head.line);
         check_fresh(name, head.line);
         names_.emplace(name,
                        seq->add_register(name, static_cast<int>(width), init));
@@ -159,12 +165,20 @@ class Parser {
         if (seq == nullptr)
           throw ParseError("next in combinational circuit", head.line);
         const NetId q = lookup(expect_name(), head.line);
-        seq->bind_next(q, parse_expr(c));
+        bool is_reg = false;
+        for (const auto& r : seq->registers()) is_reg = is_reg || r.q == q;
+        if (!is_reg)
+          throw ParseError("next target is not a register", head.line);
+        const NetId d = parse_expr(c);
+        check_same_width(c, q, d, "next", head.line);
+        seq->bind_next(q, d);
       } else if (head.text == "property") {
         if (seq == nullptr)
           throw ParseError("property in combinational circuit", head.line);
         const std::string name = expect_name();
-        seq->add_property(name, parse_expr(c));
+        const NetId p = parse_expr(c);
+        check_bool_net(c, p, "property", head.line);
+        seq->add_property(name, p);
       } else if (head.text == "output") {
         lookup(expect_name(), head.line);  // must reference a known net
       } else {
@@ -195,42 +209,73 @@ class Parser {
       for (std::size_t i = 0; i < n; ++i) v.push_back(parse_expr(c));
       return v;
     };
+    // Two-operand forms whose builder requires equal widths.
+    auto same2 = [&]() {
+      auto a = args(2);
+      check_same_width(c, a[0], a[1], name, op.line);
+      return a;
+    };
     if (name == "and" || name == "or") {
       std::vector<NetId> ops;
       while (lex_.peek().kind != Token::Kind::kRParen)
         ops.push_back(parse_expr(c));
       if (ops.size() < 2) throw ParseError(name + " needs >=2 operands", op.line);
+      for (NetId id : ops) check_bool_net(c, id, name, op.line);
       return name == "and" ? c.add_and(std::move(ops))
                            : c.add_or(std::move(ops));
     }
-    if (name == "not") return c.add_not(args(1)[0]);
-    if (name == "xor") { auto a = args(2); return c.add_xor(a[0], a[1]); }
-    if (name == "mux") { auto a = args(3); return c.add_mux(a[0], a[1], a[2]); }
-    if (name == "add") { auto a = args(2); return c.add_add(a[0], a[1]); }
-    if (name == "sub") { auto a = args(2); return c.add_sub(a[0], a[1]); }
+    if (name == "not") {
+      const NetId x = args(1)[0];
+      check_bool_net(c, x, name, op.line);
+      return c.add_not(x);
+    }
+    if (name == "xor") {
+      auto a = args(2);
+      check_bool_net(c, a[0], name, op.line);
+      check_bool_net(c, a[1], name, op.line);
+      return c.add_xor(a[0], a[1]);
+    }
+    if (name == "mux") {
+      auto a = args(3);
+      check_bool_net(c, a[0], "mux select", op.line);
+      check_same_width(c, a[1], a[2], name, op.line);
+      return c.add_mux(a[0], a[1], a[2]);
+    }
+    if (name == "add") { auto a = same2(); return c.add_add(a[0], a[1]); }
+    if (name == "sub") { auto a = same2(); return c.add_sub(a[0], a[1]); }
     if (name == "notw") return c.add_notw(args(1)[0]);
-    if (name == "concat") { auto a = args(2); return c.add_concat(a[0], a[1]); }
-    if (name == "min") { auto a = args(2); return c.add_min(a[0], a[1]); }
-    if (name == "max") { auto a = args(2); return c.add_max(a[0], a[1]); }
-    if (name == "eq") { auto a = args(2); return c.add_eq(a[0], a[1]); }
-    if (name == "ne") { auto a = args(2); return c.add_ne(a[0], a[1]); }
-    if (name == "lt") { auto a = args(2); return c.add_lt(a[0], a[1]); }
-    if (name == "le") { auto a = args(2); return c.add_le(a[0], a[1]); }
-    if (name == "gt") { auto a = args(2); return c.add_gt(a[0], a[1]); }
-    if (name == "ge") { auto a = args(2); return c.add_ge(a[0], a[1]); }
+    if (name == "concat") {
+      auto a = args(2);
+      if (c.width(a[0]) + c.width(a[1]) > ir::kMaxWidth)
+        throw ParseError("concat result exceeds max width", op.line);
+      return c.add_concat(a[0], a[1]);
+    }
+    if (name == "min") { auto a = same2(); return c.add_min(a[0], a[1]); }
+    if (name == "max") { auto a = same2(); return c.add_max(a[0], a[1]); }
+    if (name == "eq") { auto a = same2(); return c.add_eq(a[0], a[1]); }
+    if (name == "ne") { auto a = same2(); return c.add_ne(a[0], a[1]); }
+    if (name == "lt") { auto a = same2(); return c.add_lt(a[0], a[1]); }
+    if (name == "le") { auto a = same2(); return c.add_le(a[0], a[1]); }
+    if (name == "gt") { auto a = same2(); return c.add_gt(a[0], a[1]); }
+    if (name == "ge") { auto a = same2(); return c.add_ge(a[0], a[1]); }
     if (name == "const") {
       const std::int64_t v = expect_number();
       const std::int64_t w = expect_number();
       check_width(w, op.line);
+      check_fits(v, w, "constant", op.line);
       return c.add_const(v, static_cast<int>(w));
     }
     if (name == "mulc") {
       const NetId x = parse_expr(c);
-      return c.add_mulc(x, expect_number());
+      const std::int64_t k = expect_number();
+      if (k < 0) throw ParseError("mulc factor must be nonnegative", op.line);
+      return c.add_mulc(x, k);
     }
     if (name == "shl" || name == "shr") {
       const NetId x = parse_expr(c);
       const std::int64_t k = expect_number();
+      if (k < 0 || k >= c.width(x))
+        throw ParseError("shift amount out of range", op.line);
       return name == "shl" ? c.add_shl(x, static_cast<int>(k))
                            : c.add_shr(x, static_cast<int>(k));
     }
@@ -238,12 +283,16 @@ class Parser {
       const NetId x = parse_expr(c);
       const std::int64_t hi = expect_number();
       const std::int64_t lo = expect_number();
+      if (lo < 0 || lo > hi || hi >= c.width(x))
+        throw ParseError("extract bounds out of range", op.line);
       return c.add_extract(x, static_cast<int>(hi), static_cast<int>(lo));
     }
     if (name == "zext") {
       const NetId x = parse_expr(c);
       const std::int64_t w = expect_number();
       check_width(w, op.line);
+      if (w < c.width(x))
+        throw ParseError("zext narrower than operand", op.line);
       return c.add_zext(x, static_cast<int>(w));
     }
     throw ParseError("unknown operator '" + name + "'", op.line);
@@ -259,6 +308,25 @@ class Parser {
   static void check_width(std::int64_t w, int line) {
     if (w < 1 || w > ir::kMaxWidth)
       throw ParseError("width out of range", line);
+  }
+
+  // File input must fail with ParseError, never a builder assert: every
+  // width/range contract the builder enforces on parser-reachable paths
+  // is checked here first.
+  static void check_bool_net(const Circuit& c, NetId a, const std::string& what,
+                             int line) {
+    if (c.width(a) != 1)
+      throw ParseError(what + " requires 1-bit operands", line);
+  }
+  static void check_same_width(const Circuit& c, NetId a, NetId b,
+                               const std::string& what, int line) {
+    if (c.width(a) != c.width(b))
+      throw ParseError(what + " operand widths differ", line);
+  }
+  static void check_fits(std::int64_t v, std::int64_t w, const char* what,
+                         int line) {
+    if (v < 0 || v > (std::int64_t{1} << w) - 1)
+      throw ParseError(std::string(what) + " does not fit width", line);
   }
 
   void check_fresh(const std::string& name, int line) const {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/assert.h"
+#include "util/strings.h"
 
 namespace rtlsat::sat {
 
@@ -295,6 +298,147 @@ void Solver::reduce_db() {
   stats_.add("sat.clauses_deleted", static_cast<std::int64_t>(removed));
 }
 
+std::vector<std::string> Solver::check_invariants() const {
+  std::vector<std::string> violations;
+  const auto bad = [&](std::string message) {
+    violations.push_back(std::move(message));
+  };
+
+  // Trail ↔ assignment agreement: every trail literal is true, every
+  // assigned variable is on the trail exactly once, levels match the
+  // decision-limit structure.
+  std::vector<int> seen_at(num_vars(), -1);
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    if (l.var() >= num_vars()) {
+      bad(str_format("trail entry %zu names variable %u past the solver", i,
+                     l.var()));
+      continue;
+    }
+    if (value(l) != Value::kTrue)
+      bad(str_format("trail literal at %zu is not true", i));
+    if (seen_at[l.var()] >= 0) {
+      bad(str_format("variable %u appears on the trail at both %d and %zu",
+                     l.var(), seen_at[l.var()], i));
+    }
+    seen_at[l.var()] = static_cast<int>(i);
+    int expected_level = 0;
+    while (expected_level < static_cast<int>(trail_lim_.size()) &&
+           trail_lim_[static_cast<std::size_t>(expected_level)] <= i) {
+      ++expected_level;
+    }
+    if (level_[l.var()] != expected_level) {
+      bad(str_format("variable %u at trail %zu has level %d, trail limits "
+                     "say %d",
+                     l.var(), i, level_[l.var()], expected_level));
+    }
+  }
+  std::size_t assigned = 0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == Value::kUnassigned) continue;
+    ++assigned;
+    if (seen_at[v] < 0 )
+      bad(str_format("variable %u is assigned but not on the trail", v));
+    const ClauseRef r = reason_[v];
+    if (r == kNoReason) continue;
+    if (r >= clauses_.size()) {
+      bad(str_format("variable %u has reason clause %u past the database", v,
+                     r));
+      continue;
+    }
+    const Clause& c = clauses_[r];
+    if (c.deleted) {
+      bad(str_format("variable %u's reason clause %u was deleted", v, r));
+      continue;
+    }
+    if (c.lits.empty() || c.lits[0].var() != v) {
+      bad(str_format("reason clause %u of variable %u does not imply it "
+                     "through lits[0]",
+                     r, v));
+      continue;
+    }
+    if (value(c.lits[0]) != Value::kTrue)
+      bad(str_format("reason clause %u's implied literal is not true", r));
+    for (std::size_t k = 1; k < c.lits.size(); ++k) {
+      if (value(c.lits[k]) != Value::kFalse) {
+        bad(str_format("reason clause %u of variable %u has a non-false "
+                       "side literal",
+                       r, v));
+        break;
+      }
+    }
+  }
+  if (assigned != trail_.size()) {
+    bad(str_format("%zu variables assigned but %zu literals on the trail",
+                   assigned, trail_.size()));
+  }
+
+  // Two-watched-literal integrity: each live clause of ≥ 2 literals is on
+  // the watch lists of its first two literals' complements (stale entries
+  // from deleted clauses and moved watches are expected and harmless).
+  const auto watched_by = [&](ClauseRef cr, Lit l) {
+    for (const ClauseRef entry : watches_[(~l).code()]) {
+      if (entry == cr) return true;
+    }
+    return false;
+  };
+  // Once the database is known contradictory (ok_ cleared by a level-0
+  // conflict) an all-false clause is the expected state, not a missed
+  // conflict.
+  const bool at_fixpoint = ok_ && qhead_ == trail_.size();
+  for (ClauseRef cr = 0; cr < clauses_.size(); ++cr) {
+    const Clause& c = clauses_[cr];
+    if (c.deleted) continue;
+    if (c.lits.size() < 2) {
+      bad(str_format("live clause %u has %zu literals; unit and empty "
+                     "clauses must not be stored",
+                     cr, c.lits.size()));
+      continue;
+    }
+    for (int w = 0; w < 2; ++w) {
+      if (!watched_by(cr, c.lits[w])) {
+        bad(str_format("clause %u is not on the watch list of its watched "
+                       "literal %d",
+                       cr, w));
+      }
+    }
+    if (!at_fixpoint) continue;
+    std::size_t false_count = 0;
+    bool any_true = false;
+    std::size_t unknown = c.lits.size();
+    for (std::size_t k = 0; k < c.lits.size(); ++k) {
+      switch (value(c.lits[k])) {
+        case Value::kTrue: any_true = true; break;
+        case Value::kFalse: ++false_count; break;
+        case Value::kUnassigned: unknown = k; break;
+      }
+    }
+    if (!any_true && false_count == c.lits.size()) {
+      bad(str_format("clause %u is all-false at a propagation fixpoint — a "
+                     "conflict was missed",
+                     cr));
+    } else if (!any_true && false_count + 1 == c.lits.size()) {
+      bad(str_format("clause %u is unit on unassigned variable %u at a "
+                     "propagation fixpoint — an implication was missed",
+                     cr, c.lits[unknown].var()));
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+void enforce(const std::vector<std::string>& violations, const char* where) {
+  if (violations.empty()) return;
+  std::fprintf(stderr, "rtlsat: self-check failed at %s (%zu violation%s):\n",
+               where, violations.size(), violations.size() == 1 ? "" : "s");
+  for (const std::string& v : violations)
+    std::fprintf(stderr, "  - %s\n", v.c_str());
+  std::abort();
+}
+
+}  // namespace
+
 std::int64_t Solver::luby(std::int64_t i) {
   // Luby sequence 1 1 2 1 1 2 4 ...
   std::int64_t k = 1;
@@ -318,13 +462,20 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   std::int64_t conflicts_until_restart =
       options_.restart_base * luby(restart_count);
   std::int64_t conflict_budget = conflicts_until_restart;
+  std::int64_t conflicts_until_check = options_.self_check_interval;
   std::vector<Lit> learnt;
 
   while (true) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       stats_.add("sat.conflicts", 1);
-      if (trail_lim_.empty()) return Result::kUnsat;
+      if (trail_lim_.empty()) {
+        // Conflict with no decisions or assumptions on the trail: the
+        // instance is unconditionally UNSAT (assumptions get their own
+        // trail_lim_ entries, so they cannot be implicated here).
+        ok_ = false;
+        return Result::kUnsat;
+      }
       int bt_level = 0;
       analyze(conflict, learnt, bt_level);
       backtrack(bt_level);
@@ -341,6 +492,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));
       }
       decay_activities();
+      if (options_.self_check && --conflicts_until_check <= 0) {
+        conflicts_until_check = options_.self_check_interval;
+        stats_.add("sat.self_checks", 1);
+        enforce(check_invariants(), "sat conflict loop");
+      }
       if (--conflict_budget <= 0) {
         // Restart.
         stats_.add("sat.restarts", 1);
@@ -370,7 +526,13 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     }
     if (assumption_pending) continue;
 
-    if (trail_.size() == num_vars()) return Result::kSat;
+    if (trail_.size() == num_vars()) {
+      if (options_.self_check) {
+        stats_.add("sat.self_checks", 1);
+        enforce(check_invariants(), "sat model");
+      }
+      return Result::kSat;
+    }
     stats_.add("sat.decisions", 1);
     trail_lim_.push_back(trail_.size());
     enqueue(pick_branch(), kNoReason);

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "util/assert.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -53,6 +55,11 @@ struct SolverOptions {
   int restart_base = 100;       // Luby unit, in conflicts
   double learnt_grow = 1.1;     // learnt-DB cap growth per reduction
   double timeout_seconds = 0;   // 0 = none
+  // Audit trail/watch/clause-DB invariants (check_invariants) every
+  // `self_check_interval` conflicts and at every SAT answer; any violation
+  // aborts. Defaults on in -DRTLSAT_SELFCHECK=ON builds.
+  bool self_check = kSelfCheckBuild;
+  int self_check_interval = 256;
 };
 
 class Solver {
@@ -72,6 +79,15 @@ class Solver {
 
   // Model access after kSat.
   bool model_value(Var v) const;
+
+  // Invariant audit (the Boolean half of the solver self-check layer; the
+  // hybrid half lives in core/selfcheck.h). Verifies trail/assignment
+  // agreement, reason-clause shape, two-watched-literal integrity, and —
+  // at a propagation fixpoint — that no clause is all-false or unit
+  // without its implication enqueued. Returns human-readable violations;
+  // empty means every invariant holds. Callable at any fixpoint between
+  // solve() steps or from tests.
+  std::vector<std::string> check_invariants() const;
 
   const Stats& stats() const { return stats_; }
 

@@ -18,6 +18,17 @@ namespace rtlsat {
   std::abort();
 }
 
+// Whether this build was configured with -DRTLSAT_SELFCHECK=ON. The
+// invariant verifiers (core/selfcheck.h, sat::Solver::self_check) are
+// always compiled and callable; this constant only drives the *default* of
+// the runtime flags that invoke them inside the solvers' search loops, so
+// a self-check build exercises them everywhere at zero configuration cost.
+#ifdef RTLSAT_SELFCHECK
+inline constexpr bool kSelfCheckBuild = true;
+#else
+inline constexpr bool kSelfCheckBuild = false;
+#endif
+
 }  // namespace rtlsat
 
 #define RTLSAT_ASSERT(expr)                                            \

@@ -1,0 +1,211 @@
+// Tests for the solver-invariant verifier (core/selfcheck.h and
+// sat::Solver::check_invariants): the checkers accept healthy solver
+// states — including full HDPLL searches with the in-loop hooks armed —
+// and detect states that violate the documented contracts.
+#include <gtest/gtest.h>
+
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "core/selfcheck.h"
+#include "itc99/itc99.h"
+#include "sat/solver.h"
+
+namespace rtlsat::core {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+// ------------------------------------------------------------- direct use
+
+TEST(SelfCheckTest, HealthyEngineHasNoViolations) {
+  Circuit c("healthy");
+  const NetId a = c.add_input("a", 4);
+  const NetId b = c.add_input("b", 4);
+  const NetId sum = c.add_add(a, b);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(sum, Interval::point(3),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  engine.push_level();
+  ASSERT_TRUE(
+      engine.narrow(a, Interval::point(2), prop::ReasonKind::kDecision));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_TRUE(selfcheck::check_engine(engine).empty());
+}
+
+TEST(SelfCheckTest, AssertingClauseAccepted) {
+  Circuit c("clauses");
+  c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  prop::Engine engine(c);
+  HybridClause clause;
+  clause.lits.push_back(HybridLit::boolean(b, true));
+  // b unassigned: the clause asserts it.
+  EXPECT_TRUE(selfcheck::check_asserting_clause(clause, engine).empty());
+}
+
+TEST(SelfCheckTest, SatisfiedLearnedClauseRejected) {
+  Circuit c("clauses");
+  const NetId a = c.add_input("a", 1);
+  prop::Engine engine(c);
+  engine.push_level();
+  ASSERT_TRUE(
+      engine.narrow(a, Interval::point(1), prop::ReasonKind::kDecision));
+  HybridClause satisfied;
+  satisfied.lits.push_back(HybridLit::boolean(a, true));
+  EXPECT_FALSE(selfcheck::check_asserting_clause(satisfied, engine).empty());
+  HybridClause still_false;
+  still_false.lits.push_back(HybridLit::boolean(a, false));
+  EXPECT_FALSE(selfcheck::check_asserting_clause(still_false, engine).empty());
+}
+
+TEST(SelfCheckTest, IntervalSoundnessAcceptsConsistentWitness) {
+  Circuit c("witness");
+  const NetId a = c.add_input("a", 4);
+  c.add_add(a, c.add_const(1, 4));
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(a, Interval(5, 7),
+                            prop::ReasonKind::kAssumption));
+  ASSERT_TRUE(engine.propagate());
+  EXPECT_TRUE(selfcheck::check_interval_soundness(engine, {{a, 6}}).empty());
+}
+
+TEST(SelfCheckTest, IntervalSoundnessRejectsExcludedWitness) {
+  Circuit c("witness");
+  const NetId a = c.add_input("a", 4);
+  prop::Engine engine(c);
+  ASSERT_TRUE(engine.narrow(a, Interval(5, 7),
+                            prop::ReasonKind::kAssumption));
+  const auto violations = selfcheck::check_interval_soundness(engine, {{a, 3}});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("excludes"), std::string::npos);
+}
+
+TEST(SelfCheckTest, HealthyClauseDbHasNoViolations) {
+  Circuit c("db");
+  const NetId a = c.add_input("a", 1);
+  const NetId b = c.add_input("b", 1);
+  c.add_or(a, b);
+  prop::Engine engine(c);
+  ClauseDb db(c);
+  HybridClause clause;
+  clause.lits.push_back(HybridLit::boolean(a, true));
+  clause.lits.push_back(HybridLit::boolean(b, true));
+  db.add(clause);
+  std::size_t cursor = 0;
+  ASSERT_TRUE(db.propagate(engine, &cursor));
+  EXPECT_TRUE(selfcheck::check_clause_db(db, engine).empty());
+}
+
+// ------------------------------------------------ in-loop hooks, HDPLL
+
+// Runs a full BMC solve with the verifier armed on every conflict; any
+// invariant violation aborts the process, so completing is the assertion.
+SolveStatus solve_with_selfcheck(const std::string& model, int bound,
+                                 bool structural, bool predicates) {
+  const ir::SeqCircuit seq = itc99::build(model);
+  const bmc::BmcInstance instance =
+      bmc::unroll(seq, seq.properties().front().name, bound);
+  HdpllOptions options;
+  options.structural_decisions = structural;
+  options.predicate_learning = predicates;
+  options.self_check = true;
+  options.self_check_interval = 1;
+  HdpllSolver solver(instance.circuit, options);
+  solver.assume_bool(instance.goal, true);
+  const SolveResult result = solver.solve();
+  EXPECT_NE(result.status, SolveStatus::kTimeout);
+  return result.status;
+}
+
+TEST(SelfCheckTest, HdpllSolvesCleanlyUnderSelfCheck) {
+  for (const int bound : {2, 6}) {
+    const SolveStatus base = solve_with_selfcheck("b01", bound, false, false);
+    const SolveStatus s = solve_with_selfcheck("b01", bound, true, false);
+    const SolveStatus sp = solve_with_selfcheck("b01", bound, true, true);
+    EXPECT_EQ(base, s);
+    EXPECT_EQ(base, sp);
+  }
+}
+
+TEST(SelfCheckTest, HdpllDatapathModelUnderSelfCheck) {
+  solve_with_selfcheck("b04", 3, true, true);
+}
+
+// ------------------------------------------------ in-loop hooks, SAT
+
+TEST(SatSelfCheckTest, HealthySolverPassesCheckInvariants) {
+  sat::Solver solver;
+  const sat::Var a = solver.new_var();
+  const sat::Var b = solver.new_var();
+  solver.add_clause({sat::Lit(a, true), sat::Lit(b, true)});
+  solver.add_clause({sat::Lit(a, false), sat::Lit(b, true)});
+  EXPECT_TRUE(solver.check_invariants().empty());
+  EXPECT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_TRUE(solver.check_invariants().empty());
+  EXPECT_TRUE(solver.model_value(b));
+}
+
+TEST(SatSelfCheckTest, SearchWithSelfCheckEveryConflict) {
+  sat::SolverOptions options;
+  options.self_check = true;
+  options.self_check_interval = 1;
+  sat::Solver solver(options);
+  // Pigeonhole PHP(5 pigeons, 4 holes): UNSAT only after genuine search
+  // with conflict learning, so the every-conflict hook really runs.
+  constexpr int kPigeons = 5, kHoles = 4;
+  sat::Var p[kPigeons][kHoles];
+  for (auto& row : p)
+    for (auto& v : row) v = solver.new_var();
+  for (const auto& row : p) {
+    std::vector<sat::Lit> somewhere;
+    for (const sat::Var v : row) somewhere.emplace_back(v, true);
+    solver.add_clause(somewhere);
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i = 0; i < kPigeons; ++i) {
+      for (int k = i + 1; k < kPigeons; ++k) {
+        solver.add_clause({sat::Lit(p[i][j], false),
+                           sat::Lit(p[k][j], false)});
+      }
+    }
+  }
+  EXPECT_EQ(solver.solve(), sat::Result::kUnsat);
+  EXPECT_GT(solver.stats().get("sat.self_checks"), 0);
+  EXPECT_TRUE(solver.check_invariants().empty());
+}
+
+TEST(SatSelfCheckTest, SatisfiableSearchWithSelfCheck) {
+  sat::SolverOptions options;
+  options.self_check = true;
+  options.self_check_interval = 1;
+  sat::Solver solver(options);
+  // PHP(4, 4) is satisfiable but shares the conflict-rich structure.
+  constexpr int kN = 4;
+  sat::Var p[kN][kN];
+  for (auto& row : p)
+    for (auto& v : row) v = solver.new_var();
+  for (const auto& row : p) {
+    std::vector<sat::Lit> somewhere;
+    for (const sat::Var v : row) somewhere.emplace_back(v, true);
+    solver.add_clause(somewhere);
+  }
+  for (int j = 0; j < kN; ++j) {
+    for (int i = 0; i < kN; ++i) {
+      for (int k = i + 1; k < kN; ++k) {
+        solver.add_clause({sat::Lit(p[i][j], false),
+                           sat::Lit(p[k][j], false)});
+      }
+    }
+  }
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  for (int j = 0; j < kN; ++j) {
+    int pigeons_in_hole = 0;
+    for (int i = 0; i < kN; ++i) pigeons_in_hole += solver.model_value(p[i][j]);
+    EXPECT_LE(pigeons_in_hole, 1);
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::core

@@ -32,6 +32,10 @@ TEST_P(BmcEndToEnd, ConfigsAgreeWithOracle) {
     options.structural_decisions = config >= 1;
     options.predicate_learning = config >= 2;
     options.timeout_seconds = 60;
+    // Run the invariant verifier during the search in every build, not
+    // just -DRTLSAT_SELFCHECK=ON ones — this suite is the self-check
+    // layer's end-to-end exercise.
+    options.self_check = true;
     core::HdpllSolver solver(instance.circuit, options);
     solver.assume_bool(instance.goal, true);
     const core::SolveResult result = solver.solve();
@@ -71,6 +75,7 @@ TEST(BmcEndToEnd, SatModelDrivesCounterexample) {
   const bmc::BmcInstance instance = bmc::unroll(seq, "1", 4);
   core::HdpllOptions options;
   options.structural_decisions = true;
+  options.self_check = true;
   core::HdpllSolver solver(instance.circuit, options);
   solver.assume_bool(instance.goal, true);
   const core::SolveResult result = solver.solve();

@@ -1,0 +1,41 @@
+// Regression: every shipped benchmark model is lint-clean (no
+// error-severity diagnostics), both as built by the registry and after a
+// serialize/parse round trip — the deserializer path is exactly the one
+// the lint subsystem guards.
+#include <gtest/gtest.h>
+
+#include "itc99/itc99.h"
+#include "lint/lint.h"
+#include "lint/report.h"
+#include "parser/rtl_format.h"
+
+namespace rtlsat::lint {
+namespace {
+
+class Itc99LintTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Itc99LintTest, RegistryModelHasNoErrors) {
+  const ir::SeqCircuit seq = itc99::build(GetParam());
+  const LintReport report = lint_seq_circuit(seq);
+  EXPECT_EQ(report.error_count(), 0u)
+      << to_text(report, seq.comb(), GetParam());
+  // Builder-built netlists are canonical by construction.
+  EXPECT_TRUE(report.by_rule("missed-const-fold").empty());
+  EXPECT_TRUE(report.by_rule("unnamed-input").empty());
+}
+
+TEST_P(Itc99LintTest, ParserRoundTripHasNoErrors) {
+  const ir::SeqCircuit seq = itc99::build(GetParam());
+  const std::string text = parser::write_seq_circuit(seq);
+  const ir::SeqCircuit reparsed = parser::parse_seq_circuit(text);
+  const LintReport report = lint_seq_circuit(reparsed);
+  EXPECT_EQ(report.error_count(), 0u)
+      << to_text(report, reparsed.comb(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, Itc99LintTest,
+                         ::testing::ValuesIn(itc99::available()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace rtlsat::lint

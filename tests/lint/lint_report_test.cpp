@@ -1,0 +1,107 @@
+// Reporter and option-filtering tests for the lint subsystem.
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "lint/lint.h"
+#include "lint/report.h"
+
+namespace rtlsat::lint {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+
+// A netlist with exactly one error (undriven operand) and one warning
+// (unnamed input).
+Circuit mixed_circuit() {
+  Circuit c("mixed");
+  Node input;
+  input.op = Op::kInput;
+  input.width = 4;
+  c.add_unchecked(std::move(input));
+  Node dangling;
+  dangling.op = Op::kNot;
+  dangling.operands = {ir::kNoNet};
+  c.add_unchecked(std::move(dangling));
+  return c;
+}
+
+TEST(LintReportTest, Counts) {
+  const Circuit c = mixed_circuit();
+  const LintReport report = lint_circuit(c);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(LintReportTest, WarningsCanBeSuppressed) {
+  const Circuit c = mixed_circuit();
+  LintOptions options;
+  options.warnings = false;
+  const LintReport report = lint_circuit(c, options);
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 0u);
+}
+
+TEST(LintReportTest, RulesCanBeDisabled) {
+  const Circuit c = mixed_circuit();
+  LintOptions options;
+  options.disabled_rules = {"undriven-net"};
+  const LintReport report = lint_circuit(c, options);
+  EXPECT_TRUE(report.by_rule("undriven-net").empty());
+  EXPECT_FALSE(report.by_rule("unnamed-input").empty());
+  EXPECT_FALSE(report.has_errors());
+  // Disabling the error hides the diagnostic but must not unleash the
+  // semantic rules on the still-broken netlist.
+  EXPECT_TRUE(report.by_rule("dead-net").empty());
+}
+
+TEST(LintReportTest, TextFormat) {
+  const Circuit c = mixed_circuit();
+  const std::string text = to_text(lint_circuit(c), c, "mixed.rtl");
+  EXPECT_NE(text.find("mixed.rtl: error[undriven-net]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mixed.rtl: warning[unnamed-input]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("net n1"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 error, 1 warning\n"), std::string::npos) << text;
+}
+
+TEST(LintReportTest, TextTrailerPluralizes) {
+  Circuit c("clean");
+  c.add_input("a", 1);
+  LintOptions options;
+  options.roots = {0};
+  const std::string text = to_text(lint_circuit(c, options), c, "clean");
+  EXPECT_EQ(text, "clean: 0 errors, 0 warnings\n");
+}
+
+TEST(LintReportTest, JsonFormat) {
+  const Circuit c = mixed_circuit();
+  const std::string json = to_json(lint_circuit(c), c, "mixed.rtl");
+  EXPECT_NE(json.find("\"source\": \"mixed.rtl\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"undriven-net\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"net\": 1"), std::string::npos) << json;
+}
+
+TEST(LintReportTest, JsonEscapesStrings) {
+  LintReport report;
+  report.diagnostics.push_back(
+      {"dead-net", Severity::kWarning, ir::kNoNet, "a \"quoted\"\nmessage"});
+  Circuit c("esc");
+  const std::string json = to_json(report, c, "path\\with\\backslashes");
+  EXPECT_NE(json.find("\"path\\\\with\\\\backslashes\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nmessage"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"net\": null"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace rtlsat::lint

@@ -94,6 +94,43 @@ TEST(Parse, WidthRangeEnforced) {
 }
 
 
+// Contracts the builder enforces with asserts must surface as ParseError
+// on the file path — a malformed .rtl may never abort the process.
+TEST(Parse, BuilderContractsRejectedAsParseErrors) {
+  EXPECT_THROW(parse_circuit("(circuit t (net x (const 99 4)))"), ParseError);
+  EXPECT_THROW(parse_seq_circuit("(seq-circuit t (register r 2 9) (next r r))"),
+               ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 4) (net x (shl a 9)))"), ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 4) (net x (extract a 7 2)))"),
+      ParseError);
+  EXPECT_THROW(
+      parse_circuit(
+          "(circuit t (input a 4) (input b 8) (net x (add a b)))"),
+      ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 4) (net x (not a)))"), ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 4) (net x (zext a 2)))"), ParseError);
+  EXPECT_THROW(
+      parse_circuit("(circuit t (input a 4) (net x (mulc a -1)))"), ParseError);
+  EXPECT_THROW(
+      parse_seq_circuit(
+          "(seq-circuit t (input a 2) (net n (add a (const 1 2))) (next a n) "
+          "(property p (le a (const 3 2))))"),
+      ParseError);
+  EXPECT_THROW(
+      parse_seq_circuit(
+          "(seq-circuit t (input a 4) (property p a))"),
+      ParseError);
+  EXPECT_THROW(
+      parse_seq_circuit(
+          "(seq-circuit t (register r 2 0) (input a 2) "
+          "(property p (le r a)))"),
+      ParseError);
+}
+
 TEST(Parse, DuplicateNamesRejected) {
   EXPECT_THROW(parse_circuit("(circuit t (input a 1) (input a 2))"),
                ParseError);
