@@ -14,9 +14,12 @@ using namespace rtlsat::bench;
 
 namespace {
 
+BenchJson* g_json = nullptr;
+
 void run_and_print(const char* label, const bmc::BmcInstance& instance,
                    const core::HdpllOptions& options) {
   const RunResult r = run_hdpll(instance, options);
+  if (g_json != nullptr) g_json->add_row(instance.name, label, r);
   std::printf("  %-34s %c %9s\n", label, r.verdict, cell(r).c_str());
   std::fflush(stdout);
 }
@@ -24,9 +27,12 @@ void run_and_print(const char* label, const bmc::BmcInstance& instance,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  const double timeout = full ? 600 : 60;
-  const int bound = full ? 100 : 40;
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const bool full = args.full;
+  const double timeout = args.smoke ? 10 : full ? 600 : 60;
+  const int bound = args.smoke ? 15 : full ? 100 : 40;
+  BenchJson json("ablations", args.json_path);
+  g_json = &json;
 
   const ir::SeqCircuit b13 = itc99::build("b13");
 
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
       auto options = make_options(Config::kStructuralPred, timeout, threshold);
       if (threshold == 0) options.predicate_learning = false;
       const RunResult r = run_hdpll(instance, options);
+      json.add_row(instance.name, str_format("threshold_%d", threshold), r);
       std::printf("  threshold %-5d rels=%-5d learn=%6.2fs solve %c %9s\n",
                   threshold, r.learning.relations_learned, r.learning.seconds,
                   r.verdict, cell(r).c_str());
@@ -77,6 +84,7 @@ int main(int argc, char** argv) {
       auto options = make_options(Config::kHdpll, timeout, 0);
       options.restart_interval = interval;
       const RunResult r = run_hdpll(instance, options);
+      json.add_row(instance.name, str_format("restart_%d", interval), r);
       std::printf("  restart interval %-5d %c %9s\n", interval, r.verdict,
                   cell(r).c_str());
       std::fflush(stdout);

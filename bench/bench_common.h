@@ -4,12 +4,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bitblast/bitblast.h"
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
+#include "trace/json.h"
+#include "util/stats.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -20,6 +24,9 @@ struct RunResult {
   double seconds = 0;
   core::PredicateLearningReport learning;
   std::int64_t datapath_implications = 0;
+  // Full solver counter/histogram dump (empty for the bit-blast oracle,
+  // which does not expose its SAT solver).
+  Stats stats;
 };
 
 enum class Config { kHdpll, kStructural, kStructuralPred, kChrono };
@@ -55,6 +62,7 @@ inline RunResult run_hdpll(const bmc::BmcInstance& instance,
   out.seconds = result.seconds;
   out.learning = result.learning;
   out.datapath_implications = solver.engine().num_datapath_narrowings();
+  out.stats = solver.stats();
   switch (result.status) {
     case core::SolveStatus::kSat: out.verdict = 'S'; break;
     case core::SolveStatus::kUnsat: out.verdict = 'U'; break;
@@ -89,5 +97,104 @@ inline std::string paper_cell(double value) {
   if (value < 0) return "-to-";
   return str_format("%.2f", value);
 }
+
+// Flags shared by all table benches:
+//   --full          the paper's full instance list (1200 s timeouts)
+//   --smoke         tiny instance subset + short timeout, for CI
+//   --json <path>   additionally write machine-readable BENCH_*.json
+struct BenchArgs {
+  bool full = false;
+  bool smoke = false;
+  std::string json_path;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      args.full = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// Streams bench rows into one JSON document:
+//   {"bench": "...", "rows": [{"instance", "config", "verdict", "seconds",
+//    "relations_learned", "units_learned", "learning_seconds",
+//    "datapath_implications", "counters": {...}}, ...]}
+// The file is written on close()/destruction; a null/empty path makes every
+// call a no-op so benches can construct one unconditionally.
+class BenchJson {
+ public:
+  BenchJson(std::string_view bench, std::string path)
+      : path_(std::move(path)) {
+    if (path_.empty()) return;
+    writer_.begin_object();
+    writer_.key("bench").value(bench);
+    writer_.key("rows").begin_array();
+  }
+  ~BenchJson() { close(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add_row(const std::string& instance, const std::string& config,
+               const RunResult& r) {
+    if (path_.empty()) return;
+    writer_.begin_object();
+    writer_.key("instance").value(instance);
+    writer_.key("config").value(config);
+    const char verdict[2] = {r.verdict, '\0'};
+    writer_.key("verdict").value(verdict);
+    writer_.key("seconds").value(r.seconds);
+    writer_.key("relations_learned").value(r.learning.relations_learned);
+    writer_.key("units_learned").value(r.learning.units_learned);
+    writer_.key("learning_seconds").value(r.learning.seconds);
+    writer_.key("datapath_implications").value(r.datapath_implications);
+    writer_.key("counters").begin_object();
+    for (const auto& [name, value] : r.stats.all()) {
+      writer_.key(name).value(value);
+    }
+    writer_.end_object();
+    writer_.key("histograms").begin_object();
+    for (const auto& [name, h] : r.stats.histograms()) {
+      writer_.key(name).begin_object();
+      writer_.key("count").value(h.count());
+      writer_.key("sum").value(h.sum());
+      writer_.key("min").value(h.min());
+      writer_.key("max").value(h.max());
+      writer_.key("mean").value(h.mean());
+      writer_.end_object();
+    }
+    writer_.end_object();
+    writer_.end_object();
+  }
+
+  void close() {
+    if (path_.empty() || closed_) return;
+    closed_ = true;
+    writer_.end_array();
+    writer_.end_object();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench json to %s\n", path_.c_str());
+      return;
+    }
+    std::fputs(writer_.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  trace::JsonWriter writer_;
+  bool closed_ = false;
+};
 
 }  // namespace rtlsat::bench

@@ -1,0 +1,88 @@
+// Microbenchmarks guarding the observability layer's hot-path costs:
+//   * string-keyed Stats::add vs a cached counter reference (the reason
+//     HdpllSolver/sat::Solver resolve handles once at construction),
+//   * Histogram::add (per-conflict recording must stay a few instructions),
+//   * Tracer::record with tracing disabled (the default: one relaxed load
+//     and a predicted branch) and enabled (ring push + periodic drain),
+//   * ProgressReporter::tick when the report interval has not elapsed.
+#include <benchmark/benchmark.h>
+
+#include "trace/progress.h"
+#include "trace/trace.h"
+#include "util/stats.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void BM_StatsStringAdd(benchmark::State& state) {
+  Stats stats;
+  for (auto _ : state) {
+    stats.add("hdpll.decisions", 1);
+  }
+  benchmark::DoNotOptimize(stats.get("hdpll.decisions"));
+}
+BENCHMARK(BM_StatsStringAdd);
+
+void BM_StatsCachedCounter(benchmark::State& state) {
+  Stats stats;
+  std::int64_t& counter = stats.counter("hdpll.decisions");
+  for (auto _ : state) {
+    ++counter;
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_StatsCachedCounter);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    h.add(v++ & 1023);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_TracerDisabledRecord(benchmark::State& state) {
+  trace::Tracer tracer;  // no sinks ⟹ disabled; record() is a branch
+  for (auto _ : state) {
+    tracer.record(trace::EventKind::kDecision, 3, 42, 1);
+  }
+  benchmark::DoNotOptimize(tracer.events_recorded());
+}
+BENCHMARK(BM_TracerDisabledRecord);
+
+void BM_TracerEnabledRecord(benchmark::State& state) {
+  trace::TracerOptions options;
+  options.collect_in_memory = true;
+  trace::Tracer tracer(options);
+  std::int64_t since_drain = 0;
+  for (auto _ : state) {
+    tracer.record(trace::EventKind::kDecision, 3, 42, 1);
+    if (++since_drain >= 65536) {
+      since_drain = 0;
+      benchmark::DoNotOptimize(tracer.drain());
+    }
+  }
+  benchmark::DoNotOptimize(tracer.events_recorded());
+}
+BENCHMARK(BM_TracerEnabledRecord);
+
+void BM_ProgressTickNotDue(benchmark::State& state) {
+  trace::ProgressOptions options;
+  options.banner = false;
+  options.interval_seconds = 1e9;  // never due: measures the early-out
+  trace::ProgressReporter reporter(options);
+  trace::ProgressSnapshot snapshot;
+  for (auto _ : state) {
+    ++snapshot.conflicts;
+    reporter.tick(snapshot);
+  }
+  benchmark::DoNotOptimize(reporter.reports());
+}
+BENCHMARK(BM_ProgressTickNotDue);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -5,8 +5,10 @@
 // Table 1 isolates the §3 technique). Paper values are printed alongside
 // for the rows the paper reports.
 //
-//   $ ./table1_predicate_learning          # default (scaled) bound list
-//   $ ./table1_predicate_learning --full   # the paper's full bound list
+//   $ ./table1_predicate_learning                 # default (scaled) bounds
+//   $ ./table1_predicate_learning --full          # the paper's full list
+//   $ ./table1_predicate_learning --smoke         # tiny subset, for CI
+//   $ ./table1_predicate_learning --json out.json # machine-readable rows
 #include <cstring>
 #include <vector>
 
@@ -53,12 +55,22 @@ const std::vector<Row> kQuickRows = {
     {"b13", "1", 200, 56.24, 1.85}, {"b13", "1", 300, 587.42, 21.76},
 };
 
+// Small known-fast instances so CI can exercise the full pipeline
+// (including --json and tracing) in seconds.
+const std::vector<Row> kSmokeRows = {
+    {"b01", "1", 10, 0.01, 0.02},
+    {"b02", "1", 10, 0.16, 0.16},
+    {"b13", "5", 10, 0.01, 0.00},
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  const double timeout = full ? 1200 : 60;
-  const auto& rows = full ? kFullRows : kQuickRows;
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const double timeout = args.smoke ? 10 : args.full ? 1200 : 60;
+  const auto& rows =
+      args.smoke ? kSmokeRows : args.full ? kFullRows : kQuickRows;
+  BenchJson json("table1_predicate_learning", args.json_path);
 
   std::printf(
       "Table 1 — Run-Time Analysis of Predicate Learning (paper values in "
@@ -83,6 +95,8 @@ int main(int argc, char** argv) {
 
     const std::string name = str_format("%s_%s(%d)", row.circuit,
                                         row.property, row.bound);
+    json.add_row(name, "HDPLL", plain);
+    json.add_row(name, "HDPLL+PredLearn", learned);
     std::printf("%-14s %-4c %8d %10.2f | %8s [%7s] %8s [%7s]\n", name.c_str(),
                 learned.verdict, learned.learning.relations_learned,
                 learned.learning.seconds, cell(plain).c_str(),

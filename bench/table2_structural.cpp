@@ -88,9 +88,10 @@ const std::vector<Row> kQuickRows = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
-  const double timeout = full ? 1200 : 60;
-  const auto& rows = full ? kFullRows : kQuickRows;
+  const BenchArgs args = parse_bench_args(argc, argv);
+  const double timeout = args.smoke ? 10 : args.full ? 1200 : 60;
+  const auto& rows = args.full ? kFullRows : kQuickRows;
+  BenchJson json("table2_structural", args.json_path);
 
   std::printf(
       "Table 2 — Structural Decision Strategy (ours [paper]); CDP stand-ins "
@@ -119,6 +120,11 @@ int main(int argc, char** argv) {
 
     const std::string name = str_format("%s_%s(%d)", row.circuit,
                                         row.property, row.bound);
+    json.add_row(name, "HDPLL", plain);
+    json.add_row(name, "HDPLL+S", with_s);
+    json.add_row(name, "HDPLL+S+P", with_sp);
+    json.add_row(name, "bitblast", blast);
+    json.add_row(name, "chrono-CDP", chrono);
     std::printf(
         "%-14s %-2c %7zu %7zu | %7s [%6s] %7s [%6s] %7s [%6s] | %10s %10s | "
         "%12lld\n",

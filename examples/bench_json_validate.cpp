@@ -1,0 +1,161 @@
+// Schema validator for the observability layer's machine-readable outputs,
+// used by CI to prove that what the benches and the tracer emit actually
+// parses back and carries the documented fields (docs/observability.md).
+//
+//   $ ./bench_json_validate bench  BENCH_table1.json   # bench --json output
+//   $ ./bench_json_validate chrome out.trace.json      # Chrome trace_event
+//   $ ./bench_json_validate jsonl  out.jsonl           # tracer JSONL lines
+//
+// Exit 0 when the file is valid; prints the first violation and exits 1
+// otherwise.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/json.h"
+
+using rtlsat::trace::JsonValue;
+using rtlsat::trace::json_parse;
+
+namespace {
+
+bool fail(const std::string& message) {
+  std::fprintf(stderr, "invalid: %s\n", message.c_str());
+  return false;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool require_number(const JsonValue& object, const char* name,
+                    const std::string& where) {
+  const JsonValue* v = object.find(name);
+  if (v == nullptr || !v->is_number())
+    return fail(where + ": missing numeric field '" + name + "'");
+  return true;
+}
+
+bool require_string(const JsonValue& object, const char* name,
+                    const std::string& where) {
+  const JsonValue* v = object.find(name);
+  if (v == nullptr || !v->is_string())
+    return fail(where + ": missing string field '" + name + "'");
+  return true;
+}
+
+// {"bench": "...", "rows": [{instance, config, verdict, seconds, ...}]}
+bool validate_bench(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, &doc, &error)) return fail(error);
+  if (!doc.is_object()) return fail("top level is not an object");
+  if (!require_string(doc, "bench", "top level")) return false;
+  const JsonValue* rows = doc.find("rows");
+  if (rows == nullptr || !rows->is_array())
+    return fail("top level: missing array field 'rows'");
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    const std::string where = "rows[" + std::to_string(i) + "]";
+    if (!row.is_object()) return fail(where + ": not an object");
+    if (!require_string(row, "instance", where)) return false;
+    if (!require_string(row, "config", where)) return false;
+    if (!require_string(row, "verdict", where)) return false;
+    const std::string& verdict = row.find("verdict")->string;
+    if (verdict != "S" && verdict != "U" && verdict != "T" && verdict != "?")
+      return fail(where + ": verdict '" + verdict + "' is not S/U/T/?");
+    if (!require_number(row, "seconds", where)) return false;
+    const JsonValue* counters = row.find("counters");
+    if (counters == nullptr || !counters->is_object())
+      return fail(where + ": missing object field 'counters'");
+  }
+  std::printf("ok: %zu bench rows\n", rows->array.size());
+  return true;
+}
+
+// {"displayTimeUnit": "ms", "traceEvents": [{ph, ts, name, ...}]}
+bool validate_chrome(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, &doc, &error)) return fail(error);
+  if (!doc.is_object()) return fail("top level is not an object");
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    return fail("top level: missing array field 'traceEvents'");
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) return fail(where + ": not an object");
+    if (!require_string(ev, "ph", where)) return false;
+    if (!require_number(ev, "ts", where)) return false;
+    if (!require_string(ev, "name", where)) return false;
+  }
+  std::printf("ok: %zu trace events\n", events->array.size());
+  return true;
+}
+
+// One JSON object per line, each with t_us/kind (trace events) or
+// t_seconds/conflicts (progress heartbeats).
+bool validate_jsonl(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    if (!json_parse(line, &doc, &error))
+      return fail("line " + std::to_string(lineno) + ": " + error);
+    const std::string where = "line " + std::to_string(lineno);
+    if (!doc.is_object()) return fail(where + ": not an object");
+    const bool is_event = doc.find("kind") != nullptr;
+    const bool is_heartbeat = doc.find("conflicts") != nullptr;
+    if (!is_event && !is_heartbeat)
+      return fail(where + ": neither a trace event ('kind') nor a progress "
+                          "heartbeat ('conflicts')");
+    if (is_event) {
+      if (!require_number(doc, "t_us", where)) return false;
+      if (!require_string(doc, "kind", where)) return false;
+      if (!require_number(doc, "level", where)) return false;
+    } else {
+      if (!require_number(doc, "conflicts", where)) return false;
+      if (!require_number(doc, "decisions", where)) return false;
+    }
+    ++count;
+  }
+  std::printf("ok: %zu jsonl records\n", count);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <bench|chrome|jsonl> <file>\n", argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  std::string text;
+  if (!read_file(argv[2], &text)) return 1;
+  bool ok = false;
+  if (mode == "bench") {
+    ok = validate_bench(text);
+  } else if (mode == "chrome") {
+    ok = validate_chrome(text);
+  } else if (mode == "jsonl") {
+    ok = validate_jsonl(text);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  return ok ? 0 : 1;
+}

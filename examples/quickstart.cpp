@@ -2,17 +2,40 @@
 // hybrid DPLL solver, and print the witness.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace out       # writes out.jsonl + out.trace.json
+//   $ ./quickstart --progress        # MiniSat-style progress banner
 //
 // The circuit is a saturating accumulator step: out = min(acc + in, 200).
 // We ask: can the output land exactly on the saturation boundary while the
 // accumulator stays below 100?
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
 #include "core/hdpll.h"
+#include "trace/progress.h"
+#include "trace/trace.h"
 
 using namespace rtlsat;
 
-int main() {
+int main(int argc, char** argv) {
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::ProgressReporter> progress;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace::TracerOptions topts;
+      topts.jsonl_path = std::string(argv[++i]) + ".jsonl";
+      topts.chrome_path = std::string(argv[i]) + ".trace.json";
+      tracer = std::make_unique<trace::Tracer>(topts);
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = std::make_unique<trace::ProgressReporter>();
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace <base>] [--progress]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   ir::Circuit c("quickstart");
 
   const ir::NetId acc = c.add_input("acc", 8);
@@ -28,6 +51,8 @@ int main() {
 
   core::HdpllOptions options;
   options.structural_decisions = true;  // the paper's +S strategy
+  options.tracer = tracer.get();
+  options.progress = progress.get();
   core::HdpllSolver solver(c, options);
   solver.assume_bool(goal, true);
 

@@ -3,37 +3,64 @@
 // property, bound and configuration.
 //
 //   $ ./rtl_file_solver design.{rtl,v} <property> <bound> [base|s|sp] [timeout_s]
+//                       [--trace <base>] [--progress]
 //
 // Try it on the shipped models:
 //   $ ./rtl_file_solver ../data/b13.rtl 5 20 sp
 //   $ ./rtl_file_solver ../data/traffic.v ped_served 14 sp
+//
+// --trace writes <base>.jsonl + <base>.trace.json (open the latter in
+// Perfetto / chrome://tracing); --progress prints a MiniSat-style banner.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "parser/rtl_format.h"
+#include "trace/progress.h"
+#include "trace/trace.h"
 #include "verilog/verilog.h"
 
 using namespace rtlsat;
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
+  std::unique_ptr<trace::Tracer> tracer;
+  std::unique_ptr<trace::ProgressReporter> progress;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace::TracerOptions topts;
+      topts.jsonl_path = std::string(argv[++i]) + ".jsonl";
+      topts.chrome_path = std::string(argv[i]) + ".trace.json";
+      tracer = std::make_unique<trace::Tracer>(topts);
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = std::make_unique<trace::ProgressReporter>();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3) {
     std::fprintf(stderr,
                  "usage: %s <file.rtl> <property> <bound> [base|s|sp] "
-                 "[timeout_s]\n",
+                 "[timeout_s] [--trace <base>] [--progress]\n",
                  argv[0]);
     return 2;
   }
-  const std::string path = argv[1];
-  const std::string property = argv[2];
-  const int bound = std::atoi(argv[3]);
-  const std::string config = argc > 4 ? argv[4] : "sp";
-  const double timeout = argc > 5 ? std::atof(argv[5]) : 1200;
+  const std::string path = positional[0];
+  const std::string property = positional[1];
+  const int bound = std::atoi(positional[2]);
+  const std::string config = positional.size() > 3 ? positional[3] : "sp";
+  const double timeout =
+      positional.size() > 4 ? std::atof(positional[4]) : 1200;
 
   ir::SeqCircuit seq("empty");
   try {
+    trace::ScopedPhase parse_phase(
+        tracer != nullptr ? tracer.get() : &trace::global(), nullptr, "parse");
     const bool is_verilog =
         path.size() > 2 && path.compare(path.size() - 2, 2, ".v") == 0;
     seq = is_verilog ? verilog::load_file(path)
@@ -55,6 +82,8 @@ int main(int argc, char** argv) {
   options.structural_decisions = config == "s" || config == "sp";
   options.predicate_learning = config == "sp";
   options.timeout_seconds = timeout;
+  options.tracer = tracer.get();
+  options.progress = progress.get();
   core::HdpllSolver solver(instance.circuit, options);
   solver.assume_bool(instance.goal, true);
   const core::SolveResult result = solver.solve();

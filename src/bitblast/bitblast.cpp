@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace rtlsat::bitblast {
 
 using ir::NetId;
@@ -11,10 +13,14 @@ using sat::Lit;
 
 BitBlaster::BitBlaster(const ir::Circuit& circuit, sat::Solver& solver)
     : circuit_(circuit), solver_(solver) {
+  trace::ScopedPhase phase(&trace::global(), nullptr, "bitblast_encode");
   true_var_ = solver_.new_var();
   solver_.add_clause({true_lit()});
   bits_.resize(circuit_.num_nets());
   for (NetId id = 0; id < circuit_.num_nets(); ++id) encode_node(id);
+  trace::global().record(trace::EventKind::kBitblast, 0,
+                         static_cast<std::int64_t>(solver_.num_vars()),
+                         static_cast<std::int64_t>(circuit_.num_nets()));
 }
 
 Lit BitBlaster::fresh() { return Lit(solver_.new_var(), true); }

@@ -1,5 +1,6 @@
 #include "bmc/unroll.h"
 
+#include "trace/trace.h"
 #include "util/assert.h"
 #include "util/strings.h"
 
@@ -149,12 +150,22 @@ BmcInstance unroll_impl(const ir::SeqCircuit& seq, std::string_view property,
 
 BmcInstance unroll(const ir::SeqCircuit& seq, std::string_view property,
                    int bound) {
-  return unroll_impl(seq, property, bound, /*any_frame=*/false);
+  trace::ScopedPhase phase(&trace::global(), nullptr, "unroll");
+  BmcInstance instance = unroll_impl(seq, property, bound, /*any_frame=*/false);
+  trace::global().record(trace::EventKind::kUnroll, 0,
+                         static_cast<std::int64_t>(instance.circuit.num_nets()),
+                         bound);
+  return instance;
 }
 
 BmcInstance unroll_any(const ir::SeqCircuit& seq, std::string_view property,
                        int bound) {
-  return unroll_impl(seq, property, bound, /*any_frame=*/true);
+  trace::ScopedPhase phase(&trace::global(), nullptr, "unroll");
+  BmcInstance instance = unroll_impl(seq, property, bound, /*any_frame=*/true);
+  trace::global().record(trace::EventKind::kUnroll, 0,
+                         static_cast<std::int64_t>(instance.circuit.num_nets()),
+                         bound);
+  return instance;
 }
 
 }  // namespace rtlsat::bmc

@@ -42,7 +42,9 @@ AnalysisResult analyze_conflict(const prop::Engine& engine,
       pending.push(e);
     }
   };
+  int resolutions = 0;
   auto expand = [&](std::int32_t e) {
+    ++resolutions;
     for (std::int32_t a : engine.all_antecedents(e)) push(a);
   };
 
@@ -104,6 +106,7 @@ AnalysisResult analyze_conflict(const prop::Engine& engine,
   }
 
   AnalysisResult result;
+  result.resolutions = resolutions;
   if (collected.empty()) {
     result.empty_clause = true;
     return result;

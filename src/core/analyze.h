@@ -33,6 +33,9 @@ struct AnalysisResult {
   // lits[0] is the asserting literal.
   HybridClause clause;
   std::uint32_t backtrack_level = 0;
+  // Implication-graph events resolved into their antecedents while building
+  // the cut — a proxy for analysis effort, fed to the observability layer.
+  int resolutions = 0;
 };
 
 AnalysisResult analyze_conflict(const prop::Engine& engine,

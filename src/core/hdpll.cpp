@@ -5,6 +5,8 @@
 #include "core/deduce.h"
 #include "core/selfcheck.h"
 #include "ir/analysis.h"
+#include "trace/progress.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace rtlsat::core {
@@ -31,8 +33,24 @@ HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
       engine_(circuit),
       db_(circuit),
       heap_(circuit.num_nets()),
+      fme_(fme::SolveOptions{.tracer = options.tracer}),
       rng_(options.random_seed),
-      phase_(circuit.num_nets(), false) {
+      phase_(circuit.num_nets(), false),
+      n_decisions_(stats_.counter("hdpll.decisions")),
+      n_conflicts_(stats_.counter("hdpll.conflicts")),
+      n_learned_clauses_(stats_.counter("hdpll.learned_clauses")),
+      n_learned_literals_(stats_.counter("hdpll.learned_literals")),
+      n_structural_decisions_(stats_.counter("hdpll.structural_decisions")),
+      n_justify_scanned_(stats_.counter("justify.candidates_scanned")),
+      n_arith_checks_(stats_.counter("hdpll.arith_checks")),
+      n_arith_conflicts_(stats_.counter("hdpll.arith_conflicts")),
+      h_learned_len_(stats_.histogram("hdpll.learned_clause_len")),
+      h_backjump_(stats_.histogram("hdpll.backjump_distance")),
+      h_resolutions_(stats_.histogram("hdpll.analyze_resolutions")),
+      h_interval_width_(stats_.histogram("hdpll.arith_interval_width")),
+      tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
+      progress_(options.progress) {
+  engine_.set_tracer(tracer_);
   if (options_.structural_decisions)
     justifier_ = std::make_unique<Justifier>(circuit);
   // Seed activities with original fanout counts (§2.4).
@@ -75,9 +93,17 @@ bool HdpllSolver::pick_phase(NetId net) {
 
 std::optional<HdpllSolver::Decision> HdpllSolver::pick_decision() {
   if (options_.structural_decisions) {
-    if (auto jd = justifier_->pick(
-            engine_, options_.predicate_learning ? &db_ : nullptr)) {
-      stats_.add("hdpll.structural_decisions", 1);
+    if (tracer_->verbose()) {
+      tracer_->record(trace::EventKind::kJustifyFrontier, engine_.level(),
+                      static_cast<std::int64_t>(
+                          justifier_->frontier_size(engine_)));
+    }
+    if (auto jd = justifier_->pick(engine_,
+                                   options_.predicate_learning ? &db_ : nullptr,
+                                   &n_justify_scanned_)) {
+      ++n_structural_decisions_;
+      tracer_->record(trace::EventKind::kStructuralDecision, engine_.level(),
+                      jd->net, jd->value ? 1 : 0);
       return Decision{jd->net, jd->value};
     }
   }
@@ -129,8 +155,27 @@ void HdpllSolver::on_clause_learned(const HybridClause& clause) {
   }
 }
 
+void HdpllSolver::progress_tick(bool final) {
+  if (progress_ == nullptr) return;
+  trace::ProgressSnapshot s;
+  s.conflicts = n_conflicts_;
+  s.decisions = n_decisions_;
+  s.propagations = engine_.num_propagations();
+  s.learnt = static_cast<std::int64_t>(db_.learnt_count());
+  s.restarts = restart_count_;
+  s.trail = static_cast<std::int64_t>(engine_.trail().size());
+  s.level = engine_.level();
+  if (final) {
+    progress_->finish(s);
+  } else {
+    progress_->tick(s);
+  }
+}
+
 bool HdpllSolver::handle_conflict() {
-  stats_.add("hdpll.conflicts", 1);
+  ++n_conflicts_;
+  tracer_->record(trace::EventKind::kConflict, engine_.level());
+  progress_tick(/*final=*/false);
   if (engine_.level() == 0) return false;
 
   if (!options_.conflict_learning) {
@@ -152,9 +197,19 @@ bool HdpllSolver::handle_conflict() {
 
   const AnalysisResult analysis = analyze_conflict(engine_, options_.analyze);
   if (analysis.empty_clause) return false;
-  stats_.add("hdpll.learned_clauses", 1);
-  stats_.add("hdpll.learned_literals",
-             static_cast<std::int64_t>(analysis.clause.lits.size()));
+  const auto clause_len =
+      static_cast<std::int64_t>(analysis.clause.lits.size());
+  ++n_learned_clauses_;
+  n_learned_literals_ += clause_len;
+  h_learned_len_.add(clause_len);
+  h_backjump_.add(engine_.level() - analysis.backtrack_level);
+  h_resolutions_.add(analysis.resolutions);
+  tracer_->record(trace::EventKind::kAnalyze, engine_.level(),
+                  analysis.resolutions, clause_len);
+  tracer_->record(trace::EventKind::kLearnedClause, engine_.level(),
+                  clause_len, analysis.backtrack_level);
+  tracer_->record(trace::EventKind::kBacktrack, engine_.level(),
+                  engine_.level(), analysis.backtrack_level);
   backtrack_to(analysis.backtrack_level);
   if (options_.self_check) {
     selfcheck::enforce(
@@ -186,6 +241,8 @@ bool HdpllSolver::handle_conflict() {
     ++restart_count_;
     conflicts_until_restart_ =
         options_.restart_interval * luby_like(restart_count_);
+    tracer_->record(trace::EventKind::kRestart, engine_.level(),
+                    restart_count_);
     backtrack_to(0);
   }
   return true;
@@ -219,6 +276,13 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
 }
 
 SolveResult HdpllSolver::solve() {
+  SolveResult result = solve_impl();
+  progress_tick(/*final=*/true);
+  tracer_->flush();
+  return result;
+}
+
+SolveResult HdpllSolver::solve_impl() {
   Timer timer;
   const Deadline deadline(options_.timeout_seconds);
   SolveResult result;
@@ -226,15 +290,21 @@ SolveResult HdpllSolver::solve() {
   selfcheck_countdown_ = options_.self_check_interval;
   conflicts_until_restart_ = options_.restart_interval;
 
-  if (!apply_assumptions()) {
-    result.status = SolveStatus::kUnsat;
-    result.seconds = timer.seconds();
-    return result;
+  {
+    trace::ScopedPhase phase(tracer_, &stats_, "preprocess");
+    if (!apply_assumptions()) {
+      result.status = SolveStatus::kUnsat;
+      result.seconds = timer.seconds();
+      return result;
+    }
   }
 
   if (options_.predicate_learning) {
+    trace::ScopedPhase phase(tracer_, &stats_, "predicate_learning");
+    PredicateLearningOptions learn_options = options_.learning;
+    if (learn_options.tracer == nullptr) learn_options.tracer = tracer_;
     result.learning = run_predicate_learning(engine_, db_, &clause_cursor_,
-                                             options_.learning);
+                                             learn_options);
     if (result.learning.proven_unsat) {
       result.status = SolveStatus::kUnsat;
       result.seconds = timer.seconds();
@@ -248,6 +318,7 @@ SolveResult HdpllSolver::solve() {
     }
   }
 
+  trace::ScopedPhase search_phase(tracer_, &stats_, "search");
   int steps_since_deadline_check = 0;
   while (true) {
     if (!deduce(engine_, db_, &clause_cursor_)) {
@@ -273,15 +344,30 @@ SolveResult HdpllSolver::solve() {
       // Decide() == done: every Boolean net assigned, box bounds
       // consistent — ask FME for a point solution (§2.4).
       RTLSAT_DASSERT(engine_.all_booleans_assigned());
-      stats_.add("hdpll.arith_checks", 1);
-      const ArithCheckResult arith = arith_check(engine_, fme_);
+      ++n_arith_checks_;
+      if (tracer_->enabled()) {
+        // Interval widths of the word-level solution box handed to FME —
+        // only worth the O(nets) sweep when someone is watching.
+        for (NetId id = 0; id < circuit_.num_nets(); ++id) {
+          if (circuit_.is_bool(id)) continue;
+          h_interval_width_.add(
+              static_cast<std::int64_t>(engine_.interval(id).count()));
+        }
+      }
+      ArithCheckResult arith;
+      {
+        trace::ScopedPhase arith_phase(tracer_, &stats_, "arith_check");
+        arith = arith_check(engine_, fme_);
+      }
+      tracer_->record(trace::EventKind::kArithCheck, engine_.level(),
+                      arith.sat ? 1 : 0);
       if (arith.sat) {
         const PredicateLearningReport learning = result.learning;
         result = finish_sat(arith, timer);
         result.learning = learning;
         return result;
       }
-      stats_.add("hdpll.arith_conflicts", 1);
+      ++n_arith_conflicts_;
       if (engine_.level() == 0) {
         result.status = SolveStatus::kUnsat;
         result.seconds = timer.seconds();
@@ -312,8 +398,10 @@ SolveResult HdpllSolver::solve() {
       continue;
     }
 
-    stats_.add("hdpll.decisions", 1);
+    ++n_decisions_;
     engine_.push_level();
+    tracer_->record(trace::EventKind::kDecision, engine_.level(),
+                    decision->net, decision->value ? 1 : 0);
     decision_stack_.push_back({decision->net, decision->value, false});
     if (!engine_.narrow(decision->net,
                         Interval::point(decision->value ? 1 : 0),

@@ -32,6 +32,11 @@
 #include "util/stats.h"
 #include "util/timer.h"
 
+namespace rtlsat::trace {
+class Tracer;
+class ProgressReporter;
+}  // namespace rtlsat::trace
+
 namespace rtlsat::core {
 
 struct HdpllOptions {
@@ -74,6 +79,15 @@ struct HdpllOptions {
   // Defaults on in -DRTLSAT_SELFCHECK=ON builds; any violation aborts.
   bool self_check = kSelfCheckBuild;
   int self_check_interval = 64;
+
+  // Observability (src/trace). `tracer` records structured search events
+  // (decisions, conflicts, learned clauses, arith checks, phases …); null
+  // ⟹ trace::global(), which stays disabled unless RTLSAT_TRACE is set, so
+  // the default cost is one predicted branch per event. `progress` gets a
+  // tick() per conflict for rate-limited MiniSat-style reporting; null ⟹
+  // no reporting. Both are borrowed and must outlive the solver.
+  trace::Tracer* tracer = nullptr;
+  trace::ProgressReporter* progress = nullptr;
 };
 
 enum class SolveStatus { kSat, kUnsat, kTimeout };
@@ -111,6 +125,9 @@ class HdpllSolver {
   };
 
   bool apply_assumptions();
+  SolveResult solve_impl();
+  // Per-conflict progress hook; `final` forces the closing report.
+  void progress_tick(bool final);
   // Returns the next decision, or nullopt when every Boolean net is
   // assigned (Decide() == done).
   std::optional<Decision> pick_decision();
@@ -147,6 +164,24 @@ class HdpllSolver {
   std::int64_t conflicts_until_restart_ = 0;
   std::int64_t restart_count_ = 0;
   Stats stats_;
+  // Hot-path counters and histograms, resolved once against stats_ (which
+  // must be declared above them — initialization order) so the search loop
+  // never pays a map lookup per event. Cold counters (restarts, reductions,
+  // self-checks) still go through stats_.add().
+  std::int64_t& n_decisions_;
+  std::int64_t& n_conflicts_;
+  std::int64_t& n_learned_clauses_;
+  std::int64_t& n_learned_literals_;
+  std::int64_t& n_structural_decisions_;
+  std::int64_t& n_justify_scanned_;
+  std::int64_t& n_arith_checks_;
+  std::int64_t& n_arith_conflicts_;
+  Histogram& h_learned_len_;
+  Histogram& h_backjump_;
+  Histogram& h_resolutions_;
+  Histogram& h_interval_width_;
+  trace::Tracer* tracer_;              // never null after construction
+  trace::ProgressReporter* progress_;  // may be null
 };
 
 }  // namespace rtlsat::core

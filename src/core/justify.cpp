@@ -113,11 +113,18 @@ std::optional<JustifyDecision> Justifier::justify_gate(
 }
 
 std::optional<JustifyDecision> Justifier::pick(const prop::Engine& engine,
-                                               const ClauseDb* db) const {
+                                               const ClauseDb* db,
+                                               std::int64_t* scanned) const {
+  std::int64_t examined = 0;
   for (NetId id : candidates_) {
+    ++examined;
     if (!unjustified(engine, id)) continue;
-    if (auto decision = justify_gate(engine, id, db)) return decision;
+    if (auto decision = justify_gate(engine, id, db)) {
+      if (scanned != nullptr) *scanned += examined;
+      return decision;
+    }
   }
+  if (scanned != nullptr) *scanned += examined;
   return std::nullopt;
 }
 

@@ -35,9 +35,11 @@ class Justifier {
   // flows from the constrained outputs back towards the inputs) and
   // returns a decision for the first unjustified gate, or nullopt when the
   // frontier is empty. `db` may be null; when present, free value choices
-  // are weighted by learned-relation satisfaction.
+  // are weighted by learned-relation satisfaction. `scanned`, when non-null,
+  // accumulates the number of candidate gates examined (observability).
   std::optional<JustifyDecision> pick(const prop::Engine& engine,
-                                      const ClauseDb* db) const;
+                                      const ClauseDb* db,
+                                      std::int64_t* scanned = nullptr) const;
 
   // Diagnostic: the frontier size under the current assignment.
   std::size_t frontier_size(const prop::Engine& engine) const;

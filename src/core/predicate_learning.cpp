@@ -6,6 +6,7 @@
 
 #include "core/deduce.h"
 #include "ir/analysis.h"
+#include "trace/trace.h"
 #include "util/log.h"
 #include "util/timer.h"
 
@@ -137,6 +138,8 @@ PredicateLearningReport run_predicate_learning(
   Timer timer;
   if (options.max_relations <= 0) return report;
   RTLSAT_ASSERT(engine.level() == 0 && !engine.in_conflict());
+  trace::Tracer* tracer =
+      options.tracer != nullptr ? options.tracer : &trace::global();
 
   const ir::Circuit& circuit = engine.circuit();
   std::vector<NetId> candidates = ir::predicate_logic_cone(circuit);
@@ -157,8 +160,13 @@ PredicateLearningReport run_predicate_learning(
       if (!seen_clauses.insert(key).second) continue;
       if (c.lits.size() == 1) {
         ++report.units_learned;
+        tracer->record(trace::EventKind::kLearnedUnit, 0, c.lits[0].net,
+                       c.lits[0].is_bool ? c.lits[0].interval.lo() : -1);
       } else {
         ++report.relations_learned;
+        tracer->record(trace::EventKind::kLearnedRelation, 0,
+                       static_cast<std::int64_t>(c.lits.size()),
+                       c.lits[0].net);
       }
       db.add(std::move(c));
     }

@@ -22,6 +22,10 @@
 #include "prop/engine.h"
 #include "util/stats.h"
 
+namespace rtlsat::trace {
+class Tracer;
+}  // namespace rtlsat::trace
+
 namespace rtlsat::core {
 
 struct PredicateLearningOptions {
@@ -37,6 +41,9 @@ struct PredicateLearningOptions {
   // data-path. Off by default; the ablation bench exercises it.
   bool word_probing = false;
   int max_word_probes = 256;
+  // Observability: learned relations/units are recorded as trace events.
+  // Null ⟹ trace::global() (a no-op unless RTLSAT_TRACE is set).
+  trace::Tracer* tracer = nullptr;
 };
 
 struct PredicateLearningReport {

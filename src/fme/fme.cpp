@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "trace/trace.h"
 #include "util/assert.h"
 #include "util/log.h"
 
@@ -472,8 +473,14 @@ Result Solver::solve(const System& system, std::vector<std::int64_t>* model) {
 
   std::vector<std::int64_t> scratch(system.num_vars(), 0);
   Driver driver(options_, stats_);
+  const std::size_t num_constraints = problem.constraints.size();
   const Result result = driver.solve(std::move(problem), scratch, 0);
   if (result == Result::kSat && model != nullptr) *model = std::move(scratch);
+  trace::Tracer* tracer =
+      options_.tracer != nullptr ? options_.tracer : &trace::global();
+  tracer->record(trace::EventKind::kFmeSolve, 0,
+                 static_cast<std::int64_t>(num_constraints),
+                 result == Result::kSat ? 1 : 0);
   return result;
 }
 

@@ -27,6 +27,10 @@
 #include "fme/linear.h"
 #include "util/stats.h"
 
+namespace rtlsat::trace {
+class Tracer;
+}  // namespace rtlsat::trace
+
 namespace rtlsat::fme {
 
 enum class Result { kSat, kUnsat };
@@ -41,6 +45,9 @@ struct SolveOptions {
   // Hard cap on splinter recursion (conservative; depth is bounded by the
   // domain bit-widths anyway).
   int max_splinter_depth = 256;
+  // Observability: each solve() call is recorded as a kFmeSolve event.
+  // Null ⟹ trace::global() (a no-op unless RTLSAT_TRACE is set).
+  trace::Tracer* tracer = nullptr;
 };
 
 class Solver {

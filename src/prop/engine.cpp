@@ -1,6 +1,7 @@
 #include "prop/engine.h"
 
 #include "ir/analysis.h"
+#include "trace/trace.h"
 #include "util/log.h"
 
 namespace rtlsat::prop {
@@ -11,7 +12,8 @@ Engine::Engine(const ir::Circuit& circuit)
     : circuit_(circuit),
       fanout_(ir::fanouts(circuit)),
       latest_(circuit.num_nets(), -1),
-      in_queue_(circuit.num_nets(), false) {
+      in_queue_(circuit.num_nets(), false),
+      tracer_(&trace::global()) {
   domain_.reserve(circuit.num_nets());
   for (NetId id = 0; id < circuit.num_nets(); ++id) {
     const ir::Node& n = circuit.node(id);
@@ -41,6 +43,8 @@ bool Engine::narrow(NetId net, const Interval& to, ReasonKind kind,
     conflict_.net = net;
     conflict_.antecedents = std::move(antecedents);
     if (latest_[net] >= 0) conflict_.antecedents.push_back(latest_[net]);
+    tracer_->record(trace::EventKind::kPropConflict, level_, net,
+                    static_cast<std::int64_t>(kind));
     return false;
   }
   record_event(net, next, kind, reason_id, std::move(antecedents));
@@ -62,6 +66,10 @@ void Engine::record_event(NetId net, const Interval& next, ReasonKind kind,
   latest_[net] = static_cast<std::int32_t>(trail_.size());
   domain_[net] = next;
   if (!circuit_.is_bool(net)) ++num_datapath_narrowings_;
+  if (tracer_->verbose()) {
+    tracer_->record(trace::EventKind::kNarrowing, level_, net,
+                    static_cast<std::int64_t>(next.count()));
+  }
   trail_.push_back(std::move(ev));
   enqueue_neighbourhood(net);
 }
@@ -108,6 +116,8 @@ bool Engine::propagate() {
         conflict_.reason_id = node;
         conflict_.net = nw.net;
         conflict_.antecedents = incident_events(node, ir::kNoNet);
+        tracer_->record(trace::EventKind::kPropConflict, level_, nw.net,
+                        static_cast<std::int64_t>(ReasonKind::kNode));
         // Drain the queue flags so a later propagate() starts clean.
         for (NetId q : queue_) in_queue_[q] = false;
         queue_.clear();

@@ -21,6 +21,10 @@
 #include "ir/circuit.h"
 #include "prop/rules.h"
 
+namespace rtlsat::trace {
+class Tracer;
+}  // namespace rtlsat::trace
+
 namespace rtlsat::prop {
 
 enum class ReasonKind : std::uint8_t {
@@ -128,6 +132,16 @@ class Engine {
     return num_datapath_narrowings_;
   }
 
+  // Observability: conflicts are recorded as kPropConflict events and, when
+  // the tracer is verbose, every narrowing as a kNarrowing event. Defaults
+  // to trace::global() (disabled unless RTLSAT_TRACE is set); the owning
+  // solver overrides it with its own tracer. Never null.
+  void set_tracer(trace::Tracer* tracer) {
+    RTLSAT_ASSERT(tracer != nullptr);
+    tracer_ = tracer;
+  }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   void record_event(ir::NetId net, const Interval& next, ReasonKind kind,
                     std::uint32_t reason_id,
@@ -147,6 +161,7 @@ class Engine {
   std::vector<ir::NetId> queue_;
   std::vector<bool> in_queue_;
   Conflict conflict_;
+  trace::Tracer* tracer_;
   std::size_t low_water_ = 0;
   std::uint32_t level_ = 0;
   std::int64_t num_propagations_ = 0;

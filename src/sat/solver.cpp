@@ -5,12 +5,23 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "trace/progress.h"
+#include "trace/trace.h"
 #include "util/assert.h"
 #include "util/strings.h"
 
 namespace rtlsat::sat {
 
-Solver::Solver(SolverOptions options) : options_(options) {}
+Solver::Solver(SolverOptions options)
+    : options_(options),
+      n_propagations_(stats_.counter("sat.propagations")),
+      n_conflicts_(stats_.counter("sat.conflicts")),
+      n_decisions_(stats_.counter("sat.decisions")),
+      n_restarts_(stats_.counter("sat.restarts")),
+      h_learned_len_(stats_.histogram("sat.learned_clause_len")),
+      h_backjump_(stats_.histogram("sat.backjump_distance")),
+      tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
+      progress_(options.progress) {}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(activity_.size());
@@ -81,7 +92,7 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
 Solver::ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
-    stats_.add("sat.propagations", 1);
+    ++n_propagations_;
     auto& watch_list = watches_[p.code()];
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watch_list.size(); ++i) {
@@ -454,6 +465,23 @@ std::int64_t Solver::luby(std::int64_t i) {
 Result Solver::solve() { return solve({}); }
 
 Result Solver::solve(const std::vector<Lit>& assumptions) {
+  const Result result = solve_impl(assumptions);
+  if (progress_ != nullptr) {
+    trace::ProgressSnapshot s;
+    s.conflicts = n_conflicts_;
+    s.decisions = n_decisions_;
+    s.propagations = n_propagations_;
+    s.learnt = static_cast<std::int64_t>(learnt_count_);
+    s.restarts = n_restarts_;
+    s.trail = static_cast<std::int64_t>(trail_.size());
+    s.level = static_cast<std::uint32_t>(trail_lim_.size());
+    progress_->finish(s);
+  }
+  tracer_->flush();
+  return result;
+}
+
+Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
   Timer timer;
   const Deadline deadline(options_.timeout_seconds);
@@ -468,7 +496,20 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   while (true) {
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
-      stats_.add("sat.conflicts", 1);
+      ++n_conflicts_;
+      const auto level = static_cast<std::uint32_t>(trail_lim_.size());
+      tracer_->record(trace::EventKind::kConflict, level);
+      if (progress_ != nullptr) {
+        trace::ProgressSnapshot s;
+        s.conflicts = n_conflicts_;
+        s.decisions = n_decisions_;
+        s.propagations = n_propagations_;
+        s.learnt = static_cast<std::int64_t>(learnt_count_);
+        s.restarts = n_restarts_;
+        s.trail = static_cast<std::int64_t>(trail_.size());
+        s.level = level;
+        progress_->tick(s);
+      }
       if (trail_lim_.empty()) {
         // Conflict with no decisions or assumptions on the trail: the
         // instance is unconditionally UNSAT (assumptions get their own
@@ -478,6 +519,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       int bt_level = 0;
       analyze(conflict, learnt, bt_level);
+      h_learned_len_.add(static_cast<std::int64_t>(learnt.size()));
+      h_backjump_.add(static_cast<std::int64_t>(level) - bt_level);
+      tracer_->record(trace::EventKind::kLearnedClause, level,
+                      static_cast<std::int64_t>(learnt.size()), bt_level);
+      tracer_->record(trace::EventKind::kBacktrack, level, level, bt_level);
       backtrack(bt_level);
       if (learnt.size() == 1) {
         enqueue(learnt[0], kNoReason);
@@ -499,7 +545,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (--conflict_budget <= 0) {
         // Restart.
-        stats_.add("sat.restarts", 1);
+        ++n_restarts_;
+        tracer_->record(trace::EventKind::kRestart,
+                        static_cast<std::uint32_t>(trail_lim_.size()),
+                        restart_count + 1);
         backtrack(0);
         ++restart_count;
         conflict_budget = options_.restart_base * luby(restart_count);
@@ -533,9 +582,17 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       return Result::kSat;
     }
-    stats_.add("sat.decisions", 1);
+    ++n_decisions_;
     trail_lim_.push_back(trail_.size());
-    enqueue(pick_branch(), kNoReason);
+    const Lit branch = pick_branch();
+    if (tracer_->verbose()) {
+      // Decisions are far more frequent than conflicts — event-per-decision
+      // is only worth it when someone asked for the firehose.
+      tracer_->record(trace::EventKind::kDecision,
+                      static_cast<std::uint32_t>(trail_lim_.size()),
+                      branch.var(), branch.positive() ? 1 : 0);
+    }
+    enqueue(branch, kNoReason);
   }
 }
 

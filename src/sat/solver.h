@@ -17,6 +17,11 @@
 #include "util/stats.h"
 #include "util/timer.h"
 
+namespace rtlsat::trace {
+class Tracer;
+class ProgressReporter;
+}  // namespace rtlsat::trace
+
 namespace rtlsat::sat {
 
 using Var = std::uint32_t;
@@ -60,6 +65,13 @@ struct SolverOptions {
   // aborts. Defaults on in -DRTLSAT_SELFCHECK=ON builds.
   bool self_check = kSelfCheckBuild;
   int self_check_interval = 256;
+
+  // Observability (src/trace): conflict/learned-clause/restart events and
+  // per-conflict progress ticks, mirroring HdpllOptions. Null tracer ⟹
+  // trace::global() (disabled unless RTLSAT_TRACE is set); null progress ⟹
+  // no reporting. Borrowed pointers; must outlive the solver.
+  trace::Tracer* tracer = nullptr;
+  trace::ProgressReporter* progress = nullptr;
 };
 
 class Solver {
@@ -107,6 +119,7 @@ class Solver {
     return (v == Value::kTrue) == l.positive() ? Value::kTrue : Value::kFalse;
   }
 
+  Result solve_impl(const std::vector<Lit>& assumptions);
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();  // kNoReason when no conflict
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
@@ -147,6 +160,18 @@ class Solver {
   std::size_t learnt_count_ = 0;
   std::size_t max_learnts_ = 0;
   Stats stats_;
+  // Hot-path counters and histograms, resolved once against stats_ (which
+  // must be declared above them — initialization order). sat.propagations
+  // is the hottest counter in the whole solver: one increment per trail
+  // literal processed.
+  std::int64_t& n_propagations_;
+  std::int64_t& n_conflicts_;
+  std::int64_t& n_decisions_;
+  std::int64_t& n_restarts_;
+  Histogram& h_learned_len_;
+  Histogram& h_backjump_;
+  trace::Tracer* tracer_;              // never null after construction
+  trace::ProgressReporter* progress_;  // may be null
 };
 
 }  // namespace rtlsat::sat

@@ -1,0 +1,76 @@
+// Minimal JSON support for the observability layer: an append-only writer
+// (used by the tracer sinks, the progress heartbeat, and the bench --json
+// emitters) and a tiny recursive-descent parser (used by the tests and the
+// bench_json_validate tool to check that what we emit parses back).
+//
+// Deliberately not a general JSON library: no streaming reads, no unicode
+// decoding beyond pass-through, documents are held in memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rtlsat::trace {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included).
+std::string json_escape(std::string_view text);
+
+// Builds one JSON document by appending tokens. The writer inserts commas
+// between siblings; callers are responsible for well-nestedness (checked
+// with asserts in debug builds).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  // Object key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(bool boolean);
+  JsonWriter& null();
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+  std::string out_;
+  // True when the next token at this nesting depth needs a ',' before it.
+  std::vector<bool> need_comma_{false};
+  bool after_key_ = false;
+};
+
+// Parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view name) const;
+};
+
+// Parses a complete JSON document (surrounding whitespace allowed; trailing
+// garbage is an error). On failure returns false and, when `error` is
+// non-null, a short description with a byte offset.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace rtlsat::trace

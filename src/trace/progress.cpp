@@ -1,0 +1,73 @@
+#include "trace/progress.h"
+
+#include "trace/json.h"
+
+namespace rtlsat::trace {
+
+ProgressReporter::ProgressReporter(ProgressOptions options)
+    : options_(std::move(options)) {
+  if (options_.stream == nullptr) options_.stream = stderr;
+  if (!options_.clock) {
+    options_.clock = [this] { return epoch_.seconds(); };
+  }
+  if (!options_.jsonl_path.empty()) {
+    jsonl_file_ = std::fopen(options_.jsonl_path.c_str(), "w");
+  }
+  last_report_ = options_.clock();
+}
+
+ProgressReporter::~ProgressReporter() {
+  if (jsonl_file_ != nullptr) std::fclose(jsonl_file_);
+}
+
+void ProgressReporter::tick(const ProgressSnapshot& snapshot) {
+  const double now = options_.clock();
+  if (now - last_report_ < options_.interval_seconds) return;
+  last_report_ = now;
+  emit(snapshot, now);
+}
+
+void ProgressReporter::finish(const ProgressSnapshot& snapshot) {
+  emit(snapshot, options_.clock());
+}
+
+void ProgressReporter::emit(const ProgressSnapshot& snapshot, double now) {
+  ++reports_;
+  if (options_.banner) {
+    if (!header_printed_) {
+      header_printed_ = true;
+      std::fprintf(options_.stream,
+                   "|   time(s) |  conflicts |  decisions | propagations | "
+                   " learnt |    trail | lvl |\n");
+    }
+    std::fprintf(options_.stream,
+                 "| %9.2f | %10lld | %10lld | %12lld | %7lld | %8lld | %3u |\n",
+                 now, static_cast<long long>(snapshot.conflicts),
+                 static_cast<long long>(snapshot.decisions),
+                 static_cast<long long>(snapshot.propagations),
+                 static_cast<long long>(snapshot.learnt),
+                 static_cast<long long>(snapshot.trail), snapshot.level);
+    std::fflush(options_.stream);
+  }
+  if (jsonl_file_ != nullptr) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("t_s").value(now);
+    w.key("conflicts").value(snapshot.conflicts);
+    w.key("decisions").value(snapshot.decisions);
+    w.key("propagations").value(snapshot.propagations);
+    w.key("learnt").value(snapshot.learnt);
+    w.key("restarts").value(snapshot.restarts);
+    w.key("trail").value(snapshot.trail);
+    w.key("level").value(static_cast<std::int64_t>(snapshot.level));
+    w.end_object();
+    std::fprintf(jsonl_file_, "%s\n", w.str().c_str());
+    std::fflush(jsonl_file_);
+  }
+  if (options_.tracer != nullptr) {
+    options_.tracer->record(EventKind::kProgress, snapshot.level,
+                            snapshot.conflicts, snapshot.decisions);
+  }
+}
+
+}  // namespace rtlsat::trace

@@ -1,0 +1,70 @@
+// Periodic search-progress reporting, driven from the HDPLL and CDCL main
+// loops: a MiniSat-style interval banner on a FILE* stream and/or a JSONL
+// heartbeat file, plus kProgress counter events into a Tracer (which render
+// as counter tracks in Perfetto).
+//
+// The solver calls tick() once per conflict with a cheap snapshot of its
+// counters; the reporter rate-limits output to `interval_seconds` using an
+// injectable clock (tests drive a fake clock to pin the cadence).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace rtlsat::trace {
+
+// What the solver loop hands to tick(). All fields are running totals
+// except `trail` and `level`, which are instantaneous.
+struct ProgressSnapshot {
+  std::int64_t conflicts = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t learnt = 0;       // live learned clauses
+  std::int64_t restarts = 0;
+  std::int64_t trail = 0;        // current assignment count
+  std::uint32_t level = 0;       // current decision level
+};
+
+struct ProgressOptions {
+  bool banner = true;            // human-readable interval table
+  std::FILE* stream = nullptr;   // banner destination; null = stderr
+  std::string jsonl_path;        // heartbeat sink; empty = none
+  double interval_seconds = 1.0;
+  // Seconds since an arbitrary epoch; null = internal monotonic clock.
+  // Tests substitute a fake clock to verify the cadence.
+  std::function<double()> clock;
+  Tracer* tracer = nullptr;      // also emit kProgress events; may be null
+};
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(ProgressOptions options = {});
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  // Rate-limited report; cheap (one clock read and a compare) when the
+  // interval has not elapsed.
+  void tick(const ProgressSnapshot& snapshot);
+  // Unconditional final report (solvers call this once at the end so short
+  // runs still produce one line).
+  void finish(const ProgressSnapshot& snapshot);
+
+  std::int64_t reports() const { return reports_; }
+
+ private:
+  void emit(const ProgressSnapshot& snapshot, double now);
+
+  ProgressOptions options_;
+  Timer epoch_;
+  double last_report_ = 0;
+  std::int64_t reports_ = 0;
+  bool header_printed_ = false;
+  std::FILE* jsonl_file_ = nullptr;
+};
+
+}  // namespace rtlsat::trace

@@ -1,0 +1,298 @@
+#include "trace/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "trace/json.h"
+#include "util/assert.h"
+
+namespace rtlsat::trace {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDecision: return "decision";
+    case EventKind::kStructuralDecision: return "structural_decision";
+    case EventKind::kPropConflict: return "prop_conflict";
+    case EventKind::kConflict: return "conflict";
+    case EventKind::kAnalyze: return "analyze";
+    case EventKind::kLearnedClause: return "learned_clause";
+    case EventKind::kLearnedRelation: return "learned_relation";
+    case EventKind::kLearnedUnit: return "learned_unit";
+    case EventKind::kBacktrack: return "backtrack";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kArithCheck: return "arith_check";
+    case EventKind::kFmeSolve: return "fme_solve";
+    case EventKind::kJustifyFrontier: return "justify_frontier";
+    case EventKind::kNarrowing: return "narrowing";
+    case EventKind::kBitblast: return "bitblast";
+    case EventKind::kUnroll: return "unroll";
+    case EventKind::kPhaseBegin: return "phase_begin";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kProgress: return "progress";
+    case EventKind::kMaxKind: break;
+  }
+  return "?";
+}
+
+namespace {
+
+void put_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void encode_event(const Event& event, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kEncodedEventSize);
+  put_le64(out, static_cast<std::uint64_t>(event.t_us));
+  put_le64(out, static_cast<std::uint64_t>(event.a));
+  put_le64(out, static_cast<std::uint64_t>(event.b));
+  put_le32(out, event.level);
+  out.push_back(static_cast<std::uint8_t>(event.kind));
+}
+
+bool decode_event(const std::uint8_t* data, std::size_t size, Event& out) {
+  if (data == nullptr || size < kEncodedEventSize) return false;
+  const std::uint8_t kind = data[28];
+  if (kind >= static_cast<std::uint8_t>(EventKind::kMaxKind)) return false;
+  out.t_us = static_cast<std::int64_t>(get_le64(data));
+  out.a = static_cast<std::int64_t>(get_le64(data + 8));
+  out.b = static_cast<std::int64_t>(get_le64(data + 16));
+  out.level = get_le32(data + 24);
+  out.kind = static_cast<EventKind>(kind);
+  return true;
+}
+
+Tracer::Tracer() = default;
+
+Tracer::Tracer(TracerOptions options) : options_(std::move(options)) {
+  verbose_ = options_.verbose;
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  bool any_sink = options_.collect_in_memory;
+  if (!options_.jsonl_path.empty()) {
+    jsonl_file_ = std::fopen(options_.jsonl_path.c_str(), "w");
+    any_sink = any_sink || jsonl_file_ != nullptr;
+  }
+  if (!options_.chrome_path.empty()) {
+    chrome_file_ = std::fopen(options_.chrome_path.c_str(), "w");
+    if (chrome_file_ != nullptr) {
+      std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", chrome_file_);
+      any_sink = true;
+    }
+  }
+  if (any_sink) ring_.reserve(options_.ring_capacity);
+  enabled_.store(any_sink, std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() { close(); }
+
+void Tracer::record_slow(EventKind kind, std::uint32_t level, std::int64_t a,
+                         std::int64_t b) {
+  Event ev;
+  ev.t_us = epoch_.micros();
+  ev.a = a;
+  ev.b = b;
+  ev.level = level;
+  ev.kind = kind;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(ev);
+  ++recorded_;
+  if (ring_.size() >= options_.ring_capacity) flush_locked();
+}
+
+std::int64_t Tracer::intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      intern_ids_.try_emplace(name, static_cast<std::int64_t>(intern_names_.size()));
+  if (inserted) intern_names_.push_back(name);
+  return it->second;
+}
+
+const std::string& Tracer::phase_name(std::int64_t id) const {
+  static const std::string kUnknown = "?";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || static_cast<std::size_t>(id) >= intern_names_.size())
+    return kUnknown;
+  return intern_names_[static_cast<std::size_t>(id)];
+}
+
+void Tracer::begin_phase(const std::string& name) {
+  if (!enabled()) return;
+  record_slow(EventKind::kPhaseBegin, 0, intern(name), 0);
+}
+
+void Tracer::end_phase(const std::string& name) {
+  if (!enabled()) return;
+  record_slow(EventKind::kPhaseEnd, 0, intern(name), 0);
+}
+
+void Tracer::append_jsonl(std::string* out, const Event& event) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t_us").value(event.t_us);
+  w.key("kind").value(kind_name(event.kind));
+  w.key("level").value(static_cast<std::int64_t>(event.level));
+  if (event.kind == EventKind::kPhaseBegin ||
+      event.kind == EventKind::kPhaseEnd) {
+    // mu_ is held by the caller; read the intern table directly.
+    const std::size_t id = static_cast<std::size_t>(event.a);
+    w.key("name").value(id < intern_names_.size() ? intern_names_[id] : "?");
+  }
+  w.key("a").value(event.a);
+  w.key("b").value(event.b);
+  w.end_object();
+  *out += w.str();
+  *out += '\n';
+}
+
+void Tracer::append_chrome(std::string* out, const Event& event) const {
+  JsonWriter w;
+  w.begin_object();
+  switch (event.kind) {
+    case EventKind::kPhaseBegin:
+    case EventKind::kPhaseEnd: {
+      const std::size_t id = static_cast<std::size_t>(event.a);
+      w.key("name").value(id < intern_names_.size() ? intern_names_[id] : "?");
+      w.key("cat").value("phase");
+      w.key("ph").value(event.kind == EventKind::kPhaseBegin ? "B" : "E");
+      break;
+    }
+    case EventKind::kProgress:
+      w.key("name").value("progress");
+      w.key("cat").value("progress");
+      w.key("ph").value("C");
+      break;
+    default:
+      w.key("name").value(kind_name(event.kind));
+      w.key("cat").value("solver");
+      w.key("ph").value("i");
+      w.key("s").value("t");
+      break;
+  }
+  w.key("ts").value(event.t_us);
+  w.key("pid").value(std::int64_t{1});
+  w.key("tid").value(std::int64_t{1});
+  w.key("args").begin_object();
+  if (event.kind == EventKind::kProgress) {
+    w.key("conflicts").value(event.a);
+    w.key("decisions").value(event.b);
+  } else {
+    w.key("level").value(static_cast<std::int64_t>(event.level));
+    w.key("a").value(event.a);
+    w.key("b").value(event.b);
+  }
+  w.end_object();
+  w.end_object();
+  *out += w.str();
+}
+
+void Tracer::flush_locked() {
+  if (ring_.empty()) return;
+  if (jsonl_file_ != nullptr) {
+    std::string block;
+    block.reserve(ring_.size() * 64);
+    for (const Event& ev : ring_) append_jsonl(&block, ev);
+    std::fwrite(block.data(), 1, block.size(), jsonl_file_);
+  }
+  if (chrome_file_ != nullptr) {
+    std::string block;
+    block.reserve(ring_.size() * 96);
+    for (const Event& ev : ring_) {
+      if (!chrome_first_event_) block += ',';
+      chrome_first_event_ = false;
+      append_chrome(&block, ev);
+    }
+    std::fwrite(block.data(), 1, block.size(), chrome_file_);
+  }
+  if (options_.collect_in_memory) {
+    collected_.insert(collected_.end(), ring_.begin(), ring_.end());
+  }
+  ring_.clear();
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+  if (jsonl_file_ != nullptr) std::fflush(jsonl_file_);
+  if (chrome_file_ != nullptr) std::fflush(chrome_file_);
+}
+
+void Tracer::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  closed_ = true;
+  flush_locked();
+  enabled_.store(false, std::memory_order_relaxed);
+  if (jsonl_file_ != nullptr) {
+    std::fclose(jsonl_file_);
+    jsonl_file_ = nullptr;
+  }
+  if (chrome_file_ != nullptr) {
+    std::fputs("]}\n", chrome_file_);
+    std::fclose(chrome_file_);
+    chrome_file_ = nullptr;
+  }
+}
+
+std::int64_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::vector<Event> Tracer::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+  std::vector<Event> out = std::move(collected_);
+  collected_.clear();
+  return out;
+}
+
+namespace {
+
+TracerOptions global_options_from_env() {
+  TracerOptions options;  // all-empty options construct a disabled tracer
+  const char* base = std::getenv("RTLSAT_TRACE");
+  if (base == nullptr || *base == '\0') return options;
+  options.jsonl_path = std::string(base) + ".jsonl";
+  options.chrome_path = std::string(base) + ".trace.json";
+  const char* verbose = std::getenv("RTLSAT_TRACE_VERBOSE");
+  options.verbose = verbose != nullptr && *verbose != '\0' &&
+                    std::strcmp(verbose, "0") != 0;
+  return options;
+}
+
+}  // namespace
+
+Tracer& global() {
+  // Destroyed at process exit, which flushes and finalizes the sink files.
+  static Tracer tracer(global_options_from_env());
+  return tracer;
+}
+
+ScopedPhase::ScopedPhase(Tracer* tracer, Stats* stats, std::string name)
+    : tracer_(tracer), stats_(stats), name_(std::move(name)) {
+  if (tracer_ != nullptr) tracer_->begin_phase(name_);
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (tracer_ != nullptr) tracer_->end_phase(name_);
+  if (stats_ != nullptr) stats_->add("time." + name_ + "_us", timer_.micros());
+}
+
+}  // namespace rtlsat::trace

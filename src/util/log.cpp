@@ -1,12 +1,17 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 namespace rtlsat {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<LogSink> g_sink{nullptr};
+std::atomic<void*> g_sink_user{nullptr};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,6 +24,17 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+double seconds_since_start() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t this_thread_id() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -29,14 +45,35 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink, void* user) {
+  g_sink_user.store(user);
+  g_sink.store(sink);
+}
+
 void log_msg(LogLevel level, const char* fmt, ...) {
   if (!log_enabled(level)) return;
-  std::fprintf(stderr, "[rtlsat:%s] ", level_tag(level));
+  const LogSink sink = g_sink.load(std::memory_order_acquire);
+  if (sink == nullptr) {
+    // Historical stderr path — byte-identical to the pre-sink format.
+    std::fprintf(stderr, "[rtlsat:%s] ", level_tag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    return;
+  }
+  char buffer[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);  // truncates long lines
   va_end(args);
-  std::fputc('\n', stderr);
+  LogRecord record;
+  record.level = level;
+  record.t_seconds = seconds_since_start();
+  record.thread_id = this_thread_id();
+  record.message = buffer;
+  sink(g_sink_user.load(), record);
 }
 
 }  // namespace rtlsat

@@ -3,9 +3,16 @@
 // The solver is a library; by default it is silent (kWarn). Examples and
 // benches raise the level with set_log_level(). Messages are printf-style
 // because the hot call sites predate std::format being cheap to compile.
+//
+// Embedders (and the trace subsystem) can capture log output instead of
+// losing it to stderr by installing a sink with set_log_sink(); the sink
+// receives a LogRecord carrying the level, a monotonic timestamp, the
+// emitting thread's id, and the formatted message. With no sink installed
+// the stderr output format is byte-identical to the historical one.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 
 namespace rtlsat {
 
@@ -20,6 +27,22 @@ bool log_enabled(LogLevel level);
 
 void log_msg(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
+
+// A captured log message. `message` is only valid for the duration of the
+// sink call; copy it if you keep it.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  double t_seconds = 0;       // monotonic, since the first log call
+  std::uint64_t thread_id = 0;
+  const char* message = nullptr;  // formatted, no trailing newline
+};
+
+// Redirects log output to `sink` (with `user` passed through). Passing a
+// null sink restores the default stderr behavior. The sink is called with
+// the logging thread's context; it must be thread-safe if the embedder
+// logs from several threads.
+using LogSink = void (*)(void* user, const LogRecord& record);
+void set_log_sink(LogSink sink, void* user);
 
 }  // namespace rtlsat
 

@@ -4,10 +4,20 @@
 
 namespace rtlsat {
 
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " sum=" << sum_ << " min=" << min()
+     << " max=" << max() << " mean=" << mean();
+  return os.str();
+}
+
 std::string Stats::to_string() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << name << " : " << histogram.to_string() << '\n';
   }
   return os.str();
 }

@@ -1,0 +1,519 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hdpll.h"
+#include "trace/json.h"
+#include "trace/progress.h"
+
+namespace rtlsat::trace {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// Binary event encoding
+
+TEST(Event, EncodeDecodeRoundTrip) {
+  const Event original{.t_us = 123456789,
+                       .a = -42,
+                       .b = std::int64_t{1} << 40,
+                       .level = 17,
+                       .kind = EventKind::kLearnedRelation};
+  std::vector<std::uint8_t> bytes;
+  encode_event(original, bytes);
+  ASSERT_EQ(bytes.size(), kEncodedEventSize);
+
+  Event decoded;
+  ASSERT_TRUE(decode_event(bytes.data(), bytes.size(), decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Event, DecodeRejectsTruncation) {
+  const Event original{.t_us = 1, .a = 2, .b = 3, .level = 4,
+                       .kind = EventKind::kRestart};
+  std::vector<std::uint8_t> bytes;
+  encode_event(original, bytes);
+  Event decoded;
+  for (std::size_t size = 0; size < bytes.size(); ++size)
+    EXPECT_FALSE(decode_event(bytes.data(), size, decoded)) << size;
+}
+
+TEST(Event, DecodeRejectsInvalidKind) {
+  Event original{.kind = EventKind::kDecision};
+  std::vector<std::uint8_t> bytes;
+  encode_event(original, bytes);
+  bytes.back() = static_cast<std::uint8_t>(EventKind::kMaxKind);
+  Event decoded;
+  EXPECT_FALSE(decode_event(bytes.data(), bytes.size(), decoded));
+  bytes.back() = 0xff;
+  EXPECT_FALSE(decode_event(bytes.data(), bytes.size(), decoded));
+}
+
+TEST(Event, KindNamesAreStableAndDistinct) {
+  std::vector<std::string> names;
+  for (int k = 0; k < static_cast<int>(EventKind::kMaxKind); ++k)
+    names.push_back(kind_name(static_cast<EventKind>(k)));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+  }
+  EXPECT_EQ(std::string(kind_name(EventKind::kDecision)), "decision");
+  EXPECT_EQ(std::string(kind_name(EventKind::kPhaseBegin)), "phase_begin");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, DefaultConstructedIsDisabled) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.verbose());
+  tracer.record(EventKind::kConflict, 3, 1, 2);
+  EXPECT_EQ(tracer.events_recorded(), 0);
+  EXPECT_TRUE(tracer.drain().empty());
+}
+
+TEST(Tracer, InMemoryCollection) {
+  TracerOptions options;
+  options.collect_in_memory = true;
+  Tracer tracer(options);
+  ASSERT_TRUE(tracer.enabled());
+  tracer.record(EventKind::kDecision, 1, 10, 1);
+  tracer.record(EventKind::kConflict, 2, 5);
+  EXPECT_EQ(tracer.events_recorded(), 2);
+
+  const std::vector<Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kDecision);
+  EXPECT_EQ(events[0].a, 10);
+  EXPECT_EQ(events[0].level, 1u);
+  EXPECT_EQ(events[1].kind, EventKind::kConflict);
+  EXPECT_LE(events[0].t_us, events[1].t_us);
+  EXPECT_TRUE(tracer.drain().empty());  // drain moves everything out
+}
+
+TEST(Tracer, SmallRingFlushesWithoutLosingEvents) {
+  TracerOptions options;
+  options.collect_in_memory = true;
+  options.ring_capacity = 4;
+  Tracer tracer(options);
+  for (int i = 0; i < 100; ++i)
+    tracer.record(EventKind::kNarrowing, 0, i);
+  EXPECT_EQ(tracer.events_recorded(), 100);
+  const std::vector<Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(events[i].a, i);  // order kept
+}
+
+TEST(Tracer, InternIdsAreStable) {
+  TracerOptions options;
+  options.collect_in_memory = true;
+  Tracer tracer(options);
+  const std::int64_t search = tracer.intern("search");
+  const std::int64_t parse = tracer.intern("parse");
+  EXPECT_NE(search, parse);
+  EXPECT_EQ(tracer.intern("search"), search);
+  EXPECT_EQ(tracer.phase_name(search), "search");
+  EXPECT_EQ(tracer.phase_name(parse), "parse");
+}
+
+TEST(Tracer, ScopedPhaseEmitsBalancedEventsAndAccumulatesTime) {
+  TracerOptions options;
+  options.collect_in_memory = true;
+  Tracer tracer(options);
+  Stats stats;
+  {
+    ScopedPhase phase(&tracer, &stats, "search");
+  }
+  const std::vector<Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kPhaseBegin);
+  EXPECT_EQ(events[1].kind, EventKind::kPhaseEnd);
+  EXPECT_EQ(events[0].a, events[1].a);  // same interned name id
+  EXPECT_EQ(tracer.phase_name(events[0].a), "search");
+  // The phase-profiling convention: time lands in "time.<name>_us".
+  EXPECT_EQ(stats.all().count("time.search_us"), 1u);
+  EXPECT_GE(stats.get("time.search_us"), 0);
+}
+
+TEST(Tracer, ScopedPhaseToleratesNullPointers) {
+  ScopedPhase both_null(nullptr, nullptr, "x");
+  Stats stats;
+  ScopedPhase no_tracer(nullptr, &stats, "y");
+  Tracer disabled;
+  ScopedPhase disabled_tracer(&disabled, nullptr, "z");
+}
+
+TEST(Tracer, JsonlSinkParsesBackLineByLine) {
+  const std::string path = temp_path("rtlsat_trace_test.jsonl");
+  {
+    TracerOptions options;
+    options.jsonl_path = path;
+    Tracer tracer(options);
+    tracer.record(EventKind::kDecision, 1, 7, 1);
+    tracer.record(EventKind::kLearnedClause, 2, 5, 1);
+    tracer.begin_phase("search");
+    tracer.end_phase("search");
+    tracer.close();
+  }
+  std::istringstream lines(read_file(path));
+  std::string line;
+  std::vector<JsonValue> parsed;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(line, &doc, &error)) << error;
+    ASSERT_TRUE(doc.is_object());
+    ASSERT_NE(doc.find("t_us"), nullptr);
+    ASSERT_NE(doc.find("kind"), nullptr);
+    parsed.push_back(doc);
+  }
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[0].find("kind")->string, "decision");
+  EXPECT_EQ(parsed[0].find("a")->number, 7);
+  EXPECT_EQ(parsed[1].find("kind")->string, "learned_clause");
+  EXPECT_EQ(parsed[2].find("kind")->string, "phase_begin");
+  // Phase events carry the phase name, not just the interned id.
+  ASSERT_NE(parsed[2].find("name"), nullptr);
+  EXPECT_EQ(parsed[2].find("name")->string, "search");
+  std::filesystem::remove(path);
+}
+
+TEST(Tracer, ChromeSinkIsValidTraceEventJson) {
+  const std::string path = temp_path("rtlsat_trace_test.trace.json");
+  {
+    TracerOptions options;
+    options.chrome_path = path;
+    Tracer tracer(options);
+    tracer.begin_phase("search");
+    tracer.record(EventKind::kConflict, 4, 3);
+    tracer.end_phase("search");
+    tracer.close();
+  }
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(read_file(path), &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 3u);
+  // Phase brackets become duration begin/end events; everything else is an
+  // instant or counter event. All carry ph/ts/name.
+  std::vector<std::string> phases;
+  for (const JsonValue& ev : events->array) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_NE(ev.find("ph"), nullptr);
+    ASSERT_NE(ev.find("ts"), nullptr);
+    ASSERT_NE(ev.find("name"), nullptr);
+    phases.push_back(ev.find("ph")->string);
+  }
+  EXPECT_EQ(phases.front(), "B");
+  EXPECT_EQ(phases.back(), "E");
+  std::filesystem::remove(path);
+}
+
+TEST(Tracer, CloseIsIdempotentAndDisables) {
+  TracerOptions options;
+  options.collect_in_memory = true;
+  Tracer tracer(options);
+  tracer.record(EventKind::kRestart, 0, 1);
+  tracer.close();
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(EventKind::kRestart, 0, 2);  // dropped: closed
+  tracer.close();                            // idempotent
+  EXPECT_EQ(tracer.events_recorded(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer / parser
+
+TEST(Json, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\n\t");
+  w.key("n").value(std::int64_t{-7});
+  w.key("d").value(1.5);
+  w.key("t").value(true);
+  w.key("z").null();
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(w.str(), &doc, &error)) << error << "\n" << w.str();
+  EXPECT_EQ(doc.find("s")->string, "a\"b\\c\n\t");
+  EXPECT_EQ(doc.find("n")->number, -7);
+  EXPECT_EQ(doc.find("d")->number, 1.5);
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_EQ(doc.find("z")->kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(doc.find("arr")->array.size(), 2u);
+  EXPECT_EQ(doc.find("arr")->array[1].number, 2);
+}
+
+TEST(Json, ParserAcceptsScalarsAndRejectsGarbage) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(json_parse("  42.5e1 ", &doc, &error));
+  EXPECT_EQ(doc.number, 425);
+  EXPECT_TRUE(json_parse("\"a\\u0041b\"", &doc, &error));
+  EXPECT_TRUE(json_parse("[1, [2, {\"k\": null}]]", &doc, &error));
+  EXPECT_FALSE(json_parse("", &doc, &error));
+  EXPECT_FALSE(json_parse("{", &doc, &error));
+  EXPECT_FALSE(json_parse("[1,]", &doc, &error));
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing", &doc, &error));
+  EXPECT_FALSE(json_parse("nul", &doc, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Progress reporter (fake clock pins the cadence)
+
+TEST(Progress, RateLimitsToInterval) {
+  double now = 0.0;
+  ProgressOptions options;
+  options.banner = false;
+  options.interval_seconds = 1.0;
+  options.clock = [&now] { return now; };
+  ProgressReporter reporter(options);
+
+  ProgressSnapshot snapshot;
+  for (int conflict = 0; conflict < 1000; ++conflict) {
+    snapshot.conflicts = conflict;
+    now = 0.01 * conflict;  // 1000 ticks spread over 10 fake seconds
+    reporter.tick(snapshot);
+  }
+  // One report per elapsed interval, not one per tick.
+  EXPECT_GE(reporter.reports(), 8);
+  EXPECT_LE(reporter.reports(), 11);
+}
+
+TEST(Progress, FinishAlwaysReports) {
+  double now = 0.0;
+  ProgressOptions options;
+  options.banner = false;
+  options.interval_seconds = 1e9;  // tick() never fires on its own
+  options.clock = [&now] { return now; };
+  ProgressReporter reporter(options);
+  ProgressSnapshot snapshot;
+  snapshot.conflicts = 5;
+  reporter.tick(snapshot);
+  EXPECT_EQ(reporter.reports(), 0);
+  reporter.finish(snapshot);
+  EXPECT_EQ(reporter.reports(), 1);
+}
+
+TEST(Progress, JsonlHeartbeatCarriesCounters) {
+  const std::string path = temp_path("rtlsat_progress_test.jsonl");
+  double now = 0.0;
+  {
+    ProgressOptions options;
+    options.banner = false;
+    options.jsonl_path = path;
+    options.interval_seconds = 1.0;
+    options.clock = [&now] { return now; };
+    ProgressReporter reporter(options);
+    ProgressSnapshot snapshot;
+    snapshot.conflicts = 3;
+    snapshot.decisions = 9;
+    snapshot.propagations = 27;
+    now = 2.0;
+    reporter.tick(snapshot);
+    reporter.finish(snapshot);
+  }
+  std::istringstream lines(read_file(path));
+  std::string line;
+  int heartbeats = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(line, &doc, &error)) << error;
+    EXPECT_EQ(doc.find("conflicts")->number, 3);
+    EXPECT_EQ(doc.find("decisions")->number, 9);
+    EXPECT_EQ(doc.find("propagations")->number, 27);
+    ++heartbeats;
+  }
+  EXPECT_EQ(heartbeats, 2);
+  std::filesystem::remove(path);
+}
+
+TEST(Progress, BannerPrintsHeaderOnceAndRows) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  double now = 0.0;
+  ProgressOptions options;
+  options.stream = stream;
+  options.interval_seconds = 1.0;
+  options.clock = [&now] { return now; };
+  ProgressReporter reporter(options);
+  ProgressSnapshot snapshot;
+  for (int i = 1; i <= 3; ++i) {
+    snapshot.conflicts = i * 100;
+    now = static_cast<double>(i) * 1.5;
+    reporter.tick(snapshot);
+  }
+  std::fflush(stream);
+  std::rewind(stream);
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, stream)) > 0)
+    text.append(buffer, n);
+  std::fclose(stream);
+  EXPECT_NE(text.find("conflicts"), std::string::npos);  // header
+  EXPECT_NE(text.find("300"), std::string::npos);        // last row
+  // The header appears once even though three rows were printed.
+  EXPECT_EQ(text.find("conflicts"), text.rfind("conflicts"));
+}
+
+TEST(Progress, EmitsCounterEventsIntoTracer) {
+  TracerOptions topts;
+  topts.collect_in_memory = true;
+  Tracer tracer(topts);
+  ProgressOptions options;
+  options.banner = false;
+  options.interval_seconds = 0.0;
+  options.tracer = &tracer;
+  ProgressReporter reporter(options);
+  ProgressSnapshot snapshot;
+  snapshot.conflicts = 12;
+  snapshot.decisions = 34;
+  reporter.finish(snapshot);
+  const std::vector<Event> events = tracer.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kProgress);
+  EXPECT_EQ(events[0].a, 12);
+  EXPECT_EQ(events[0].b, 34);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-drift regression: tracing must observe the search, not perturb it.
+
+core::SolveResult solve_quickstartish(trace::Tracer* tracer, Stats* stats,
+                                      bool predicate_learning = true) {
+  ir::Circuit c("t");
+  const ir::NetId acc = c.add_input("acc", 8);
+  const ir::NetId in = c.add_input("in", 8);
+  const ir::NetId cap = c.add_const(200, 8);
+  const ir::NetId saturated = c.add_min(c.add_add(acc, in), cap);
+  const ir::NetId goal =
+      c.add_and(c.add_eq(saturated, cap),
+                c.add_lt(acc, c.add_const(100, 8)));
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = predicate_learning;
+  options.tracer = tracer;
+  core::HdpllSolver solver(c, options);
+  solver.assume_bool(goal, true);
+  const core::SolveResult result = solver.solve();
+  *stats = solver.stats();
+  return result;
+}
+
+// Strips the wall-clock-dependent "time.*" phase counters, which legitimately
+// differ run to run.
+std::map<std::string, std::int64_t> search_counters(const Stats& stats) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, value] : stats.all())
+    if (name.rfind("time.", 0) != 0) out[name] = value;
+  return out;
+}
+
+TEST(ZeroDrift, EnabledTracerDoesNotChangeTheSearch) {
+  Stats default_stats;
+  const core::SolveResult with_default =
+      solve_quickstartish(nullptr, &default_stats);
+
+  Tracer disabled;
+  Stats disabled_stats;
+  const core::SolveResult with_disabled =
+      solve_quickstartish(&disabled, &disabled_stats);
+  EXPECT_EQ(disabled.events_recorded(), 0);
+
+  TracerOptions topts;
+  topts.collect_in_memory = true;
+  topts.verbose = true;
+  Tracer enabled(topts);
+  Stats enabled_stats;
+  const core::SolveResult with_enabled =
+      solve_quickstartish(&enabled, &enabled_stats);
+  EXPECT_GT(enabled.events_recorded(), 0);
+
+  EXPECT_EQ(with_default.status, with_disabled.status);
+  EXPECT_EQ(with_default.status, with_enabled.status);
+  // Identical decision/conflict/propagation trajectories: the tracer is a
+  // pure observer.
+  EXPECT_EQ(search_counters(default_stats), search_counters(disabled_stats));
+  EXPECT_EQ(search_counters(default_stats), search_counters(enabled_stats));
+}
+
+TEST(ZeroDrift, ProgressReporterDoesNotChangeTheSearch) {
+  Stats baseline_stats;
+  const core::SolveResult baseline =
+      solve_quickstartish(nullptr, &baseline_stats);
+
+  ir::Circuit c("t");
+  const ir::NetId acc = c.add_input("acc", 8);
+  const ir::NetId in = c.add_input("in", 8);
+  const ir::NetId cap = c.add_const(200, 8);
+  const ir::NetId saturated = c.add_min(c.add_add(acc, in), cap);
+  const ir::NetId goal =
+      c.add_and(c.add_eq(saturated, cap),
+                c.add_lt(acc, c.add_const(100, 8)));
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  ProgressOptions popts;
+  popts.banner = false;
+  ProgressReporter progress(popts);
+  options.progress = &progress;
+  core::HdpllSolver solver(c, options);
+  solver.assume_bool(goal, true);
+  const core::SolveResult result = solver.solve();
+
+  EXPECT_EQ(result.status, baseline.status);
+  EXPECT_GE(progress.reports(), 1);  // the final finish() report
+  EXPECT_EQ(search_counters(baseline_stats), search_counters(solver.stats()));
+}
+
+// The cached-handle satellite: the solver exports its per-search totals both
+// through the counters and the histograms the hooks feed.
+TEST(SolverStats, HistogramsAndCountersArePopulated) {
+  // Without predicate learning the saturation circuit forces at least one
+  // decision and one conflict before the SAT witness (learned predicates —
+  // and FME level-0 refutations — can otherwise end the search without
+  // either counter moving).
+  Stats stats;
+  ASSERT_EQ(
+      solve_quickstartish(nullptr, &stats, /*predicate_learning=*/false).status,
+      core::SolveStatus::kSat);
+  EXPECT_GT(stats.get("hdpll.decisions"), 0);
+  EXPECT_GT(stats.get("hdpll.conflicts"), 0);
+  if (stats.get("hdpll.learned_clauses") > 0) {
+    const Histogram* lengths = stats.find_histogram("hdpll.learned_clause_len");
+    ASSERT_NE(lengths, nullptr);
+    EXPECT_EQ(lengths->count(), stats.get("hdpll.learned_clauses"));
+    EXPECT_EQ(lengths->sum(), stats.get("hdpll.learned_literals"));
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::trace

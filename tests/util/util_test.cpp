@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -80,6 +84,102 @@ TEST(Stats, CountersAccumulate) {
   EXPECT_NE(stats.to_string().find("x = 5"), std::string::npos);
   stats.clear();
   EXPECT_EQ(stats.get("x"), 0);
+}
+
+TEST(Stats, CounterReferencesAreStable) {
+  // The hot-path contract: handles resolved once stay valid as the map grows
+  // (std::map nodes never move).
+  Stats stats;
+  std::int64_t& first = stats.counter("first");
+  for (int i = 0; i < 1000; ++i) stats.counter("filler" + std::to_string(i));
+  first += 7;
+  EXPECT_EQ(stats.get("first"), 7);
+  EXPECT_EQ(&first, &stats.counter("first"));
+}
+
+TEST(Histogram, BucketIndexIsPowerOfTwo) {
+  // Bucket 0 is (−∞, 0]; bucket i ≥ 1 covers [2^(i−1), 2^i − 1].
+  EXPECT_EQ(Histogram::bucket_index(-5), 0);
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index(INT64_MAX), Histogram::kBuckets - 1);
+  for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lo(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_hi(i)), i);
+  }
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (const std::int64_t v : {3, 1, 4, 1, 5}) h.add(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 14);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.8);
+  EXPECT_EQ(h.buckets()[1], 2);  // the two 1s
+  EXPECT_EQ(h.buckets()[2], 1);  // 3 falls in [2, 3]
+  EXPECT_EQ(h.buckets()[3], 2);  // 4 and 5 fall in [4, 7]
+  EXPECT_NE(h.to_string().find("count=5"), std::string::npos);
+}
+
+TEST(Stats, HistogramsLiveBesideCounters) {
+  Stats stats;
+  EXPECT_EQ(stats.find_histogram("h"), nullptr);
+  Histogram& h = stats.histogram("h");
+  h.add(10);
+  ASSERT_NE(stats.find_histogram("h"), nullptr);
+  EXPECT_EQ(stats.find_histogram("h")->count(), 1);
+  EXPECT_EQ(stats.histograms().size(), 1u);
+  EXPECT_NE(stats.to_string().find("count=1"), std::string::npos);
+  stats.clear();
+  EXPECT_EQ(stats.find_histogram("h"), nullptr);
+}
+
+namespace {
+struct CapturedLog {
+  std::vector<std::string> messages;
+  std::vector<LogLevel> levels;
+  double last_t_seconds = -1;
+  std::uint64_t last_thread_id = 0;
+};
+
+void capture_sink(void* user, const LogRecord& record) {
+  auto* captured = static_cast<CapturedLog*>(user);
+  captured->messages.emplace_back(record.message);
+  captured->levels.push_back(record.level);
+  captured->last_t_seconds = record.t_seconds;
+  captured->last_thread_id = record.thread_id;
+}
+}  // namespace
+
+TEST(Log, SinkCapturesRecordsAndRestores) {
+  CapturedLog captured;
+  set_log_sink(&capture_sink, &captured);
+  RTLSAT_WARN("answer is %d", 42);
+  set_log_sink(nullptr, nullptr);  // restore default stderr behavior
+  RTLSAT_WARN("not captured");
+  ASSERT_EQ(captured.messages.size(), 1u);
+  EXPECT_EQ(captured.messages[0], "answer is 42");  // formatted, no tag/newline
+  EXPECT_EQ(captured.levels[0], LogLevel::kWarn);
+  EXPECT_GE(captured.last_t_seconds, 0.0);
+}
+
+TEST(Log, SinkRespectsLevelFilter) {
+  CapturedLog captured;
+  set_log_sink(&capture_sink, &captured);
+  RTLSAT_DEBUG("below the default kWarn threshold");
+  set_log_sink(nullptr, nullptr);
+  EXPECT_TRUE(captured.messages.empty());
 }
 
 TEST(Timer, MeasuresElapsed) {
