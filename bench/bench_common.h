@@ -12,6 +12,7 @@
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
+#include "portfolio/portfolio.h"
 #include "trace/json.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -20,7 +21,7 @@
 namespace rtlsat::bench {
 
 struct RunResult {
-  char verdict = '?';  // 'S', 'U', or 'T' (timeout)
+  char verdict = '?';  // 'S', 'U', 'T' (timeout), or 'C' (cancelled)
   double seconds = 0;
   core::PredicateLearningReport learning;
   std::int64_t datapath_implications = 0;
@@ -67,6 +68,7 @@ inline RunResult run_hdpll(const bmc::BmcInstance& instance,
     case core::SolveStatus::kSat: out.verdict = 'S'; break;
     case core::SolveStatus::kUnsat: out.verdict = 'U'; break;
     case core::SolveStatus::kTimeout: out.verdict = 'T'; break;
+    case core::SolveStatus::kCancelled: out.verdict = 'C'; break;
   }
   return out;
 }
@@ -98,14 +100,42 @@ inline std::string paper_cell(double value) {
   return str_format("%.2f", value);
 }
 
+// Runs the parallel portfolio on the instance and flattens the result into
+// a RunResult (plus the full per-worker detail for JSON reporting).
+struct PortfolioRunResult {
+  RunResult run;
+  portfolio::PortfolioResult detail;
+};
+
+inline PortfolioRunResult run_portfolio(const bmc::BmcInstance& instance,
+                                        int jobs, bool share, double budget) {
+  portfolio::PortfolioOptions options;
+  options.jobs = jobs;
+  options.share_clauses = share;
+  options.budget_seconds = budget;
+  portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
+  PortfolioRunResult out;
+  out.detail = race.solve();
+  out.run.seconds = out.detail.seconds;
+  out.run.verdict = out.detail.winner >= 0
+                        ? out.detail.workers[out.detail.winner].verdict
+                        : 'T';
+  out.run.stats = out.detail.stats;
+  return out;
+}
+
 // Flags shared by all table benches:
 //   --full          the paper's full instance list (1200 s timeouts)
 //   --smoke         tiny instance subset + short timeout, for CI
 //   --json <path>   additionally write machine-readable BENCH_*.json
+//   --jobs N        add a parallel-portfolio column with N workers (0 = off)
+//   --no-share      disable the portfolio's predicate-clause sharing
 struct BenchArgs {
   bool full = false;
   bool smoke = false;
   std::string json_path;
+  int jobs = 0;
+  bool share = true;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -117,6 +147,10 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-share") == 0) {
+      args.share = false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -171,6 +205,41 @@ class BenchJson {
       writer_.key("max").value(h.max());
       writer_.key("mean").value(h.mean());
       writer_.end_object();
+    }
+    writer_.end_object();
+    writer_.end_object();
+  }
+
+  // A portfolio row: the flattened RunResult fields plus a per-worker
+  // array — verdict, seconds, clauses exported/imported, cancellation
+  // latency (ms; -1 = not cancelled) — and the winner's name.
+  void add_portfolio_row(const std::string& instance,
+                         const std::string& config,
+                         const PortfolioRunResult& r) {
+    if (path_.empty()) return;
+    writer_.begin_object();
+    writer_.key("instance").value(instance);
+    writer_.key("config").value(config);
+    const char verdict[2] = {r.run.verdict, '\0'};
+    writer_.key("verdict").value(verdict);
+    writer_.key("seconds").value(r.run.seconds);
+    writer_.key("winner").value(r.detail.winner_name);
+    writer_.key("workers").begin_array();
+    for (const portfolio::WorkerReport& worker : r.detail.workers) {
+      writer_.begin_object();
+      writer_.key("name").value(worker.name);
+      const char wv[2] = {worker.verdict, '\0'};
+      writer_.key("verdict").value(wv);
+      writer_.key("seconds").value(worker.seconds);
+      writer_.key("clauses_exported").value(worker.clauses_exported);
+      writer_.key("clauses_imported").value(worker.clauses_imported);
+      writer_.key("cancel_latency").value(worker.cancel_latency);
+      writer_.end_object();
+    }
+    writer_.end_array();
+    writer_.key("counters").begin_object();
+    for (const auto& [name, value] : r.run.stats.all()) {
+      writer_.key(name).value(value);
     }
     writer_.end_object();
     writer_.end_object();

@@ -1,0 +1,92 @@
+// Portfolio overhead guard: a 1-worker portfolio must cost essentially the
+// same as a direct HdpllSolver solve of the same configuration. The
+// deterministic variant (no thread) isolates the wrapper + armed-StopToken
+// cost, which must be noise-level; BM_Portfolio1 adds one spawn/join,
+// whose cost is the scheduler's (microseconds on an idle multicore box,
+// visible on a loaded single-core one). The cancellation poll itself is
+// measured by BM_StopTokenPoll.
+#include <benchmark/benchmark.h>
+
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "portfolio/portfolio.h"
+#include "util/stop_token.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void BM_DirectSolve(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance =
+      bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::HdpllOptions options;
+    options.structural_decisions = true;
+    options.predicate_learning = true;
+    core::HdpllSolver solver(instance.circuit, options);
+    solver.assume_bool(instance.goal, true);
+    benchmark::DoNotOptimize(solver.solve());
+  }
+}
+BENCHMARK(BM_DirectSolve)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_Portfolio1(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance =
+      bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // jobs = 1 ⟹ default_lineup yields exactly the HDPLL+S+P worker that
+    // BM_DirectSolve runs, wrapped in the full portfolio machinery.
+    portfolio::PortfolioOptions options;
+    options.jobs = 1;
+    portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
+    benchmark::DoNotOptimize(race.solve());
+  }
+}
+BENCHMARK(BM_Portfolio1)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// Same 1-worker portfolio without the thread: isolates the wrapper +
+// armed-StopToken cost from the spawn/join cost.
+void BM_Portfolio1Deterministic(benchmark::State& state) {
+  const auto seq = itc99::build("b13");
+  const auto instance =
+      bmc::unroll(seq, "1", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    portfolio::PortfolioOptions options;
+    options.jobs = 1;
+    options.deterministic = true;
+    portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
+    benchmark::DoNotOptimize(race.solve());
+  }
+}
+BENCHMARK(BM_Portfolio1Deterministic)
+    ->Arg(15)
+    ->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StopTokenPoll(benchmark::State& state) {
+  StopSource source;
+  const StopToken token = source.token().with_deadline(3600);
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= token.stop_requested();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_StopTokenPoll);
+
+void BM_StopTokenPollInert(benchmark::State& state) {
+  const StopToken token;
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= token.stop_requested();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_StopTokenPollInert);
+
+}  // namespace
+
+BENCHMARK_MAIN();

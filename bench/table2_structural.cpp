@@ -7,8 +7,10 @@
 // and 4) and the data-path implication counters that explain the §5.1
 // b13_3 anomaly.
 //
-//   $ ./table2_structural          # scaled bound list
-//   $ ./table2_structural --full   # the paper's 32-row bound list
+//   $ ./table2_structural           # scaled bound list
+//   $ ./table2_structural --full    # the paper's 32-row bound list
+//   $ ./table2_structural --jobs 4  # add a parallel-portfolio column
+//     (--no-share disables its predicate-clause sharing)
 #include <cstring>
 #include <vector>
 
@@ -96,9 +98,11 @@ int main(int argc, char** argv) {
   std::printf(
       "Table 2 — Structural Decision Strategy (ours [paper]); CDP stand-ins "
       "per DESIGN.md\n");
-  std::printf("%-14s %-2s %7s %7s | %16s %16s %16s | %10s %10s | %12s\n",
+  std::printf("%-14s %-2s %7s %7s | %16s %16s %16s | %10s %10s | %12s",
               "Test-case", "R", "Arith", "Bool", "HDPLL", "HDPLL+S",
               "HDPLL+S+P", "bitblast", "chrono", "dp-impl(+S)");
+  if (args.jobs > 0) std::printf(" | %10s", "portfolio");
+  std::printf("\n");
 
   for (const Row& row : rows) {
     const ir::SeqCircuit seq = itc99::build(row.circuit);
@@ -127,13 +131,20 @@ int main(int argc, char** argv) {
     json.add_row(name, "chrono-CDP", chrono);
     std::printf(
         "%-14s %-2c %7zu %7zu | %7s [%6s] %7s [%6s] %7s [%6s] | %10s %10s | "
-        "%12lld\n",
+        "%12lld",
         name.c_str(), with_sp.verdict, counts.arith, counts.boolean,
         cell(plain).c_str(), paper_cell(row.paper_hdpll).c_str(),
         cell(with_s).c_str(), paper_cell(row.paper_s).c_str(),
         cell(with_sp).c_str(), paper_cell(row.paper_sp).c_str(),
         cell(blast).c_str(), cell(chrono).c_str(),
         static_cast<long long>(with_s.datapath_implications));
+    if (args.jobs > 0) {
+      const PortfolioRunResult race =
+          run_portfolio(instance, args.jobs, args.share, timeout);
+      json.add_portfolio_row(name, "portfolio", race);
+      std::printf(" | %10s", cell(race.run).c_str());
+    }
+    std::printf("\n");
     std::fflush(stdout);
   }
   std::printf(

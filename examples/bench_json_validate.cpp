@@ -3,6 +3,7 @@
 // parses back and carries the documented fields (docs/observability.md).
 //
 //   $ ./bench_json_validate bench  BENCH_table1.json   # bench --json output
+//   $ ./bench_json_validate race   race.json           # solver_race --json
 //   $ ./bench_json_validate chrome out.trace.json      # Chrome trace_event
 //   $ ./bench_json_validate jsonl  out.jsonl           # tracer JSONL lines
 //
@@ -51,6 +52,28 @@ bool require_string(const JsonValue& object, const char* name,
   return true;
 }
 
+bool valid_verdict(const std::string& verdict) {
+  return verdict == "S" || verdict == "U" || verdict == "T" ||
+         verdict == "C" || verdict == "?";
+}
+
+// Per-worker array shared by bench portfolio rows and race documents.
+bool validate_workers(const JsonValue& workers, const std::string& where) {
+  if (!workers.is_array()) return fail(where + ": 'workers' is not an array");
+  for (std::size_t j = 0; j < workers.array.size(); ++j) {
+    const JsonValue& worker = workers.array[j];
+    const std::string wwhere = where + ".workers[" + std::to_string(j) + "]";
+    if (!worker.is_object()) return fail(wwhere + ": not an object");
+    if (!require_string(worker, "name", wwhere)) return false;
+    if (!require_string(worker, "verdict", wwhere)) return false;
+    if (!require_number(worker, "seconds", wwhere)) return false;
+    if (!require_number(worker, "clauses_exported", wwhere)) return false;
+    if (!require_number(worker, "clauses_imported", wwhere)) return false;
+    if (!require_number(worker, "cancel_latency", wwhere)) return false;
+  }
+  return true;
+}
+
 // {"bench": "...", "rows": [{instance, config, verdict, seconds, ...}]}
 bool validate_bench(const std::string& text) {
   JsonValue doc;
@@ -69,14 +92,44 @@ bool validate_bench(const std::string& text) {
     if (!require_string(row, "config", where)) return false;
     if (!require_string(row, "verdict", where)) return false;
     const std::string& verdict = row.find("verdict")->string;
-    if (verdict != "S" && verdict != "U" && verdict != "T" && verdict != "?")
-      return fail(where + ": verdict '" + verdict + "' is not S/U/T/?");
+    if (!valid_verdict(verdict))
+      return fail(where + ": verdict '" + verdict + "' is not S/U/T/C/?");
     if (!require_number(row, "seconds", where)) return false;
     const JsonValue* counters = row.find("counters");
     if (counters == nullptr || !counters->is_object())
       return fail(where + ": missing object field 'counters'");
+    // Portfolio rows additionally carry a per-worker array.
+    const JsonValue* workers = row.find("workers");
+    if (workers != nullptr && !validate_workers(*workers, where)) return false;
   }
   std::printf("ok: %zu bench rows\n", rows->array.size());
+  return true;
+}
+
+// solver_race --json: {instance, verdict, winner, seconds,
+//  crosscheck_violations, workers: [...], counters: {...}}
+bool validate_race(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, &doc, &error)) return fail(error);
+  if (!doc.is_object()) return fail("top level is not an object");
+  const std::string where = "top level";
+  if (!require_string(doc, "instance", where)) return false;
+  if (!require_string(doc, "verdict", where)) return false;
+  const std::string& verdict = doc.find("verdict")->string;
+  if (!valid_verdict(verdict))
+    return fail(where + ": verdict '" + verdict + "' is not S/U/T/C/?");
+  if (!require_string(doc, "winner", where)) return false;
+  if (!require_number(doc, "seconds", where)) return false;
+  if (!require_number(doc, "crosscheck_violations", where)) return false;
+  const JsonValue* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object())
+    return fail(where + ": missing object field 'counters'");
+  const JsonValue* workers = doc.find("workers");
+  if (workers == nullptr)
+    return fail(where + ": missing array field 'workers'");
+  if (!validate_workers(*workers, where)) return false;
+  std::printf("ok: race with %zu workers\n", workers->array.size());
   return true;
 }
 
@@ -140,7 +193,8 @@ bool validate_jsonl(const std::string& text) {
 
 int main(int argc, char** argv) {
   if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <bench|chrome|jsonl> <file>\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <bench|race|chrome|jsonl> <file>\n",
+                 argv[0]);
     return 2;
   }
   const std::string mode = argv[1];
@@ -149,6 +203,8 @@ int main(int argc, char** argv) {
   bool ok = false;
   if (mode == "bench") {
     ok = validate_bench(text);
+  } else if (mode == "race") {
+    ok = validate_race(text);
   } else if (mode == "chrome") {
     ok = validate_chrome(text);
   } else if (mode == "jsonl") {

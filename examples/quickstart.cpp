@@ -75,6 +75,9 @@ int main(int argc, char** argv) {
     case core::SolveStatus::kTimeout:
       std::printf("timeout\n");
       break;
+    case core::SolveStatus::kCancelled:
+      std::printf("cancelled\n");
+      break;
   }
   std::printf("decisions=%lld conflicts=%lld\n",
               static_cast<long long>(solver.stats().get("hdpll.decisions")),

@@ -107,6 +107,9 @@ int main(int argc, char** argv) {
     case core::SolveStatus::kTimeout:
       std::printf("TIMEOUT after %.1fs\n", result.seconds);
       return 1;
+    case core::SolveStatus::kCancelled:
+      std::printf("CANCELLED after %.1fs\n", result.seconds);
+      return 1;
   }
   return 1;
 }

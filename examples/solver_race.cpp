@@ -1,39 +1,50 @@
-// Races the word-level solver configurations against the bit-blasting
-// baseline on one BMC instance — a one-instance preview of the paper's
-// Table 2 comparison.
+// Races the solver configurations on one BMC instance — a one-instance
+// preview of the paper's Table 2 comparison, now on the parallel portfolio
+// (src/portfolio): N workers, first verdict wins, losers are cooperatively
+// cancelled, HDPLL workers share predicate clauses.
 //
-//   $ ./solver_race [circuit] [property] [bound]
+//   $ ./solver_race [circuit] [property] [bound] [flags]
+//
+// Flags:
+//   --jobs N          worker count (default 4)
+//   --no-share        disable predicate-clause sharing
+//   --deterministic   sequential deterministic mode (reproducible runs)
+//   --budget S        wall-clock budget in seconds (default 120)
+//   --json PATH       machine-readable report with per-worker rows
+//   --sequential      legacy mode: run the four configurations one after
+//                     another, no portfolio (the pre-portfolio behaviour)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bitblast/bitblast.h"
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
+#include "portfolio/portfolio.h"
+#include "trace/json.h"
 #include "util/timer.h"
 
 using namespace rtlsat;
 
 namespace {
 
-void report(const char* name, const char* verdict, double seconds) {
-  std::printf("  %-22s %-8s %8.3fs\n", name, verdict, seconds);
+void report(const std::string& name, const char* verdict, double seconds) {
+  std::printf("  %-22s %-9s %8.3fs\n", name.c_str(), verdict, seconds);
 }
 
-}  // namespace
+const char* verdict_word(char v) {
+  switch (v) {
+    case 'S': return "SAT";
+    case 'U': return "UNSAT";
+    case 'T': return "timeout";
+    case 'C': return "cancelled";
+    default: return "?";
+  }
+}
 
-int main(int argc, char** argv) {
-  const std::string circuit_name = argc > 1 ? argv[1] : "b13";
-  const std::string property = argc > 2 ? argv[2] : "1";
-  const int bound = argc > 3 ? std::atoi(argv[3]) : 15;
-
-  const ir::SeqCircuit seq = itc99::build(circuit_name);
-  const bmc::BmcInstance instance = bmc::unroll(seq, property, bound);
-  const auto counts = instance.circuit.op_counts();
-  std::printf("%s — %zu arith / %zu bool ops\n", instance.name.c_str(),
-              counts.arith, counts.boolean);
-
+int run_sequential(const bmc::BmcInstance& instance, double budget) {
   struct Config {
     const char* name;
     bool structural;
@@ -45,7 +56,7 @@ int main(int argc, char** argv) {
     core::HdpllOptions options;
     options.structural_decisions = config.structural;
     options.predicate_learning = config.learning;
-    options.timeout_seconds = 120;
+    options.timeout_seconds = budget;
     core::HdpllSolver solver(instance.circuit, options);
     solver.assume_bool(instance.goal, true);
     const core::SolveResult result = solver.solve();
@@ -56,17 +67,156 @@ int main(int argc, char** argv) {
            result.seconds);
   }
 
-  {
-    Timer timer;
-    sat::SolverOptions options;
-    options.timeout_seconds = 120;
-    const auto oracle =
-        bitblast::check_sat(instance.circuit, instance.goal, true, options);
-    report("bit-blast + CDCL",
-           oracle.result == sat::Result::kSat     ? "SAT"
-           : oracle.result == sat::Result::kUnsat ? "UNSAT"
-                                                  : "timeout",
-           timer.seconds());
-  }
+  Timer timer;
+  sat::SolverOptions options;
+  options.timeout_seconds = budget;
+  const auto oracle =
+      bitblast::check_sat(instance.circuit, instance.goal, true, options);
+  report("bit-blast + CDCL",
+         oracle.result == sat::Result::kSat     ? "SAT"
+         : oracle.result == sat::Result::kUnsat ? "UNSAT"
+                                                : "timeout",
+         timer.seconds());
   return 0;
+}
+
+void write_json(const std::string& path, const bmc::BmcInstance& instance,
+                const portfolio::PortfolioResult& result) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("instance").value(instance.name);
+  const char status[2] = {result.winner >= 0
+                              ? result.workers[result.winner].verdict
+                              : 'T',
+                          '\0'};
+  w.key("verdict").value(status);
+  w.key("winner").value(result.winner_name);
+  w.key("seconds").value(result.seconds);
+  w.key("crosscheck_violations")
+      .value(static_cast<std::int64_t>(result.crosscheck_violations.size()));
+  w.key("workers").begin_array();
+  for (const portfolio::WorkerReport& worker : result.workers) {
+    w.begin_object();
+    w.key("name").value(worker.name);
+    const char verdict[2] = {worker.verdict, '\0'};
+    w.key("verdict").value(verdict);
+    w.key("seconds").value(worker.seconds);
+    w.key("clauses_exported").value(worker.clauses_exported);
+    w.key("clauses_imported").value(worker.clauses_imported);
+    w.key("cancel_latency").value(worker.cancel_latency);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : result.stats.all()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write json to %s\n", path.c_str());
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit_name = "b13";
+  std::string property = "1";
+  int bound = 15;
+  int jobs = 4;
+  bool share = true;
+  bool deterministic = false;
+  bool sequential = false;
+  double budget = 120;
+  std::string json_path;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-share") == 0) {
+      share = false;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
+    } else if (std::strcmp(argv[i], "--sequential") == 0) {
+      sequential = true;
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else if (positional == 0) {
+      circuit_name = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      property = argv[i];
+      ++positional;
+    } else {
+      bound = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return 2;
+  }
+
+  const ir::SeqCircuit seq = itc99::build(circuit_name);
+  const bmc::BmcInstance instance = bmc::unroll(seq, property, bound);
+  const auto counts = instance.circuit.op_counts();
+  std::printf("%s — %zu arith / %zu bool ops\n", instance.name.c_str(),
+              counts.arith, counts.boolean);
+
+  if (sequential) return run_sequential(instance, budget);
+
+  portfolio::PortfolioOptions options;
+  options.jobs = jobs;
+  options.share_clauses = share;
+  options.deterministic = deterministic;
+  options.budget_seconds = budget;
+  portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
+  const portfolio::PortfolioResult result = race.solve();
+
+  std::printf("portfolio: %d workers%s%s\n", jobs, share ? "" : ", no sharing",
+              deterministic ? ", deterministic" : "");
+  for (const portfolio::WorkerReport& worker : result.workers) {
+    report(worker.name, verdict_word(worker.verdict), worker.seconds);
+    if (worker.cancel_latency >= 0) {
+      std::printf("  %-22s cancelled after %.1f ms\n", "",
+                  worker.cancel_latency * 1e3);
+    }
+    if (worker.clauses_exported > 0 || worker.clauses_imported > 0) {
+      std::printf("  %-22s shared: %lld exported, %lld imported\n", "",
+                  static_cast<long long>(worker.clauses_exported),
+                  static_cast<long long>(worker.clauses_imported));
+    }
+  }
+  switch (result.status) {
+    case core::SolveStatus::kSat:
+      std::printf("winner: %s — SAT in %.3fs\n", result.winner_name.c_str(),
+                  result.seconds);
+      break;
+    case core::SolveStatus::kUnsat:
+      std::printf("winner: %s — UNSAT in %.3fs\n", result.winner_name.c_str(),
+                  result.seconds);
+      break;
+    default:
+      std::printf("no verdict within the %.0fs budget\n", budget);
+      break;
+  }
+  for (const std::string& v : result.crosscheck_violations) {
+    std::fprintf(stderr, "CROSSCHECK VIOLATION: %s\n", v.c_str());
+  }
+
+  if (!json_path.empty()) write_json(json_path, instance, result);
+  return result.crosscheck_violations.empty() ? 0 : 1;
 }

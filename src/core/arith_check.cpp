@@ -187,8 +187,12 @@ ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver) {
 
   ArithCheckResult result;
   std::vector<std::int64_t> model;
-  if (solver.solve(extractor.system(), &model) == fme::Result::kUnsat)
-    return result;  // sat = false
+  const fme::Result fme_result = solver.solve(extractor.system(), &model);
+  if (fme_result == fme::Result::kUnsat) return result;  // sat = false
+  if (fme_result == fme::Result::kUnknown) {
+    result.stopped = true;  // stop token fired: no verdict, caller bails
+    return result;
+  }
 
   result.sat = true;
   result.values.resize(circuit.num_nets());

@@ -17,6 +17,10 @@ namespace rtlsat::core {
 
 struct ArithCheckResult {
   bool sat = false;
+  // The FME solver's stop token fired mid-check: `sat == false` then means
+  // "abandoned", not "refuted". Callers must bail out (timeout/cancel)
+  // instead of learning a conflict from it.
+  bool stopped = false;
   // On sat: a concrete value for every net (points taken from the engine,
   // the rest from the FME model / interval minima).
   std::vector<std::int64_t> values;

@@ -1,0 +1,43 @@
+// Clause-sharing hook between cooperating solver instances.
+//
+// A portfolio (src/portfolio) hands each HdpllSolver an exchange endpoint.
+// The solver *offers* clauses it proved — learned conflict clauses and the
+// §3 predicate relations, both consequences of the problem formula alone,
+// so they are sound in every peer working on the same formula — and
+// *collects* peers' clauses at restart boundaries, where the trail is back
+// at level 0 and new clauses can be attached without disturbing watched
+// invariants mid-branch.
+//
+// Threading contract: offer() and collect() are called only from the thread
+// that owns the solver. An implementation shared between workers (the
+// portfolio's clause pool) must synchronise internally; the solver itself
+// stays single-threaded.
+#pragma once
+
+#include <vector>
+
+#include "core/hybrid_clause.h"
+
+namespace rtlsat::core {
+
+class ClauseExchange {
+ public:
+  virtual ~ClauseExchange() = default;
+
+  // Offers a clause proved by this solver. Returns true when the exchange
+  // accepted it (length/duplicate/capacity policy is the implementation's);
+  // the solver uses the result only for its export counter.
+  virtual bool offer(const HybridClause& clause) = 0;
+
+  // Appends clauses proved by peers since the previous collect(). The
+  // caller imports them with origin kShared; an implementation must never
+  // hand a solver back its own offers.
+  virtual void collect(std::vector<HybridClause>* out) = 0;
+
+  // Publishes any offers the implementation is still batching locally. The
+  // solver calls this once when a solve finishes, so a worker that never
+  // restarted (or ended mid-batch) still contributes its tail of clauses.
+  virtual void flush() {}
+};
+
+}  // namespace rtlsat::core

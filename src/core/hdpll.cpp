@@ -33,7 +33,10 @@ HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
       engine_(circuit),
       db_(circuit),
       heap_(circuit.num_nets()),
-      fme_(fme::SolveOptions{.tracer = options.tracer}),
+      // &stop_ is stable (member address); its value is filled in by
+      // solve() when the timeout is merged in.
+      fme_(fme::SolveOptions{.tracer = options.tracer, .stop = &stop_}),
+      stop_(options.stop),
       rng_(options.random_seed),
       phase_(circuit.num_nets(), false),
       n_decisions_(stats_.counter("hdpll.decisions")),
@@ -44,6 +47,8 @@ HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
       n_justify_scanned_(stats_.counter("justify.candidates_scanned")),
       n_arith_checks_(stats_.counter("hdpll.arith_checks")),
       n_arith_conflicts_(stats_.counter("hdpll.arith_conflicts")),
+      n_clauses_exported_(stats_.counter("hdpll.clauses_exported")),
+      n_clauses_imported_(stats_.counter("hdpll.clauses_imported")),
       h_learned_len_(stats_.histogram("hdpll.learned_clause_len")),
       h_backjump_(stats_.histogram("hdpll.backjump_distance")),
       h_resolutions_(stats_.histogram("hdpll.analyze_resolutions")),
@@ -51,6 +56,7 @@ HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
       tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
       progress_(options.progress) {
   engine_.set_tracer(tracer_);
+  engine_.set_stop(&stop_);
   if (options_.structural_decisions)
     justifier_ = std::make_unique<Justifier>(circuit);
   // Seed activities with original fanout counts (§2.4).
@@ -172,6 +178,36 @@ void HdpllSolver::progress_tick(bool final) {
   }
 }
 
+SolveStatus HdpllSolver::stopped_status() const {
+  // An explicit cancel wins over a simultaneously expired deadline: the
+  // caller that fired the token wants kCancelled for its latency books.
+  return stop_.cancelled() ? SolveStatus::kCancelled : SolveStatus::kTimeout;
+}
+
+void HdpllSolver::export_clauses(std::size_t first) {
+  if (options_.exchange == nullptr) return;
+  for (std::size_t id = first; id < db_.size(); ++id) {
+    if (options_.exchange->offer(db_.clause(static_cast<std::uint32_t>(id))))
+      ++n_clauses_exported_;
+  }
+}
+
+void HdpllSolver::import_shared_clauses() {
+  if (options_.exchange == nullptr) return;
+  RTLSAT_ASSERT(engine_.level() == 0);
+  std::vector<HybridClause> incoming;
+  options_.exchange->collect(&incoming);
+  for (HybridClause& c : incoming) {
+    c.learnt = true;
+    c.origin = HybridClause::Origin::kShared;
+    // add() defers the clause's first examination to the next deduce(),
+    // which the search loop runs before deciding — so a unit or falsified
+    // import takes effect immediately and the watch invariants hold.
+    db_.add(std::move(c));
+    ++n_clauses_imported_;
+  }
+}
+
 bool HdpllSolver::handle_conflict() {
   ++n_conflicts_;
   tracer_->record(trace::EventKind::kConflict, engine_.level());
@@ -226,6 +262,7 @@ bool HdpllSolver::handle_conflict() {
   }
   on_clause_learned(analysis.clause);
   db_.add(analysis.clause);  // asserts via clause propagation in deduce()
+  export_clauses(db_.size() - 1);
   db_.decay_clause_activity(options_.clause_activity_decay);
 
   // Periodic learnt-database housekeeping.
@@ -244,6 +281,10 @@ bool HdpllSolver::handle_conflict() {
     tracer_->record(trace::EventKind::kRestart, engine_.level(),
                     restart_count_);
     backtrack_to(0);
+    // Restart boundary = the trail is empty; the only safe and — in the
+    // portfolio's deterministic mode — the only *predictable* point to
+    // splice in peers' clauses.
+    import_shared_clauses();
   }
   return true;
 }
@@ -277,14 +318,43 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
 
 SolveResult HdpllSolver::solve() {
   SolveResult result = solve_impl();
+  // Publish the tail of the export batch — without this a worker that
+  // never restarts would strand its last few clauses in the endpoint.
+  if (options_.exchange != nullptr) options_.exchange->flush();
   progress_tick(/*final=*/true);
   tracer_->flush();
   return result;
 }
 
+std::vector<std::string> HdpllSolver::crosscheck_model(
+    const std::unordered_map<NetId, std::int64_t>& input_model) {
+  // Level 0 holds only assumption-forced facts, valid on every branch —
+  // the correct frame to judge a peer's model against. (A cancelled loser
+  // parks mid-branch; its branch-local intervals may legitimately exclude
+  // the model.)
+  backtrack_to(0);
+  std::vector<std::string> violations;
+  const auto values = circuit_.evaluate(input_model);
+  for (const auto& [net, interval] : assumptions_) {
+    if (!interval.contains(values[net])) {
+      violations.push_back("crosscheck: assumption on net " +
+                           std::to_string(net) + " violated by peer model");
+    }
+  }
+  for (const std::string& v :
+       selfcheck::check_interval_soundness(engine_, input_model)) {
+    violations.push_back("crosscheck: " + v);
+  }
+  return violations;
+}
+
 SolveResult HdpllSolver::solve_impl() {
   Timer timer;
-  const Deadline deadline(options_.timeout_seconds);
+  // One token carries both the external cancel flag and the solver's own
+  // deadline; the engine and FME hold &stop_, so this assignment arms them
+  // too. (The old code polled a Deadline only between conflicts — a long
+  // propagation or FME call could overshoot the timeout by seconds.)
+  stop_ = options_.stop.with_deadline(options_.timeout_seconds);
   SolveResult result;
   reduction_budget_ = options_.reduction_base;
   selfcheck_countdown_ = options_.self_check_interval;
@@ -303,10 +373,19 @@ SolveResult HdpllSolver::solve_impl() {
     trace::ScopedPhase phase(tracer_, &stats_, "predicate_learning");
     PredicateLearningOptions learn_options = options_.learning;
     if (learn_options.tracer == nullptr) learn_options.tracer = tracer_;
+    if (learn_options.stop == nullptr) learn_options.stop = &stop_;
+    const std::size_t first_learned = db_.size();
     result.learning = run_predicate_learning(engine_, db_, &clause_cursor_,
                                              learn_options);
     if (result.learning.proven_unsat) {
       result.status = SolveStatus::kUnsat;
+      result.seconds = timer.seconds();
+      return result;
+    }
+    // §3 relations are consequences of the formula alone — share them all.
+    export_clauses(first_learned);
+    if (stop_.stop_requested()) {
+      result.status = stopped_status();
       result.seconds = timer.seconds();
       return result;
     }
@@ -318,8 +397,12 @@ SolveResult HdpllSolver::solve_impl() {
     }
   }
 
+  // Adopt whatever peers have already published before the first decision —
+  // without this a worker that never restarts (easy instances, or a late
+  // deterministic-mode slot) would not import at all.
+  import_shared_clauses();
+
   trace::ScopedPhase search_phase(tracer_, &stats_, "search");
-  int steps_since_deadline_check = 0;
   while (true) {
     if (!deduce(engine_, db_, &clause_cursor_)) {
       if (!handle_conflict()) {
@@ -330,13 +413,15 @@ SolveResult HdpllSolver::solve_impl() {
       continue;
     }
 
-    if (deadline.armed() && ++steps_since_deadline_check >= 64) {
-      steps_since_deadline_check = 0;
-      if (deadline.expired()) {
-        result.status = SolveStatus::kTimeout;
-        result.seconds = timer.seconds();
-        return result;
-      }
+    // Full poll (flag + clock) every decision step. This must run before
+    // pick_decision(): a deduce() that the engine cut short on a fired
+    // token returns true *without* reaching a fixpoint, and only this
+    // check keeps the incomplete propagation from feeding a decision or
+    // an arith_check. Unarmed tokens make both reads trivially cheap.
+    if (stop_.stop_requested()) {
+      result.status = stopped_status();
+      result.seconds = timer.seconds();
+      return result;
     }
 
     const auto decision = pick_decision();
@@ -358,6 +443,13 @@ SolveResult HdpllSolver::solve_impl() {
       {
         trace::ScopedPhase arith_phase(tracer_, &stats_, "arith_check");
         arith = arith_check(engine_, fme_);
+      }
+      if (arith.stopped) {
+        // FME abandoned the check on a fired token — neither a model nor a
+        // refutation; learning a decision cut here would be unsound.
+        result.status = stopped_status();
+        result.seconds = timer.seconds();
+        return result;
       }
       tracer_->record(trace::EventKind::kArithCheck, engine_.level(),
                       arith.sat ? 1 : 0);

@@ -19,17 +19,21 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/analyze.h"
 #include "core/arith_check.h"
 #include "core/clause_db.h"
+#include "core/clause_exchange.h"
 #include "core/decision.h"
 #include "core/justify.h"
 #include "core/predicate_learning.h"
 #include "prop/engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/stop_token.h"
 #include "util/timer.h"
 
 namespace rtlsat::trace {
@@ -50,6 +54,20 @@ struct HdpllOptions {
   AnalyzeOptions analyze;
 
   double timeout_seconds = 0;  // 0 = no limit (paper used 1200 s)
+  // Cooperative cancellation (portfolio racing, external budgets). The
+  // token is merged with timeout_seconds into one deadline-carrying token
+  // when solve() starts, and that merged token is polled at decision
+  // boundaries, inside interval propagation, inside FME, and before every
+  // predicate-learning probe — so a fired token (or an expired deadline)
+  // stops the solver within milliseconds even on propagation-heavy
+  // instances where the old between-conflicts poll lagged. Default-
+  // constructed = never fires.
+  StopToken stop;
+  // Portfolio clause sharing: when set, learned conflict clauses and
+  // predicate relations (length-capped by the exchange) are offered after
+  // each learning step, and peers' clauses are imported at restart
+  // boundaries. Borrowed; must outlive the solver. Null = no sharing.
+  ClauseExchange* exchange = nullptr;
   double activity_decay = 0.95;
   double learned_weight_bonus = 4.0;  // activity seed per clause occurrence
   bool random_decisions = false;      // ablation: ignore activities
@@ -90,7 +108,11 @@ struct HdpllOptions {
   trace::ProgressReporter* progress = nullptr;
 };
 
-enum class SolveStatus { kSat, kUnsat, kTimeout };
+// kTimeout: the solver's own deadline expired. kCancelled: an external
+// StopToken fired (portfolio loser, user interrupt) — no verdict either
+// way, but the distinction matters for reporting and for the portfolio's
+// cancellation-latency accounting.
+enum class SolveStatus { kSat, kUnsat, kTimeout, kCancelled };
 
 struct SolveResult {
   SolveStatus status = SolveStatus::kTimeout;
@@ -113,6 +135,15 @@ class HdpllSolver {
 
   SolveResult solve();
 
+  // Portfolio cross-check: replays `input_model` (a winner's SAT model)
+  // against this solver's circuit view at level 0 — evaluate the circuit on
+  // the model, then run the selfcheck interval-soundness audit so a loser
+  // whose level-0 intervals exclude the winner's model is caught. Returns
+  // human-readable violation strings (empty = consistent). Backtracks this
+  // solver to level 0 as a side effect; only call once its race is over.
+  std::vector<std::string> crosscheck_model(
+      const std::unordered_map<ir::NetId, std::int64_t>& input_model);
+
   const Stats& stats() const { return stats_; }
   const ClauseDb& clauses() const { return db_; }
   const prop::Engine& engine() const { return engine_; }
@@ -126,6 +157,14 @@ class HdpllSolver {
 
   bool apply_assumptions();
   SolveResult solve_impl();
+  // The no-verdict status for a fired stop token: kCancelled for an
+  // external request, kTimeout when (only) the deadline expired.
+  SolveStatus stopped_status() const;
+  // Clause sharing (no-ops without options_.exchange): export the database
+  // clauses in [first, db_.size()) / import peers' clauses at a restart
+  // boundary (engine at level 0).
+  void export_clauses(std::size_t first);
+  void import_shared_clauses();
   // Per-conflict progress hook; `final` forces the closing report.
   void progress_tick(bool final);
   // Returns the next decision, or nullopt when every Boolean net is
@@ -147,6 +186,10 @@ class HdpllSolver {
   ActivityHeap heap_;
   std::unique_ptr<Justifier> justifier_;
   fme::Solver fme_;
+  // The effective stop token: options_.stop merged with timeout_seconds
+  // when solve() starts. Installed into the engine and FME at
+  // construction so sub-components poll the same token.
+  StopToken stop_;
   Rng rng_;
   std::vector<std::pair<ir::NetId, Interval>> assumptions_;
   std::vector<bool> phase_;
@@ -176,6 +219,8 @@ class HdpllSolver {
   std::int64_t& n_justify_scanned_;
   std::int64_t& n_arith_checks_;
   std::int64_t& n_arith_conflicts_;
+  std::int64_t& n_clauses_exported_;
+  std::int64_t& n_clauses_imported_;
   Histogram& h_learned_len_;
   Histogram& h_backjump_;
   Histogram& h_resolutions_;

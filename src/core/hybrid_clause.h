@@ -65,8 +65,15 @@ struct HybridLit {
 struct HybridClause {
   std::vector<HybridLit> lits;
   bool learnt = false;
-  // Where the clause came from — for the experiment reporting.
-  enum class Origin { kProblem, kConflict, kPredicateLearning, kJustification };
+  // Where the clause came from — for the experiment reporting. kShared
+  // marks clauses imported from a portfolio peer's export stream.
+  enum class Origin {
+    kProblem,
+    kConflict,
+    kPredicateLearning,
+    kJustification,
+    kShared
+  };
   Origin origin = Origin::kProblem;
   // Database-management state (learnt clauses only).
   double activity = 0;

@@ -178,8 +178,13 @@ PredicateLearningReport run_predicate_learning(
     return true;
   };
 
+  const auto stopped = [&options] {
+    return options.stop != nullptr && options.stop->stop_requested();
+  };
+
   for (NetId b : candidates) {
     if (report.relations_learned >= options.max_relations) break;
+    if (stopped()) return report;  // partial report; committed clauses stand
     for (int v = 0; v <= 1; ++v) {
       if (report.relations_learned >= options.max_relations) break;
       if (engine.bool_value(b) >= 0) break;  // already fixed at level 0
@@ -288,6 +293,7 @@ PredicateLearningReport run_predicate_learning(
 
     for (const NetId w : word_candidates) {
       if (probes_left-- <= 0) break;
+      if (stopped()) return report;  // partial report; committed clauses stand
       const Interval dom = engine.interval(w);
       if (dom.count() < 2) continue;
       ++report.probes;

@@ -21,6 +21,7 @@
 #include "core/clause_db.h"
 #include "prop/engine.h"
 #include "util/stats.h"
+#include "util/stop_token.h"
 
 namespace rtlsat::trace {
 class Tracer;
@@ -44,6 +45,12 @@ struct PredicateLearningOptions {
   // Observability: learned relations/units are recorded as trace events.
   // Null ⟹ trace::global() (a no-op unless RTLSAT_TRACE is set).
   trace::Tracer* tracer = nullptr;
+  // Cooperative cancellation / deadline, polled before every probe (the
+  // engine is at level 0 there, so stopping keeps the committed clauses —
+  // all sound — and returns the partial report). Learning used to run to
+  // completion regardless of HdpllOptions::timeout_seconds; routing the
+  // deadline through here fixes that. Null = never stop.
+  const StopToken* stop = nullptr;
 };
 
 struct PredicateLearningReport {

@@ -320,6 +320,10 @@ class Driver {
 
   Result solve(Problem problem, std::vector<std::int64_t>& model, int depth) {
     stats_.add("fme.calls", 1);
+    if (options_.stop != nullptr && options_.stop->stop_requested()) {
+      stats_.add("fme.stopped", 1);
+      return Result::kUnknown;
+    }
     if (depth > options_.max_splinter_depth) {
       // Should be unreachable (domains are finite); fail safe on the sound
       // side for UNSAT claims by exhaustively enumerating would be
@@ -355,8 +359,8 @@ class Driver {
       // variables: splinter recursion re-defaults every entry of the model
       // it is handed, which must not clobber earlier components.
       std::vector<std::int64_t> comp_model = model;
-      if (solve_component(comp, comp_model, depth) == Result::kUnsat)
-        return Result::kUnsat;
+      const Result comp_result = solve_component(comp, comp_model, depth);
+      if (comp_result != Result::kSat) return comp_result;
       for (const auto& c : comp.constraints) {
         for (const Term& t : c.terms) model[t.var] = comp_model[t.var];
       }
@@ -421,20 +425,22 @@ class Driver {
     }
 
     const Interval b = problem.bounds[best];
+    // A kUnknown from any branch (stop token fired) must surface — claiming
+    // UNSAT after an abandoned branch would be unsound.
     if (b.count() <= options_.enumerate_limit) {
       for (Coeff v = b.lo(); v <= b.hi(); ++v) {
         Problem sub = problem;
         sub.bounds[best] = Interval::point(v);
-        if (solve(std::move(sub), model, depth + 1) == Result::kSat)
-          return Result::kSat;
+        const Result r = solve(std::move(sub), model, depth + 1);
+        if (r != Result::kUnsat) return r;
       }
       return Result::kUnsat;
     }
     const Coeff mid = b.lo() + static_cast<Coeff>(b.count() / 2) - 1;
     Problem left = problem;
     left.bounds[best] = Interval(b.lo(), mid);
-    if (solve(std::move(left), model, depth + 1) == Result::kSat)
-      return Result::kSat;
+    const Result r = solve(std::move(left), model, depth + 1);
+    if (r != Result::kUnsat) return r;
     Problem right = problem;
     right.bounds[best] = Interval(mid + 1, b.hi());
     return solve(std::move(right), model, depth + 1);
@@ -480,7 +486,9 @@ Result Solver::solve(const System& system, std::vector<std::int64_t>* model) {
       options_.tracer != nullptr ? options_.tracer : &trace::global();
   tracer->record(trace::EventKind::kFmeSolve, 0,
                  static_cast<std::int64_t>(num_constraints),
-                 result == Result::kSat ? 1 : 0);
+                 result == Result::kSat     ? 1
+                 : result == Result::kUnsat ? 0
+                                            : -1);  // -1 = stopped mid-solve
   return result;
 }
 

@@ -26,6 +26,7 @@
 
 #include "fme/linear.h"
 #include "util/stats.h"
+#include "util/stop_token.h"
 
 namespace rtlsat::trace {
 class Tracer;
@@ -33,7 +34,10 @@ class Tracer;
 
 namespace rtlsat::fme {
 
-enum class Result { kSat, kUnsat };
+// kUnknown is only ever returned when a stop token fired mid-solve: the
+// system was neither certified SAT nor refuted. Callers must treat it as
+// "abandon this check", never as a verdict.
+enum class Result { kSat, kUnsat, kUnknown };
 
 struct SolveOptions {
   // Abort FME and splinter when the working set outgrows this (guards the
@@ -48,6 +52,10 @@ struct SolveOptions {
   // Observability: each solve() call is recorded as a kFmeSolve event.
   // Null ⟹ trace::global() (a no-op unless RTLSAT_TRACE is set).
   trace::Tracer* tracer = nullptr;
+  // Cooperative cancellation / deadline, polled at every splinter-recursion
+  // entry so FME-heavy end-games respect the solver timeout and portfolio
+  // cancellation. Null = never stop. Borrowed; must outlive the solver.
+  const StopToken* stop = nullptr;
 };
 
 class Solver {

@@ -1,0 +1,92 @@
+#include "portfolio/clause_pool.h"
+
+#include <algorithm>
+
+namespace rtlsat::portfolio {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer as the combiner — cheap and well-distributed.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+// Canonical clause hash: literal order must not matter (the same relation
+// learned by two workers can carry its literals in different orders), so
+// hash each literal independently and combine with an order-insensitive
+// fold before the final mix.
+std::uint64_t clause_hash(const core::HybridClause& clause) {
+  std::uint64_t folded = 0;
+  for (const core::HybridLit& l : clause.lits) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    h = mix(h, static_cast<std::uint64_t>(l.net));
+    h = mix(h, static_cast<std::uint64_t>(l.interval.lo()));
+    h = mix(h, static_cast<std::uint64_t>(l.interval.hi()));
+    h = mix(h, (l.positive ? 2u : 0u) | (l.is_bool ? 1u : 0u));
+    folded += h;  // commutative fold: order-insensitive
+  }
+  return mix(folded, clause.lits.size());
+}
+
+}  // namespace
+
+std::size_t ClausePool::publish(int worker,
+                                std::vector<core::HybridClause> batch) {
+  if (batch.empty()) return 0;
+  std::size_t accepted = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (core::HybridClause& c : batch) {
+    if (c.lits.empty() || c.lits.size() > options_.max_clause_len) continue;
+    if (entries_.size() >= options_.capacity) break;
+    if (!hashes_.insert(clause_hash(c)).second) continue;
+    entries_.push_back(Entry{worker, std::move(c)});
+    ++accepted;
+  }
+  size_.store(entries_.size(), std::memory_order_release);
+  return accepted;
+}
+
+std::size_t ClausePool::fetch(int worker, std::size_t* cursor,
+                              std::vector<core::HybridClause>* out) {
+  // Fast path: nothing published since this worker's cursor. The acquire
+  // load pairs with publish()'s release store, so a stale answer here can
+  // only be "no news yet" — the clauses are picked up next time.
+  if (size_.load(std::memory_order_acquire) <= *cursor) return 0;
+  std::size_t appended = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (; *cursor < entries_.size(); ++*cursor) {
+    const Entry& e = entries_[*cursor];
+    if (e.worker == worker) continue;
+    out->push_back(e.clause);
+    ++appended;
+  }
+  return appended;
+}
+
+bool PoolExchange::offer(const core::HybridClause& clause) {
+  if (clause.lits.empty() ||
+      clause.lits.size() > pool_->options().max_clause_len)
+    return false;
+  if (clause.origin == core::HybridClause::Origin::kShared ||
+      clause.origin == core::HybridClause::Origin::kProblem)
+    return false;
+  outbox_.push_back(clause);
+  if (outbox_.size() >= kBatch) flush();
+  return true;
+}
+
+void PoolExchange::flush() {
+  if (outbox_.empty()) return;
+  published_ += pool_->publish(worker_, std::move(outbox_));
+  outbox_.clear();  // moved-from: restore a known state
+}
+
+void PoolExchange::collect(std::vector<core::HybridClause>* out) {
+  flush();
+  pool_->fetch(worker_, &cursor_, out);
+}
+
+}  // namespace rtlsat::portfolio

@@ -1,0 +1,111 @@
+// Shared clause pool for the parallel portfolio (the clause-sharing half
+// of src/portfolio, after the portfolio-SAT literature in PAPERS.md).
+//
+// HDPLL workers racing the same BMC instance prove clauses that are
+// consequences of the formula alone — learned conflict clauses and the §3
+// predicate relations — so any worker may adopt any other worker's clauses
+// without a soundness argument beyond "same formula". The pool is the
+// meeting point: an append-only vector of (worker, clause) entries behind
+// one mutex, with an atomic size counter so the common case — "anything
+// new since my cursor?" — answers without taking the lock at all.
+//
+// Policy lives here, not in the solvers: a length cap (long clauses are
+// rarely worth a peer's propagation cost), duplicate suppression by
+// canonical clause hash, and a capacity cap that turns the pool read-only
+// instead of evicting (eviction would break the monotone cursors).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "core/clause_exchange.h"
+#include "core/hybrid_clause.h"
+
+namespace rtlsat::portfolio {
+
+struct ClausePoolOptions {
+  // Clauses with more literals than this are refused at publish time.
+  std::size_t max_clause_len = 8;
+  // Entries the pool will hold before refusing further publishes.
+  std::size_t capacity = 1 << 16;
+};
+
+class ClausePool {
+ public:
+  explicit ClausePool(ClausePoolOptions options = {}) : options_(options) {}
+  ClausePool(const ClausePool&) = delete;
+  ClausePool& operator=(const ClausePool&) = delete;
+
+  const ClausePoolOptions& options() const { return options_; }
+
+  // Publishes a batch from `worker`. Returns how many entries were
+  // accepted (length cap, duplicate hash, and capacity all filter).
+  // Thread-safe.
+  std::size_t publish(int worker, std::vector<core::HybridClause> batch);
+
+  // Appends every entry at index ≥ *cursor that was published by a
+  // *different* worker, and advances *cursor* past everything examined.
+  // Returns the number appended. Lock-free when the cursor is current —
+  // the per-restart cost of an idle pool is one atomic load. Thread-safe;
+  // each worker owns its own cursor.
+  std::size_t fetch(int worker, std::size_t* cursor,
+                    std::vector<core::HybridClause>* out);
+
+  // Entries published so far (monotone; approximate between lock regions).
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+ private:
+  struct Entry {
+    int worker;
+    core::HybridClause clause;
+  };
+
+  ClausePoolOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;                // guarded by mu_
+  std::unordered_set<std::uint64_t> hashes_;  // guarded by mu_
+  // Published count, written under mu_ with release ordering; fetch()'s
+  // fast path reads it with acquire so a seen increment implies the
+  // entries behind it are visible once the lock is taken.
+  std::atomic<std::size_t> size_{0};
+};
+
+// A worker's private endpoint onto the pool (core::ClauseExchange). The
+// solver calls it single-threaded; the endpoint batches offers locally and
+// only touches the (mutex-guarded) pool on flush and on collect, keeping
+// the solver's learning hot path lock-free.
+class PoolExchange : public core::ClauseExchange {
+ public:
+  PoolExchange(ClausePool* pool, int worker) : pool_(pool), worker_(worker) {}
+
+  // Queues a clause for publication; flushes every kBatch offers. Returns
+  // false for clauses the pool's length cap would refuse, for empty or
+  // problem clauses, and for clauses that were themselves imported
+  // (re-exporting a kShared clause would just bounce it around the pool).
+  bool offer(const core::HybridClause& clause) override;
+
+  // Flushes the outbox, then pulls every peer clause published since the
+  // previous collect.
+  void collect(std::vector<core::HybridClause>* out) override;
+
+  // Publishes the partial batch still in the outbox (the solver calls this
+  // once at the end of a solve).
+  void flush() override;
+
+  // Offers accepted into the pool so far (post-dedup), for reporting.
+  std::size_t published() const { return published_; }
+
+ private:
+  static constexpr std::size_t kBatch = 16;
+
+  ClausePool* pool_;
+  int worker_;
+  std::size_t cursor_ = 0;
+  std::size_t published_ = 0;
+  std::vector<core::HybridClause> outbox_;
+};
+
+}  // namespace rtlsat::portfolio

@@ -102,6 +102,12 @@ std::vector<std::int32_t> Engine::incident_events(NetId node,
 bool Engine::propagate() {
   RTLSAT_ASSERT(!conflict_.valid);
   while (!queue_.empty()) {
+    // Early out on cancellation/deadline: sound because the queue keeps its
+    // pending work (see set_stop's contract in the header).
+    if (stop_ != nullptr && --stop_countdown_ <= 0) {
+      stop_countdown_ = kStopCheckInterval;
+      if (stop_->stop_requested()) return true;
+    }
     const NetId node = queue_.back();
     queue_.pop_back();
     in_queue_[node] = false;

@@ -20,6 +20,7 @@
 #include "interval/interval.h"
 #include "ir/circuit.h"
 #include "prop/rules.h"
+#include "util/stop_token.h"
 
 namespace rtlsat::trace {
 class Tracer;
@@ -142,6 +143,14 @@ class Engine {
   }
   trace::Tracer* tracer() const { return tracer_; }
 
+  // Cooperative cancellation: when set, propagate() polls the token every
+  // few thousand queue pops and, if it fired, returns true EARLY — no
+  // conflict, but also no fixpoint (the queue keeps its pending work, so a
+  // later propagate() resumes correctly). Callers that install a token must
+  // therefore re-check it after every propagation round before trusting
+  // bounds consistency; HdpllSolver does exactly that. Null = never stop.
+  void set_stop(const StopToken* stop) { stop_ = stop; }
+
  private:
   void record_event(ir::NetId net, const Interval& next, ReasonKind kind,
                     std::uint32_t reason_id,
@@ -162,6 +171,9 @@ class Engine {
   std::vector<bool> in_queue_;
   Conflict conflict_;
   trace::Tracer* tracer_;
+  const StopToken* stop_ = nullptr;
+  std::int32_t stop_countdown_ = kStopCheckInterval;
+  static constexpr std::int32_t kStopCheckInterval = 4096;
   std::size_t low_water_ = 0;
   std::uint32_t level_ = 0;
   std::int64_t num_propagations_ = 0;

@@ -484,7 +484,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
   Timer timer;
-  const Deadline deadline(options_.timeout_seconds);
+  const StopToken stop = options_.stop.with_deadline(options_.timeout_seconds);
   max_learnts_ = std::max<std::size_t>(clauses_.size() / 3, 1000);
   std::int64_t restart_count = 0;
   std::int64_t conflicts_until_restart =
@@ -494,6 +494,10 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   std::vector<Lit> learnt;
 
   while (true) {
+    // Polled at the top so conflict-streak iterations (which `continue`
+    // past the decision code) still observe a fired token promptly.
+    if (stop.stop_requested())
+      return stop.cancelled() ? Result::kCancelled : Result::kTimeout;
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++n_conflicts_;
@@ -560,8 +564,6 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
       }
       continue;
     }
-
-    if (deadline.expired()) return Result::kTimeout;
 
     // Apply assumptions, then decide.
     bool assumption_pending = false;

@@ -15,6 +15,7 @@
 
 #include "util/assert.h"
 #include "util/stats.h"
+#include "util/stop_token.h"
 #include "util/timer.h"
 
 namespace rtlsat::trace {
@@ -52,7 +53,9 @@ class Lit {
 
 enum class Value : std::uint8_t { kFalse = 0, kTrue = 1, kUnassigned = 2 };
 
-enum class Result { kSat, kUnsat, kTimeout };
+// kTimeout: the solver's own deadline expired; kCancelled: an external
+// StopToken fired (portfolio loser). Neither carries a verdict.
+enum class Result { kSat, kUnsat, kTimeout, kCancelled };
 
 struct SolverOptions {
   double var_decay = 0.95;
@@ -60,6 +63,11 @@ struct SolverOptions {
   int restart_base = 100;       // Luby unit, in conflicts
   double learnt_grow = 1.1;     // learnt-DB cap growth per reduction
   double timeout_seconds = 0;   // 0 = none
+  // Cooperative cancellation: merged with timeout_seconds into one token
+  // when solve() starts and polled on decision boundaries (the flag every
+  // iteration, the clock alongside it — both cheap when unarmed).
+  // Default-constructed = never fires.
+  StopToken stop;
   // Audit trail/watch/clause-DB invariants (check_invariants) every
   // `self_check_interval` conflicts and at every SAT answer; any violation
   // aborts. Defaults on in -DRTLSAT_SELFCHECK=ON builds.

@@ -10,6 +10,7 @@
 // for cold paths. bench/micro_stats.cpp measures the difference.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -60,6 +61,26 @@ class Histogram {
     return (std::int64_t{1} << i) - 1;
   }
 
+  // Accumulates another histogram into this one (bucket-wise addition;
+  // min/max/sum/count combine exactly). The portfolio merges per-worker
+  // histograms this way — merge(a, b) equals recording a's and b's samples
+  // into one histogram in any order.
+  void merge(const Histogram& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (int i = 0; i < kBuckets; ++i) {
+      buckets_[static_cast<std::size_t>(i)] +=
+          other.buckets_[static_cast<std::size_t>(i)];
+    }
+  }
+
   // "count=N sum=S min=m max=M mean=x.x" one-line summary.
   std::string to_string() const;
 
@@ -92,6 +113,18 @@ class Stats {
   const Histogram* find_histogram(const std::string& name) const {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  // Accumulates another registry into this one: counters with the same
+  // name add, histograms merge bucket-wise, names unique to `other` are
+  // copied. This is how the portfolio folds its per-worker registries into
+  // one report. Stats itself is NOT thread-safe — the concurrency model is
+  // one instance per worker, merged after the workers join; handles
+  // resolved via counter()/histogram() stay valid across merges (std::map
+  // nodes never move).
+  void merge(const Stats& other) {
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+    for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
   }
 
   void clear() {

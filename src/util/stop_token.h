@@ -1,0 +1,100 @@
+// Cooperative cancellation for the solver loops (the portfolio subsystem's
+// cancellation hook, src/portfolio).
+//
+// A StopSource owns a shared cancellation flag; StopTokens are cheap value
+// copies that observe it and may additionally carry a wall-clock deadline.
+// Solver loops poll token.stop_requested() at decision/restart boundaries
+// (and, counter-gated, inside the propagation fixpoint and FME recursion),
+// so a request_stop() lands within milliseconds of search work — unlike the
+// old timeout poll, which only fired between conflicts.
+//
+// The deadline half subsumes the solvers' `timeout_seconds` options: each
+// solve() derives an effective token via with_deadline(timeout), so one
+// mechanism serves both "the instance budget ran out" (deadline_expired)
+// and "another portfolio worker already won" (cancelled). Callers that need
+// to distinguish the two — e.g. to report kTimeout vs kCancelled — ask the
+// token which half fired.
+//
+// Thread-safety: request_stop() may be called from any thread; token reads
+// are a relaxed atomic load (no ordering is needed — the flag is the only
+// communication, and "stop soon" is the whole contract). A default token is
+// inert: armed() is false and hot loops skip the poll entirely.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace rtlsat {
+
+class StopToken {
+ public:
+  // Inert token: never cancelled, no deadline.
+  StopToken() = default;
+
+  // Deadline-only token expiring `seconds` from now (<= 0 ⟹ inert).
+  static StopToken after(double seconds) {
+    return StopToken{}.with_deadline(seconds);
+  }
+
+  // A copy of this token whose deadline is the sooner of the existing one
+  // and now + `seconds` (<= 0 leaves the token unchanged — the solvers'
+  // "0 = no limit" convention).
+  StopToken with_deadline(double seconds) const {
+    StopToken t = *this;
+    if (seconds <= 0) return t;
+    const Clock::time_point end =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    t.end_ = t.deadline_armed_ ? std::min(t.end_, end) : end;
+    t.deadline_armed_ = true;
+    return t;
+  }
+
+  // True once the owning StopSource called request_stop().
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+  bool deadline_armed() const { return deadline_armed_; }
+  bool deadline_expired() const {
+    return deadline_armed_ && Clock::now() >= end_;
+  }
+  // The poll the solver loops use: cancellation or deadline, whichever
+  // fires first. The flag load is branch-predictable and the clock read
+  // only happens when a deadline is armed.
+  bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+  // False for an inert token — lets hot loops skip polling altogether.
+  bool armed() const { return flag_ != nullptr || deadline_armed_; }
+
+ private:
+  friend class StopSource;
+  using Clock = std::chrono::steady_clock;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;  // null = never cancelled
+  bool deadline_armed_ = false;
+  Clock::time_point end_{};
+};
+
+class StopSource {
+ public:
+  StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  // Tokens remain valid past the source's lifetime (shared ownership).
+  StopToken token() const {
+    StopToken t;
+    t.flag_ = flag_;
+    return t;
+  }
+
+  void request_stop() { flag_->store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace rtlsat

@@ -1,0 +1,165 @@
+#include "portfolio/clause_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid_clause.h"
+
+namespace rtlsat::portfolio {
+namespace {
+
+using core::HybridClause;
+using core::HybridLit;
+
+// A distinct short clause per (a, b): ¬(n_a = 1) ∨ (n_b = 1).
+HybridClause make_clause(int a, int b) {
+  HybridClause c;
+  c.lits.push_back(HybridLit::boolean(static_cast<ir::NetId>(a), false));
+  c.lits.push_back(HybridLit::boolean(static_cast<ir::NetId>(b), true));
+  c.learnt = true;
+  c.origin = HybridClause::Origin::kConflict;
+  return c;
+}
+
+TEST(ClausePoolTest, PublishThenFetchByPeer) {
+  ClausePool pool;
+  EXPECT_EQ(pool.publish(0, {make_clause(1, 2), make_clause(3, 4)}), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+
+  std::size_t cursor = 0;
+  std::vector<HybridClause> got;
+  EXPECT_EQ(pool.fetch(1, &cursor, &got), 2u);
+  EXPECT_EQ(cursor, 2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].lits.size(), 2u);
+
+  // Cursor is past everything: the idle fast path returns 0.
+  EXPECT_EQ(pool.fetch(1, &cursor, &got), 0u);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(ClausePoolTest, FetchSkipsOwnEntries) {
+  ClausePool pool;
+  pool.publish(0, {make_clause(1, 2)});
+  pool.publish(1, {make_clause(3, 4)});
+  std::size_t cursor = 0;
+  std::vector<HybridClause> got;
+  EXPECT_EQ(pool.fetch(0, &cursor, &got), 1u);  // only worker 1's clause
+  EXPECT_EQ(cursor, 2u);                        // but the cursor passes both
+}
+
+TEST(ClausePoolTest, DuplicatesSuppressed) {
+  ClausePool pool;
+  EXPECT_EQ(pool.publish(0, {make_clause(1, 2)}), 1u);
+  EXPECT_EQ(pool.publish(1, {make_clause(1, 2)}), 0u);  // same clause
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ClausePoolTest, LengthCapRefusesLongClauses) {
+  ClausePoolOptions options;
+  options.max_clause_len = 2;
+  ClausePool pool(options);
+  HybridClause long_clause = make_clause(1, 2);
+  long_clause.lits.push_back(HybridLit::boolean(static_cast<ir::NetId>(5), true));
+  EXPECT_EQ(pool.publish(0, {long_clause}), 0u);
+  EXPECT_EQ(pool.publish(0, {make_clause(1, 2)}), 1u);
+}
+
+TEST(ClausePoolTest, CapacityTurnsPoolReadOnly) {
+  ClausePoolOptions options;
+  options.capacity = 2;
+  ClausePool pool(options);
+  EXPECT_EQ(pool.publish(0, {make_clause(1, 2), make_clause(3, 4)}), 2u);
+  EXPECT_EQ(pool.publish(0, {make_clause(5, 6)}), 0u);  // full
+  EXPECT_EQ(pool.size(), 2u);
+
+  // Existing entries remain fetchable (no eviction).
+  std::size_t cursor = 0;
+  std::vector<HybridClause> got;
+  EXPECT_EQ(pool.fetch(1, &cursor, &got), 2u);
+}
+
+TEST(ClausePoolTest, ConcurrentPublishFetchDeliversEverything) {
+  // 4 publishers × 64 distinct clauses each, one consumer polling; at the
+  // end the consumer must have observed every peer clause exactly once.
+  // Run under TSan this also proves the pool's locking discipline.
+  constexpr int kPublishers = 4;
+  constexpr int kPerWorker = 64;
+  ClausePool pool;
+  std::atomic<int> remaining{kPublishers};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kPublishers);
+  for (int w = 0; w < kPublishers; ++w) {
+    threads.emplace_back([&pool, &remaining, w] {
+      for (int i = 0; i < kPerWorker; ++i) {
+        pool.publish(w, {make_clause(w * 1000 + i, w * 1000 + i + 500)});
+      }
+      remaining.fetch_sub(1);
+    });
+  }
+
+  const int consumer = kPublishers;  // a worker id that never publishes
+  std::size_t cursor = 0;
+  std::vector<HybridClause> got;
+  while (remaining.load() > 0) {
+    pool.fetch(consumer, &cursor, &got);
+  }
+  for (std::thread& t : threads) t.join();
+  pool.fetch(consumer, &cursor, &got);
+  EXPECT_EQ(got.size(),
+            static_cast<std::size_t>(kPublishers * kPerWorker));
+}
+
+TEST(PoolExchangeTest, BatchesAndCollects) {
+  ClausePool pool;
+  PoolExchange producer(&pool, 0);
+  PoolExchange consumer(&pool, 1);
+
+  // Offers below the batch size stay in the local outbox…
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(producer.offer(make_clause(i, i + 100)));
+  }
+  EXPECT_EQ(pool.size(), 0u);
+
+  // …until collect() flushes them; the peer then sees all five.
+  std::vector<HybridClause> none;
+  producer.collect(&none);
+  EXPECT_EQ(none.size(), 0u);  // own clauses are not echoed back
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_EQ(producer.published(), 5u);
+
+  std::vector<HybridClause> got;
+  consumer.collect(&got);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+TEST(PoolExchangeTest, RefusesSharedProblemAndLongClauses) {
+  ClausePool pool;
+  PoolExchange exchange(&pool, 0);
+
+  HybridClause shared = make_clause(1, 2);
+  shared.origin = core::HybridClause::Origin::kShared;
+  EXPECT_FALSE(exchange.offer(shared));  // no re-export of imports
+
+  HybridClause problem = make_clause(3, 4);
+  problem.origin = core::HybridClause::Origin::kProblem;
+  problem.learnt = false;
+  EXPECT_FALSE(exchange.offer(problem));  // peers already have the formula
+
+  HybridClause long_clause = make_clause(5, 6);
+  for (int i = 0; i < 16; ++i) {
+    long_clause.lits.push_back(
+        HybridLit::boolean(static_cast<ir::NetId>(100 + i), true));
+  }
+  EXPECT_FALSE(exchange.offer(long_clause));
+
+  EXPECT_FALSE(exchange.offer(HybridClause{}));  // empty
+}
+
+}  // namespace
+}  // namespace rtlsat::portfolio

@@ -1,0 +1,240 @@
+#include "portfolio/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "util/stop_token.h"
+#include "util/timer.h"
+
+namespace rtlsat::portfolio {
+namespace {
+
+// A b13 BMC instance; bound picks the difficulty (UNSAT at every bound).
+bmc::BmcInstance b13(int bound) {
+  return bmc::unroll(itc99::build("b13"), "1", bound);
+}
+
+// a + b == 100 ∧ a < 20 — satisfiable, with an independently checkable goal.
+struct SatProblem {
+  ir::Circuit circuit{"sat"};
+  ir::NetId goal = ir::kNoNet;
+  SatProblem() {
+    const ir::NetId a = circuit.add_input("a", 8);
+    const ir::NetId b = circuit.add_input("b", 8);
+    goal = circuit.add_and(
+        circuit.add_eq(circuit.add_add(a, b), circuit.add_const(100, 8)),
+        circuit.add_lt(a, circuit.add_const(20, 8)));
+  }
+};
+
+TEST(PortfolioTest, CancellationStopsLongWorkerQuickly) {
+  // Run the slowest configuration on an instance it needs many seconds
+  // for, with no timeout; request_stop from outside must bring it back as
+  // kCancelled almost immediately (the acceptance bar for the in-race
+  // latency is 50 ms; the test bound is looser to absorb sanitizer and
+  // CI-machine slowdowns).
+  const bmc::BmcInstance instance = b13(200);
+  StopSource source;
+  core::HdpllOptions options;
+  options.stop = source.token();
+
+  core::SolveResult result;
+  std::thread worker([&] {
+    core::HdpllSolver solver(instance.circuit, options);
+    solver.assume_bool(instance.goal, true);
+    result = solver.solve();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Timer latency;
+  source.request_stop();
+  worker.join();
+  EXPECT_EQ(result.status, core::SolveStatus::kCancelled);
+  EXPECT_LT(latency.seconds(), 2.0);
+}
+
+TEST(PortfolioTest, TimeoutHonoredDuringPredicateLearning) {
+  // Regression: timeout_seconds used to be polled only between conflicts,
+  // so the up-front predicate-learning probe phase (and FME-heavy
+  // instances) could overshoot a small timeout by orders of magnitude.
+  // Routing the timeout through StopToken bounds the overshoot.
+  const bmc::BmcInstance instance = b13(100);
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  options.learning.max_relations = 2000;
+  options.timeout_seconds = 0.01;
+  Timer timer;
+  core::HdpllSolver solver(instance.circuit, options);
+  solver.assume_bool(instance.goal, true);
+  const core::SolveResult result = solver.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kTimeout);
+  EXPECT_LT(timer.seconds(), 2.0);
+}
+
+TEST(PortfolioTest, OneWorkerPortfolioMatchesDirectSolve) {
+  const bmc::BmcInstance instance = b13(20);
+  PortfolioOptions options;
+  options.jobs = 1;
+  Portfolio race(instance.circuit, instance.goal, true, options);
+  const PortfolioResult result = race.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  EXPECT_EQ(result.winner, 0);
+  ASSERT_EQ(result.workers.size(), 1u);
+  EXPECT_EQ(result.workers[0].verdict, 'U');
+  EXPECT_TRUE(result.crosscheck_violations.empty());
+}
+
+TEST(PortfolioTest, UnsatRaceAgreesAndCancelsLosers) {
+  const bmc::BmcInstance instance = b13(50);
+  PortfolioOptions options;
+  options.jobs = 4;
+  options.self_check = true;
+  Portfolio race(instance.circuit, instance.goal, true, options);
+  const PortfolioResult result = race.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  ASSERT_GE(result.winner, 0);
+  EXPECT_EQ(result.workers[result.winner].verdict, 'U');
+  // Any loser that still finished decisively must agree with the winner —
+  // the crosscheck turns disagreement into violations.
+  EXPECT_TRUE(result.crosscheck_violations.empty())
+      << result.crosscheck_violations.front();
+  for (const WorkerReport& worker : result.workers) {
+    EXPECT_TRUE(worker.verdict == 'U' || worker.verdict == 'C' ||
+                worker.verdict == 'T')
+        << worker.name << " returned " << worker.verdict;
+    if (worker.verdict == 'C') {
+      EXPECT_GE(worker.cancel_latency, 0);
+    }
+  }
+  EXPECT_EQ(result.stats.get("portfolio.workers"), 4);
+}
+
+TEST(PortfolioTest, SatRaceModelCrosschecksAgainstLosers) {
+  SatProblem problem;
+  PortfolioOptions options;
+  options.jobs = 4;
+  options.self_check = true;
+  // Deterministic mode runs every worker to completion, so the SAT model
+  // is replayed against each HDPLL worker's level-0 interval store.
+  options.deterministic = true;
+  Portfolio race(problem.circuit, problem.goal, true, options);
+  const PortfolioResult result = race.solve();
+  ASSERT_EQ(result.status, core::SolveStatus::kSat);
+  EXPECT_TRUE(result.crosscheck_violations.empty())
+      << result.crosscheck_violations.front();
+  const auto values = problem.circuit.evaluate(result.input_model);
+  EXPECT_EQ(values.at(problem.goal), 1);  // model verified independently
+}
+
+TEST(PortfolioTest, SharedClauseImportPreservesSoundness) {
+  // Deterministic sequential mode maximizes sharing (later workers import
+  // everything earlier workers proved); with self-checks on, an unsound
+  // import would abort or surface as a crosscheck violation.
+  const bmc::BmcInstance instance = b13(30);
+  PortfolioOptions options;
+  options.jobs = 4;
+  options.deterministic = true;
+  options.share_clauses = true;
+  options.self_check = true;
+  Portfolio race(instance.circuit, instance.goal, true, options);
+  const PortfolioResult result = race.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  EXPECT_TRUE(result.crosscheck_violations.empty())
+      << result.crosscheck_violations.front();
+  // The race is only meaningful if clauses actually moved between workers.
+  std::int64_t imported = 0;
+  for (const WorkerReport& worker : result.workers) {
+    imported += worker.clauses_imported;
+  }
+  EXPECT_GT(result.stats.get("portfolio.pool_clauses"), 0);
+  EXPECT_GT(imported, 0);
+}
+
+TEST(PortfolioTest, DeterministicModeIsReproducible) {
+  const bmc::BmcInstance instance = b13(25);
+
+  auto run = [&instance] {
+    PortfolioOptions options;
+    options.jobs = 3;
+    options.deterministic = true;
+    Portfolio race(instance.circuit, instance.goal, true, options);
+    return race.solve();
+  };
+
+  const PortfolioResult first = run();
+  ASSERT_GE(first.winner, 0);
+
+  // Wall-time counters vary run to run; everything else must not.
+  auto fingerprint = [](const PortfolioResult& r) {
+    std::map<std::string, std::int64_t> out;
+    for (const auto& [name, value] : r.stats.all()) {
+      if (name.rfind("time.", 0) == 0) continue;
+      out[name] = value;
+    }
+    return out;
+  };
+  const auto baseline = fingerprint(first);
+
+  for (int i = 0; i < 4; ++i) {
+    const PortfolioResult again = run();
+    EXPECT_EQ(again.winner, first.winner);
+    EXPECT_EQ(again.winner_name, first.winner_name);
+    EXPECT_EQ(again.status, first.status);
+    EXPECT_EQ(fingerprint(again), baseline) << "run " << i + 1;
+  }
+}
+
+TEST(PortfolioTest, BudgetExpiresWithNoWinner) {
+  const bmc::BmcInstance instance = b13(200);
+  PortfolioOptions options;
+  options.jobs = 2;
+  options.budget_seconds = 0.05;
+  Portfolio race(instance.circuit, instance.goal, true, options);
+  Timer timer;
+  const PortfolioResult result = race.solve();
+  if (result.winner < 0) {
+    EXPECT_EQ(result.status, core::SolveStatus::kTimeout);
+    for (const WorkerReport& worker : result.workers) {
+      EXPECT_EQ(worker.verdict, 'T') << worker.name;
+    }
+  }
+  // Whether or not a fast worker squeaked in under the budget, the race
+  // must not run far past it.
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(PortfolioTest, CustomLineupAndNames) {
+  const bmc::BmcInstance instance = b13(10);
+  WorkerConfig only;
+  only.name = "just-hdpll";
+  only.hdpll.structural_decisions = true;
+  PortfolioOptions options;
+  options.jobs = 1;
+  Portfolio race(instance.circuit, instance.goal, true, options, {only});
+  const PortfolioResult result = race.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  EXPECT_EQ(result.winner_name, "just-hdpll");
+}
+
+TEST(PortfolioTest, DefaultLineupShape) {
+  const auto lineup = default_lineup(6, 2000);
+  ASSERT_EQ(lineup.size(), 6u);
+  EXPECT_EQ(lineup[0].name, "HDPLL+S+P");
+  EXPECT_TRUE(lineup[1].bitblast);
+  EXPECT_EQ(lineup[2].name, "HDPLL+S");
+  EXPECT_EQ(lineup[3].name, "HDPLL");
+  // Perturbed duplicates must differ from the base configuration so the
+  // extra slots explore different trajectories.
+  EXPECT_NE(lineup[4].hdpll.random_seed, lineup[0].hdpll.random_seed);
+  EXPECT_NE(lineup[5].hdpll.random_seed, lineup[4].hdpll.random_seed);
+}
+
+}  // namespace
+}  // namespace rtlsat::portfolio

@@ -1,0 +1,84 @@
+#include "util/stop_token.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace rtlsat {
+namespace {
+
+TEST(StopTokenTest, DefaultTokenIsInert) {
+  const StopToken token;
+  EXPECT_FALSE(token.armed());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_armed());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopTokenTest, RequestStopFlipsEveryToken) {
+  StopSource source;
+  const StopToken a = source.token();
+  const StopToken b = source.token();
+  EXPECT_TRUE(a.armed());
+  EXPECT_FALSE(a.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(source.stop_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_TRUE(a.stop_requested());
+}
+
+TEST(StopTokenTest, TokenOutlivesSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.cancelled());  // shared ownership of the flag
+}
+
+TEST(StopTokenTest, DeadlineExpires) {
+  const StopToken token = StopToken::after(0.01);
+  EXPECT_TRUE(token.armed());
+  EXPECT_TRUE(token.deadline_armed());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.cancelled());  // deadline ≠ cancellation
+}
+
+TEST(StopTokenTest, NonPositiveDeadlineIsNoLimit) {
+  // The solvers' "timeout_seconds = 0 ⟹ no limit" convention.
+  EXPECT_FALSE(StopToken::after(0).armed());
+  EXPECT_FALSE(StopToken::after(-1).armed());
+  StopSource source;
+  const StopToken token = source.token().with_deadline(0);
+  EXPECT_TRUE(token.armed());  // still carries the cancellation flag
+  EXPECT_FALSE(token.deadline_armed());
+}
+
+TEST(StopTokenTest, WithDeadlineKeepsSoonerDeadline) {
+  const StopToken token = StopToken::after(0.01).with_deadline(3600);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.deadline_expired());  // min-combined, not replaced
+}
+
+TEST(StopTokenTest, WithDeadlineTightens) {
+  const StopToken token = StopToken::after(3600).with_deadline(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.deadline_expired());
+}
+
+TEST(StopTokenTest, CrossThreadStopIsObserved) {
+  StopSource source;
+  const StopToken token = source.token();
+  std::thread t([&source] { source.request_stop(); });
+  t.join();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+}  // namespace
+}  // namespace rtlsat
