@@ -1,0 +1,117 @@
+// Microbenchmarks for the differential-fuzzing subsystem: instance
+// generation throughput, oracle latency on small instances, and reducer
+// cost per accepted shrink. These bound how many instances a CI
+// fuzz-smoke second buys (docs/fuzzing.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "fuzz/generator.h"
+#include "fuzz/op_fuzz.h"
+#include "fuzz/oracle.h"
+#include "fuzz/reduce.h"
+#include "ir/circuit.h"
+#include "util/rng.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void BM_FuzzGenerate(benchmark::State& state) {
+  Rng rng(7);
+  fuzz::GeneratorOptions options;
+  options.max_width = static_cast<int>(state.range(0));
+  std::int64_t nets = 0;
+  for (auto _ : state) {
+    auto instance = fuzz::generate(rng, options);
+    nets += static_cast<std::int64_t>(instance.circuit.num_nets());
+    benchmark::DoNotOptimize(instance.goal);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nets/instance"] =
+      benchmark::Counter(static_cast<double>(nets) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FuzzGenerate)->Arg(12)->Arg(60);
+
+void BM_FuzzGenerateSequential(benchmark::State& state) {
+  Rng rng(11);
+  fuzz::GeneratorOptions options;
+  options.sequential_percent = 100;
+  for (auto _ : state) {
+    auto instance = fuzz::generate(rng, options);
+    benchmark::DoNotOptimize(instance.goal);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzGenerateSequential);
+
+// Full engine matrix on one small fixed instance — the per-instance cost
+// floor of the differential loop. Portfolio off: its thread setup would
+// dominate and is measured in micro_portfolio.
+void BM_FuzzOracleSmallInstance(benchmark::State& state) {
+  Rng rng(3);
+  fuzz::GeneratorOptions gopts;
+  gopts.max_width = 6;
+  gopts.max_steps = 12;
+  const auto instance = fuzz::generate(rng, gopts);
+  fuzz::OracleOptions oopts;
+  oopts.run_portfolio = false;
+  for (auto _ : state) {
+    auto report = fuzz::run_oracle(instance.circuit, instance.goal, oopts);
+    benchmark::DoNotOptimize(report.consensus);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzOracleSmallInstance)->Unit(benchmark::kMillisecond);
+
+// Reducer on a synthetic noisy instance with a cheap structural predicate,
+// isolating shrink machinery (rebuilds, round-trips) from oracle cost.
+void BM_FuzzReduce(benchmark::State& state) {
+  Rng rng(5);
+  fuzz::GeneratorOptions gopts;
+  gopts.min_steps = 24;
+  gopts.max_steps = 36;
+  const auto instance = fuzz::generate(rng, gopts);
+  const auto interesting = [](const ir::Circuit& c, ir::NetId goal) {
+    (void)goal;
+    for (ir::NetId id = 0; id < c.num_nets(); ++id) {
+      if (c.node(id).op == ir::Op::kMux) return true;
+    }
+    return false;
+  };
+  if (!interesting(instance.circuit, instance.goal)) {
+    state.SkipWithError("generated instance has no mux; change the seed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = fuzz::reduce(instance.circuit, instance.goal, interesting);
+    benchmark::DoNotOptimize(result.final_nodes);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuzzReduce)->Unit(benchmark::kMillisecond);
+
+void BM_FuzzIntervalOps(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    auto violations = fuzz::fuzz_interval_ops(rng, 100);
+    benchmark::DoNotOptimize(violations.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FuzzIntervalOps);
+
+void BM_FuzzFme(benchmark::State& state) {
+  Rng rng(13);
+  for (auto _ : state) {
+    auto violations = fuzz::fuzz_fme(rng, 10);
+    benchmark::DoNotOptimize(violations.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_FuzzFme);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -20,17 +20,36 @@ bool fits64(I128 v) {
   return v >= static_cast<I128>(kCoeffMin) && v <= static_cast<I128>(kCoeffMax);
 }
 
-Coeff div_floor(Coeff a, Coeff b) {
+// Ceiling on combined-constraint bounds (see combine()): large enough for
+// any single extraction step at kMaxWidth (≤ ~2^123), small enough that
+// later 128-bit bound arithmetic cannot overflow.
+constexpr I128 kBoundCap = I128{1} << 100;
+
+I128 div_floor(I128 a, I128 b) {
   RTLSAT_ASSERT(b > 0);
-  Coeff q = a / b;
+  I128 q = a / b;
   if (a % b != 0 && a < 0) --q;
   return q;
 }
-Coeff div_ceil(Coeff a, Coeff b) {
+I128 div_ceil(I128 a, I128 b) {
   RTLSAT_ASSERT(b > 0);
-  Coeff q = a / b;
+  I128 q = a / b;
   if (a % b != 0 && a > 0) ++q;
   return q;
+}
+
+// Tightening a variable to "v ≤ q" / "v ≥ q" where q came out of a 128-bit
+// division: a quotient past int64 can never bind an int64-bounded domain
+// from that side, and one past the opposite rail empties it.
+Interval clamp_at_most(const Interval& b, I128 q) {
+  if (q >= static_cast<I128>(kCoeffMax)) return b;
+  if (q < static_cast<I128>(kCoeffMin)) return Interval::empty();
+  return b.at_most(static_cast<Coeff>(q));
+}
+Interval clamp_at_least(const Interval& b, I128 q) {
+  if (q <= static_cast<I128>(kCoeffMin)) return b;
+  if (q > static_cast<I128>(kCoeffMax)) return Interval::empty();
+  return b.at_least(static_cast<Coeff>(q));
 }
 
 // A self-contained subproblem: interval bounds plus constraints, with
@@ -87,17 +106,15 @@ class Eliminator {
   bool extract_model(std::vector<std::int64_t>& model) const {
     std::vector<bool> assigned(problem_.bounds.size(), false);
     for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
-      Coeff lo = problem_.bounds[it->var].lo();
-      Coeff hi = problem_.bounds[it->var].hi();
+      I128 lo = problem_.bounds[it->var].lo();
+      I128 hi = problem_.bounds[it->var].hi();
       for (const auto& c : it->uppers) {  // a·v + rest ≤ bound, a > 0
         const Coeff a = c.coeff_of(it->var);
         I128 rest = 0;
         for (const Term& t : c.terms) {
           if (t.var != it->var) rest += static_cast<I128>(t.coeff) * model[t.var];
         }
-        const I128 room = static_cast<I128>(c.bound) - rest;
-        if (!fits64(room)) return false;
-        hi = std::min(hi, div_floor(static_cast<Coeff>(room), a));
+        hi = std::min(hi, div_floor(c.bound - rest, a));
       }
       for (const auto& c : it->lowers) {  // −b·v + rest ≤ bound, b > 0
         const Coeff b = -c.coeff_of(it->var);
@@ -105,12 +122,10 @@ class Eliminator {
         for (const Term& t : c.terms) {
           if (t.var != it->var) rest += static_cast<I128>(t.coeff) * model[t.var];
         }
-        const I128 room = rest - static_cast<I128>(c.bound);
-        if (!fits64(room)) return false;
-        lo = std::max(lo, div_ceil(static_cast<Coeff>(room), b));
+        lo = std::max(lo, div_ceil(rest - c.bound, b));
       }
       if (lo > hi) return false;  // real shadow was hollow here
-      model[it->var] = lo;
+      model[it->var] = static_cast<Coeff>(lo);  // in [bounds.lo, hi] ⊆ int64
       assigned[it->var] = true;
     }
     return true;
@@ -193,9 +208,19 @@ class Eliminator {
     for (const Term& t : low.terms) {
       if (t.var != v) sum[t.var] += static_cast<I128>(a) * t.coeff;
     }
-    I128 bound = static_cast<I128>(b) * up.bound + static_cast<I128>(a) * low.bound;
+    // The bound products can overflow even 128 bits once bounds have grown
+    // through earlier combinations; any overflow routes to the splinter
+    // path. kBoundCap leaves headroom for the point substitutions and
+    // presolve arithmetic downstream, which are unchecked.
+    I128 bu = 0, al = 0, bound = 0;
+    if (__builtin_mul_overflow(static_cast<I128>(b), up.bound, &bu) ||
+        __builtin_mul_overflow(static_cast<I128>(a), low.bound, &al) ||
+        __builtin_add_overflow(bu, al, &bound)) {
+      overflow_ = true;
+      return false;
+    }
     if (dark_) bound -= static_cast<I128>(a - 1) * (b - 1);
-    if (!fits64(bound)) {
+    if (bound < -kBoundCap || bound > kBoundCap) {
       overflow_ = true;
       return false;
     }
@@ -206,7 +231,7 @@ class Eliminator {
       }
       if (coeff != 0) combined.terms.push_back({var, static_cast<Coeff>(coeff)});
     }
-    combined.bound = static_cast<Coeff>(bound);
+    combined.bound = bound;
     return true;
   }
 
@@ -245,9 +270,9 @@ bool presolve(Problem& problem) {
         Interval& b = problem.bounds[t.var];
         const Interval before = b;
         if (t.coeff > 0) {
-          b = b.at_most(div_floor(c.bound, t.coeff));
+          b = clamp_at_most(b, div_floor(c.bound, t.coeff));
         } else {
-          b = b.at_least(div_ceil(-c.bound, -t.coeff));
+          b = clamp_at_least(b, div_ceil(-c.bound, -t.coeff));
         }
         if (b.is_empty()) return false;
         if (b != before) changed = true;
@@ -262,14 +287,13 @@ bool presolve(Problem& problem) {
           rest_min += static_cast<I128>(u.coeff) *
                       (u.coeff > 0 ? ub.lo() : ub.hi());
         }
-        const I128 room = static_cast<I128>(c.bound) - rest_min;
-        if (!fits64(room)) continue;
+        const I128 room = c.bound - rest_min;
         Interval& b = problem.bounds[t.var];
         const Interval before = b;
         if (t.coeff > 0) {
-          b = b.at_most(div_floor(static_cast<Coeff>(room), t.coeff));
+          b = clamp_at_most(b, div_floor(room, t.coeff));
         } else {
-          b = b.at_least(div_ceil(-static_cast<Coeff>(room), -t.coeff));
+          b = clamp_at_least(b, div_ceil(-room, -t.coeff));
         }
         if (b.is_empty()) return false;
         if (b != before) changed = true;
@@ -281,14 +305,16 @@ bool presolve(Problem& problem) {
   return true;
 }
 
-// Substitutes point-valued variables into the constraints.
+// Substitutes point-valued variables into the constraints. The products
+// here routinely exceed int64 (coefficient 2^60 × point value 2^59), which
+// is why the bound is 128-bit.
 void substitute_points(Problem& problem) {
   for (auto& c : problem.constraints) {
     std::vector<Term> kept;
     for (const Term& t : c.terms) {
       const Interval& b = problem.bounds[t.var];
       if (b.is_point()) {
-        c.bound -= t.coeff * b.lo();
+        c.bound -= static_cast<I128>(t.coeff) * b.lo();
       } else {
         kept.push_back(t);
       }

@@ -31,6 +31,26 @@ Coeff LinearConstraint::coeff_of(Var v) const {
   return 0;
 }
 
+namespace {
+
+// Streams have no __int128 inserter; print via chunks of 10^18.
+std::string bound_to_string(Bound v) {
+  if (v == 0) return "0";
+  const bool negative = v < 0;
+  unsigned __int128 magnitude =
+      negative ? -static_cast<unsigned __int128>(v)
+               : static_cast<unsigned __int128>(v);
+  std::string digits;
+  while (magnitude != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  if (negative) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+}  // namespace
+
 std::string LinearConstraint::to_string() const {
   std::ostringstream os;
   if (terms.empty()) os << '0';
@@ -38,7 +58,7 @@ std::string LinearConstraint::to_string() const {
     if (i > 0) os << " + ";
     os << terms[i].coeff << "*x" << terms[i].var;
   }
-  os << " <= " << bound;
+  os << " <= " << bound_to_string(bound);
   return os.str();
 }
 
@@ -49,7 +69,7 @@ bool satisfied(const LinearConstraint& c,
     RTLSAT_ASSERT(t.var < assignment.size());
     sum += static_cast<__int128>(t.coeff) * assignment[t.var];
   }
-  return sum <= static_cast<__int128>(c.bound);
+  return sum <= c.bound;
 }
 
 Var System::add_var(Interval bounds) {

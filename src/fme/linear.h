@@ -14,6 +14,12 @@ namespace rtlsat::fme {
 
 using Var = std::uint32_t;
 using Coeff = std::int64_t;
+// Constraint bounds live in 128 bits: extraction at width ≤ 60 emits
+// coefficients up to 2^60, so substituting a point variable (or combining
+// two constraints during elimination) produces bounds past int64 — doing
+// that arithmetic in Coeff silently wrapped and once flipped a satisfiable
+// shl-by-59 instance to UNSAT (tests/regress/shl-saturation.rtl).
+using Bound = __int128;
 
 struct Term {
   Var var = 0;
@@ -24,7 +30,7 @@ struct Term {
 // and at most one term per var (normalize() enforces this).
 struct LinearConstraint {
   std::vector<Term> terms;
-  Coeff bound = 0;
+  Bound bound = 0;
 
   void normalize();
   bool is_ground() const { return terms.empty(); }

@@ -1,0 +1,295 @@
+#include "fuzz/generator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "bmc/unroll.h"
+
+namespace rtlsat::fuzz {
+
+using ir::Circuit;
+using ir::NetId;
+
+namespace {
+
+// Working state for one combinational draw: pools of word nets (mixed
+// widths) and Boolean nets, plus the width regime knobs.
+struct Draw {
+  Circuit* c = nullptr;
+  Rng* rng = nullptr;
+  std::vector<NetId> words;
+  std::vector<NetId> bools;
+  int base_width = 0;
+  bool wide = false;  // wide-stress regime
+
+  NetId word() { return words[rng->below(words.size())]; }
+  NetId boolean() { return bools[rng->below(bools.size())]; }
+
+  // A random word partner of exactly `w` bits: an existing net of that
+  // width if one exists, else an existing net zext'd/truncated to fit.
+  NetId word_of_width(int w) {
+    std::vector<NetId> fit;
+    for (NetId id : words)
+      if (c->width(id) == w) fit.push_back(id);
+    if (!fit.empty() && !rng->chance(1, 8))
+      return fit[rng->below(fit.size())];
+    const NetId any = word();
+    if (c->width(any) < w) return c->add_zext(any, w);
+    if (c->width(any) > w) return c->add_trunc(any, w);
+    return any;
+  }
+
+  std::int64_t rand_const(int w) {
+    const std::int64_t top = (std::int64_t{1} << w) - 1;
+    // Mix uniform draws with boundary values — boundary constants are what
+    // exercise wrap/saturation fast paths.
+    switch (rng->below(4)) {
+      case 0: return 0;
+      case 1: return top;
+      case 2: return rng->range(0, std::min<std::int64_t>(top, 24));
+      default: return rng->range(0, top);
+    }
+  }
+};
+
+void add_word_input(Draw& d, int index, int width) {
+  d.words.push_back(d.c->add_input("w" + std::to_string(index), width));
+}
+
+// One random operator step appended to the pools.
+void step(Draw& d) {
+  Circuit& c = *d.c;
+  Rng& rng = *d.rng;
+  const NetId a = d.word();
+  const int w = c.width(a);
+  // Weighted op pick; muxes and predicates dominate by design.
+  switch (rng.below(16)) {
+    case 0:
+    case 1:
+      d.words.push_back(c.add_add(a, d.word_of_width(w)));
+      break;
+    case 2:
+      d.words.push_back(c.add_sub(a, d.word_of_width(w)));
+      break;
+    case 3:
+    case 4:
+    case 5:
+      d.words.push_back(c.add_mux(d.boolean(), a, d.word_of_width(w)));
+      break;
+    case 6: {  // predicate vs net
+      const NetId b = d.word_of_width(w);
+      switch (rng.below(4)) {
+        case 0: d.bools.push_back(c.add_lt(a, b)); break;
+        case 1: d.bools.push_back(c.add_le(a, b)); break;
+        case 2: d.bools.push_back(c.add_eq(a, b)); break;
+        default: d.bools.push_back(c.add_ne(a, b)); break;
+      }
+      break;
+    }
+    case 7: {  // predicate vs constant — pins domains to short ranges
+      const NetId k = c.add_const(d.rand_const(w), w);
+      switch (rng.below(4)) {
+        case 0: d.bools.push_back(c.add_lt(a, k)); break;
+        case 1: d.bools.push_back(c.add_ge(a, k)); break;
+        case 2: d.bools.push_back(c.add_eq(a, k)); break;
+        default: d.bools.push_back(c.add_le(a, k)); break;
+      }
+      break;
+    }
+    case 8: {  // shift; wide regime prefers near-width shifts
+      if (w < 2) break;
+      const int k = d.wide && rng.chance(3, 4)
+                        ? w - 1 - static_cast<int>(rng.below(2))
+                        : static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+      d.words.push_back(rng.flip() ? c.add_shl(a, k) : c.add_shr(a, k));
+      break;
+    }
+    case 9: {  // multiply by constant; wide regime uses huge factors
+      const std::int64_t k =
+          d.wide && rng.chance(3, 4)
+              ? (std::int64_t{1} << (40 + rng.below(22))) + rng.range(0, 9)
+              : rng.range(2, 9);
+      d.words.push_back(c.add_mulc(a, k));
+      break;
+    }
+    case 10:
+      d.words.push_back(c.add_notw(a));
+      break;
+    case 11: {  // extract a random field
+      if (w < 2) break;
+      const int lo = static_cast<int>(rng.below(static_cast<std::uint64_t>(w)));
+      const int hi =
+          lo + static_cast<int>(rng.below(static_cast<std::uint64_t>(w - lo)));
+      d.words.push_back(c.add_extract(a, hi, lo));
+      break;
+    }
+    case 12: {  // concat when the result still fits
+      const NetId b = d.word();
+      if (w + c.width(b) <= ir::kMaxWidth)
+        d.words.push_back(c.add_concat(a, b));
+      break;
+    }
+    case 13:
+      d.words.push_back(rng.flip() ? c.add_min(a, d.word_of_width(w))
+                                   : c.add_max(a, d.word_of_width(w)));
+      break;
+    case 14:  // Boolean control logic
+      switch (rng.below(4)) {
+        case 0: d.bools.push_back(c.add_and(d.boolean(), d.boolean())); break;
+        case 1: d.bools.push_back(c.add_or(d.boolean(), d.boolean())); break;
+        case 2: d.bools.push_back(c.add_not(d.boolean())); break;
+        default: d.bools.push_back(c.add_xor(d.boolean(), d.boolean())); break;
+      }
+      break;
+    case 15:
+      d.words.push_back(
+          c.add_zext(a, std::min(ir::kMaxWidth,
+                                 w + 1 + static_cast<int>(rng.below(3)))));
+      break;
+  }
+}
+
+// Conjunction goal over random (possibly negated) Boolean nets. May fold to
+// a constant; the caller re-rolls in that case.
+NetId make_goal(Draw& d, int terms) {
+  std::vector<NetId> conj;
+  for (int i = 0; i < terms; ++i) {
+    const NetId b = d.boolean();
+    conj.push_back(d.rng->flip() ? b : d.c->add_not(b));
+  }
+  return d.c->add_and(std::move(conj));
+}
+
+Draw draw_comb(Circuit& c, Rng& rng, const GeneratorOptions& options,
+               bool wide, int base_width, int steps) {
+  Draw d;
+  d.c = &c;
+  d.rng = &rng;
+  d.base_width = base_width;
+  d.wide = wide;
+  const int num_words =
+      2 + static_cast<int>(rng.below(
+              static_cast<std::uint64_t>(std::max(1, options.max_word_inputs - 1))));
+  for (int i = 0; i < num_words; ++i) {
+    // Mostly the base width; occasionally a different width for zext /
+    // concat / extract cross-width traffic.
+    const int w = rng.chance(3, 4)
+                      ? base_width
+                      : 1 + static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(base_width)));
+    add_word_input(d, i, w);
+  }
+  for (int i = 0; i < 2; ++i)
+    d.bools.push_back(c.add_input("c" + std::to_string(i), 1));
+  d.words.push_back(c.add_const(d.rand_const(base_width), base_width));
+  for (int s = 0; s < steps; ++s) step(d);
+  return d;
+}
+
+}  // namespace
+
+ir::SeqCircuit generate_seq(Rng& rng, const GeneratorOptions& options) {
+  // Sequential designs stay narrow: the BMC unroll multiplies the node
+  // count by the bound, and the oracle matrix runs every engine on the
+  // result.
+  const int base_width =
+      std::clamp(options.min_width + static_cast<int>(rng.below(7)), 1, 8);
+  ir::SeqCircuit seq("fuzz_seq");
+  Circuit& c = seq.comb();
+
+  Draw d;
+  d.c = &c;
+  d.rng = &rng;
+  d.base_width = base_width;
+  d.wide = false;
+
+  const int num_regs =
+      1 + static_cast<int>(rng.below(
+              static_cast<std::uint64_t>(std::max(1, options.max_registers))));
+  std::vector<NetId> regs;
+  for (int i = 0; i < num_regs; ++i) {
+    const std::int64_t init =
+        rng.range(0, (std::int64_t{1} << base_width) - 1);
+    const NetId q =
+        seq.add_register("r" + std::to_string(i), base_width, init);
+    regs.push_back(q);
+    d.words.push_back(q);
+  }
+  add_word_input(d, 0, base_width);
+  d.bools.push_back(c.add_input("c0", 1));
+  d.words.push_back(c.add_const(d.rand_const(base_width), base_width));
+
+  const int steps = options.min_steps +
+                    static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                        std::max(1, options.max_steps / 2 - options.min_steps + 1))));
+  for (int s = 0; s < steps; ++s) step(d);
+
+  for (const NetId q : regs) {
+    NetId next = d.word();
+    const int qw = c.width(q);
+    if (c.width(next) < qw) next = c.add_zext(next, qw);
+    if (c.width(next) > qw) next = c.add_trunc(next, qw);
+    // Counter idiom with some probability — the shape of the ITC'99
+    // benches, and a source of deep UNSAT instances.
+    if (rng.chance(1, 3)) next = c.add_inc(next);
+    seq.bind_next(q, next);
+  }
+  const NetId p = rng.flip() ? d.boolean() : c.add_not(d.boolean());
+  seq.add_property("p0", p);
+  return seq;
+}
+
+FuzzInstance generate(Rng& rng, const GeneratorOptions& options) {
+  for (int attempt = 0;; ++attempt) {
+    const bool sequential = rng.chance(options.sequential_percent, 100);
+    if (sequential) {
+      const ir::SeqCircuit seq = generate_seq(rng, options);
+      const int bound =
+          1 + static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(std::max(1, options.max_bound))));
+      bmc::BmcInstance unrolled = bmc::unroll(seq, "p0", bound);
+      if (unrolled.circuit.node(unrolled.goal).op == ir::Op::kConst) continue;
+      FuzzInstance inst;
+      inst.circuit = std::move(unrolled.circuit);
+      inst.goal = unrolled.goal;
+      inst.base_width = 0;
+      inst.from_sequential = true;
+      std::ostringstream os;
+      os << "seq bound=" << bound << " nets=" << inst.circuit.num_nets();
+      inst.description = os.str();
+      return inst;
+    }
+
+    const bool wide = rng.chance(options.wide_stress_percent, 100);
+    const int base_width =
+        wide ? ir::kMaxWidth - static_cast<int>(rng.below(5))
+             : options.min_width +
+                   static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                       options.max_width - options.min_width + 1)));
+    // Re-rolls get progressively more operator steps so a folding-prone
+    // draw eventually yields a live goal.
+    const int steps =
+        options.min_steps +
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(
+            options.max_steps - options.min_steps + 1))) +
+        2 * std::min(attempt, 10);
+
+    Circuit c("fuzz");
+    Draw d = draw_comb(c, rng, options, wide, base_width, steps);
+    const NetId goal = make_goal(d, options.goal_terms);
+    if (c.node(goal).op == ir::Op::kConst) continue;
+
+    FuzzInstance inst;
+    inst.circuit = std::move(c);
+    inst.goal = goal;
+    inst.base_width = base_width;
+    std::ostringstream os;
+    os << (wide ? "wide" : "comb") << " w=" << base_width
+       << " nets=" << inst.circuit.num_nets();
+    inst.description = os.str();
+    return inst;
+  }
+}
+
+}  // namespace rtlsat::fuzz

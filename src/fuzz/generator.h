@@ -1,0 +1,64 @@
+// Seeded random word-level circuit & property generator — the workload
+// source of the differential fuzzing subsystem (docs/fuzzing.md).
+//
+// The paper's two engines (word-level HDPLL search and the bit-blasted
+// Boolean translation) must agree on every instance, which makes them a
+// free differential oracle for each other; this generator manufactures the
+// instances. The operator mix is deliberately mux- and predicate-heavy —
+// muxes are what §4's structural decisions justify and comparators are
+// what §3's predicate learning targets — and widths are drawn from two
+// regimes: small widths where a brute-force evaluator can join the oracle
+// matrix, and near-kMaxWidth "wide stress" instances with maximal shifts
+// and huge multiply constants, the regime where the interval layer's
+// saturating arithmetic has historically hidden soundness bugs.
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.h"
+#include "ir/seq.h"
+#include "util/rng.h"
+
+namespace rtlsat::fuzz {
+
+struct GeneratorOptions {
+  // Base word width of an instance is uniform in [min_width, max_width],
+  // except for wide-stress draws (below).
+  int min_width = 2;
+  int max_width = 12;
+  // Operator-node budget per instance.
+  int min_steps = 6;
+  int max_steps = 36;
+  int max_word_inputs = 4;
+  // Number of Boolean terms conjoined into the goal.
+  int goal_terms = 3;
+  // Percent chance an instance is drawn at width kMaxWidth−4..kMaxWidth
+  // with shifts of w−1 bits, multiply constants up to ~2^62 and comparator
+  // chains that pin operands to short ranges — the saturation regime.
+  unsigned wide_stress_percent = 15;
+  // Percent chance an instance is a sequential design unrolled for a
+  // random bound in [1, max_bound] (BMC shape). 0 disables.
+  unsigned sequential_percent = 0;
+  int max_registers = 3;
+  int max_bound = 5;
+};
+
+struct FuzzInstance {
+  ir::Circuit circuit;
+  ir::NetId goal = ir::kNoNet;  // 1-bit; the oracle asserts goal = 1
+  std::string description;      // shape summary for logs and repro headers
+  int base_width = 0;
+  bool from_sequential = false;
+};
+
+// Draws one instance. Deterministic in (rng state, options); never returns
+// a constant goal (re-rolls internally, widening the net mix if the goal
+// keeps folding away).
+FuzzInstance generate(Rng& rng, const GeneratorOptions& options = {});
+
+// The sequential path, exposed for tests: a random registered design with
+// one safety property (named "p0"). generate() unrolls this for a random
+// bound when a sequential draw is made.
+ir::SeqCircuit generate_seq(Rng& rng, const GeneratorOptions& options);
+
+}  // namespace rtlsat::fuzz

@@ -1,0 +1,245 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bitblast/bitblast.h"
+#include "core/hdpll.h"
+#include "core/selfcheck.h"
+#include "portfolio/portfolio.h"
+#include "prop/engine.h"
+#include "util/assert.h"
+
+namespace rtlsat::fuzz {
+
+using ir::Circuit;
+using ir::NetId;
+using Model = std::unordered_map<NetId, std::int64_t>;
+
+namespace {
+
+char status_char(core::SolveStatus s) {
+  switch (s) {
+    case core::SolveStatus::kSat: return 'S';
+    case core::SolveStatus::kUnsat: return 'U';
+    default: return 'T';
+  }
+}
+
+char status_char(sat::Result r) {
+  switch (r) {
+    case sat::Result::kSat: return 'S';
+    case sat::Result::kUnsat: return 'U';
+    default: return 'T';
+  }
+}
+
+std::string model_to_string(const Circuit& circuit, const Model& model) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const NetId in : circuit.inputs()) {
+    const auto it = model.find(in);
+    if (it == model.end()) continue;
+    if (!first) os << ' ';
+    first = false;
+    os << circuit.net_name(in) << '=' << it->second;
+  }
+  os << '}';
+  return os.str();
+}
+
+// The three Table-2 HDPLL configurations.
+struct HdpllConfig {
+  const char* name;
+  bool structural;
+  bool predicates;
+};
+constexpr HdpllConfig kHdpllConfigs[] = {
+    {"hdpll", false, false},
+    {"hdpll+s", true, false},
+    {"hdpll+s+p", true, true},
+};
+
+core::HdpllOptions make_options(const HdpllConfig& config,
+                                const OracleOptions& options) {
+  core::HdpllOptions o;
+  o.structural_decisions = config.structural;
+  o.predicate_learning = config.predicates;
+  o.timeout_seconds = options.timeout_seconds;
+  o.verify_models = true;
+  return o;
+}
+
+struct Harness {
+  const Circuit& circuit;
+  NetId goal;
+  const OracleOptions& options;
+  OracleReport report;
+  // One SAT model per engine that produced one, for cross-replay.
+  std::vector<std::pair<std::string, Model>> sat_models;
+
+  void mismatch(std::string text) {
+    report.mismatches.push_back(std::move(text));
+  }
+
+  void record(const std::string& engine, char verdict, double seconds,
+              Model model) {
+    report.verdicts.push_back({engine, verdict, seconds});
+    if (verdict != 'S') return;
+    // Rule 2: every SAT model must actually satisfy the goal.
+    const std::vector<std::int64_t> values = circuit.evaluate(model);
+    if (values[goal] != 1) {
+      mismatch(engine + ": SAT model does not satisfy the goal: " +
+               model_to_string(circuit, model));
+    }
+    sat_models.emplace_back(engine, std::move(model));
+  }
+
+  void run_hdpll() {
+    for (const HdpllConfig& config : kHdpllConfigs) {
+      core::HdpllSolver solver(circuit, make_options(config, options));
+      solver.assume_bool(goal, true);
+      core::SolveResult res = solver.solve();
+      record(config.name, status_char(res.status), res.seconds,
+             std::move(res.input_model));
+    }
+  }
+
+  void run_bitblast() {
+    sat::SolverOptions o;
+    o.timeout_seconds = options.timeout_seconds;
+    bitblast::CheckResult res = bitblast::check_sat(circuit, goal, true, o);
+    record("bitblast", status_char(res.result), 0,
+           std::move(res.input_model));
+  }
+
+  void run_portfolio() {
+    if (!options.run_portfolio) return;
+    portfolio::PortfolioOptions o;
+    o.jobs = options.portfolio_jobs;
+    o.deterministic = true;  // keep the whole oracle reproducible
+    o.crosscheck = true;
+    o.budget_seconds = options.timeout_seconds * o.jobs;
+    portfolio::Portfolio race(circuit, goal, true, o);
+    portfolio::PortfolioResult res = race.solve();
+    record("portfolio", status_char(res.status), res.seconds,
+           std::move(res.input_model));
+    // The portfolio's internal crosscheck is part of the oracle matrix:
+    // surface its violations as mismatches.
+    for (const std::string& v : res.crosscheck_violations)
+      mismatch("portfolio crosscheck: " + v);
+  }
+
+  void run_brute() {
+    int total_bits = 0;
+    for (const NetId in : circuit.inputs()) total_bits += circuit.width(in);
+    if (total_bits > options.brute_force_max_bits) return;
+    report.brute_ran = true;
+
+    const std::vector<NetId>& ins = circuit.inputs();
+    Model model;
+    std::vector<std::int64_t> cursor(ins.size(), 0);
+    bool any_sat = false;
+    Model witness;
+    for (;;) {
+      for (std::size_t i = 0; i < ins.size(); ++i) model[ins[i]] = cursor[i];
+      const std::vector<std::int64_t> values = circuit.evaluate(model);
+      if (values[goal] == 1) {
+        ++report.brute_sat_count;
+        if (!any_sat) {
+          any_sat = true;
+          witness = model;
+        }
+      }
+      // Odometer increment over the input domains.
+      std::size_t i = 0;
+      for (; i < ins.size(); ++i) {
+        const std::int64_t top =
+            (std::int64_t{1} << circuit.width(ins[i])) - 1;
+        if (cursor[i] < top) {
+          ++cursor[i];
+          break;
+        }
+        cursor[i] = 0;
+      }
+      if (i == ins.size()) break;
+    }
+    record("brute", any_sat ? 'S' : 'U', 0, std::move(witness));
+  }
+
+  // Rule 1: decisive verdicts must agree.
+  void check_consensus() {
+    for (const EngineVerdict& v : report.verdicts) {
+      if (v.verdict != 'S' && v.verdict != 'U') continue;
+      if (report.consensus == '?') {
+        report.consensus = v.verdict;
+      } else if (report.consensus != v.verdict) {
+        std::ostringstream os;
+        os << "verdict disagreement: " << v.engine << " says " << v.verdict
+           << " but an earlier engine said " << report.consensus
+           << " (" << report.summary() << ")";
+        mismatch(os.str());
+        return;
+      }
+    }
+  }
+
+  // Rule 3: replay every SAT model through level-0 interval propagation
+  // with "goal = 1" assumed — the selfcheck soundness audit must admit the
+  // model in every net's propagated interval. This is the probe that
+  // catches interval narrowing bugs which happened not to flip this
+  // instance's verdict: a rule that narrows too far excludes a real model
+  // here long before it produces a wrong UNSAT somewhere else.
+  void replay_models() {
+    if (!options.selfcheck_replay) return;
+    prop::Engine engine(circuit);
+    const bool consistent =
+        engine.narrow(goal, Interval::point(1), prop::ReasonKind::kAssumption) &&
+        engine.propagate();
+    if (!consistent) {
+      // Level-0 propagation refuted the instance outright; that is only
+      // sound if no engine holds a model.
+      for (const auto& [name, model] : sat_models) {
+        mismatch("level-0 propagation refutes the instance but " + name +
+                 " has model " + model_to_string(circuit, model));
+      }
+      return;
+    }
+    for (const auto& [name, model] : sat_models) {
+      for (const std::string& v :
+           core::selfcheck::check_interval_soundness(engine, model)) {
+        mismatch("level-0 intervals reject " + name + "'s model " +
+                 model_to_string(circuit, model) + ": " + v);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  for (const EngineVerdict& v : verdicts)
+    os << v.engine << ':' << v.verdict << ' ';
+  os << "consensus=" << consensus;
+  if (brute_ran) os << " brute_sat=" << brute_sat_count;
+  return os.str();
+}
+
+OracleReport run_oracle(const ir::Circuit& circuit, ir::NetId goal,
+                        const OracleOptions& options) {
+  RTLSAT_ASSERT(circuit.is_bool(goal));
+  Harness h{circuit, goal, options, {}, {}};
+  h.run_hdpll();
+  h.run_bitblast();
+  h.run_portfolio();
+  h.run_brute();
+  h.check_consensus();
+  h.replay_models();
+  return h.report;
+}
+
+}  // namespace rtlsat::fuzz

@@ -1,0 +1,67 @@
+// Differential oracle harness: run one fuzz instance through every engine
+// in the repo and cross-check the verdicts.
+//
+// The engine matrix mirrors the paper's Table 2 plus this repo's additions:
+//   hdpll        — word-level solver, defaults
+//   hdpll+s      — structural decisions (§4)
+//   hdpll+s+p    — structural decisions + predicate learning (§3)
+//   bitblast     — Tseitin CNF + CDCL, the structure-blind baseline
+//   portfolio    — deterministic sequential portfolio with its own
+//                  crosscheck layer on
+//   brute        — exhaustive input enumeration, joined only when the total
+//                  input bit count is small enough
+//
+// Agreement rules: every decisive ('S'/'U') verdict must match; every SAT
+// model must evaluate the goal to 1 under circuit simulation; and each SAT
+// model is replayed through a fresh HDPLL solver per configuration via
+// crosscheck_model, which runs the selfcheck interval-soundness audit — the
+// check that catches interval bugs that happen not to flip a verdict.
+// Timeouts ('T') abstain. Any rule violation becomes a `mismatches` entry;
+// ok() is the one-line pass/fail the fuzzer loop keys off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::fuzz {
+
+struct OracleOptions {
+  double timeout_seconds = 10;  // per engine
+  // Brute force joins when Σ input widths ≤ this many bits (2^n evals).
+  int brute_force_max_bits = 18;
+  bool run_portfolio = true;
+  int portfolio_jobs = 4;
+  // Replay SAT models through per-config HDPLL crosscheck_model (the
+  // selfcheck interval-soundness audit). Costs one propagation pass per
+  // (model, config); finds bugs that never flip a verdict.
+  bool selfcheck_replay = true;
+};
+
+struct EngineVerdict {
+  std::string engine;
+  char verdict = '?';  // 'S', 'U', 'T' (timeout/cancelled), '?' (skipped)
+  double seconds = 0;
+};
+
+struct OracleReport {
+  std::vector<EngineVerdict> verdicts;
+  // The agreed decisive verdict: 'S', 'U', or '?' if every engine timed out.
+  char consensus = '?';
+  // Human-readable rule violations; empty ⟺ the instance passed.
+  std::vector<std::string> mismatches;
+  bool brute_ran = false;
+  std::int64_t brute_sat_count = 0;  // satisfying assignments found by brute
+
+  bool ok() const { return mismatches.empty(); }
+  // "hdpll:S hdpll+s:S ... consensus=S" — one line for logs.
+  std::string summary() const;
+};
+
+// Runs the full matrix on "goal = 1" over `circuit`. The goal must be a
+// 1-bit net. Deterministic given (circuit, options).
+OracleReport run_oracle(const ir::Circuit& circuit, ir::NetId goal,
+                        const OracleOptions& options = {});
+
+}  // namespace rtlsat::fuzz

@@ -1,0 +1,65 @@
+// Greedy delta-reduction of fuzz instances, plus the .rtl repro exchange
+// format (docs/fuzzing.md).
+//
+// Given a circuit+goal that is "interesting" (the caller's predicate —
+// typically "the oracle matrix still disagrees on it"), the reducer
+// repeatedly tries structure-shrinking rewrites (replace a node by one of
+// its operands, or by a constant) and keeps any variant that is strictly
+// smaller and still interesting, until a fixpoint. Every accepted variant
+// is round-tripped through the .rtl parser first, so the final repro file
+// is guaranteed to reproduce when loaded back — and the parser/writer pair
+// gets fuzzed for free.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::fuzz {
+
+// Must be pure in (circuit, goal): the reducer calls it on many variants
+// and assumes a stable answer. True ⟺ the variant still reproduces.
+using Interesting =
+    std::function<bool(const ir::Circuit& circuit, ir::NetId goal)>;
+
+struct ReduceOptions {
+  // Full scans over the candidate list; each accepted rewrite restarts the
+  // scan, so this bounds worst-case work, not result quality.
+  int max_rounds = 64;
+  // Round-trip every candidate through write_repro/load_repro before
+  // testing it. Costs a parse per candidate; guarantees the emitted .rtl
+  // file reproduces byte-for-byte behaviour.
+  bool round_trip = true;
+};
+
+struct ReduceResult {
+  ir::Circuit circuit;
+  ir::NetId goal = ir::kNoNet;
+  std::size_t initial_nodes = 0;  // goal-cone size before reduction
+  std::size_t final_nodes = 0;
+  int rounds = 0;
+  int attempts = 0;  // candidate variants tried
+  int accepted = 0;  // rewrites kept
+};
+
+// Shrinks (circuit, goal) while `interesting` stays true. The input must
+// itself be interesting (asserted). Dead logic outside the goal cone is
+// dropped when the predicate survives that — but some predicates (the
+// oracle's interval audit among them) observe dead nets, so compaction is
+// re-tested and reduction falls back to a dead-preserving mode if it fails.
+ReduceResult reduce(const ir::Circuit& circuit, ir::NetId goal,
+                    const Interesting& interesting,
+                    const ReduceOptions& options = {});
+
+// Repro serialization: the goal net is renamed "goal" and the circuit
+// written in .rtl form, so a repro file is an ordinary parseable circuit
+// whose entry point is discoverable by name. The goal must not be a
+// constant (a constant goal is not a repro of anything).
+std::string write_repro(const ir::Circuit& circuit, ir::NetId goal);
+// Inverse: parse and look up the "goal" net. Throws parser::ParseError on
+// malformed text; asserts a "goal" net exists.
+ir::Circuit load_repro(const std::string& text, ir::NetId* goal);
+ir::Circuit load_repro_file(const std::string& path, ir::NetId* goal);
+
+}  // namespace rtlsat::fuzz

@@ -27,12 +27,10 @@ std::string Interval::to_string() const {
 
 namespace {
 using V = Interval::Value;
-constexpr V kMin = std::numeric_limits<V>::min();
-constexpr V kMax = std::numeric_limits<V>::max();
 
 V clamp128(__int128 x) {
-  if (x < static_cast<__int128>(kMin)) return kMin;
-  if (x > static_cast<__int128>(kMax)) return kMax;
+  if (x < static_cast<__int128>(kSatMin)) return kSatMin;
+  if (x > static_cast<__int128>(kSatMax)) return kSatMax;
   return static_cast<V>(x);
 }
 }  // namespace

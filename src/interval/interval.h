@@ -86,8 +86,16 @@ class Interval {
     if (is_empty() || hi_ <= v) return empty();
     return Interval(lo_ > v + 1 ? lo_ : v + 1, hi_);
   }
-  constexpr Interval at_most(Value v) const { return below(v + 1); }
-  constexpr Interval at_least(Value v) const { return above(v - 1); }
+  // Direct forms, not below(v+1)/above(v−1): v can sit on a saturation
+  // rail (INT64_MIN/MAX), where the ±1 would be signed overflow.
+  constexpr Interval at_most(Value v) const {  // ∩ (−∞, v]
+    if (is_empty() || lo_ > v) return empty();
+    return Interval(lo_, hi_ < v ? hi_ : v);
+  }
+  constexpr Interval at_least(Value v) const {  // ∩ [v, ∞)
+    if (is_empty() || hi_ < v) return empty();
+    return Interval(lo_ > v ? lo_ : v, hi_);
+  }
 
   // Set difference *this \ other when the result is a single interval.
   // If `other` splits *this in the middle, returns *this unchanged (a sound
@@ -113,5 +121,21 @@ class Interval {
 Interval::Value sat_add(Interval::Value a, Interval::Value b);
 Interval::Value sat_sub(Interval::Value a, Interval::Value b);
 Interval::Value sat_mul(Interval::Value a, Interval::Value b);
+
+// The saturation rails of the helpers above. An endpoint sitting on a rail
+// means "the true value did not fit in int64": the interval's *length* can
+// no longer be trusted (two distinct true values may have collapsed onto
+// the same rail), so range-arithmetic fast paths that reason from
+// hi − lo — e.g. fwd_mod's same-residue-block test — must treat such
+// intervals conservatively. A genuine value equal to the rail is
+// indistinguishable from a saturated one; treating it as saturated only
+// costs precision, never soundness.
+inline constexpr Interval::Value kSatMin =
+    std::numeric_limits<Interval::Value>::min();
+inline constexpr Interval::Value kSatMax =
+    std::numeric_limits<Interval::Value>::max();
+constexpr bool endpoint_saturated(Interval::Value v) {
+  return v == kSatMin || v == kSatMax;
+}
 
 }  // namespace rtlsat

@@ -68,6 +68,14 @@ Interval fwd_not(const Interval& x, int width) {
 Interval fwd_mod(const Interval& x, V m) {
   RTLSAT_ASSERT(m >= 1);
   if (x.is_empty()) return Interval::empty();
+  // A saturated endpoint (from sat_mul/sat_add upstream, e.g. fwd_shl or
+  // fwd_mul_const at wide widths) means the interval's length is a lie:
+  // distinct true values collapsed onto the rail can make x look like a
+  // point and trick the same-residue-block test below into an "exact"
+  // answer that excludes real residues. Conservatively return the full
+  // range.
+  if (endpoint_saturated(x.lo()) || endpoint_saturated(x.hi()))
+    return Interval(0, m - 1);
   if (x.count() >= static_cast<std::uint64_t>(m)) return Interval(0, m - 1);
   const V rlo = mod_floor(x.lo(), m);
   const V rhi = mod_floor(x.hi(), m);
@@ -90,7 +98,16 @@ Interval fwd_shl(const Interval& x, int k, int width) {
 
 Interval fwd_concat(const Interval& hi_part, const Interval& lo_part,
                     int low_width) {
-  return fwd_add(fwd_mul_const(hi_part, pow2(low_width)), lo_part);
+  const Interval sum = fwd_add(fwd_mul_const(hi_part, pow2(low_width)), lo_part);
+  // If the shift-and-add saturated, the lower endpoint may have been pushed
+  // *up* onto the rail — an unsound lower bound. Give up on precision and
+  // return the whole representable range (callers intersect with the net's
+  // domain anyway). Unreachable for in-width circuit operands
+  // (hi·2^lw + lo < 2^60); this guards direct API use.
+  if (!sum.is_empty() &&
+      (endpoint_saturated(sum.lo()) || endpoint_saturated(sum.hi())))
+    return Interval(kSatMin, kSatMax);
+  return sum;
 }
 
 Interval fwd_extract(const Interval& x, int hi_bit, int lo_bit) {
@@ -214,14 +231,20 @@ Interval back_extract(const Interval& z, const Interval& x_cur, int hi_bit,
   if (z.is_empty() || x_cur.is_empty()) return Interval::empty();
   const V block = pow2(lo_bit);
   const V span = pow2(hi_bit - lo_bit + 1);
-  const V window = block * span;
+  // window = 2^(hi_bit+1) overflows a raw signed multiply once
+  // lo_bit + field_width > 62; saturate instead. A saturated window exceeds
+  // every representable x, so the whole axis is one base-0 window and the
+  // divisions below still answer 0 — the recomposition just must not
+  // multiply or add through the rail unguarded.
+  const V window = sat_mul(block, span);
   // Exact inversion when the field is the low end of the word (lo_bit = 0)
   // and x_cur stays inside one aligned window (fixed high bits): then
   // x = base + field, contiguous in the field value.
   if (lo_bit == 0 && div_floor(x_cur.lo(), window) ==
                          div_floor(x_cur.hi(), window)) {
-    const V base = div_floor(x_cur.lo(), window) * window;
-    return Interval(base + z.lo(), base + z.hi()).intersect(x_cur);
+    const V base = sat_mul(div_floor(x_cur.lo(), window), window);
+    return Interval(sat_add(base, z.lo()), sat_add(base, z.hi()))
+        .intersect(x_cur);
   }
   // General sound bound: x must contain *some* value whose field is in z.
   // If even the loosest containment fails, conflict; else keep x_cur.

@@ -26,7 +26,10 @@ Interval fwd_neg(const Interval& x);
 Interval fwd_mul_const(const Interval& x, V k);
 // Bitwise complement of an unsigned w-bit value: 2^w − 1 − x.
 Interval fwd_not(const Interval& x, int width);
-// z = x mod m for m ≥ 1 (x may be any interval; handles negatives).
+// z = x mod m for m ≥ 1 (x may be any interval; handles negatives). An x
+// endpoint on a saturation rail (see endpoint_saturated) yields the full
+// ⟨0, m−1⟩: a saturated interval's length is unreliable, so the exact
+// same-residue fast path must not fire.
 Interval fwd_mod(const Interval& x, V m);
 // z = floor(x / 2^k) for x ≥ 0.
 Interval fwd_lshr(const Interval& x, int k);
@@ -83,7 +86,9 @@ Interval back_concat_hi(const Interval& z, int low_width);
 Interval back_concat_lo(const Interval& z, const Interval& hi_cur,
                         const Interval& lo_cur, int low_width);
 // z = extract(x, hi_bit, lo_bit): narrows x only when the untouched bits of
-// x are already fixed; otherwise returns x_cur (sound no-op).
+// x are already fixed; otherwise returns x_cur (sound no-op). Well-defined
+// for any lo_bit ≤ 60 and field width ≤ 60 even when lo_bit + field width
+// exceeds 62 (the window arithmetic saturates instead of overflowing).
 Interval back_extract(const Interval& z, const Interval& x_cur, int hi_bit,
                       int lo_bit);
 // z = min(x,y) / max(x,y): narrows x.

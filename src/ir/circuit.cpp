@@ -433,8 +433,21 @@ std::vector<std::int64_t> Circuit::evaluate(
       case Op::kMux: value[id] = v(0) ? v(1) : v(2); break;
       case Op::kAdd: value[id] = (v(0) + v(1)) % m; break;
       case Op::kSub: value[id] = ((v(0) - v(1)) % m + m) % m; break;
-      case Op::kMulC: value[id] = (v(0) * n.imm) % m; break;
-      case Op::kShlC: value[id] = (v(0) << n.imm) % m; break;
+      // Multiply and shift compute in uint64: the product/shift of a wide
+      // operand overflows int64 (UB) long before the reduction, while
+      // unsigned wraparound mod 2^64 is exact for a mod-2^w result because
+      // 2^w divides 2^64.
+      case Op::kMulC:
+        value[id] = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(v(0)) *
+             static_cast<std::uint64_t>(n.imm)) &
+            (static_cast<std::uint64_t>(m) - 1));
+        break;
+      case Op::kShlC:
+        value[id] = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(v(0)) << n.imm) &
+            (static_cast<std::uint64_t>(m) - 1));
+        break;
       case Op::kShrC: value[id] = v(0) >> n.imm; break;
       case Op::kNotW: value[id] = m - 1 - v(0); break;
       case Op::kConcat:

@@ -480,6 +480,20 @@ std::string write_seq_circuit(const ir::SeqCircuit& seq) {
   return os.str();
 }
 
+ir::Circuit load_circuit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_circuit(buffer.str());
+}
+
+void save_circuit(const ir::Circuit& circuit, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << write_circuit(circuit);
+}
+
 ir::SeqCircuit load_seq_circuit(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);

@@ -48,6 +48,8 @@ std::string write_circuit(const ir::Circuit& circuit);
 std::string write_seq_circuit(const ir::SeqCircuit& seq);
 
 // File helpers (throw std::runtime_error on I/O failure).
+ir::Circuit load_circuit(const std::string& path);
+void save_circuit(const ir::Circuit& circuit, const std::string& path);
 ir::SeqCircuit load_seq_circuit(const std::string& path);
 void save_seq_circuit(const ir::SeqCircuit& seq, const std::string& path);
 

@@ -1,0 +1,83 @@
+#include "fuzz/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "ir/circuit.h"
+#include "util/rng.h"
+
+namespace rtlsat::fuzz {
+namespace {
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorOptions options;
+  Rng a(42), b(42);
+  const FuzzInstance first = generate(a, options);
+  const FuzzInstance second = generate(b, options);
+  EXPECT_EQ(first.description, second.description);
+  EXPECT_EQ(first.circuit.num_nets(), second.circuit.num_nets());
+  EXPECT_EQ(first.goal, second.goal);
+}
+
+TEST(Generator, GoalIsNonConstantBool) {
+  GeneratorOptions options;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance inst = generate(rng, options);
+    ASSERT_TRUE(inst.circuit.is_bool(inst.goal)) << inst.description;
+    ASSERT_NE(inst.circuit.node(inst.goal).op, ir::Op::kConst)
+        << inst.description;
+    inst.circuit.validate();
+  }
+}
+
+TEST(Generator, RespectsWidthBounds) {
+  GeneratorOptions options;
+  options.min_width = 3;
+  options.max_width = 7;
+  options.wide_stress_percent = 0;
+  options.sequential_percent = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance inst = generate(rng, options);
+    EXPECT_GE(inst.base_width, 3);
+    EXPECT_LE(inst.base_width, 7);
+  }
+}
+
+TEST(Generator, EvaluatesOnArbitraryInputs) {
+  GeneratorOptions options;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance inst = generate(rng, options);
+    std::unordered_map<ir::NetId, std::int64_t> values;
+    for (const ir::NetId in : inst.circuit.inputs()) {
+      const std::int64_t top =
+          (std::int64_t{1} << inst.circuit.width(in)) - 1;
+      values[in] = static_cast<std::int64_t>(rng.next()) & top;
+    }
+    const std::vector<std::int64_t> nets = inst.circuit.evaluate(values);
+    const std::int64_t g = nets[inst.goal];
+    EXPECT_TRUE(g == 0 || g == 1) << inst.description;
+  }
+}
+
+TEST(Generator, SequentialInstancesUnrollToCircuits) {
+  GeneratorOptions options;
+  options.sequential_percent = 100;
+  std::set<std::string> descriptions;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const FuzzInstance inst = generate(rng, options);
+    EXPECT_TRUE(inst.from_sequential) << inst.description;
+    EXPECT_TRUE(inst.circuit.is_bool(inst.goal));
+    descriptions.insert(inst.description);
+  }
+  // Different seeds must explore different shapes.
+  EXPECT_GT(descriptions.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rtlsat::fuzz

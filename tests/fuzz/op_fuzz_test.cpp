@@ -1,0 +1,45 @@
+#include "fuzz/op_fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace rtlsat::fuzz {
+namespace {
+
+// The exhaustive width sweep lives in interval_exhaustive_test.cpp; here we
+// pin the randomized property-based drivers themselves so a regression in
+// the fuzzers (a vacuous premise, a crashed sampler) is caught even when
+// the library under test is healthy.
+
+TEST(OpFuzz, RandomizedIntervalSweepIsClean) {
+  Rng rng(2024);
+  const std::vector<std::string> violations = fuzz_interval_ops(rng, 5000);
+  ASSERT_TRUE(violations.empty())
+      << violations.size() << " violations; first: " << violations.front();
+}
+
+TEST(OpFuzz, RandomizedIntervalSweepIsDeterministic) {
+  Rng a(7), b(7);
+  EXPECT_EQ(fuzz_interval_ops(a, 500), fuzz_interval_ops(b, 500));
+}
+
+TEST(OpFuzz, FmeAgainstEnumerationIsClean) {
+  Rng rng(99);
+  const std::vector<std::string> violations = fuzz_fme(rng, 500);
+  ASSERT_TRUE(violations.empty())
+      << violations.size() << " violations; first: " << violations.front();
+}
+
+TEST(OpFuzz, ExhaustiveCheckCountsWork) {
+  std::int64_t checks = 0;
+  const std::vector<std::string> violations =
+      exhaustive_interval_check(2, &checks);
+  EXPECT_TRUE(violations.empty());
+  // Width 2 already covers thousands of concrete (interval, value) pairs;
+  // a collapsed count means an enumeration loop regressed.
+  EXPECT_GT(checks, 1000);
+}
+
+}  // namespace
+}  // namespace rtlsat::fuzz

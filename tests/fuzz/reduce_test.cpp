@@ -1,0 +1,90 @@
+#include "fuzz/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "ir/circuit.h"
+#include "parser/rtl_format.h"
+
+namespace rtlsat::fuzz {
+namespace {
+
+// A bulky instance whose "failure" is a semantic property of the goal cone:
+// the goal evaluates to 1 when every input is 3. The surrounding noise is
+// reducible; the witness property is not.
+ir::Circuit noisy_circuit(ir::NetId* goal) {
+  ir::Circuit c("noisy");
+  const ir::NetId x = c.add_input("x", 4);
+  const ir::NetId y = c.add_input("y", 4);
+  const ir::NetId z = c.add_input("z", 4);
+  const ir::NetId eq3 = c.add_eq(x, c.add_const(3, 4));
+  // Noise: arithmetic whose value never decides the goal.
+  const ir::NetId noise1 = c.add_add(y, z);
+  const ir::NetId noise2 = c.add_mulc(noise1, 5);
+  const ir::NetId noise3 = c.add_lt(noise2, c.add_const(11, 4));
+  const ir::NetId padded = c.add_or({eq3, c.add_and({noise3, eq3})});
+  *goal = padded;
+  return c;
+}
+
+bool sat_at_all_threes(const ir::Circuit& c, ir::NetId goal) {
+  std::unordered_map<ir::NetId, std::int64_t> values;
+  for (const ir::NetId in : c.inputs()) values[in] = 3;
+  return c.evaluate(values)[goal] == 1;
+}
+
+TEST(Reduce, ShrinksWhilePreservingPredicate) {
+  ir::NetId goal = ir::kNoNet;
+  const ir::Circuit c = noisy_circuit(&goal);
+  ASSERT_TRUE(sat_at_all_threes(c, goal));
+
+  const ReduceResult result = reduce(c, goal, sat_at_all_threes);
+  EXPECT_LE(result.final_nodes, result.initial_nodes);
+  EXPECT_LT(result.final_nodes, c.num_nets());
+  EXPECT_TRUE(sat_at_all_threes(result.circuit, result.goal));
+  EXPECT_GT(result.attempts, 0);
+}
+
+TEST(Reduce, ReproRoundTripsThroughParser) {
+  ir::NetId goal = ir::kNoNet;
+  const ir::Circuit c = noisy_circuit(&goal);
+  const std::string text = write_repro(c, goal);
+
+  ir::NetId parsed_goal = ir::kNoNet;
+  const ir::Circuit parsed = load_repro(text, &parsed_goal);
+  ASSERT_NE(parsed_goal, ir::kNoNet);
+  EXPECT_TRUE(parsed.is_bool(parsed_goal));
+  EXPECT_EQ(parsed.inputs().size(), c.inputs().size());
+  EXPECT_TRUE(sat_at_all_threes(parsed, parsed_goal));
+}
+
+TEST(Reduce, KeepsDeadNetsWhenPredicateObservesThem) {
+  // Predicate sensitive to logic OUTSIDE the goal cone: the circuit must
+  // contain a mulc net. Cone extraction would drop it; the reducer must
+  // notice and fall back to the dead-preserving mode.
+  ir::Circuit c("dead");
+  const ir::NetId x = c.add_input("x", 4);
+  const ir::NetId dead = c.add_mulc(x, 3);  // not in the goal cone
+  (void)dead;
+  const ir::NetId goal = c.add_lt(x, c.add_const(9, 4));
+  const Interesting has_mulc = [](const ir::Circuit& cc, ir::NetId) {
+    for (ir::NetId id = 0; id < cc.num_nets(); ++id)
+      if (cc.node(id).op == ir::Op::kMulC) return true;
+    return false;
+  };
+  ASSERT_TRUE(has_mulc(c, goal));
+  const ReduceResult result = reduce(c, goal, has_mulc);
+  EXPECT_TRUE(has_mulc(result.circuit, result.goal));
+}
+
+TEST(Reduce, RejectsConstantGoalRepro) {
+  ir::Circuit c("const");
+  const ir::NetId x = c.add_input("x", 2);
+  (void)x;
+  const ir::NetId goal = c.add_const(1, 1);
+  EXPECT_DEATH(write_repro(c, goal), "constant goal");
+}
+
+}  // namespace
+}  // namespace rtlsat::fuzz

@@ -1,0 +1,125 @@
+// Exhaustive soundness checks for every interval transfer function at small
+// widths, plus directed regressions for the saturation bugs the fuzzing
+// subsystem flushed out (see docs/fuzzing.md).
+//
+// The exhaustive driver lives in src/fuzz/op_fuzz.cpp: for every width ≤ 5
+// it enumerates every interval (and every interval pair for binary rules),
+// computes the true image/preimage by brute force, and checks containment.
+// This subsumes the old per-op spot checks for small widths; wide-width
+// behaviour is covered by the directed tests below and the randomized
+// sweeps in interval_ops_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fuzz/op_fuzz.h"
+#include "interval/interval.h"
+#include "interval/interval_ops.h"
+
+namespace rtlsat::iops {
+namespace {
+
+class ExhaustiveWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveWidth, EveryRuleSoundOnEveryInterval) {
+  std::int64_t checks = 0;
+  const std::vector<std::string> violations =
+      fuzz::exhaustive_interval_check(GetParam(), &checks);
+  EXPECT_GT(checks, 0);
+  ASSERT_TRUE(violations.empty())
+      << violations.size() << " violations at width " << GetParam()
+      << "; first: " << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ExhaustiveWidth, ::testing::Values(1, 2, 3, 4),
+                         ::testing::PrintToStringParamName());
+
+// Width 5 multiplies the pair enumeration ~16× over width 4; keep it in a
+// separate test so a slow sanitizer run is attributable.
+TEST(ExhaustiveWidth5, EveryRuleSoundOnEveryInterval) {
+  std::int64_t checks = 0;
+  const std::vector<std::string> violations =
+      fuzz::exhaustive_interval_check(5, &checks);
+  EXPECT_GT(checks, 0);
+  ASSERT_TRUE(violations.empty())
+      << violations.size() << " violations at width 5; first: "
+      << violations.front();
+}
+
+// ---------------------------------------------- saturation regressions
+
+// back_extract with lo_bit + field_width > 62: the window 2^(hi_bit+1)
+// used to be computed with a raw signed multiply, which is UB past 62 and
+// in practice produced a garbage (often negative) window. The call must
+// stay a sound no-op (or an exact refinement), not corrupt the domain.
+TEST(SaturationRegression, BackExtractHighWindow) {
+  const Interval x(0, (std::int64_t{1} << 60) - 1);
+  const Interval z(5, 9);
+  const Interval narrowed = back_extract(z, x, /*hi_bit=*/62, /*lo_bit=*/30);
+  // Any x whose [62:30] field lies in [5,9] must survive.
+  const std::int64_t witness = std::int64_t{7} << 30;
+  EXPECT_FALSE(narrowed.is_empty());
+  EXPECT_TRUE(narrowed.contains(witness));
+
+  // lo_bit = 0 exact-inversion path at the maximum legal field width (60):
+  // window = 2^60, the widest the contract allows — with lo_bit = 0 the
+  // window cannot saturate, only the lo_bit > 0 recomposition above can.
+  const Interval exact =
+      back_extract(Interval(3, 4), Interval(0, 100), /*hi_bit=*/59,
+                   /*lo_bit=*/0);
+  EXPECT_TRUE(exact.contains(3));
+  EXPECT_TRUE(exact.contains(4));
+  EXPECT_FALSE(exact.contains(100));
+}
+
+// fwd_shl at width 60 with shift 59: the raw product 16·2^59 = 2^63
+// saturates, and the old fwd_mod fast path then "exactly" narrowed the
+// image to a single bogus residue, flipping SAT instances to UNSAT
+// (tests/regress/shl-saturation.rtl). The sound image must keep every true
+// value: 16·2^59 mod 2^60 = 0 and 17·2^59 mod 2^60 = 2^59.
+TEST(SaturationRegression, ShlSaturatedImageStaysFull) {
+  const Interval image = fwd_shl(Interval(16, 17), /*k=*/59, /*width=*/60);
+  EXPECT_TRUE(image.contains(0));
+  EXPECT_TRUE(image.contains(std::int64_t{1} << 59));
+}
+
+// fwd_mod must refuse the same-residue fast path when an endpoint sits on
+// a saturation rail — the interval's length is a lie there.
+TEST(SaturationRegression, ModOfSaturatedIntervalIsFullRange) {
+  const Interval saturated = fwd_mul_const(Interval(16, 17),
+                                           std::int64_t{1} << 59);
+  ASSERT_TRUE(endpoint_saturated(saturated.lo()) ||
+              endpoint_saturated(saturated.hi()));
+  const std::int64_t m = std::int64_t{1} << 60;
+  const Interval image = fwd_mod(saturated, m);
+  EXPECT_EQ(image, Interval(0, m - 1));
+}
+
+// fwd_concat with operands big enough to saturate the shift-and-add must
+// widen to the full representable range rather than return a rail-bounded
+// interval whose *lower* end excludes true values.
+TEST(SaturationRegression, ConcatSaturatedFallsBackToFullRange) {
+  const Interval hi(1, (std::int64_t{1} << 59) - 1);
+  const Interval lo(0, 3);
+  const Interval image = fwd_concat(hi, lo, /*low_width=*/60);
+  EXPECT_TRUE(image.contains(0));
+  EXPECT_TRUE(image.contains(kSatMax));
+}
+
+// at_most/at_least with a cut on a saturation rail: the old below(v+1)/
+// above(v−1) forms overflowed int64 there (caught by the randomized op
+// fuzzer under UBSan when comparator narrowings met rail endpoints).
+TEST(SaturationRegression, ComparatorCutOnSaturationRail) {
+  const Interval all(kSatMin, kSatMax);
+  EXPECT_EQ(all.at_most(kSatMax), all);
+  EXPECT_EQ(all.at_least(kSatMin), all);
+  EXPECT_EQ(all.at_most(kSatMin), Interval(kSatMin, kSatMin));
+  EXPECT_EQ(all.at_least(kSatMax), Interval(kSatMax, kSatMax));
+  const Interval mid(-5, 5);
+  EXPECT_EQ(mid.at_most(kSatMax), mid);
+  EXPECT_EQ(mid.at_least(kSatMin), mid);
+}
+
+}  // namespace
+}  // namespace rtlsat::iops

@@ -252,9 +252,12 @@ TEST_P(WrapSoundness, AddSubRandomized) {
   }
 }
 
+// Widths ≤ 5 are covered exhaustively (every interval pair, every value) in
+// interval_exhaustive_test.cpp; the randomized sweep only earns its keep at
+// widths the enumeration cannot reach.
 INSTANTIATE_TEST_SUITE_P(Widths, WrapSoundness,
-                         ::testing::Values(WrapCase{3, 11}, WrapCase{4, 22},
-                                           WrapCase{8, 33}, WrapCase{10, 44}));
+                         ::testing::Values(WrapCase{8, 33}, WrapCase{10, 44},
+                                           WrapCase{24, 55}, WrapCase{52, 66}));
 
 }  // namespace
 }  // namespace rtlsat::iops

@@ -1,0 +1,68 @@
+// Replays every committed repro in tests/regress/ through the full
+// differential-oracle matrix (docs/fuzzing.md). Each .rtl file here is a
+// minimized instance that once exposed a real solver or interval bug; the
+// corpus policy (README) is that a fuzzer find lands together with its fix
+// and its reduced repro.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+#include "fuzz/reduce.h"
+
+#ifndef RTLSAT_REGRESS_DIR
+#error "RTLSAT_REGRESS_DIR must point at the committed corpus"
+#endif
+
+namespace rtlsat::fuzz {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RTLSAT_REGRESS_DIR)) {
+    if (entry.path().extension() == ".rtl")
+      files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(RegressCorpus, HasSeeds) { EXPECT_GE(corpus_files().size(), 3u); }
+
+class RegressCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegressCorpus, FullOracleMatrixAgrees) {
+  ir::NetId goal = ir::kNoNet;
+  const ir::Circuit circuit = load_repro_file(GetParam(), &goal);
+  ASSERT_NE(goal, ir::kNoNet);
+
+  OracleOptions options;
+  options.timeout_seconds = 60;  // repros are tiny; never trips in practice
+  options.portfolio_jobs = 2;
+  const OracleReport report = run_oracle(circuit, goal, options);
+  EXPECT_TRUE(report.ok()) << GetParam() << ": " << report.summary() << "\n  "
+                           << (report.mismatches.empty()
+                                   ? std::string("-")
+                                   : report.mismatches.front());
+  EXPECT_NE(report.consensus, '?') << GetParam();
+}
+
+std::string corpus_test_name(
+    const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = std::filesystem::path(info.param).stem().string();
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RegressCorpus,
+                         ::testing::ValuesIn(corpus_files()),
+                         corpus_test_name);
+
+}  // namespace
+}  // namespace rtlsat::fuzz
