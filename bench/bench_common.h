@@ -3,6 +3,7 @@
 // paper's layout (runtimes in seconds, "-to-" for timeouts).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,10 @@
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
 #include "portfolio/portfolio.h"
+#include "proof/drat.h"
+#include "proof/drat_check.h"
+#include "proof/word_check.h"
+#include "proof/word_writer.h"
 #include "trace/json.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -54,8 +59,21 @@ inline core::HdpllOptions make_options(Config config, double timeout,
   return options;
 }
 
+// Certificate logging for the table benches: with RTLSAT_PROOF set, every
+// HDPLL solve logs a word certificate that is verified in-process, and —
+// when the variable names a directory rather than "1" — also written as
+// "<dir>/<instance>.<config>.cert.jsonl" for offline rtlsat_check runs
+// (the CI proof-check job). A rejected certificate is reported on stderr
+// and counted as proof.rejected in the row's counters, so the JSON report
+// carries it too.
 inline RunResult run_hdpll(const bmc::BmcInstance& instance,
-                           const core::HdpllOptions& options) {
+                           const core::HdpllOptions& options_in) {
+  core::HdpllOptions options = options_in;
+  proof::WordCertWriter cert;
+  const char* proof_env = std::getenv("RTLSAT_PROOF");
+  const bool certify =
+      proof_env != nullptr && *proof_env != '\0' && options.conflict_learning;
+  if (certify) options.proof = &cert;
   core::HdpllSolver solver(instance.circuit, options);
   solver.assume_bool(instance.goal, true);
   const core::SolveResult result = solver.solve();
@@ -70,14 +88,50 @@ inline RunResult run_hdpll(const bmc::BmcInstance& instance,
     case core::SolveStatus::kTimeout: out.verdict = 'T'; break;
     case core::SolveStatus::kCancelled: out.verdict = 'C'; break;
   }
+  if (certify) {
+    const proof::WordCheckResult check = proof::word_check(cert.str());
+    const bool refutation_ok = out.verdict != 'U' || check.refuted;
+    if (!check.ok || !refutation_ok) {
+      out.stats.add("proof.rejected", 1);
+      std::fprintf(stderr, "%s: certificate REJECTED: %s\n",
+                   instance.name.c_str(),
+                   check.ok ? "no refutation for an UNSAT verdict"
+                            : check.error.c_str());
+    }
+    if (std::strcmp(proof_env, "1") != 0) {
+      std::string file = instance.name;
+      for (char& ch : file) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_')
+          ch = '_';
+      }
+      const std::string config =
+          options.predicate_learning      ? "hdpll_sp"
+          : options.structural_decisions ? "hdpll_s"
+                                         : "hdpll";
+      std::string error;
+      if (!cert.save(std::string(proof_env) + "/" + file + "." + config +
+                         ".cert.jsonl",
+                     &error)) {
+        std::fprintf(stderr, "%s: certificate not saved: %s\n",
+                     instance.name.c_str(), error.c_str());
+      }
+    }
+  }
   return out;
 }
 
+// The bit-blast lane mirrors run_hdpll's RTLSAT_PROOF contract with DRAT:
+// verified in-process; with a directory, the formula and proof are saved
+// as "<instance>.dimacs" / "<instance>.drat" for offline rtlsat_check.
 inline RunResult run_bitblast(const bmc::BmcInstance& instance,
                               double timeout) {
   Timer timer;
+  proof::DratWriter drat;
   sat::SolverOptions options;
   options.timeout_seconds = timeout;
+  const char* proof_env = std::getenv("RTLSAT_PROOF");
+  const bool certify = proof_env != nullptr && *proof_env != '\0';
+  if (certify) options.drat = &drat;
   const auto oracle =
       bitblast::check_sat(instance.circuit, instance.goal, true, options);
   RunResult out;
@@ -85,6 +139,28 @@ inline RunResult run_bitblast(const bmc::BmcInstance& instance,
   out.verdict = oracle.result == sat::Result::kSat     ? 'S'
                 : oracle.result == sat::Result::kUnsat ? 'U'
                                                        : 'T';
+  if (certify && out.verdict == 'U') {
+    const proof::DratCheckResult check =
+        proof::drat_check(drat.dimacs(), drat.proof(), drat.binary());
+    if (!check.ok) {
+      out.stats.add("proof.rejected", 1);
+      std::fprintf(stderr, "%s: DRAT proof REJECTED: %s\n",
+                   instance.name.c_str(), check.error.c_str());
+    }
+    if (std::strcmp(proof_env, "1") != 0) {
+      std::string file = instance.name;
+      for (char& ch : file) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_')
+          ch = '_';
+      }
+      const std::string base = std::string(proof_env) + "/" + file;
+      std::string error;
+      if (!drat.save(base + ".dimacs", base + ".drat", &error)) {
+        std::fprintf(stderr, "%s: DRAT proof not saved: %s\n",
+                     instance.name.c_str(), error.c_str());
+      }
+    }
+  }
   return out;
 }
 

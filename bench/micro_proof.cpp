@@ -1,0 +1,143 @@
+// Proof-logging overhead guards.
+//
+// The zero-overhead-when-off contract (src/proof, docs/proofs.md) is that
+// a solver holding a null proof pointer costs one predicted branch per
+// cold event — BM_PigeonHoleNoProof and BM_HdpllNoProof must stay within
+// measurement noise (≲1%) of the same workloads in micro_sat and
+// micro_portfolio. The *Discard variant isolates the hook + formatting
+// cost with no retained content; the *Text variants price full capture,
+// and the *Check variants price the independent checkers, which are off
+// the solving path entirely.
+#include <benchmark/benchmark.h>
+
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "proof/drat.h"
+#include "proof/drat_check.h"
+#include "proof/word_check.h"
+#include "proof/word_writer.h"
+#include "sat/solver.h"
+
+using namespace rtlsat;
+
+namespace {
+
+void add_pigeonhole(sat::Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<sat::Var>> p(pigeons, std::vector<sat::Var>(holes));
+  for (auto& row : p)
+    for (auto& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<sat::Lit> clause;
+    for (auto v : row) clause.push_back(sat::Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int i = 0; i < pigeons; ++i)
+      for (int j = i + 1; j < pigeons; ++j)
+        s.add_clause({sat::Lit(p[i][h], false), sat::Lit(p[j][h], false)});
+}
+
+// Baseline: identical workload to micro_sat's BM_PigeonHole. The guard is
+// that this stays within noise of that benchmark — the null drat_ branch
+// is the only code difference on this path.
+void BM_PigeonHoleNoProof(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    add_pigeonhole(s, holes);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonHoleNoProof)->Arg(5)->Arg(6);
+
+void BM_PigeonHoleDiscardProof(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    proof::DratWriter::Options drat_options;
+    drat_options.discard = true;
+    proof::DratWriter drat(drat_options);
+    sat::SolverOptions options;
+    options.drat = &drat;
+    sat::Solver s(options);
+    add_pigeonhole(s, holes);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_PigeonHoleDiscardProof)->Arg(5)->Arg(6);
+
+void BM_PigeonHoleTextProof(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    proof::DratWriter drat;
+    sat::SolverOptions options;
+    options.drat = &drat;
+    sat::Solver s(options);
+    add_pigeonhole(s, holes);
+    benchmark::DoNotOptimize(s.solve());
+    benchmark::DoNotOptimize(drat.proof_bytes());
+  }
+}
+BENCHMARK(BM_PigeonHoleTextProof)->Arg(5)->Arg(6);
+
+void BM_DratCheck(benchmark::State& state) {
+  proof::DratWriter drat;
+  sat::SolverOptions options;
+  options.drat = &drat;
+  sat::Solver s(options);
+  add_pigeonhole(s, static_cast<int>(state.range(0)));
+  (void)s.solve();
+  const std::string dimacs = drat.dimacs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proof::drat_check(dimacs, drat.proof(), /*binary=*/false));
+  }
+}
+BENCHMARK(BM_DratCheck)->Arg(5)->Arg(6);
+
+bmc::BmcInstance b13_instance(int bound) {
+  const auto seq = itc99::build("b13");
+  return bmc::unroll(seq, "1", bound);
+}
+
+void solve_b13(const bmc::BmcInstance& instance,
+               proof::WordCertWriter* cert) {
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  options.proof = cert;
+  core::HdpllSolver solver(instance.circuit, options);
+  solver.assume_bool(instance.goal, true);
+  benchmark::DoNotOptimize(solver.solve());
+}
+
+void BM_HdpllNoProof(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) solve_b13(instance, nullptr);
+}
+BENCHMARK(BM_HdpllNoProof)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_HdpllWordProof(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    proof::WordCertWriter cert;
+    solve_b13(instance, &cert);
+    benchmark::DoNotOptimize(cert.bytes());
+  }
+}
+BENCHMARK(BM_HdpllWordProof)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_WordCheck(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  proof::WordCertWriter cert;
+  solve_b13(instance, &cert);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proof::word_check(cert.str()));
+  }
+}
+BENCHMARK(BM_WordCheck)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

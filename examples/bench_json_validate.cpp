@@ -74,6 +74,27 @@ bool validate_workers(const JsonValue& workers, const std::string& where) {
   return true;
 }
 
+// Proof-logging counters flow from the solver into each row's counters
+// when RTLSAT_PROOF is set (docs/proofs.md): every proof.* value must be
+// a non-negative number, and proof.rejected must be zero — a rejected
+// certificate anywhere in the run fails the whole document, which is how
+// the CI proof-check job turns a bad proof into a red build.
+bool validate_proof_counters(const JsonValue& counters,
+                             const std::string& where, std::size_t* seen) {
+  for (const auto& [key, value] : counters.object) {
+    if (key.rfind("proof.", 0) != 0) continue;
+    if (!value.is_number() || value.number < 0)
+      return fail(where + ": counter '" + key +
+                  "' is not a non-negative number");
+    if (key == "proof.rejected" && value.number != 0)
+      return fail(where + ": proof.rejected is " +
+                  std::to_string(static_cast<long long>(value.number)) +
+                  " (a certificate was rejected)");
+    ++*seen;
+  }
+  return true;
+}
+
 // {"bench": "...", "rows": [{instance, config, verdict, seconds, ...}]}
 bool validate_bench(const std::string& text) {
   JsonValue doc;
@@ -84,6 +105,7 @@ bool validate_bench(const std::string& text) {
   const JsonValue* rows = doc.find("rows");
   if (rows == nullptr || !rows->is_array())
     return fail("top level: missing array field 'rows'");
+  std::size_t proof_counters = 0;
   for (std::size_t i = 0; i < rows->array.size(); ++i) {
     const JsonValue& row = rows->array[i];
     const std::string where = "rows[" + std::to_string(i) + "]";
@@ -98,11 +120,14 @@ bool validate_bench(const std::string& text) {
     const JsonValue* counters = row.find("counters");
     if (counters == nullptr || !counters->is_object())
       return fail(where + ": missing object field 'counters'");
+    if (!validate_proof_counters(*counters, where, &proof_counters))
+      return false;
     // Portfolio rows additionally carry a per-worker array.
     const JsonValue* workers = row.find("workers");
     if (workers != nullptr && !validate_workers(*workers, where)) return false;
   }
-  std::printf("ok: %zu bench rows\n", rows->array.size());
+  std::printf("ok: %zu bench rows (%zu proof counters)\n",
+              rows->array.size(), proof_counters);
   return true;
 }
 

@@ -5,16 +5,61 @@
 //
 // config: "base" (plain HDPLL), "s" (+structural), "sp" (+structural and
 // predicate learning, the paper's strongest configuration — default).
+//
+// With RTLSAT_PROOF set, the single solve becomes a certifying sweep
+// (bmc/sweep.h): every bound from 1 up is solved with word-certificate
+// logging, each certificate is verified in-process, and — when
+// RTLSAT_PROOF names a directory — the per-frame certificates are written
+// there for offline rtlsat_check runs. A rejected certificate is a
+// non-zero exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "bmc/sweep.h"
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
 
 using namespace rtlsat;
+
+namespace {
+
+int run_certified_sweep(const ir::SeqCircuit& seq, const std::string& property,
+                        int bound, const core::HdpllOptions& options,
+                        const char* proof_env) {
+  bmc::SweepOptions sweep_options;
+  sweep_options.solver = options;
+  sweep_options.certify = true;
+  // RTLSAT_PROOF=1 keeps the certificates in memory; anything else names
+  // the output directory.
+  if (std::strcmp(proof_env, "1") != 0) sweep_options.cert_dir = proof_env;
+  const bmc::SweepResult sweep = bmc::sweep(seq, property, bound, sweep_options);
+  bool rejected = false;
+  for (const bmc::FrameResult& frame : sweep.frames) {
+    const char* verdict = frame.status == core::SolveStatus::kSat ? "SAT"
+                          : frame.status == core::SolveStatus::kUnsat
+                              ? "UNSAT"
+                              : "TIMEOUT";
+    std::printf("%-12s %-8s %.3fs  cert: %lld records, %lld bytes, %s\n",
+                frame.name.c_str(), verdict, frame.seconds,
+                static_cast<long long>(frame.cert_records),
+                static_cast<long long>(frame.cert_bytes),
+                frame.cert_error.empty() ? "VERIFIED"
+                                         : frame.cert_error.c_str());
+    if (!frame.cert_error.empty()) rejected = true;
+  }
+  if (sweep.first_sat_bound >= 0) {
+    std::printf("counterexample at bound %d\n", sweep.first_sat_bound);
+  } else {
+    std::printf("no violation within bound %d (every frame certified)\n",
+                bound);
+  }
+  return rejected ? 1 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::string circuit_name = argc > 1 ? argv[1] : "b13";
@@ -33,6 +78,12 @@ int main(int argc, char** argv) {
   options.structural_decisions = config == "s" || config == "sp";
   options.predicate_learning = config == "sp";
   options.timeout_seconds = 1200;  // the paper's timeout
+
+  if (const char* proof_env = std::getenv("RTLSAT_PROOF");
+      proof_env != nullptr && *proof_env != '\0') {
+    return run_certified_sweep(seq, property, bound, options, proof_env);
+  }
+
   core::HdpllSolver solver(instance.circuit, options);
   solver.assume_bool(instance.goal, true);
 

@@ -1,0 +1,131 @@
+// rtlsat_check — the independent certificate verifier.
+//
+// Two modes, picked by flag:
+//
+//   rtlsat_check --drat <formula.cnf> <proof.drat> [--binary]
+//       Checks a DRAT refutation of a DIMACS formula by reverse unit
+//       propagation (the Boolean core's certificates).
+//
+//   rtlsat_check --word <certificate.jsonl> [--trust-imports]
+//       Checks a word-level HDPLL certificate: interval narrowings are
+//       re-derived rule by rule, learned clauses replayed from their
+//       antecedent cut, FME refutations re-added in exact arithmetic, and
+//       predicate-learning probes re-checked for case coverage.
+//
+// The binary deliberately links only src/proof and its trust base
+// (src/interval, src/fme linear structs, src/trace JSON, src/util); none
+// of the solver's propagation, analysis, or SAT code is in the image. A
+// bug in the solver cannot vouch for itself here.
+//
+// Exit status: 0 verified, 1 rejected (first bad step on stderr), 2 usage
+// or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "proof/drat_check.h"
+#include "proof/word_check.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rtlsat_check: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rtlsat_check --drat <formula.cnf> <proof.drat> "
+               "[--binary]\n"
+               "       rtlsat_check --word <certificate.jsonl> "
+               "[--trust-imports]\n");
+  return 2;
+}
+
+int run_drat(int argc, char** argv) {
+  std::string formula_path;
+  std::string proof_path;
+  bool binary = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--binary") == 0) {
+      binary = true;
+    } else if (formula_path.empty()) {
+      formula_path = argv[i];
+    } else if (proof_path.empty()) {
+      proof_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (proof_path.empty()) return usage();
+
+  std::string formula;
+  std::string proof;
+  if (!read_file(formula_path, &formula) || !read_file(proof_path, &proof))
+    return 2;
+  const rtlsat::proof::DratCheckResult result =
+      rtlsat::proof::drat_check(formula, proof, binary);
+  if (!result.ok) {
+    std::fprintf(stderr, "rtlsat_check: REJECTED: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "rtlsat_check: VERIFIED drat refutation (%lld steps checked, %lld "
+      "deletions ignored)\n",
+      static_cast<long long>(result.steps_checked),
+      static_cast<long long>(result.deletions_ignored));
+  return 0;
+}
+
+int run_word(int argc, char** argv) {
+  std::string cert_path;
+  rtlsat::proof::WordCheckOptions options;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trust-imports") == 0) {
+      options.trust_imports = true;
+    } else if (cert_path.empty()) {
+      cert_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (cert_path.empty()) return usage();
+
+  std::string cert;
+  if (!read_file(cert_path, &cert)) return 2;
+  const rtlsat::proof::WordCheckResult result =
+      rtlsat::proof::word_check(cert, options);
+  if (!result.ok) {
+    std::fprintf(stderr, "rtlsat_check: REJECTED: %s\n",
+                 result.error.c_str());
+    return 1;
+  }
+  std::printf("rtlsat_check: VERIFIED word certificate (verdict %s, %lld "
+              "records%s)\n",
+              result.verdict.c_str(),
+              static_cast<long long>(result.records),
+              result.refuted ? ", refutation established" : "");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--drat") == 0)
+    return run_drat(argc - 2, argv + 2);
+  if (std::strcmp(argv[1], "--word") == 0)
+    return run_word(argc - 2, argv + 2);
+  return usage();
+}

@@ -1,0 +1,81 @@
+#include "bmc/sweep.h"
+
+#include <cctype>
+#include <utility>
+
+#include "bmc/unroll.h"
+#include "proof/word_check.h"
+#include "proof/word_writer.h"
+
+namespace rtlsat::bmc {
+
+namespace {
+
+// "<dir>/<name>.cert.jsonl" with the instance name made filesystem-safe
+// ("b13_2(4)" → "b13_2_4_").
+std::string cert_path(const std::string& dir, const std::string& name) {
+  std::string file = name;
+  for (char& ch : file) {
+    if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
+        ch != '-')
+      ch = '_';
+  }
+  return dir + "/" + file + ".cert.jsonl";
+}
+
+}  // namespace
+
+SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
+                  int max_bound, const SweepOptions& options) {
+  SweepResult result;
+  for (int bound = 1; bound <= max_bound; ++bound) {
+    const BmcInstance instance = options.cumulative
+                                     ? unroll_any(seq, property, bound)
+                                     : unroll(seq, property, bound);
+    FrameResult frame;
+    frame.bound = bound;
+    frame.name = instance.name;
+
+    proof::WordCertWriter cert;
+    core::HdpllOptions solver_options = options.solver;
+    if (options.certify) solver_options.proof = &cert;
+    core::HdpllSolver solver(instance.circuit, solver_options);
+    solver.assume_bool(instance.goal, true);
+    const core::SolveResult solve = solver.solve();
+    frame.status = solve.status;
+    frame.seconds = solve.seconds;
+
+    if (options.certify) {
+      frame.cert_records = cert.records();
+      frame.cert_bytes = cert.bytes();
+      const proof::WordCheckResult check = proof::word_check(cert.str());
+      if (!check.ok) {
+        frame.cert_error = check.error;
+      } else if (solve.status == core::SolveStatus::kUnsat &&
+                 !check.refuted) {
+        frame.cert_error = "UNSAT frame without an established refutation";
+      } else {
+        frame.certified = true;
+      }
+      if (!options.cert_dir.empty()) {
+        std::string io_error;
+        if (!cert.save(cert_path(options.cert_dir, instance.name),
+                       &io_error) &&
+            frame.cert_error.empty()) {
+          frame.cert_error = "certificate not saved: " + io_error;
+          frame.certified = false;
+        }
+      }
+    }
+
+    const bool sat = frame.status == core::SolveStatus::kSat;
+    result.frames.push_back(std::move(frame));
+    if (sat) {
+      result.first_sat_bound = bound;
+      if (options.stop_at_sat) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtlsat::bmc

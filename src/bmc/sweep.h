@@ -1,0 +1,70 @@
+// Certifying bounded-model-checking sweep.
+//
+// Classic BMC practice sweeps the bound upward until a counterexample
+// appears or the budget runs out; every bound that comes back UNSAT is a
+// safety claim ("no violation within k steps") that this repo backs with
+// a word-level certificate (docs/proofs.md). sweep() runs the bounds in
+// order, solves each frame with the configured HDPLL options, and — when
+// certification is on — logs each frame's derivation and pipes it through
+// the independent checker before reporting the verdict, so an unsound
+// UNSAT frame is caught at the frame that produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hdpll.h"
+#include "ir/seq.h"
+
+namespace rtlsat::bmc {
+
+struct SweepOptions {
+  // Per-frame solver configuration (timeout, +S/+P, tracing, ...). The
+  // `proof` member is managed by the sweep itself; leave it null.
+  core::HdpllOptions solver;
+  // Violation in ANY frame ≤ k (unroll_any) instead of exactly at k.
+  bool cumulative = false;
+  // Log a word certificate per frame and verify it in-process.
+  bool certify = false;
+  // When non-empty (and certify is set), each frame's certificate is also
+  // written to "<dir>/<instance>.cert.jsonl" for offline rtlsat_check runs.
+  std::string cert_dir;
+  // Stop at the first SAT frame (the counterexample bound) instead of
+  // solving every bound up to max_bound.
+  bool stop_at_sat = true;
+};
+
+struct FrameResult {
+  int bound = 0;
+  std::string name;  // unrolled instance name, e.g. "b13_2(4)"
+  core::SolveStatus status = core::SolveStatus::kTimeout;
+  double seconds = 0;
+  // Certification outcome (certify runs only): a produced certificate was
+  // verified by proof::word_check. `cert_error` non-empty ⟹ rejected,
+  // with the checker's step-indexed diagnostic.
+  bool certified = false;
+  std::string cert_error;
+  std::int64_t cert_records = 0;
+  std::int64_t cert_bytes = 0;
+};
+
+struct SweepResult {
+  std::vector<FrameResult> frames;
+  // Smallest bound with a counterexample; -1 if none was found.
+  int first_sat_bound = -1;
+
+  // Every decisive frame carries a verified certificate (vacuously true
+  // when certification was off and no frame was rejected).
+  bool all_certified() const {
+    for (const FrameResult& f : frames)
+      if (!f.cert_error.empty()) return false;
+    return true;
+  }
+};
+
+// Sweeps bounds 1..max_bound over "property = violated" instances built by
+// bmc::unroll / bmc::unroll_any. Deterministic given (seq, options).
+SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
+                  int max_bound, const SweepOptions& options = {});
+
+}  // namespace rtlsat::bmc

@@ -43,8 +43,10 @@ AnalysisResult analyze_conflict(const prop::Engine& engine,
     }
   };
   int resolutions = 0;
+  std::vector<std::int32_t> premises;
   auto expand = [&](std::int32_t e) {
     ++resolutions;
+    if (options.record_premises) premises.push_back(e);
     for (std::int32_t a : engine.all_antecedents(e)) push(a);
   };
 
@@ -107,6 +109,11 @@ AnalysisResult analyze_conflict(const prop::Engine& engine,
 
   AnalysisResult result;
   result.resolutions = resolutions;
+  if (options.record_premises) {
+    // The max-heap pops descending; replay wants trail order.
+    std::sort(premises.begin(), premises.end());
+    result.premises = std::move(premises);
+  }
   if (collected.empty()) {
     result.empty_clause = true;
     return result;

@@ -24,6 +24,11 @@ struct AnalyzeOptions {
   // the hybrid-clause learning of [9]. Off ⟹ learned clauses are purely
   // Boolean (ablation).
   bool hybrid_word_literals = true;
+  // Record the trail indices of every event resolved into its antecedents
+  // (AnalysisResult::premises) — the interior of the implication-graph cut.
+  // Proof logging replays exactly these events, in trail order, to justify
+  // the learned clause; off by default so analysis stays allocation-lean.
+  bool record_premises = false;
 };
 
 struct AnalysisResult {
@@ -36,6 +41,10 @@ struct AnalysisResult {
   // Implication-graph events resolved into their antecedents while building
   // the cut — a proxy for analysis effort, fed to the observability layer.
   int resolutions = 0;
+  // When AnalyzeOptions::record_premises: the resolved events' trail
+  // indices in ascending (replay) order. Assuming the learned clause false
+  // and re-deriving these events bottom-up reproduces the conflict.
+  std::vector<std::int32_t> premises;
 };
 
 AnalysisResult analyze_conflict(const prop::Engine& engine,

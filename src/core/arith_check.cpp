@@ -178,17 +178,40 @@ class Extractor {
 
 }  // namespace
 
-ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver) {
+ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver,
+                             ArithCertCapture* capture) {
   RTLSAT_ASSERT(!engine.in_conflict());
   const ir::Circuit& circuit = engine.circuit();
 
   Extractor extractor(engine);
-  for (NetId id = 0; id < circuit.num_nets(); ++id) extractor.extract_node(id);
+  // Tag every row and auxiliary variable with the node whose encoding
+  // produced it (resize-with-value fills only the entries each
+  // extract_node appended). Net variables get relabelled afterwards.
+  std::vector<std::uint32_t> row_node;
+  std::vector<std::uint32_t> var_owner;
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    extractor.extract_node(id);
+    if (capture != nullptr) {
+      row_node.resize(extractor.system().constraints().size(), id);
+      var_owner.resize(extractor.system().num_vars(), id);
+    }
+  }
 
   ArithCheckResult result;
   std::vector<std::int64_t> model;
   const fme::Result fme_result = solver.solve(extractor.system(), &model);
-  if (fme_result == fme::Result::kUnsat) return result;  // sat = false
+  if (fme_result == fme::Result::kUnsat) {
+    if (capture != nullptr) {
+      capture->row_node = std::move(row_node);
+      capture->vars.resize(var_owner.size());
+      for (std::size_t v = 0; v < var_owner.size(); ++v)
+        capture->vars[v] = {false, var_owner[v]};
+      for (const auto& [net, v] : extractor.var_map())
+        capture->vars[v] = {true, net};
+      capture->system = std::move(extractor).take_system();
+    }
+    return result;  // sat = false
+  }
   if (fme_result == fme::Result::kUnknown) {
     result.stopped = true;  // stop token fired: no verdict, caller bails
     return result;

@@ -15,6 +15,21 @@
 
 namespace rtlsat::core {
 
+// Proof-logging side channel: the extracted system plus the metadata a
+// certificate needs to re-derive it — which solver net each FME variable
+// stands for (auxiliaries carry the node that introduced them instead) and
+// which node's encoding produced each constraint row. Filled only on an
+// UNSAT verdict.
+struct ArithCertCapture {
+  fme::System system;
+  struct VarInfo {
+    bool is_net = false;
+    std::uint32_t id = 0;  // net id, or the owning node for an auxiliary
+  };
+  std::vector<VarInfo> vars;           // parallel to system variables
+  std::vector<std::uint32_t> row_node; // parallel to system constraints
+};
+
 struct ArithCheckResult {
   bool sat = false;
   // The FME solver's stop token fired mid-check: `sat == false` then means
@@ -27,6 +42,8 @@ struct ArithCheckResult {
 };
 
 // Precondition: engine not in conflict and all 1-bit nets assigned.
-ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver);
+// `capture` (optional) receives the extracted system on an UNSAT verdict.
+ArithCheckResult arith_check(const prop::Engine& engine, fme::Solver& solver,
+                             ArithCertCapture* capture = nullptr);
 
 }  // namespace rtlsat::core

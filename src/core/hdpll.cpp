@@ -203,7 +203,15 @@ void HdpllSolver::import_shared_clauses() {
     // add() defers the clause's first examination to the next deduce(),
     // which the search loop runs before deciding — so a unit or falsified
     // import takes effect immediately and the watch invariants hold.
-    db_.add(std::move(c));
+    const int exporter = c.shared_from;
+    const std::int64_t seq = c.shared_seq;
+    const std::uint32_t id = db_.add(std::move(c));
+    if (proof_log_ != nullptr) {
+      proof_log_->log_import(id, exporter, seq, db_.clause(id).lits);
+    }
+    if (exporter >= 0) {
+      stats_.add("hdpll.imported_from." + std::to_string(exporter), 1);
+    }
     ++n_clauses_imported_;
   }
 }
@@ -212,7 +220,10 @@ bool HdpllSolver::handle_conflict() {
   ++n_conflicts_;
   tracer_->record(trace::EventKind::kConflict, engine_.level());
   progress_tick(/*final=*/false);
-  if (engine_.level() == 0) return false;
+  if (engine_.level() == 0) {
+    if (proof_log_ != nullptr) proof_log_->log_conflict0();
+    return false;
+  }
 
   if (!options_.conflict_learning) {
     // Chronological DPLL: flip the deepest unflipped decision.
@@ -232,7 +243,13 @@ bool HdpllSolver::handle_conflict() {
   }
 
   const AnalysisResult analysis = analyze_conflict(engine_, options_.analyze);
-  if (analysis.empty_clause) return false;
+  // Stage the certificate replay now: the premise events and the engine's
+  // conflict record do not survive the backtrack below.
+  if (proof_log_ != nullptr) proof_log_->capture_learn(analysis);
+  if (analysis.empty_clause) {
+    if (proof_log_ != nullptr) proof_log_->commit_learn(-1);
+    return false;
+  }
   const auto clause_len =
       static_cast<std::int64_t>(analysis.clause.lits.size());
   ++n_learned_clauses_;
@@ -262,6 +279,9 @@ bool HdpllSolver::handle_conflict() {
   }
   on_clause_learned(analysis.clause);
   db_.add(analysis.clause);  // asserts via clause propagation in deduce()
+  if (proof_log_ != nullptr) {
+    proof_log_->commit_learn(static_cast<std::int64_t>(db_.size() - 1));
+  }
   export_clauses(db_.size() - 1);
   db_.decay_clause_activity(options_.clause_activity_decay);
 
@@ -270,6 +290,7 @@ bool HdpllSolver::handle_conflict() {
     stats_.add("hdpll.reductions", 1);
     stats_.add("hdpll.clauses_deleted",
                static_cast<std::int64_t>(db_.reduce(engine_)));
+    if (proof_log_ != nullptr) proof_log_->log_deletions(db_);
     reduction_budget_ = static_cast<std::size_t>(
         static_cast<double>(reduction_budget_) * options_.reduction_grow);
   }
@@ -318,6 +339,18 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
 
 SolveResult HdpllSolver::solve() {
   SolveResult result = solve_impl();
+  if (proof_log_ != nullptr) {
+    switch (result.status) {
+      case SolveStatus::kSat: proof_log_->finish("sat"); break;
+      case SolveStatus::kUnsat: proof_log_->finish("unsat"); break;
+      case SolveStatus::kTimeout: proof_log_->finish("timeout"); break;
+      case SolveStatus::kCancelled: proof_log_->finish("cancelled"); break;
+    }
+    stats_.add("proof.records", options_.proof->records());
+    stats_.add("proof.bytes", options_.proof->bytes());
+    stats_.add("proof.fme_certify_failures",
+               proof_log_->fme_certify_failures());
+  }
   // Publish the tail of the export batch — without this a worker that
   // never restarts would strand its last few clauses in the endpoint.
   if (options_.exchange != nullptr) options_.exchange->flush();
@@ -360,9 +393,20 @@ SolveResult HdpllSolver::solve_impl() {
   selfcheck_countdown_ = options_.self_check_interval;
   conflicts_until_restart_ = options_.restart_interval;
 
+  // Chronological mode is not certified: its flip "derivations" have no
+  // clausal justification, so the logger only arms with conflict learning.
+  if (options_.proof != nullptr && options_.conflict_learning) {
+    proof_log_ = std::make_unique<WordProofLogger>(engine_, options_.proof);
+    proof_log_->begin(assumptions_);
+    // The learn records replay the interior of the analysis cut; premise
+    // recording is off by default to keep analysis allocation-lean.
+    options_.analyze.record_premises = true;
+  }
+
   {
     trace::ScopedPhase phase(tracer_, &stats_, "preprocess");
     if (!apply_assumptions()) {
+      if (proof_log_ != nullptr) proof_log_->log_conflict0();
       result.status = SolveStatus::kUnsat;
       result.seconds = timer.seconds();
       return result;
@@ -374,6 +418,7 @@ SolveResult HdpllSolver::solve_impl() {
     PredicateLearningOptions learn_options = options_.learning;
     if (learn_options.tracer == nullptr) learn_options.tracer = tracer_;
     if (learn_options.stop == nullptr) learn_options.stop = &stop_;
+    learn_options.proof = proof_log_.get();
     const std::size_t first_learned = db_.size();
     result.learning = run_predicate_learning(engine_, db_, &clause_cursor_,
                                              learn_options);
@@ -440,9 +485,11 @@ SolveResult HdpllSolver::solve_impl() {
         }
       }
       ArithCheckResult arith;
+      ArithCertCapture arith_capture;
       {
         trace::ScopedPhase arith_phase(tracer_, &stats_, "arith_check");
-        arith = arith_check(engine_, fme_);
+        arith = arith_check(engine_, fme_,
+                            proof_log_ != nullptr ? &arith_capture : nullptr);
       }
       if (arith.stopped) {
         // FME abandoned the check on a fired token — neither a model nor a
@@ -461,6 +508,7 @@ SolveResult HdpllSolver::solve_impl() {
       }
       ++n_arith_conflicts_;
       if (engine_.level() == 0) {
+        if (proof_log_ != nullptr) proof_log_->log_fme0(arith_capture);
         result.status = SolveStatus::kUnsat;
         result.seconds = timer.seconds();
         return result;
@@ -475,9 +523,15 @@ SolveResult HdpllSolver::solve_impl() {
              ++it) {
           cut.lits.push_back(HybridLit::boolean(it->net, !it->value));
         }
+        // The cut record replays the decision levels; the trail is gone
+        // after the backtrack, so stage it (and the FME refutation) now.
+        if (proof_log_ != nullptr) proof_log_->capture_cut(arith_capture);
         backtrack_to(engine_.level() - 1);
         on_clause_learned(cut);
-        db_.add(std::move(cut));
+        const std::uint32_t cut_id = db_.add(std::move(cut));
+        if (proof_log_ != nullptr) {
+          proof_log_->commit_cut(cut_id, db_.clause(cut_id).lits);
+        }
       } else {
         // Reuse the chronological flip path (it does not consult the
         // engine's conflict record).

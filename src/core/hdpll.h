@@ -30,6 +30,7 @@
 #include "core/decision.h"
 #include "core/justify.h"
 #include "core/predicate_learning.h"
+#include "core/proof_log.h"
 #include "prop/engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -106,6 +107,16 @@ struct HdpllOptions {
   // no reporting. Both are borrowed and must outlive the solver.
   trace::Tracer* tracer = nullptr;
   trace::ProgressReporter* progress = nullptr;
+
+  // Proof logging: when set, every derivation — level-0 narrowings,
+  // learned clauses with their implication-graph cut, predicate-learning
+  // probes, FME refutations, portfolio imports, reductions — is appended
+  // to this writer as a word-level certificate (docs/proofs.md), checkable
+  // by the independent rtlsat_check binary. Borrowed; must outlive the
+  // solver. Null (the default) costs one predicted branch per hook.
+  // Certification requires conflict learning: in chronological mode
+  // (conflict_learning = false) the writer is ignored.
+  proof::WordCertWriter* proof = nullptr;
 };
 
 // kTimeout: the solver's own deadline expired. kCancelled: an external
@@ -201,6 +212,7 @@ class HdpllSolver {
     bool flipped = false;
   };
   std::vector<LevelInfo> decision_stack_;
+  std::unique_ptr<WordProofLogger> proof_log_;  // null unless options_.proof
   double activity_bump_ = 1.0;
   std::size_t reduction_budget_ = 0;
   std::int64_t selfcheck_countdown_ = 0;

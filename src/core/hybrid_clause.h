@@ -75,6 +75,13 @@ struct HybridClause {
     kShared
   };
   Origin origin = Origin::kProblem;
+  // Portfolio provenance, stamped by the clause pool at publish time: the
+  // exporting worker's id and its position in the pool's publication order.
+  // −1 until the clause passes through the pool. Certificates and the
+  // portfolio report use these to attribute kShared imports to their
+  // exporter.
+  int shared_from = -1;
+  std::int64_t shared_seq = -1;
   // Database-management state (learnt clauses only).
   double activity = 0;
   bool deleted = false;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/deduce.h"
+#include "core/proof_log.h"
 #include "ir/analysis.h"
 #include "trace/trace.h"
 #include "util/log.h"
@@ -150,6 +151,7 @@ PredicateLearningReport run_predicate_learning(
 
   std::set<std::string> seen_clauses;
   std::vector<HybridClause> pending;
+  WordProofLogger* proof = options.proof;
 
   // Commits the clauses gathered during a probe once the engine is back at
   // level 0. Returns false when the instance is refuted outright.
@@ -168,10 +170,12 @@ PredicateLearningReport run_predicate_learning(
                        static_cast<std::int64_t>(c.lits.size()),
                        c.lits[0].net);
       }
-      db.add(std::move(c));
+      const std::uint32_t id = db.add(std::move(c));
+      if (proof != nullptr) proof->log_add_clause(id, db.clause(id).lits);
     }
     pending.clear();
     if (!deduce(engine, db, clause_cursor)) {
+      if (proof != nullptr) proof->log_conflict0();
       report.proven_unsat = true;
       return false;
     }
@@ -195,11 +199,15 @@ PredicateLearningReport run_predicate_learning(
       const bool probe_ok =
           engine.narrow(b, Interval::point(v), prop::ReasonKind::kDecision) &&
           deduce(engine, db, clause_cursor);
+      // Capture the probe replay (and, for a dead probe, its conflict)
+      // while the level-1 trail is still live.
+      if (proof != nullptr) proof->probe_begin(b, v != 0);
       if (!probe_ok) {
         engine.backtrack_to_level(0);
         pending.push_back(HybridClause{
             {HybridLit::boolean(b, v == 0)}, true,
             HybridClause::Origin::kPredicateLearning});
+        if (proof != nullptr) proof->probe_commit(pending);
         if (!commit_pending()) return report;
         continue;
       }
@@ -230,6 +238,7 @@ PredicateLearningReport run_predicate_learning(
               intersect(common, impl);
             }
           }
+          if (proof != nullptr) proof->probe_way(way.assignments);
           engine.backtrack_to_level(1);
         }
 
@@ -240,6 +249,7 @@ PredicateLearningReport run_predicate_learning(
           pending.push_back(HybridClause{
               {HybridLit::boolean(b, v == 0)}, true,
               HybridClause::Origin::kPredicateLearning});
+          if (proof != nullptr) proof->probe_commit(pending);
           if (!commit_pending()) return report;
           continue;
         }
@@ -270,6 +280,7 @@ PredicateLearningReport run_predicate_learning(
       }
 
       engine.backtrack_to_level(0);
+      if (proof != nullptr) proof->probe_commit(pending);
       if (!commit_pending()) return report;
     }
   }
@@ -300,6 +311,7 @@ PredicateLearningReport run_predicate_learning(
       const Interval::Value mid =
           dom.lo() + static_cast<Interval::Value>(dom.count() / 2) - 1;
 
+      if (proof != nullptr) proof->wprobe_begin(w);
       Implications common;
       int feasible = 0;
       bool first = true;
@@ -318,10 +330,14 @@ PredicateLearningReport run_predicate_learning(
             intersect(common, impl);
           }
         }
+        if (proof != nullptr) proof->wprobe_case(half);
         engine.backtrack_to_level(0);
       }
       if (feasible == 0) {
-        report.proven_unsat = true;  // both halves of a full domain conflict
+        // Both halves of a full domain conflict: the record itself is the
+        // refutation (no engine conflict survives the rollbacks).
+        if (proof != nullptr) proof->wprobe_commit({}, /*refuted=*/true);
+        report.proven_unsat = true;
         return report;
       }
       if (feasible < 2) continue;  // one half dead: conservatively skip
@@ -339,6 +355,7 @@ PredicateLearningReport run_predicate_learning(
                                        true,
                                        HybridClause::Origin::kPredicateLearning});
       }
+      if (proof != nullptr) proof->wprobe_commit(pending, /*refuted=*/false);
       if (!commit_pending()) return report;
     }
   }

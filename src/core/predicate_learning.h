@@ -29,6 +29,8 @@ class Tracer;
 
 namespace rtlsat::core {
 
+class WordProofLogger;
+
 struct PredicateLearningOptions {
   // Maximum binary relations to learn; ≤ 0 disables learning entirely.
   int max_relations = 2000;
@@ -51,6 +53,10 @@ struct PredicateLearningOptions {
   // completion regardless of HdpllOptions::timeout_seconds; routing the
   // deadline through here fixes that. Null = never stop.
   const StopToken* stop = nullptr;
+  // Proof logging (core/proof_log.h): every probe that justifies clauses —
+  // or refutes the instance — is recorded with its case split, and every
+  // committed clause gets an add record. Null = no logging.
+  WordProofLogger* proof = nullptr;
 };
 
 struct PredicateLearningReport {

@@ -1,0 +1,83 @@
+// Certificate-producing Fourier–Motzkin refutation.
+//
+// When proof logging is on and the arithmetic endgame reports UNSAT, the
+// solver re-runs elimination through this module to extract a checkable
+// refutation: a flat list of proof steps over the constraint system, each
+// either a nonnegative combination (Farkas), an integer-division
+// strengthening (Chvátal–Gomory rounding), or a case split on an integer
+// variable. The steps reference axioms — base constraints and variable
+// bounds — plus earlier steps, so an independent checker can replay the
+// derivation with exact __int128 arithmetic and confirm the contradiction
+// without trusting the eliminator.
+//
+// This runs only off the hot path (after fme::Solver has already answered
+// UNSAT), so it favours small, checkable numbers over speed: every
+// combination is gcd-normalized with a division step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fme/linear.h"
+
+namespace rtlsat::fme {
+
+// Reference into a Farkas proof's axiom/step space.
+struct ProofRef {
+  enum class Kind : std::uint8_t {
+    kConstraint,  // system.constraints()[index]
+    kUpper,       // x_index ≤ hi(index)
+    kLower,       // −x_index ≤ −lo(index)
+    kStep,        // result of an earlier proof step / split hypothesis
+  };
+  Kind kind = Kind::kConstraint;
+  std::uint32_t index = 0;
+};
+
+// One step of a refutation. Steps are listed flat, in derivation order.
+// kComb and kDiv derive a new constraint and get the next sequential step
+// id. kSplit opens a case split on an integer variable: the left branch
+// (var ≤ at) starts immediately and its hypothesis constraint takes the
+// next step id; kCase closes the left branch (which must have reached a
+// contradiction), discards its derivations, and opens the right branch
+// (var ≥ at+1) whose hypothesis again takes the next id; kQed closes the
+// right branch and discharges the split — both cases contradicted means
+// the enclosing scope is contradicted (x ≤ m ∨ x ≥ m+1 is exhaustive over
+// the integers).
+struct CertStep {
+  enum class Kind : std::uint8_t { kComb, kDiv, kSplit, kCase, kQed };
+  Kind kind = Kind::kComb;
+  // kComb: Σ coeff·ref with every coeff > 0; result is a new constraint.
+  std::vector<std::pair<ProofRef, __int128>> combo;
+  // kDiv: divide `div_of` by `divisor` (> 0, must divide every
+  // coefficient exactly), rounding the bound down — sound for integers.
+  ProofRef div_of;
+  __int128 divisor = 1;
+  // kSplit: variable and split point (left: var ≤ at, right: var ≥ at+1).
+  Var split_var = 0;
+  __int128 split_at = 0;
+};
+
+struct Certificate {
+  bool ok = false;      // a complete refutation was produced
+  std::string failure;  // when !ok: why certification was abandoned
+  std::vector<CertStep> steps;
+};
+
+struct CertifyOptions {
+  std::size_t max_steps = 200000;
+  int max_split_depth = 96;
+  // Domains with at most this many values are split by bisection anyway;
+  // kept for parity with fme::SolveOptions tuning.
+  std::int64_t max_constraints = 50000;
+};
+
+// Produces a refutation certificate for `system` (constraints +
+// variable bounds), or Certificate{.ok = false} with a reason when the
+// derivation blows past the caps — or when the system turns out to be
+// integer-feasible, which callers should treat as a soundness alarm.
+Certificate certify_unsat(const System& system, CertifyOptions options = {});
+
+}  // namespace rtlsat::fme

@@ -9,6 +9,10 @@
 #include "core/hdpll.h"
 #include "core/selfcheck.h"
 #include "portfolio/portfolio.h"
+#include "proof/drat.h"
+#include "proof/drat_check.h"
+#include "proof/word_check.h"
+#include "proof/word_writer.h"
 #include "prop/engine.h"
 #include "util/assert.h"
 
@@ -98,22 +102,51 @@ struct Harness {
     sat_models.emplace_back(engine, std::move(model));
   }
 
+  // Rule 4: a decisive verdict reached with proof logging on must come
+  // with a certificate the independent checker accepts — and an UNSAT
+  // verdict with an established refutation. The checker's error carries
+  // the first rejected step ("line N: ..." / "step N: ..."), so an
+  // unsound derivation is named, not just outvoted.
+  void check_word_cert(const std::string& engine, char verdict,
+                       const proof::WordCertWriter& writer) {
+    const proof::WordCheckResult check = proof::word_check(writer.str());
+    if (!check.ok) {
+      mismatch(engine + ": certificate rejected: " + check.error);
+      return;
+    }
+    if (verdict == 'U' && !check.refuted)
+      mismatch(engine + ": UNSAT verdict but the certificate establishes " +
+               "no refutation");
+  }
+
   void run_hdpll() {
     for (const HdpllConfig& config : kHdpllConfigs) {
-      core::HdpllSolver solver(circuit, make_options(config, options));
+      proof::WordCertWriter cert;
+      core::HdpllOptions o = make_options(config, options);
+      if (options.check_proofs) o.proof = &cert;
+      core::HdpllSolver solver(circuit, o);
       solver.assume_bool(goal, true);
       core::SolveResult res = solver.solve();
-      record(config.name, status_char(res.status), res.seconds,
-             std::move(res.input_model));
+      const char verdict = status_char(res.status);
+      record(config.name, verdict, res.seconds, std::move(res.input_model));
+      if (options.check_proofs) check_word_cert(config.name, verdict, cert);
     }
   }
 
   void run_bitblast() {
+    proof::DratWriter drat;
     sat::SolverOptions o;
     o.timeout_seconds = options.timeout_seconds;
+    if (options.check_proofs) o.drat = &drat;
     bitblast::CheckResult res = bitblast::check_sat(circuit, goal, true, o);
-    record("bitblast", status_char(res.result), 0,
-           std::move(res.input_model));
+    const char verdict = status_char(res.result);
+    record("bitblast", verdict, 0, std::move(res.input_model));
+    if (options.check_proofs && verdict == 'U') {
+      const proof::DratCheckResult check =
+          proof::drat_check(drat.dimacs(), drat.proof(), drat.binary());
+      if (!check.ok)
+        mismatch("bitblast: DRAT proof rejected: " + check.error);
+    }
   }
 
   void run_portfolio() {

@@ -37,6 +37,13 @@ struct OracleOptions {
   // selfcheck interval-soundness audit). Costs one propagation pass per
   // (model, config); finds bugs that never flip a verdict.
   bool selfcheck_replay = true;
+  // Run every HDPLL configuration with word-certificate logging and the
+  // bitblast engine with DRAT logging, and pipe each certificate through
+  // the independent checkers (src/proof). A rejected certificate becomes a
+  // mismatch naming the first rejected proof step — so an unsound UNSAT is
+  // localized to the derivation that faked it, not just flagged by a
+  // disagreeing peer. In-memory only; fuzz instances are tiny.
+  bool check_proofs = true;
 };
 
 struct EngineVerdict {

@@ -42,6 +42,8 @@ std::size_t ClausePool::publish(int worker,
     if (c.lits.empty() || c.lits.size() > options_.max_clause_len) continue;
     if (entries_.size() >= options_.capacity) break;
     if (!hashes_.insert(clause_hash(c)).second) continue;
+    c.shared_from = worker;
+    c.shared_seq = static_cast<std::int64_t>(entries_.size());
     entries_.push_back(Entry{worker, std::move(c)});
     ++accepted;
   }

@@ -1,0 +1,435 @@
+#include "proof/check_rules.h"
+
+#include "interval/interval_ops.h"
+
+namespace rtlsat::proof {
+
+namespace io = iops;
+
+namespace {
+
+constexpr Interval kTrue = Interval(1, 1);
+constexpr Interval kFalse = Interval(0, 0);
+constexpr std::uint32_t kNoNet = 0xffffffffu;
+constexpr int kMaxWidth = 60;
+
+enum class Tri { kFalse, kTrue, kUnknown };
+
+Tri tri(const Interval& iv) {
+  if (iv == kTrue) return Tri::kTrue;
+  if (iv == kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+
+// Collects narrowings against the checker's state, mirroring the solver's
+// emit-on-change behaviour.
+class Emitter {
+ public:
+  Emitter(const std::vector<Interval>& state,
+          std::vector<std::pair<std::uint32_t, Interval>>* out)
+      : state_(state), out_(out) {}
+
+  void narrow(std::uint32_t net, const Interval& to) {
+    const Interval next = state_[net].intersect(to);
+    if (next != state_[net]) out_->push_back({net, next});
+  }
+
+  const Interval& dom(std::uint32_t net) const { return state_[net]; }
+
+ private:
+  const std::vector<Interval>& state_;
+  std::vector<std::pair<std::uint32_t, Interval>>* out_;
+};
+
+using Net = CertCircuit::Net;
+
+void rule_and(const Net& n, std::uint32_t id, Emitter& em) {
+  const Tri out = tri(em.dom(id));
+  int unknown = 0;
+  std::uint32_t last_unknown = kNoNet;
+  bool any_false = false;
+  for (const std::uint32_t o : n.args) {
+    switch (tri(em.dom(o))) {
+      case Tri::kFalse: any_false = true; break;
+      case Tri::kUnknown: ++unknown; last_unknown = o; break;
+      case Tri::kTrue: break;
+    }
+  }
+  if (any_false) {
+    em.narrow(id, kFalse);
+    return;
+  }
+  if (unknown == 0) {
+    em.narrow(id, kTrue);
+    return;
+  }
+  if (out == Tri::kTrue) {
+    for (const std::uint32_t o : n.args) em.narrow(o, kTrue);
+  } else if (out == Tri::kFalse && unknown == 1) {
+    em.narrow(last_unknown, kFalse);
+  }
+}
+
+void rule_or(const Net& n, std::uint32_t id, Emitter& em) {
+  const Tri out = tri(em.dom(id));
+  int unknown = 0;
+  std::uint32_t last_unknown = kNoNet;
+  bool any_true = false;
+  for (const std::uint32_t o : n.args) {
+    switch (tri(em.dom(o))) {
+      case Tri::kTrue: any_true = true; break;
+      case Tri::kUnknown: ++unknown; last_unknown = o; break;
+      case Tri::kFalse: break;
+    }
+  }
+  if (any_true) {
+    em.narrow(id, kTrue);
+    return;
+  }
+  if (unknown == 0) {
+    em.narrow(id, kFalse);
+    return;
+  }
+  if (out == Tri::kFalse) {
+    for (const std::uint32_t o : n.args) em.narrow(o, kFalse);
+  } else if (out == Tri::kTrue && unknown == 1) {
+    em.narrow(last_unknown, kTrue);
+  }
+}
+
+void rule_not(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  em.narrow(id, io::fwd_not(em.dom(a), 1));
+  em.narrow(a, io::back_not(em.dom(id), 1));
+}
+
+void rule_xor(const Net& n, std::uint32_t id, Emitter& em) {
+  const Tri a = tri(em.dom(n.args[0]));
+  const Tri b = tri(em.dom(n.args[1]));
+  const Tri z = tri(em.dom(id));
+  auto as_iv = [](bool v) { return v ? kTrue : kFalse; };
+  auto known = [](Tri t) { return t != Tri::kUnknown; };
+  auto val = [](Tri t) { return t == Tri::kTrue; };
+  if (known(a) && known(b)) em.narrow(id, as_iv(val(a) != val(b)));
+  if (known(z) && known(a)) em.narrow(n.args[1], as_iv(val(z) != val(a)));
+  if (known(z) && known(b)) em.narrow(n.args[0], as_iv(val(z) != val(b)));
+}
+
+void rule_mux(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t sel = n.args[0];
+  const std::uint32_t t = n.args[1];
+  const std::uint32_t e = n.args[2];
+  switch (tri(em.dom(sel))) {
+    case Tri::kTrue:
+      em.narrow(id, em.dom(t));
+      em.narrow(t, em.dom(id));
+      return;
+    case Tri::kFalse:
+      em.narrow(id, em.dom(e));
+      em.narrow(e, em.dom(id));
+      return;
+    case Tri::kUnknown:
+      break;
+  }
+  em.narrow(id, em.dom(t).hull(em.dom(e)));
+  const bool t_possible = em.dom(t).intersects(em.dom(id));
+  const bool e_possible = em.dom(e).intersects(em.dom(id));
+  if (!t_possible && !e_possible) {
+    em.narrow(id, Interval::empty());
+  } else if (!t_possible) {
+    em.narrow(sel, kFalse);
+  } else if (!e_possible) {
+    em.narrow(sel, kTrue);
+  }
+}
+
+void rule_add(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const std::uint32_t b = n.args[1];
+  const int w = n.width;
+  em.narrow(id, io::fwd_add_wrap(em.dom(a), em.dom(b), w));
+  em.narrow(a, io::back_add_wrap_x(em.dom(id), em.dom(b), em.dom(a), w));
+  em.narrow(b, io::back_add_wrap_x(em.dom(id), em.dom(a), em.dom(b), w));
+}
+
+void rule_sub(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const std::uint32_t b = n.args[1];
+  const int w = n.width;
+  em.narrow(id, io::fwd_sub_wrap(em.dom(a), em.dom(b), w));
+  em.narrow(a, io::back_sub_wrap_x(em.dom(id), em.dom(b), em.dom(a), w));
+  em.narrow(b, io::back_sub_wrap_y(em.dom(id), em.dom(a), em.dom(b), w));
+}
+
+void rule_mulc(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const Interval::Value m = Interval::Value{1} << n.width;
+  const Interval product = io::fwd_mul_const(em.dom(a), n.imm);
+  em.narrow(id, io::fwd_mod(product, m));
+  if (product.hi() < m) em.narrow(a, io::back_mul_const(em.dom(id), n.imm));
+}
+
+void rule_shl(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const int k = static_cast<int>(n.imm);
+  em.narrow(id, io::fwd_shl(em.dom(a), k, n.width));
+  const Interval product =
+      io::fwd_mul_const(em.dom(a), Interval::Value{1} << k);
+  if (product.hi() < (Interval::Value{1} << n.width))
+    em.narrow(a, io::back_mul_const(em.dom(id), Interval::Value{1} << k));
+}
+
+void rule_shr(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const int k = static_cast<int>(n.imm);
+  em.narrow(id, io::fwd_lshr(em.dom(a), k));
+  em.narrow(a, io::back_lshr(em.dom(id), k));
+}
+
+void rule_notw(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  em.narrow(id, io::fwd_not(em.dom(a), n.width));
+  em.narrow(a, io::back_not(em.dom(id), n.width));
+}
+
+void rule_concat(const CertCircuit& c, const Net& n, std::uint32_t id,
+                 Emitter& em) {
+  const std::uint32_t hi = n.args[0];
+  const std::uint32_t lo = n.args[1];
+  const int lw = c.nets[lo].width;
+  em.narrow(id, io::fwd_concat(em.dom(hi), em.dom(lo), lw));
+  em.narrow(hi, io::back_concat_hi(em.dom(id), lw));
+  em.narrow(lo, io::back_concat_lo(em.dom(id), em.dom(hi), em.dom(lo), lw));
+}
+
+void rule_extract(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const int hi_bit = static_cast<int>(n.imm);
+  const int lo_bit = static_cast<int>(n.imm2);
+  em.narrow(id, io::fwd_extract(em.dom(a), hi_bit, lo_bit));
+  em.narrow(a, io::back_extract(em.dom(id), em.dom(a), hi_bit, lo_bit));
+}
+
+void rule_zext(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  em.narrow(id, em.dom(a));
+  em.narrow(a, em.dom(id));
+}
+
+void rule_min(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const std::uint32_t b = n.args[1];
+  em.narrow(id, io::fwd_min(em.dom(a), em.dom(b)));
+  em.narrow(a, io::back_min_x(em.dom(id), em.dom(b), em.dom(a)));
+  em.narrow(b, io::back_min_x(em.dom(id), em.dom(a), em.dom(b)));
+}
+
+void rule_max(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t a = n.args[0];
+  const std::uint32_t b = n.args[1];
+  em.narrow(id, io::fwd_max(em.dom(a), em.dom(b)));
+  em.narrow(a, io::back_max_x(em.dom(id), em.dom(b), em.dom(a)));
+  em.narrow(b, io::back_max_x(em.dom(id), em.dom(a), em.dom(b)));
+}
+
+void rule_cmp(const Net& n, std::uint32_t id, Emitter& em) {
+  const std::uint32_t x = n.args[0];
+  const std::uint32_t y = n.args[1];
+  const Interval dx = em.dom(x);
+  const Interval dy = em.dom(y);
+
+  switch (n.op) {
+    case CheckOp::kEq: em.narrow(id, io::fwd_eq(dx, dy)); break;
+    case CheckOp::kNe: em.narrow(id, io::fwd_not(io::fwd_eq(dx, dy), 1)); break;
+    case CheckOp::kLt: em.narrow(id, io::fwd_lt(dx, dy)); break;
+    case CheckOp::kLe: em.narrow(id, io::fwd_le(dx, dy)); break;
+    default: return;
+  }
+
+  const Tri out = tri(em.dom(id));
+  if (out == Tri::kUnknown) return;
+  const bool v = out == Tri::kTrue;
+  io::Pair p;
+  switch (n.op) {
+    case CheckOp::kEq:
+      p = v ? io::narrow_eq(dx, dy) : io::narrow_ne(dx, dy);
+      break;
+    case CheckOp::kNe:
+      p = v ? io::narrow_ne(dx, dy) : io::narrow_eq(dx, dy);
+      break;
+    case CheckOp::kLt:
+      if (v) {
+        p = io::narrow_lt(dx, dy);
+      } else {
+        auto q = io::narrow_le(dy, dx);
+        p = {q.y, q.x};
+      }
+      break;
+    case CheckOp::kLe:
+      if (v) {
+        p = io::narrow_le(dx, dy);
+      } else {
+        auto q = io::narrow_lt(dy, dx);
+        p = {q.y, q.x};
+      }
+      break;
+    default: return;
+  }
+  em.narrow(x, p.x);
+  em.narrow(y, p.y);
+}
+
+}  // namespace
+
+CheckOp check_op_from_name(std::string_view name) {
+  if (name == "input") return CheckOp::kInput;
+  if (name == "const") return CheckOp::kConst;
+  if (name == "and") return CheckOp::kAnd;
+  if (name == "or") return CheckOp::kOr;
+  if (name == "not") return CheckOp::kNot;
+  if (name == "xor") return CheckOp::kXor;
+  if (name == "mux") return CheckOp::kMux;
+  if (name == "add") return CheckOp::kAdd;
+  if (name == "sub") return CheckOp::kSub;
+  if (name == "mulc") return CheckOp::kMulC;
+  if (name == "shl") return CheckOp::kShlC;
+  if (name == "shr") return CheckOp::kShrC;
+  if (name == "notw") return CheckOp::kNotW;
+  if (name == "concat") return CheckOp::kConcat;
+  if (name == "extract") return CheckOp::kExtract;
+  if (name == "zext") return CheckOp::kZext;
+  if (name == "min") return CheckOp::kMin;
+  if (name == "max") return CheckOp::kMax;
+  if (name == "eq") return CheckOp::kEq;
+  if (name == "ne") return CheckOp::kNe;
+  if (name == "lt") return CheckOp::kLt;
+  if (name == "le") return CheckOp::kLe;
+  return CheckOp::kUnknown;
+}
+
+Interval CertCircuit::initial(std::uint32_t id) const {
+  const Net& n = nets[id];
+  if (n.op == CheckOp::kConst) return Interval::point(n.imm);
+  return Interval::full_width(n.width);
+}
+
+std::string validate_net(const CertCircuit& c, std::uint32_t id) {
+  const Net& n = c.nets[id];
+  const auto arity = [&n](std::size_t want) {
+    return n.args.size() == want;
+  };
+  if (n.width < 1 || n.width > kMaxWidth) return "width out of range";
+  for (const std::uint32_t a : n.args) {
+    // Append-only DAG: operands precede their node.
+    if (a >= id) return "operand does not precede node";
+  }
+  const auto arg_width = [&c, &n](std::size_t i) {
+    return c.nets[n.args[i]].width;
+  };
+  switch (n.op) {
+    case CheckOp::kInput:
+      return arity(0) ? "" : "input with operands";
+    case CheckOp::kConst:
+      if (!arity(0)) return "const with operands";
+      if (n.imm < 0 || n.imm > Interval::full_width(n.width).hi())
+        return "const value out of width";
+      return "";
+    case CheckOp::kAnd:
+    case CheckOp::kOr: {
+      if (n.args.empty()) return "gate without operands";
+      if (n.width != 1) return "gate must be 1-bit";
+      for (std::size_t i = 0; i < n.args.size(); ++i)
+        if (arg_width(i) != 1) return "gate operand must be 1-bit";
+      return "";
+    }
+    case CheckOp::kNot:
+      if (!arity(1) || n.width != 1 || arg_width(0) != 1) return "bad not";
+      return "";
+    case CheckOp::kXor:
+      if (!arity(2) || n.width != 1 || arg_width(0) != 1 || arg_width(1) != 1)
+        return "bad xor";
+      return "";
+    case CheckOp::kMux:
+      if (!arity(3) || arg_width(0) != 1 || arg_width(1) != n.width ||
+          arg_width(2) != n.width)
+        return "bad mux";
+      return "";
+    case CheckOp::kAdd:
+    case CheckOp::kSub:
+    case CheckOp::kMin:
+    case CheckOp::kMax:
+      if (!arity(2) || arg_width(0) != n.width || arg_width(1) != n.width)
+        return "bad binary word op";
+      return "";
+    case CheckOp::kMulC:
+      if (!arity(1) || arg_width(0) != n.width) return "bad mulc";
+      if (n.imm < 0) return "negative mulc factor";
+      return "";
+    case CheckOp::kShlC:
+    case CheckOp::kShrC:
+      if (!arity(1) || arg_width(0) != n.width) return "bad shift";
+      if (n.imm < 0 || n.imm > kMaxWidth) return "shift amount out of range";
+      return "";
+    case CheckOp::kNotW:
+      if (!arity(1) || arg_width(0) != n.width) return "bad notw";
+      return "";
+    case CheckOp::kConcat:
+      if (!arity(2) || arg_width(0) + arg_width(1) != n.width)
+        return "bad concat";
+      return "";
+    case CheckOp::kExtract:
+      if (!arity(1)) return "bad extract";
+      if (n.imm2 < 0 || n.imm < n.imm2 || n.imm >= arg_width(0))
+        return "extract bits out of range";
+      if (n.width != static_cast<int>(n.imm - n.imm2) + 1)
+        return "extract width mismatch";
+      return "";
+    case CheckOp::kZext:
+      if (!arity(1) || arg_width(0) > n.width) return "bad zext";
+      return "";
+    case CheckOp::kEq:
+    case CheckOp::kNe:
+    case CheckOp::kLt:
+    case CheckOp::kLe:
+      if (!arity(2) || n.width != 1 || arg_width(0) != arg_width(1))
+        return "bad comparator";
+      return "";
+    case CheckOp::kUnknown:
+      return "unknown operator";
+  }
+  return "unknown operator";
+}
+
+void check_node_rules(const CertCircuit& c, std::uint32_t id,
+                      const std::vector<Interval>& state,
+                      std::vector<std::pair<std::uint32_t, Interval>>* out) {
+  Emitter em(state, out);
+  const Net& n = c.nets[id];
+  switch (n.op) {
+    case CheckOp::kInput: return;
+    case CheckOp::kConst: return;
+    case CheckOp::kAnd: return rule_and(n, id, em);
+    case CheckOp::kOr: return rule_or(n, id, em);
+    case CheckOp::kNot: return rule_not(n, id, em);
+    case CheckOp::kXor: return rule_xor(n, id, em);
+    case CheckOp::kMux: return rule_mux(n, id, em);
+    case CheckOp::kAdd: return rule_add(n, id, em);
+    case CheckOp::kSub: return rule_sub(n, id, em);
+    case CheckOp::kMulC: return rule_mulc(n, id, em);
+    case CheckOp::kShlC: return rule_shl(n, id, em);
+    case CheckOp::kShrC: return rule_shr(n, id, em);
+    case CheckOp::kNotW: return rule_notw(n, id, em);
+    case CheckOp::kConcat: return rule_concat(c, n, id, em);
+    case CheckOp::kExtract: return rule_extract(n, id, em);
+    case CheckOp::kZext: return rule_zext(n, id, em);
+    case CheckOp::kMin: return rule_min(n, id, em);
+    case CheckOp::kMax: return rule_max(n, id, em);
+    case CheckOp::kEq:
+    case CheckOp::kNe:
+    case CheckOp::kLt:
+    case CheckOp::kLe: return rule_cmp(n, id, em);
+    case CheckOp::kUnknown: return;
+  }
+}
+
+}  // namespace rtlsat::proof

@@ -1,0 +1,80 @@
+// The checker's own interval-propagation rule table.
+//
+// word_check re-derives every claimed level-0 narrowing and every replayed
+// antecedent step by running these rules over its own interval state and
+// demanding that the certificate's claim is implied (a superset of what
+// the rules conclude). The implementation is written directly against
+// iops:: (src/interval is part of the checker's declared trust base, see
+// docs/proofs.md) and deliberately does NOT link src/prop — the solver's
+// rule table cannot vouch for itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "interval/interval.h"
+
+namespace rtlsat::proof {
+
+enum class CheckOp : std::uint8_t {
+  kInput,
+  kConst,
+  kAnd,
+  kOr,
+  kNot,
+  kXor,
+  kMux,
+  kAdd,
+  kSub,
+  kMulC,
+  kShlC,
+  kShrC,
+  kNotW,
+  kConcat,
+  kExtract,
+  kZext,
+  kMin,
+  kMax,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kUnknown,
+};
+
+// Maps the op strings emitted in "net" records ("add", "mux", …) back to
+// the checker's vocabulary; kUnknown for anything unrecognized.
+CheckOp check_op_from_name(std::string_view name);
+
+// The certificate's view of the circuit, rebuilt from "net" records.
+struct CertCircuit {
+  struct Net {
+    CheckOp op = CheckOp::kUnknown;
+    int width = 1;
+    std::vector<std::uint32_t> args;
+    std::int64_t imm = 0;
+    std::int64_t imm2 = 0;
+  };
+  std::vector<Net> nets;
+
+  bool valid(std::uint32_t id) const { return id < nets.size(); }
+  // Interval a net starts from before any deduction: constants are pinned
+  // to their value, everything else covers its full width.
+  Interval initial(std::uint32_t id) const;
+};
+
+// Structural sanity of one declared net (operand counts/widths, immediate
+// ranges). Returns an empty string when fine, else a description.
+std::string validate_net(const CertCircuit& c, std::uint32_t id);
+
+// Re-derives every narrowing node `id` justifies under `state` (one
+// interval per net, indexed by id) and appends (net, narrowed interval)
+// pairs — the mirror of the solver's propagation rule for that node. Only
+// genuine shrinkage (or emptiness) is emitted.
+void check_node_rules(const CertCircuit& c, std::uint32_t id,
+                      const std::vector<Interval>& state,
+                      std::vector<std::pair<std::uint32_t, Interval>>* out);
+
+}  // namespace rtlsat::proof

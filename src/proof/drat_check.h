@@ -1,0 +1,35 @@
+// Independent DRAT proof checker (the Boolean half of rtlsat_check).
+//
+// Verifies each proof clause by reverse unit propagation (RUP): assume the
+// clause's negation, propagate with two-watched literals over the problem
+// clauses plus previously accepted proof clauses, and demand a conflict.
+// Deletion lines detach clauses by content; deletions that match nothing
+// are counted and ignored (drat-trim convention). The proof is accepted
+// iff the empty clause is derived — either an explicit empty step or a
+// root-level propagation conflict.
+//
+// Shares no code with sat::Solver: the propagation loop here is written
+// against its own clause store, so a solver bug cannot vouch for itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rtlsat::proof {
+
+struct DratCheckResult {
+  bool ok = false;  // proof accepted (empty clause derived via RUP)
+  std::int64_t steps_checked = 0;
+  std::int64_t deletions_ignored = 0;
+  // On failure: "step N: ..." with N the 1-based proof step index, or a
+  // parse diagnostic.
+  std::string error;
+};
+
+// `binary` selects the binary DRAT encoding for `proof`; the DIMACS text
+// is always plain.
+DratCheckResult drat_check(std::string_view dimacs, std::string_view proof,
+                           bool binary);
+
+}  // namespace rtlsat::proof

@@ -1,0 +1,49 @@
+#include "proof/int128.h"
+
+namespace rtlsat::proof {
+
+std::string i128_to_string(Int128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  // Peel digits from the magnitude as unsigned so INT128_MIN is handled.
+  unsigned __int128 mag =
+      negative ? -static_cast<unsigned __int128>(value)
+               : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (mag != 0) {
+    digits += static_cast<char>('0' + static_cast<int>(mag % 10));
+    mag /= 10;
+  }
+  if (negative) digits += '-';
+  return {digits.rbegin(), digits.rend()};
+}
+
+bool i128_from_string(std::string_view text, Int128* out) {
+  bool negative = false;
+  if (!text.empty() && (text[0] == '-' || text[0] == '+')) {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  if (text.empty()) return false;
+  unsigned __int128 mag = 0;
+  constexpr unsigned __int128 kMax = ~static_cast<unsigned __int128>(0);
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const auto digit = static_cast<unsigned>(c - '0');
+    if (mag > (kMax - digit) / 10) return false;
+    mag = mag * 10 + digit;
+  }
+  constexpr unsigned __int128 kSignedMax =
+      ~static_cast<unsigned __int128>(0) >> 1;
+  if (negative) {
+    if (mag > kSignedMax + 1) return false;
+    *out = mag == kSignedMax + 1 ? -static_cast<Int128>(kSignedMax) - 1
+                                 : -static_cast<Int128>(mag);
+  } else {
+    if (mag > kSignedMax) return false;
+    *out = static_cast<Int128>(mag);
+  }
+  return true;
+}
+
+}  // namespace rtlsat::proof

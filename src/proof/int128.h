@@ -1,0 +1,21 @@
+// Decimal serialization for __int128. Farkas combination coefficients in
+// FME certificates are products of int64 constraint coefficients and can
+// exceed 64 bits; JSON numbers cannot carry them exactly, so certificates
+// store them as decimal strings and both the writer and the checker go
+// through these two helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rtlsat::proof {
+
+using Int128 = __int128;
+
+std::string i128_to_string(Int128 value);
+
+// Parses an optionally-negated decimal string. Returns false on empty
+// input, non-digit characters, or overflow past the __int128 range.
+bool i128_from_string(std::string_view text, Int128* out);
+
+}  // namespace rtlsat::proof

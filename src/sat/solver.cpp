@@ -5,12 +5,28 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "proof/drat.h"
 #include "trace/progress.h"
 #include "trace/trace.h"
 #include "util/assert.h"
 #include "util/strings.h"
 
 namespace rtlsat::sat {
+
+namespace {
+
+// DRAT speaks signed DIMACS: variable v becomes v+1, negation a sign.
+std::vector<int> to_dimacs(const std::vector<Lit>& lits) {
+  std::vector<int> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    const int var = static_cast<int>(l.var()) + 1;
+    out.push_back(l.positive() ? var : -var);
+  }
+  return out;
+}
+
+}  // namespace
 
 Solver::Solver(SolverOptions options)
     : options_(options),
@@ -21,7 +37,9 @@ Solver::Solver(SolverOptions options)
       h_learned_len_(stats_.histogram("sat.learned_clause_len")),
       h_backjump_(stats_.histogram("sat.backjump_distance")),
       tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
-      progress_(options.progress) {}
+      progress_(options.progress) {
+  drat_ = options.drat;
+}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(activity_.size());
@@ -40,6 +58,9 @@ Var Solver::new_var() {
 
 void Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return;
+  // Log the clause as handed in, before simplification — the checker's
+  // unit propagation re-derives anything the simplifier concluded.
+  if (drat_ != nullptr) drat_->original(to_dimacs(lits));
   // Simplify: drop duplicate literals and false-at-root literals; detect
   // tautologies and root-satisfied clauses.
   std::sort(lits.begin(), lits.end(),
@@ -55,16 +76,21 @@ void Solver::add_clause(std::vector<Lit> lits) {
   }
   if (kept.empty()) {
     ok_ = false;
+    if (drat_ != nullptr) drat_->empty_clause();
     return;
   }
   if (kept.size() == 1) {
     if (value(kept[0]) == Value::kFalse) {
       ok_ = false;
+      if (drat_ != nullptr) drat_->empty_clause();
       return;
     }
     if (value(kept[0]) == Value::kUnassigned) {
       enqueue(kept[0], kNoReason);
-      if (propagate() != kNoReason) ok_ = false;
+      if (propagate() != kNoReason) {
+        ok_ = false;
+        if (drat_ != nullptr) drat_->empty_clause();
+      }
     }
     return;
   }
@@ -149,6 +175,9 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
   do {
     RTLSAT_ASSERT(reason != kNoReason);
     Clause& c = clauses_[reason];
+    // A reduced-away clause must never resurface as an antecedent; if it
+    // does, the DB-reduction deletion hook lied to the proof log.
+    RTLSAT_DASSERT(!c.deleted);
     if (c.learnt) bump_clause(reason);
     // lits[0] of a reason clause is the literal it implied (= p), which is
     // already resolved away; the conflict clause scans from 0.
@@ -300,6 +329,8 @@ void Solver::reduce_db() {
   std::size_t removed = 0;
   for (std::size_t i = 0; i < learnts.size() / 2; ++i) {
     if (locked[learnts[i]]) continue;
+    // The 'd' line must capture the literals before they are freed.
+    if (drat_ != nullptr) drat_->deleted(to_dimacs(clauses_[learnts[i]].lits));
     clauses_[learnts[i]].deleted = true;
     clauses_[learnts[i]].lits.clear();
     clauses_[learnts[i]].lits.shrink_to_fit();
@@ -519,10 +550,13 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
         // instance is unconditionally UNSAT (assumptions get their own
         // trail_lim_ entries, so they cannot be implicated here).
         ok_ = false;
+        if (drat_ != nullptr) drat_->empty_clause();
         return Result::kUnsat;
       }
       int bt_level = 0;
       analyze(conflict, learnt, bt_level);
+      // Post-minimization form, so a later DB-reduction 'd' line matches.
+      if (drat_ != nullptr) drat_->learned(to_dimacs(learnt));
       h_learned_len_.add(static_cast<std::int64_t>(learnt.size()));
       h_backjump_.add(static_cast<std::int64_t>(level) - bt_level);
       tracer_->record(trace::EventKind::kLearnedClause, level,

@@ -23,6 +23,10 @@ class Tracer;
 class ProgressReporter;
 }  // namespace rtlsat::trace
 
+namespace rtlsat::proof {
+class DratWriter;
+}  // namespace rtlsat::proof
+
 namespace rtlsat::sat {
 
 using Var = std::uint32_t;
@@ -80,6 +84,12 @@ struct SolverOptions {
   // no reporting. Borrowed pointers; must outlive the solver.
   trace::Tracer* tracer = nullptr;
   trace::ProgressReporter* progress = nullptr;
+
+  // DRAT proof logging (src/proof). Null ⟹ off; the solver tests the
+  // pointer once per cold event (clause added, clause learned, DB reduced,
+  // refutation concluded) — nothing on the propagation hot path changes.
+  // Borrowed; must outlive the solver.
+  proof::DratWriter* drat = nullptr;
 };
 
 class Solver {
@@ -168,6 +178,7 @@ class Solver {
   std::size_t learnt_count_ = 0;
   std::size_t max_learnts_ = 0;
   Stats stats_;
+  proof::DratWriter* drat_ = nullptr;  // alias of options_.drat
   // Hot-path counters and histograms, resolved once against stats_ (which
   // must be declared above them — initialization order). sat.propagations
   // is the hottest counter in the whole solver: one increment per trail

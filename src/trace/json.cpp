@@ -1,6 +1,7 @@
 #include "trace/json.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -236,6 +237,15 @@ class Parser {
     out->number = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') return fail("malformed number");
     out->kind = JsonValue::Kind::kNumber;
+    // Preserve exact integers: strtoll succeeds on the full token only for
+    // pure integer syntax (no '.', 'e', …) and rejects out-of-range values.
+    errno = 0;
+    char* iend = nullptr;
+    const long long exact = std::strtoll(token.c_str(), &iend, 10);
+    if (errno == 0 && iend != nullptr && *iend == '\0') {
+      out->integer = exact;
+      out->exact_integer = true;
+    }
     return true;
   }
 

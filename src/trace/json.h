@@ -55,6 +55,12 @@ struct JsonValue {
   Kind kind = Kind::kNull;
   bool boolean = false;
   double number = 0;
+  // When the source token was a plain integer that fits std::int64_t, the
+  // exact value is kept here as well (doubles lose precision above 2^53,
+  // and interval bounds go up to 2^60 — the proof checker needs the exact
+  // integer back).
+  std::int64_t integer = 0;
+  bool exact_integer = false;
   std::string string;
   std::vector<JsonValue> array;
   std::vector<std::pair<std::string, JsonValue>> object;
@@ -63,6 +69,7 @@ struct JsonValue {
   bool is_array() const { return kind == Kind::kArray; }
   bool is_string() const { return kind == Kind::kString; }
   bool is_number() const { return kind == Kind::kNumber; }
+  bool is_int() const { return kind == Kind::kNumber && exact_integer; }
 
   // Object member lookup; nullptr when absent or not an object.
   const JsonValue* find(std::string_view name) const;

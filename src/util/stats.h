@@ -47,7 +47,8 @@ class Histogram {
 
   static int bucket_index(std::int64_t value) {
     if (value <= 0) return 0;
-    const int width = std::bit_width(static_cast<std::uint64_t>(value));
+    const int width =
+        static_cast<int>(std::bit_width(static_cast<std::uint64_t>(value)));
     return width < kBuckets ? width : kBuckets - 1;
   }
   // Inclusive range covered by bucket i (bucket 0 is (−∞, 0]).

@@ -150,8 +150,21 @@ TEST(PortfolioTest, SharedClauseImportPreservesSoundness) {
       << result.crosscheck_violations.front();
   // The race is only meaningful if clauses actually moved between workers.
   std::int64_t imported = 0;
-  for (const WorkerReport& worker : result.workers) {
+  for (std::size_t w = 0; w < result.workers.size(); ++w) {
+    const WorkerReport& worker = result.workers[w];
     imported += worker.clauses_imported;
+    // Every import is attributed to its exporting worker
+    // (hdpll.imported_from.<id>), and the attribution must account for
+    // exactly the imports this worker reports — word certificates lean on
+    // this provenance for cross-worker `import` records (docs/proofs.md).
+    std::int64_t attributed = 0;
+    for (std::size_t other = 0; other < result.workers.size(); ++other) {
+      const std::int64_t n =
+          worker.stats.get("hdpll.imported_from." + std::to_string(other));
+      if (other == w) EXPECT_EQ(n, 0) << "worker " << w << " self-import";
+      attributed += n;
+    }
+    EXPECT_EQ(attributed, worker.clauses_imported) << "worker " << w;
   }
   EXPECT_GT(result.stats.get("portfolio.pool_clauses"), 0);
   EXPECT_GT(imported, 0);

@@ -1,0 +1,154 @@
+// Adversarial checker suite: hand-corrupted certificates must be rejected
+// with a step-indexed diagnostic. Each corruption targets one trust
+// boundary of the word-certificate checker — a missing antecedent
+// narrowing, a misattributed interval rule, a clause referenced after its
+// deletion, a perturbed Farkas coefficient, and a truncated file.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hdpll.h"
+#include "proof/word_check.h"
+#include "proof/word_writer.h"
+
+namespace rtlsat::proof {
+namespace {
+
+// Hand-built refutation of a = b = 1 (forced through an AND) against
+// a XOR b = 1. Flags carve out the individual corruptions.
+struct BuildOptions {
+  bool drop_antecedent = false;  // omit the narrowing that pins b
+  bool wrong_rule_id = false;    // justify a's narrowing by the wrong node
+  bool truncate = false;         // no end record
+};
+
+std::string build_cert(const BuildOptions& opt) {
+  WordCertWriter w;
+  w.header();
+  w.net(0, 1, "input", {}, 0, 0);
+  w.net(1, 1, "input", {}, 0, 0);
+  w.net(2, 1, "and", {0, 1}, 0, 0);
+  w.net(3, 1, "xor", {0, 1}, 0, 0);
+  w.assume(2, 1, 1);
+  w.assume(3, 1, 1);
+  // AND output 1 pins both inputs; XOR then conflicts on its pinned output.
+  w.narrow0({0, 'n', opt.wrong_rule_id ? 3u : 2u, 1, 1});
+  if (!opt.drop_antecedent) w.narrow0({1, 'n', 2, 1, 1});
+  w.conflict0('n', 3);
+  if (!opt.truncate) w.finish("unsat");
+  return w.str();
+}
+
+TEST(WordAdversarial, HandBuiltBaselineAccepted) {
+  const WordCheckResult check = word_check(build_cert({}));
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_TRUE(check.refuted);
+}
+
+TEST(WordAdversarial, DroppedAntecedentRejected) {
+  BuildOptions opt;
+  opt.drop_antecedent = true;
+  const WordCheckResult check = word_check(build_cert(opt));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("line "), std::string::npos) << check.error;
+  EXPECT_NE(check.error.find("does not conflict"), std::string::npos)
+      << check.error;
+}
+
+TEST(WordAdversarial, WrongIntervalRuleIdRejected) {
+  BuildOptions opt;
+  opt.wrong_rule_id = true;
+  const WordCheckResult check = word_check(build_cert(opt));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("line "), std::string::npos) << check.error;
+  EXPECT_NE(check.error.find("does not justify"), std::string::npos)
+      << check.error;
+}
+
+TEST(WordAdversarial, TruncatedFileRejected) {
+  BuildOptions opt;
+  opt.truncate = true;
+  const WordCheckResult check = word_check(build_cert(opt));
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("end record"), std::string::npos) << check.error;
+}
+
+TEST(WordAdversarial, UseAfterDeleteRejected) {
+  // A unit clause arrives via trusted import, is deleted, and is then
+  // cited as the justification of a narrowing.
+  WordCertWriter w;
+  w.header();
+  w.net(0, 1, "input", {}, 0, 0);
+  WordLit unit;
+  unit.net = 0;
+  unit.is_bool = true;
+  unit.positive = true;
+  unit.lo = 0;
+  unit.hi = 0;
+  w.import_clause(0, /*worker=*/2, /*seq=*/0, {unit});
+  w.delete_clause(0);
+  w.narrow0({0, 'c', 0, 0, 0});
+  w.finish("sat");
+
+  WordCheckOptions trusting;
+  trusting.trust_imports = true;
+  const WordCheckResult check = word_check(w.str(), trusting);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("line "), std::string::npos) << check.error;
+  EXPECT_NE(check.error.find("after its deletion"), std::string::npos)
+      << check.error;
+}
+
+// Generates a real solver certificate whose refutation needs the
+// arithmetic end-game (2·x ≡ 5 mod 16 is a parity contradiction that
+// interval narrowing alone cannot see), then perturbs one Farkas
+// coefficient in its first linear-combination step by one.
+std::string solver_fme_cert() {
+  ir::Circuit c("t");
+  const ir::NetId x = c.add_input("x", 4);
+  const ir::NetId goal = c.add_eq(c.add_add(x, x), c.add_const(5, 4));
+  WordCertWriter writer;
+  core::HdpllOptions options;
+  options.proof = &writer;
+  core::HdpllSolver solver(c, options);
+  solver.assume_bool(goal, true);
+  EXPECT_EQ(solver.solve().status, core::SolveStatus::kUnsat);
+  return writer.str();
+}
+
+TEST(WordAdversarial, OffByOneFarkasCoefficientRejected) {
+  const std::string cert = solver_fme_cert();
+  {
+    const WordCheckResult check = word_check(cert);
+    ASSERT_TRUE(check.ok) << check.error;
+    EXPECT_TRUE(check.refuted);
+  }
+
+  // Locate the last combination step's first coefficient:
+  //   "s":"comb","of":[["<ref>","<lambda>"],...
+  // The last combination must ground the final branch contradiction, so
+  // its coefficients are load-bearing (the generator also emits redundant
+  // early rows whose perturbation the checker rightly tolerates).
+  const std::string pattern = "\"s\":\"comb\",\"of\":[[\"";
+  const std::size_t comb = cert.rfind(pattern);
+  ASSERT_NE(comb, std::string::npos)
+      << "instance no longer exercises the FME end-game";
+  // ref/lambda separator, searched after the pattern (which itself
+  // contains a quote-comma-quote between "comb" and "of").
+  std::size_t pos = cert.find("\",\"", comb + pattern.size());
+  ASSERT_NE(pos, std::string::npos);
+  pos += 3;
+  const std::size_t end = cert.find('"', pos);
+  ASSERT_NE(end, std::string::npos);
+  const long long lambda = std::stoll(cert.substr(pos, end - pos));
+  std::string corrupted = cert;
+  corrupted.replace(pos, end - pos, std::to_string(lambda + 1));
+
+  const WordCheckResult check = word_check(corrupted);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("line "), std::string::npos) << check.error;
+}
+
+}  // namespace
+}  // namespace rtlsat::proof
