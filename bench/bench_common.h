@@ -9,11 +9,17 @@
 #include <cstring>
 #include <string>
 
+#include <memory>
+
 #include "bitblast/bitblast.h"
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
+#include "metrics/memory.h"
+#include "metrics/sampler.h"
+#include "metrics/solver_gauges.h"
 #include "portfolio/portfolio.h"
+#include "trace/sink.h"
 #include "proof/drat.h"
 #include "proof/drat_check.h"
 #include "proof/word_check.h"
@@ -183,12 +189,14 @@ struct PortfolioRunResult {
   portfolio::PortfolioResult detail;
 };
 
-inline PortfolioRunResult run_portfolio(const bmc::BmcInstance& instance,
-                                        int jobs, bool share, double budget) {
+inline PortfolioRunResult run_portfolio(
+    const bmc::BmcInstance& instance, int jobs, bool share, double budget,
+    metrics::MetricsRegistry* metrics_registry = nullptr) {
   portfolio::PortfolioOptions options;
   options.jobs = jobs;
   options.share_clauses = share;
   options.budget_seconds = budget;
+  options.metrics = metrics_registry;
   portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
   PortfolioRunResult out;
   out.detail = race.solve();
@@ -206,12 +214,16 @@ inline PortfolioRunResult run_portfolio(const bmc::BmcInstance& instance,
 //   --json <path>   additionally write machine-readable BENCH_*.json
 //   --jobs N        add a parallel-portfolio column with N workers (0 = off)
 //   --no-share      disable the portfolio's predicate-clause sharing
+//   --metrics <path> sample live telemetry into a JSONL time series
+//   --sample-ms N   sampling interval for --metrics (default 100)
 struct BenchArgs {
   bool full = false;
   bool smoke = false;
   std::string json_path;
   int jobs = 0;
   bool share = true;
+  std::string metrics_path;
+  int sample_ms = 100;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -227,6 +239,10 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-share") == 0) {
       args.share = false;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      args.metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
+      args.sample_ms = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);
@@ -234,6 +250,48 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
   }
   return args;
 }
+
+// Live-telemetry harness behind --metrics/--sample-ms: owns the registry,
+// the JSONL sink, and a background Sampler, and hands out the SolverGauges
+// to thread into HdpllOptions/SolverOptions/PortfolioOptions. Constructed
+// unconditionally — without --metrics every accessor returns null and the
+// solvers pay one predicted branch per conflict.
+class BenchMetrics {
+ public:
+  explicit BenchMetrics(const BenchArgs& args) {
+    if (args.metrics_path.empty()) return;
+    sink_ = std::make_unique<trace::JsonlSink>(args.metrics_path);
+    metrics::SamplerOptions options;
+    options.sink = sink_.get();
+    options.interval_seconds = std::max(args.sample_ms, 1) / 1000.0;
+    sampler_ = std::make_unique<metrics::Sampler>(&registry_, options);
+    gauges_ = metrics::make_solver_gauges(&registry_, {{"solver", "hdpll"}});
+    sampler_->start();
+  }
+  ~BenchMetrics() { stop(); }
+  BenchMetrics(const BenchMetrics&) = delete;
+  BenchMetrics& operator=(const BenchMetrics&) = delete;
+
+  bool enabled() const { return sampler_ != nullptr; }
+  metrics::MetricsRegistry* registry() {
+    return enabled() ? &registry_ : nullptr;
+  }
+  metrics::SolverGauges* gauges() { return enabled() ? &gauges_ : nullptr; }
+
+  // Final sample + thread join (idempotent; the destructor calls it too).
+  void stop() {
+    if (sampler_ != nullptr) sampler_->stop();
+  }
+  std::int64_t samples() const {
+    return sampler_ != nullptr ? sampler_->samples() : 0;
+  }
+
+ private:
+  metrics::MetricsRegistry registry_;
+  std::unique_ptr<trace::JsonlSink> sink_;
+  std::unique_ptr<metrics::Sampler> sampler_;
+  metrics::SolverGauges gauges_;
+};
 
 // Streams bench rows into one JSON document:
 //   {"bench": "...", "rows": [{"instance", "config", "verdict", "seconds",
@@ -321,10 +379,18 @@ class BenchJson {
     writer_.end_object();
   }
 
+  // Sampler line count for the memory summary (0 = run was unsampled).
+  void set_metrics_samples(std::int64_t samples) { metrics_samples_ = samples; }
+
   void close() {
     if (path_.empty() || closed_) return;
     closed_ = true;
     writer_.end_array();
+    // Memory summary, shared field names with the trajectory schema
+    // (src/metrics/trajectory.h) so the two report formats diff cleanly.
+    const metrics::ProcMemory mem = metrics::read_proc_memory();
+    writer_.key("rss_peak_kb").value(mem.ok ? mem.rss_peak_kb : 0);
+    writer_.key("metrics_samples").value(metrics_samples_);
     writer_.end_object();
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
@@ -339,6 +405,7 @@ class BenchJson {
  private:
   std::string path_;
   trace::JsonWriter writer_;
+  std::int64_t metrics_samples_ = 0;
   bool closed_ = false;
 };
 

@@ -1,0 +1,164 @@
+// Diffs two bench trajectory files (bench/trajectory_runner.cpp) and exits
+// nonzero on a regression — the CI perf gate.
+//
+//   $ ./bench_compare baseline.json current.json
+//   $ ./bench_compare --max-ratio 2.0 --min-seconds 0.01 baseline.json new.json
+//   $ ./bench_compare --force a.json b.json   # ignore fingerprint mismatch
+//   $ ./bench_compare --self-test             # exercise the gate itself
+//
+// Exit codes: 0 = ok (or skipped: fingerprints differ and --force not
+// given), 1 = regression, 2 = usage or unreadable/invalid input.
+//
+// --self-test builds a synthetic trajectory, checks that comparing it with
+// itself passes and that a 2x-slowed copy is flagged — run by CI before the
+// real comparison so a silently broken gate cannot go green.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/trajectory.h"
+
+using namespace rtlsat;
+
+namespace {
+
+bool load_trajectory(const std::string& path, metrics::Trajectory* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!metrics::trajectory_from_json(buffer.str(), out, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+metrics::Trajectory synthetic_trajectory() {
+  metrics::Trajectory t;
+  t.utc_date = "20260101";
+  t.git_sha = "selftest";
+  t.fingerprint.host = "selftest";
+  t.fingerprint.cpu = "selftest-cpu";
+  t.fingerprint.threads = 8;
+  const char* names[] = {"alpha", "beta", "gamma"};
+  double base = 0.02;
+  for (const char* name : names) {
+    metrics::BenchResult b;
+    b.name = name;
+    b.repeats = 3;
+    b.median_s = base;
+    b.min_s = base * 0.9;
+    b.max_s = base * 1.2;
+    b.counters["solver.conflicts"] = 1000;
+    t.benches.push_back(b);
+    base *= 3;
+  }
+  return t;
+}
+
+// The gate must pass identical inputs and flag a synthetic 2x slowdown
+// (both through the JSON round-trip, so the serializer is covered too).
+int self_test() {
+  const metrics::Trajectory base = synthetic_trajectory();
+  metrics::Trajectory slowed;
+  std::string error;
+  if (!metrics::trajectory_from_json(metrics::trajectory_to_json(base),
+                                     &slowed, &error)) {
+    std::fprintf(stderr, "self-test: round-trip failed: %s\n", error.c_str());
+    return 1;
+  }
+  const metrics::CompareOptions options;
+  const metrics::CompareReport same =
+      metrics::compare_trajectories(base, slowed, options);
+  if (same.status != metrics::CompareReport::Status::kOk) {
+    std::fprintf(stderr, "self-test: identical trajectories did not pass\n");
+    return 1;
+  }
+  for (metrics::BenchResult& b : slowed.benches) {
+    b.median_s *= 2;
+    b.min_s *= 2;
+    b.max_s *= 2;
+  }
+  const metrics::CompareReport slow =
+      metrics::compare_trajectories(base, slowed, options);
+  if (slow.status != metrics::CompareReport::Status::kRegression ||
+      slow.regressions.empty()) {
+    std::fprintf(stderr, "self-test: 2x slowdown was not flagged\n");
+    return 1;
+  }
+  std::printf("self-test ok: identical pass, 2x slowdown flagged (%zu/%zu)\n",
+              slow.regressions.size(), slowed.benches.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  metrics::CompareOptions options;
+  std::string baseline_path, current_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--self-test") == 0) {
+      return self_test();
+    } else if (std::strcmp(argv[i], "--max-ratio") == 0 && i + 1 < argc) {
+      options.max_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc) {
+      options.min_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      options.force = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "too many arguments\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--max-ratio R] [--min-seconds S] [--force] "
+                 "<baseline.json> <current.json>\n       %s --self-test\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  metrics::Trajectory baseline, current;
+  if (!load_trajectory(baseline_path, &baseline) ||
+      !load_trajectory(current_path, &current)) {
+    return 2;
+  }
+
+  const metrics::CompareReport report =
+      metrics::compare_trajectories(baseline, current, options);
+  for (const std::string& line : report.lines)
+    std::printf("%s\n", line.c_str());
+  switch (report.status) {
+    case metrics::CompareReport::Status::kOk:
+      std::printf("ok: no regressions (threshold x%.2f)\n", options.max_ratio);
+      return 0;
+    case metrics::CompareReport::Status::kSkipped:
+      std::printf(
+          "skipped: machine fingerprints differ (%s/%d threads vs %s/%d "
+          "threads); use --force to compare anyway\n",
+          baseline.fingerprint.cpu.c_str(), baseline.fingerprint.threads,
+          current.fingerprint.cpu.c_str(), current.fingerprint.threads);
+      return 0;
+    case metrics::CompareReport::Status::kRegression:
+      std::fprintf(stderr, "REGRESSION: %zu bench(es) above x%.2f:\n",
+                   report.regressions.size(), options.max_ratio);
+      for (const std::string& line : report.regressions)
+        std::fprintf(stderr, "  %s\n", line.c_str());
+      return 1;
+  }
+  return 2;
+}

@@ -1,0 +1,118 @@
+// Live-telemetry overhead guards (ISSUE 7 acceptance criteria).
+//
+// The contract mirrors micro_proof's: a solver holding a null SolverGauges
+// pointer costs one predicted branch per conflict, so BM_HdpllNoMetrics
+// must stay within measurement noise (≲1%) of micro_proof's BM_HdpllNoProof
+// (identical workload). BM_HdpllGauges prices publication alone (relaxed
+// stores + LBD at conflict boundaries, no sampler); BM_HdpllSampled adds a
+// background 100 ms Sampler, which must not perturb the search — the
+// byte-identical-counters half of that guarantee is checked by CI's
+// counters-equality validation, this bench prices the wall-clock half.
+// The registry micro benches bound the primitive costs the solver pays.
+#include <benchmark/benchmark.h>
+
+#include "bmc/unroll.h"
+#include "core/hdpll.h"
+#include "itc99/itc99.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "metrics/solver_gauges.h"
+#include "trace/sink.h"
+
+using namespace rtlsat;
+
+namespace {
+
+bmc::BmcInstance b13_instance(int bound) {
+  const auto seq = itc99::build("b13");
+  return bmc::unroll(seq, "1", bound);
+}
+
+void solve_b13(const bmc::BmcInstance& instance,
+               metrics::SolverGauges* gauges) {
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  options.gauges = gauges;
+  core::HdpllSolver solver(instance.circuit, options);
+  solver.assume_bool(instance.goal, true);
+  benchmark::DoNotOptimize(solver.solve());
+}
+
+// Baseline: identical workload to micro_proof's BM_HdpllNoProof. The null
+// gauges_ branch is the only code difference on this path.
+void BM_HdpllNoMetrics(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) solve_b13(instance, nullptr);
+}
+BENCHMARK(BM_HdpllNoMetrics)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// Publication only: gauges attached, nobody scraping.
+void BM_HdpllGauges(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  metrics::MetricsRegistry registry;
+  metrics::SolverGauges gauges =
+      metrics::make_solver_gauges(&registry, {{"bench", "micro"}});
+  for (auto _ : state) solve_b13(instance, &gauges);
+}
+BENCHMARK(BM_HdpllGauges)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// Publication + a live background sampler at the default 100 ms cadence
+// (in-memory sink: prices scraping, not disk).
+void BM_HdpllSampled(benchmark::State& state) {
+  const auto instance = b13_instance(static_cast<int>(state.range(0)));
+  metrics::MetricsRegistry registry;
+  metrics::SolverGauges gauges =
+      metrics::make_solver_gauges(&registry, {{"bench", "micro"}});
+  metrics::SamplerOptions options;
+  options.interval_seconds = 0.1;
+  options.collect_in_memory = true;
+  metrics::Sampler sampler(&registry, options);
+  sampler.start();
+  for (auto _ : state) solve_b13(instance, &gauges);
+  sampler.stop();
+  benchmark::DoNotOptimize(sampler.samples());
+}
+BENCHMARK(BM_HdpllSampled)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// Primitive costs: what one solver publication step pays.
+void BM_CounterAdd(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  metrics::Counter* c = registry.counter("micro.counter");
+  for (auto _ : state) c->add(1);
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_GaugeSet(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  metrics::Gauge* g = registry.gauge("micro.gauge");
+  std::int64_t i = 0;
+  for (auto _ : state) g->set(++i);
+  benchmark::DoNotOptimize(g->value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  metrics::HistogramMetric* h = registry.histogram("micro.hist");
+  std::int64_t i = 0;
+  for (auto _ : state) h->observe(++i & 63);
+  benchmark::DoNotOptimize(h->snapshot().count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// One full scrape of a solver-sized registry — the per-tick sampler cost.
+void BM_RegistryScrape(benchmark::State& state) {
+  metrics::MetricsRegistry registry;
+  for (int w = 0; w < 4; ++w) {
+    (void)metrics::make_solver_gauges(&registry,
+                                      {{"worker", std::to_string(w)}});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(registry.scrape());
+}
+BENCHMARK(BM_RegistryScrape);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 //   $ ./table1_predicate_learning --full          # the paper's full list
 //   $ ./table1_predicate_learning --smoke         # tiny subset, for CI
 //   $ ./table1_predicate_learning --json out.json # machine-readable rows
+//   $ ./table1_predicate_learning --metrics ts.jsonl --sample-ms 100
+//                                          # live telemetry time series
 #include <cstring>
 #include <vector>
 
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   const auto& rows =
       args.smoke ? kSmokeRows : args.full ? kFullRows : kQuickRows;
   BenchJson json("table1_predicate_learning", args.json_path);
+  BenchMetrics metrics(args);
 
   std::printf(
       "Table 1 — Run-Time Analysis of Predicate Learning (paper values in "
@@ -84,13 +87,15 @@ int main(int argc, char** argv) {
         bmc::unroll(seq, row.property, row.bound);
 
     // Plain HDPLL (Table 1's baseline has neither +S nor +P).
-    const RunResult plain =
-        run_hdpll(instance, make_options(Config::kHdpll, timeout, 0));
+    core::HdpllOptions plain_options = make_options(Config::kHdpll, timeout, 0);
+    plain_options.gauges = metrics.gauges();
+    const RunResult plain = run_hdpll(instance, plain_options);
 
     // HDPLL with predicate learning, threshold 2500 as in §3.1.
     core::HdpllOptions learn_options =
         make_options(Config::kHdpll, timeout, 2500);
     learn_options.predicate_learning = true;
+    learn_options.gauges = metrics.gauges();
     const RunResult learned = run_hdpll(instance, learn_options);
 
     const std::string name = str_format("%s_%s(%d)", row.circuit,
@@ -107,5 +112,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape targets (§3.1): learning overhead dominates at small bounds; "
       "2x-80x wins on the large b13 instances.\n");
+  metrics.stop();
+  json.set_metrics_samples(metrics.samples());
   return 0;
 }

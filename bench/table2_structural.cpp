@@ -11,6 +11,7 @@
 //   $ ./table2_structural --full    # the paper's 32-row bound list
 //   $ ./table2_structural --jobs 4  # add a parallel-portfolio column
 //     (--no-share disables its predicate-clause sharing)
+//   $ ./table2_structural --metrics ts.jsonl   # live telemetry time series
 #include <cstring>
 #include <vector>
 
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   const double timeout = args.smoke ? 10 : args.full ? 1200 : 60;
   const auto& rows = args.full ? kFullRows : kQuickRows;
   BenchJson json("table2_structural", args.json_path);
+  BenchMetrics metrics(args);
 
   std::printf(
       "Table 2 — Structural Decision Strategy (ours [paper]); CDP stand-ins "
@@ -112,15 +114,20 @@ int main(int argc, char** argv) {
     // §5.2: threshold = min(#predicate-logic gates, 2000).
     const int threshold = 2000;
 
-    const RunResult plain =
-        run_hdpll(instance, make_options(Config::kHdpll, timeout, 0));
-    const RunResult with_s =
-        run_hdpll(instance, make_options(Config::kStructural, timeout, 0));
+    const auto with_gauges = [&](core::HdpllOptions options) {
+      options.gauges = metrics.gauges();
+      return options;
+    };
+    const RunResult plain = run_hdpll(
+        instance, with_gauges(make_options(Config::kHdpll, timeout, 0)));
+    const RunResult with_s = run_hdpll(
+        instance, with_gauges(make_options(Config::kStructural, timeout, 0)));
     const RunResult with_sp = run_hdpll(
-        instance, make_options(Config::kStructuralPred, timeout, threshold));
+        instance,
+        with_gauges(make_options(Config::kStructuralPred, timeout, threshold)));
     const RunResult blast = run_bitblast(instance, timeout);
-    const RunResult chrono =
-        run_hdpll(instance, make_options(Config::kChrono, timeout, 0));
+    const RunResult chrono = run_hdpll(
+        instance, with_gauges(make_options(Config::kChrono, timeout, 0)));
 
     const std::string name = str_format("%s_%s(%d)", row.circuit,
                                         row.property, row.bound);
@@ -139,8 +146,8 @@ int main(int argc, char** argv) {
         cell(blast).c_str(), cell(chrono).c_str(),
         static_cast<long long>(with_s.datapath_implications));
     if (args.jobs > 0) {
-      const PortfolioRunResult race =
-          run_portfolio(instance, args.jobs, args.share, timeout);
+      const PortfolioRunResult race = run_portfolio(
+          instance, args.jobs, args.share, timeout, metrics.registry());
       json.add_portfolio_row(name, "portfolio", race);
       std::printf(" | %10s", cell(race.run).c_str());
     }
@@ -153,5 +160,7 @@ int main(int argc, char** argv) {
       "the plain heuristic over +S (watch dp-impl) with +P repairing it; "
       "the structure-blind columns degrade fastest with the bound.\n");
   (void)kTo;
+  metrics.stop();
+  json.set_metrics_samples(metrics.samples());
   return 0;
 }

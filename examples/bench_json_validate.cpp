@@ -6,15 +6,22 @@
 //   $ ./bench_json_validate race   race.json           # solver_race --json
 //   $ ./bench_json_validate chrome out.trace.json      # Chrome trace_event
 //   $ ./bench_json_validate jsonl  out.jsonl           # tracer JSONL lines
+//   $ ./bench_json_validate timeseries ts.jsonl        # sampler time series
+//   $ ./bench_json_validate trajectory BENCH_*.json    # trajectory runner
+//   $ ./bench_json_validate counters a.json b.json     # two bench --json
+//                              # files must have identical solver counters
+//                              # (time.* stripped) — the zero-drift gate
 //
 // Exit 0 when the file is valid; prints the first violation and exits 1
 // otherwise.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "metrics/trajectory.h"
 #include "trace/json.h"
 
 using rtlsat::trace::JsonValue;
@@ -214,15 +221,140 @@ bool validate_jsonl(const std::string& text) {
   return true;
 }
 
+// Sampler time series (docs/observability.md "Time-series schema"): one
+// JSON object per line with numeric t_s and string source; timestamps are
+// non-decreasing per source; every other field is a number or a string
+// (label echo); "process" lines carry rss_kb/rss_peak_kb.
+bool validate_timeseries(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t count = 0;
+  std::size_t lineno = 0;
+  std::map<std::string, double> last_t;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonValue doc;
+    std::string error;
+    if (!json_parse(line, &doc, &error))
+      return fail("line " + std::to_string(lineno) + ": " + error);
+    const std::string where = "line " + std::to_string(lineno);
+    if (!doc.is_object()) return fail(where + ": not an object");
+    if (!require_number(doc, "t_s", where)) return false;
+    if (!require_string(doc, "source", where)) return false;
+    const double t = doc.find("t_s")->number;
+    const std::string& source = doc.find("source")->string;
+    const auto it = last_t.find(source);
+    if (it != last_t.end() && t < it->second)
+      return fail(where + ": t_s moves backwards for source '" + source + "'");
+    last_t[source] = t;
+    if (source == "process") {
+      if (!require_number(doc, "rss_kb", where)) return false;
+      if (!require_number(doc, "rss_peak_kb", where)) return false;
+    }
+    for (const auto& [key, value] : doc.object) {
+      if (!value.is_number() && !value.is_string())
+        return fail(where + ": field '" + key +
+                    "' is neither a number nor a string");
+    }
+    ++count;
+  }
+  if (count == 0) return fail("no samples");
+  std::printf("ok: %zu samples over %zu sources\n", count, last_t.size());
+  return true;
+}
+
+// Trajectory files delegate the heavy lifting to the same parser the
+// bench_compare gate uses, then check what the comparison relies on.
+bool validate_trajectory(const std::string& text) {
+  rtlsat::metrics::Trajectory t;
+  std::string error;
+  if (!rtlsat::metrics::trajectory_from_json(text, &t, &error))
+    return fail(error);
+  if (t.schema != rtlsat::metrics::kTrajectorySchema)
+    return fail("schema is '" + t.schema + "', expected '" +
+                rtlsat::metrics::kTrajectorySchema + "'");
+  if (t.utc_date.empty()) return fail("missing utc_date");
+  if (t.git_sha.empty()) return fail("missing git_sha");
+  if (t.fingerprint.host.empty() || t.fingerprint.cpu.empty() ||
+      t.fingerprint.threads <= 0) {
+    return fail("incomplete machine fingerprint");
+  }
+  if (t.benches.empty()) return fail("no benches");
+  for (const rtlsat::metrics::BenchResult& b : t.benches) {
+    if (b.name.empty()) return fail("bench with empty name");
+    if (b.repeats < 1) return fail(b.name + ": repeats < 1");
+    if (b.min_s > b.median_s || b.median_s > b.max_s)
+      return fail(b.name + ": min/median/max not ordered");
+  }
+  std::printf("ok: trajectory %s@%s, %zu benches\n", t.utc_date.c_str(),
+              t.git_sha.c_str(), t.benches.size());
+  return true;
+}
+
+// Flattens a bench --json document into "instance|config|counter" -> value,
+// dropping time.* (wall-clock buckets legitimately differ run to run).
+bool counter_map(const std::string& text, const std::string& label,
+                 std::map<std::string, double>* out) {
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, &doc, &error)) return fail(label + ": " + error);
+  const JsonValue* rows = doc.is_object() ? doc.find("rows") : nullptr;
+  if (rows == nullptr || !rows->is_array())
+    return fail(label + ": missing array field 'rows'");
+  for (const JsonValue& row : rows->array) {
+    if (!row.is_object()) return fail(label + ": row is not an object");
+    const JsonValue* instance = row.find("instance");
+    const JsonValue* config = row.find("config");
+    const JsonValue* counters = row.find("counters");
+    if (instance == nullptr || config == nullptr || counters == nullptr ||
+        !counters->is_object()) {
+      return fail(label + ": row without instance/config/counters");
+    }
+    for (const auto& [key, value] : counters->object) {
+      if (key.rfind("time.", 0) == 0) continue;
+      (*out)[instance->string + "|" + config->string + "|" + key] =
+          value.number;
+    }
+  }
+  return true;
+}
+
+// The zero-drift gate: two runs of the same bench (one sampled, one not)
+// must agree on every search counter, or sampling perturbed the search.
+bool validate_counters_equal(const std::string& text_a,
+                             const std::string& text_b) {
+  std::map<std::string, double> a, b;
+  if (!counter_map(text_a, "first file", &a)) return false;
+  if (!counter_map(text_b, "second file", &b)) return false;
+  if (a.empty()) return fail("first file has no counters");
+  for (const auto& [key, value] : a) {
+    const auto it = b.find(key);
+    if (it == b.end()) return fail("second file is missing '" + key + "'");
+    if (it->second != value)
+      return fail("counter drift: '" + key + "' is " + std::to_string(value) +
+                  " vs " + std::to_string(it->second));
+  }
+  for (const auto& [key, value] : b) {
+    if (a.find(key) == a.end())
+      return fail("first file is missing '" + key + "'");
+  }
+  std::printf("ok: %zu counters identical\n", a.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <bench|race|chrome|jsonl> <file>\n",
-                 argv[0]);
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  const int want_files = mode == "counters" ? 2 : 1;
+  if (argc != 2 + want_files) {
+    std::fprintf(stderr,
+                 "usage: %s <bench|race|chrome|jsonl|timeseries|trajectory> "
+                 "<file>\n       %s counters <file> <file>\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  const std::string mode = argv[1];
   std::string text;
   if (!read_file(argv[2], &text)) return 1;
   bool ok = false;
@@ -234,6 +366,14 @@ int main(int argc, char** argv) {
     ok = validate_chrome(text);
   } else if (mode == "jsonl") {
     ok = validate_jsonl(text);
+  } else if (mode == "timeseries") {
+    ok = validate_timeseries(text);
+  } else if (mode == "trajectory") {
+    ok = validate_trajectory(text);
+  } else if (mode == "counters") {
+    std::string text_b;
+    if (!read_file(argv[3], &text_b)) return 1;
+    ok = validate_counters_equal(text, text_b);
   } else {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;

@@ -4,16 +4,25 @@
 //   $ ./quickstart
 //   $ ./quickstart --trace out       # writes out.jsonl + out.trace.json
 //   $ ./quickstart --progress        # MiniSat-style progress banner
+//   $ ./quickstart --metrics ts.jsonl [--sample-ms N]
+//                                    # live-telemetry time series
 //
 // The circuit is a saturating accumulator step: out = min(acc + in, 200).
 // We ask: can the output land exactly on the saturation boundary while the
 // accumulator stays below 100?
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "core/hdpll.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "metrics/solver_gauges.h"
 #include "trace/progress.h"
+#include "trace/sink.h"
 #include "trace/trace.h"
 
 using namespace rtlsat;
@@ -21,6 +30,8 @@ using namespace rtlsat;
 int main(int argc, char** argv) {
   std::unique_ptr<trace::Tracer> tracer;
   std::unique_ptr<trace::ProgressReporter> progress;
+  std::string metrics_path;
+  int sample_ms = 100;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace::TracerOptions topts;
@@ -29,11 +40,31 @@ int main(int argc, char** argv) {
       tracer = std::make_unique<trace::Tracer>(topts);
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       progress = std::make_unique<trace::ProgressReporter>();
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
+      sample_ms = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--trace <base>] [--progress]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trace <base>] [--progress] "
+                   "[--metrics <path>] [--sample-ms <n>]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  metrics::MetricsRegistry registry;
+  metrics::SolverGauges gauges;
+  std::unique_ptr<trace::JsonlSink> metrics_sink;
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (!metrics_path.empty()) {
+    metrics_sink = std::make_unique<trace::JsonlSink>(metrics_path);
+    gauges = metrics::make_solver_gauges(&registry, {{"solver", "hdpll"}});
+    metrics::SamplerOptions sampler_options;
+    sampler_options.sink = metrics_sink.get();
+    sampler_options.interval_seconds = std::max(sample_ms, 1) / 1000.0;
+    sampler = std::make_unique<metrics::Sampler>(&registry, sampler_options);
+    sampler->start();
   }
 
   ir::Circuit c("quickstart");
@@ -53,10 +84,17 @@ int main(int argc, char** argv) {
   options.structural_decisions = true;  // the paper's +S strategy
   options.tracer = tracer.get();
   options.progress = progress.get();
+  if (sampler != nullptr) options.gauges = &gauges;
   core::HdpllSolver solver(c, options);
   solver.assume_bool(goal, true);
 
   const core::SolveResult result = solver.solve();
+  if (sampler != nullptr) {
+    sampler->stop();
+    std::printf("metrics: %lld samples -> %s\n",
+                static_cast<long long>(sampler->samples()),
+                metrics_path.c_str());
+  }
   switch (result.status) {
     case core::SolveStatus::kSat: {
       std::printf("SAT in %.3fs\n", result.seconds);

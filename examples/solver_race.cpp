@@ -11,19 +11,28 @@
 //   --deterministic   sequential deterministic mode (reproducible runs)
 //   --budget S        wall-clock budget in seconds (default 120)
 //   --json PATH       machine-readable report with per-worker rows
+//   --metrics PATH    sample per-worker live telemetry (decisions/sec,
+//                     clause-DB bytes, RSS …) into a JSONL time series
+//   --sample-ms N     sampling interval for --metrics (default 100)
+//   --progress PATH   per-worker heartbeat JSONL ("worker"-tagged lines)
 //   --sequential      legacy mode: run the four configurations one after
 //                     another, no portfolio (the pre-portfolio behaviour)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bitblast/bitblast.h"
 #include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "itc99/itc99.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "portfolio/portfolio.h"
 #include "trace/json.h"
+#include "trace/sink.h"
 #include "util/timer.h"
 
 using namespace rtlsat;
@@ -136,6 +145,9 @@ int main(int argc, char** argv) {
   bool sequential = false;
   double budget = 120;
   std::string json_path;
+  std::string metrics_path;
+  std::string progress_path;
+  int sample_ms = 100;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -151,6 +163,12 @@ int main(int argc, char** argv) {
       budget = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--progress") == 0 && i + 1 < argc) {
+      progress_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
+      sample_ms = std::atoi(argv[++i]);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -183,8 +201,33 @@ int main(int argc, char** argv) {
   options.share_clauses = share;
   options.deterministic = deterministic;
   options.budget_seconds = budget;
+
+  metrics::MetricsRegistry registry;
+  std::unique_ptr<trace::JsonlSink> metrics_sink;
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (!metrics_path.empty()) {
+    metrics_sink = std::make_unique<trace::JsonlSink>(metrics_path);
+    metrics::SamplerOptions sampler_options;
+    sampler_options.sink = metrics_sink.get();
+    sampler_options.interval_seconds = std::max(sample_ms, 1) / 1000.0;
+    sampler = std::make_unique<metrics::Sampler>(&registry, sampler_options);
+    options.metrics = &registry;
+    sampler->start();
+  }
+  std::unique_ptr<trace::JsonlSink> progress_sink;
+  if (!progress_path.empty()) {
+    progress_sink = std::make_unique<trace::JsonlSink>(progress_path);
+    options.progress_sink = progress_sink.get();
+  }
+
   portfolio::Portfolio race(instance.circuit, instance.goal, true, options);
   const portfolio::PortfolioResult result = race.solve();
+  if (sampler != nullptr) {
+    sampler->stop();
+    std::printf("metrics: %lld samples -> %s\n",
+                static_cast<long long>(sampler->samples()),
+                metrics_path.c_str());
+  }
 
   std::printf("portfolio: %d workers%s%s\n", jobs, share ? "" : ", no sharing",
               deterministic ? ", deterministic" : "");

@@ -28,6 +28,8 @@ std::uint32_t ClauseDb::add(HybridClause clause) {
   }
   if (clause.learnt) ++learnt_count_;
   clauses_.push_back(std::move(clause));
+  lits_heap_bytes_ += static_cast<std::int64_t>(
+      clauses_.back().lits.capacity() * sizeof(HybridLit));
   watch_idx_.push_back({0, 0});
   fresh_.push_back(id);
   return id;
@@ -227,6 +229,8 @@ std::size_t ClauseDb::reduce(const prop::Engine& engine) {
       --net_weight_[l.net];
       if (l.is_bool) --literal_weight_[l.net][l.interval.lo() == 1 ? 1 : 0];
     }
+    lits_heap_bytes_ -=
+        static_cast<std::int64_t>(c.lits.capacity() * sizeof(HybridLit));
     c.deleted = true;
     c.lits.clear();
     c.lits.shrink_to_fit();

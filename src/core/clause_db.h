@@ -89,6 +89,17 @@ class ClauseDb {
   // the solver decays the increment once per conflict (EVSIDS-style).
   void decay_clause_activity(double factor) { activity_increment_ /= factor; }
 
+  // Instrumented heap accounting for the metrics sampler (O(1) read): the
+  // clause vector plus the literal arrays, maintained incrementally by
+  // add() and reduce(). Watch/occurrence lists are deliberately excluded —
+  // they are index vectors proportional to the same literal count and
+  // would double-count the trend without changing its shape.
+  std::int64_t memory_bytes() const {
+    return static_cast<std::int64_t>(clauses_.capacity() *
+                                     sizeof(HybridClause)) +
+           lits_heap_bytes_;
+  }
+
  private:
   // Full (non-watched) examination used for fresh clauses and as the slow
   // path: finds a satisfied literal or implies/conflicts. Returns false on
@@ -113,6 +124,7 @@ class ClauseDb {
   std::vector<std::array<int, 2>> literal_weight_;
   std::vector<std::uint32_t> fresh_;  // added but not yet propagated
   std::size_t learnt_count_ = 0;
+  std::int64_t lits_heap_bytes_ = 0;
   double activity_increment_ = 1.0;
 };
 

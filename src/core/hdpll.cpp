@@ -5,6 +5,7 @@
 #include "core/deduce.h"
 #include "core/selfcheck.h"
 #include "ir/analysis.h"
+#include "metrics/solver_gauges.h"
 #include "trace/progress.h"
 #include "trace/trace.h"
 #include "util/log.h"
@@ -54,7 +55,8 @@ HdpllSolver::HdpllSolver(const ir::Circuit& circuit, HdpllOptions options)
       h_resolutions_(stats_.histogram("hdpll.analyze_resolutions")),
       h_interval_width_(stats_.histogram("hdpll.arith_interval_width")),
       tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
-      progress_(options.progress) {
+      progress_(options.progress),
+      gauges_(options.gauges) {
   engine_.set_tracer(tracer_);
   engine_.set_stop(&stop_);
   if (options_.structural_decisions)
@@ -178,6 +180,37 @@ void HdpllSolver::progress_tick(bool final) {
   }
 }
 
+void HdpllSolver::publish_metrics() {
+  metrics::SolverGauges* g = gauges_;
+  if (g == nullptr) return;
+  g->decisions->set(n_decisions_);
+  g->conflicts->set(n_conflicts_);
+  g->propagations->set(engine_.num_propagations());
+  g->restarts->set(restart_count_);
+  g->clauses_exported->set(n_clauses_exported_);
+  g->clauses_imported->set(n_clauses_imported_);
+  g->learnt_clauses->set(static_cast<std::int64_t>(db_.learnt_count()));
+  g->trail->set(static_cast<std::int64_t>(engine_.trail().size()));
+  g->level->set(engine_.level());
+  g->clause_db_bytes->set(db_.memory_bytes());
+  g->implication_graph_bytes->set(engine_.implication_graph_bytes());
+  g->interval_store_bytes->set(engine_.interval_store_bytes());
+}
+
+void HdpllSolver::record_lbd(const HybridClause& clause) {
+  if (gauges_ == nullptr) return;
+  lbd_scratch_.clear();
+  for (const HybridLit& l : clause.lits) {
+    const std::int32_t ev = engine_.latest_event(l.net);
+    lbd_scratch_.push_back(
+        ev >= 0 ? engine_.trail()[static_cast<std::size_t>(ev)].level : 0);
+  }
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  const auto last = std::unique(lbd_scratch_.begin(), lbd_scratch_.end());
+  gauges_->lbd->observe(
+      static_cast<std::int64_t>(last - lbd_scratch_.begin()));
+}
+
 SolveStatus HdpllSolver::stopped_status() const {
   // An explicit cancel wins over a simultaneously expired deadline: the
   // caller that fired the token wants kCancelled for its latency books.
@@ -220,6 +253,7 @@ bool HdpllSolver::handle_conflict() {
   ++n_conflicts_;
   tracer_->record(trace::EventKind::kConflict, engine_.level());
   progress_tick(/*final=*/false);
+  publish_metrics();
   if (engine_.level() == 0) {
     if (proof_log_ != nullptr) proof_log_->log_conflict0();
     return false;
@@ -257,6 +291,7 @@ bool HdpllSolver::handle_conflict() {
   h_learned_len_.add(clause_len);
   h_backjump_.add(engine_.level() - analysis.backtrack_level);
   h_resolutions_.add(analysis.resolutions);
+  record_lbd(analysis.clause);
   tracer_->record(trace::EventKind::kAnalyze, engine_.level(),
                   analysis.resolutions, clause_len);
   tracer_->record(trace::EventKind::kLearnedClause, engine_.level(),
@@ -355,6 +390,8 @@ SolveResult HdpllSolver::solve() {
   // never restarts would strand its last few clauses in the endpoint.
   if (options_.exchange != nullptr) options_.exchange->flush();
   progress_tick(/*final=*/true);
+  publish_metrics();
+  if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kIdle);
   tracer_->flush();
   return result;
 }
@@ -403,6 +440,7 @@ SolveResult HdpllSolver::solve_impl() {
     options_.analyze.record_premises = true;
   }
 
+  if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kPreprocess);
   {
     trace::ScopedPhase phase(tracer_, &stats_, "preprocess");
     if (!apply_assumptions()) {
@@ -414,6 +452,9 @@ SolveResult HdpllSolver::solve_impl() {
   }
 
   if (options_.predicate_learning) {
+    if (gauges_ != nullptr) {
+      gauges_->set_phase(metrics::SolverPhase::kPredicateLearning);
+    }
     trace::ScopedPhase phase(tracer_, &stats_, "predicate_learning");
     PredicateLearningOptions learn_options = options_.learning;
     if (learn_options.tracer == nullptr) learn_options.tracer = tracer_;
@@ -447,6 +488,7 @@ SolveResult HdpllSolver::solve_impl() {
   // deterministic-mode slot) would not import at all.
   import_shared_clauses();
 
+  if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kSearch);
   trace::ScopedPhase search_phase(tracer_, &stats_, "search");
   while (true) {
     if (!deduce(engine_, db_, &clause_cursor_)) {
@@ -487,9 +529,15 @@ SolveResult HdpllSolver::solve_impl() {
       ArithCheckResult arith;
       ArithCertCapture arith_capture;
       {
+        if (gauges_ != nullptr) {
+          gauges_->set_phase(metrics::SolverPhase::kArithCheck);
+        }
         trace::ScopedPhase arith_phase(tracer_, &stats_, "arith_check");
         arith = arith_check(engine_, fme_,
                             proof_log_ != nullptr ? &arith_capture : nullptr);
+        if (gauges_ != nullptr) {
+          gauges_->set_phase(metrics::SolverPhase::kSearch);
+        }
       }
       if (arith.stopped) {
         // FME abandoned the check on a fired token — neither a model nor a

@@ -42,6 +42,10 @@ class Tracer;
 class ProgressReporter;
 }  // namespace rtlsat::trace
 
+namespace rtlsat::metrics {
+struct SolverGauges;
+}  // namespace rtlsat::metrics
+
 namespace rtlsat::core {
 
 struct HdpllOptions {
@@ -107,6 +111,15 @@ struct HdpllOptions {
   // no reporting. Both are borrowed and must outlive the solver.
   trace::Tracer* tracer = nullptr;
   trace::ProgressReporter* progress = nullptr;
+
+  // Live telemetry (src/metrics): when set, the solver publishes its
+  // counters, clause-DB/implication-graph/interval-store bytes, phase, and
+  // per-learned-clause LBD into these registry handles at conflict
+  // boundaries (relaxed atomic stores — a background Sampler turns them
+  // into a JSONL time series). Borrowed; must outlive the solver. Null
+  // (the default) costs one predicted branch per conflict
+  // (bench/micro_metrics.cpp guards this).
+  metrics::SolverGauges* gauges = nullptr;
 
   // Proof logging: when set, every derivation — level-0 narrowings,
   // learned clauses with their implication-graph cut, predicate-learning
@@ -178,6 +191,14 @@ class HdpllSolver {
   void import_shared_clauses();
   // Per-conflict progress hook; `final` forces the closing report.
   void progress_tick(bool final);
+  // Publishes the live counters into options_.gauges (no-op when null).
+  void publish_metrics();
+  // LBD (literal block distance) of a freshly learned clause: the number
+  // of distinct decision levels among its literals, read off the trail
+  // before the backtrack invalidates it. Only computed when gauges are
+  // attached; recorded only into the registry histogram so bench output
+  // stays byte-identical with and without sampling.
+  void record_lbd(const HybridClause& clause);
   // Returns the next decision, or nullopt when every Boolean net is
   // assigned (Decide() == done).
   std::optional<Decision> pick_decision();
@@ -239,6 +260,8 @@ class HdpllSolver {
   Histogram& h_interval_width_;
   trace::Tracer* tracer_;              // never null after construction
   trace::ProgressReporter* progress_;  // may be null
+  metrics::SolverGauges* gauges_;      // may be null
+  std::vector<std::uint32_t> lbd_scratch_;
 };
 
 }  // namespace rtlsat::core

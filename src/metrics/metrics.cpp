@@ -1,0 +1,250 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+
+namespace rtlsat::metrics {
+
+namespace internal {
+
+std::size_t shard_index(std::size_t shards) {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine % shards;
+}
+
+}  // namespace internal
+
+std::string canonical_labels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out;
+  for (const Label& l : sorted) {
+    if (!out.empty()) out += ',';
+    out += l.key;
+    out += '=';
+    out += l.value;
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               const Labels& labels,
+                                               MetricKind kind) {
+  const std::string source = canonical_labels(labels);
+  const std::string key = name + "|" + source;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      // Same metric identity registered under two kinds: programming error.
+      std::abort();
+    }
+    return it->second;
+  }
+  Entry e;
+  e.name = name;
+  e.labels = labels;
+  e.source = source;
+  e.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      e.hist = std::make_unique<HistogramMetric>();
+      break;
+  }
+  return entries_.emplace(key, std::move(e)).first->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return entry(name, labels, MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const Labels& labels,
+                              bool monotone) {
+  Gauge* g = entry(name, labels, MetricKind::kGauge).gauge.get();
+  if (monotone) g->monotone_ = true;
+  return g;
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name,
+                                            const Labels& labels) {
+  return entry(name, labels, MetricKind::kHistogram).hist.get();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    Sample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.source = e.source;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.monotone = true;
+        s.value = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.monotone = e.gauge->monotone();
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.hist->snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string exposition_name(const std::string& name) {
+  std::string out = "rtlsat_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+std::string exposition_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    for (char c : l.value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Label string with one extra `le` label appended (histogram buckets).
+std::string bucket_labels(const Labels& labels, const std::string& le) {
+  Labels with_le = labels;
+  with_le.push_back({"le", le});
+  return exposition_labels(with_le);
+}
+
+}  // namespace
+
+void MetricsRegistry::expose(std::ostream& out) const {
+  const std::vector<Sample> samples = scrape();
+  const std::string* prev_name = nullptr;
+  for (const Sample& s : samples) {
+    const std::string ename = exposition_name(s.name);
+    if (prev_name == nullptr || *prev_name != s.name) {
+      const char* type = s.kind == MetricKind::kHistogram ? "histogram"
+                         : s.kind == MetricKind::kCounter ? "counter"
+                                                          : "gauge";
+      out << "# TYPE " << ename << ' ' << type << '\n';
+    }
+    prev_name = &s.name;
+    if (s.kind != MetricKind::kHistogram) {
+      out << ename << exposition_labels(s.labels) << ' ' << s.value << '\n';
+      continue;
+    }
+    // Cumulative buckets over the power-of-two bounds; only emit bounds up
+    // to the first bucket covering the observed max, then +Inf.
+    std::int64_t cumulative = 0;
+    const int top = Histogram::bucket_index(s.hist.max());
+    for (int i = 0; i <= top; ++i) {
+      cumulative += s.hist.buckets()[static_cast<std::size_t>(i)];
+      out << ename << "_bucket"
+          << bucket_labels(s.labels, std::to_string(Histogram::bucket_hi(i)))
+          << ' ' << cumulative << '\n';
+    }
+    out << ename << "_bucket" << bucket_labels(s.labels, "+Inf") << ' '
+        << s.hist.count() << '\n';
+    out << ename << "_sum" << exposition_labels(s.labels) << ' ' << s.hist.sum()
+        << '\n';
+    out << ename << "_count" << exposition_labels(s.labels) << ' '
+        << s.hist.count() << '\n';
+  }
+}
+
+bool parse_exposition(const std::string& text,
+                      std::map<std::string, double>* out, std::string* error) {
+  out->clear();
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    // `name` or `name{labels}`, one space, value.
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": expected 'name value'";
+      }
+      return false;
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() || *end != '\0' || errno != 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": bad value '" +
+                 value_text + "'";
+      }
+      return false;
+    }
+    // A name must start with a letter and any '{' must close at the end.
+    const char c0 = key[0];
+    if (!((c0 >= 'a' && c0 <= 'z') || (c0 >= 'A' && c0 <= 'Z') || c0 == '_')) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": bad metric name";
+      }
+      return false;
+    }
+    const std::size_t brace = key.find('{');
+    if (brace != std::string::npos && key.back() != '}') {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": unterminated labels";
+      }
+      return false;
+    }
+    (*out)[key] = value;
+  }
+  return true;
+}
+
+}  // namespace rtlsat::metrics

@@ -1,0 +1,30 @@
+#include "metrics/solver_gauges.h"
+
+namespace rtlsat::metrics {
+
+SolverGauges make_solver_gauges(MetricsRegistry* registry,
+                                const Labels& labels) {
+  SolverGauges g;
+  g.decisions = registry->gauge("solver.decisions", labels, /*monotone=*/true);
+  g.conflicts = registry->gauge("solver.conflicts", labels, /*monotone=*/true);
+  g.propagations =
+      registry->gauge("solver.propagations", labels, /*monotone=*/true);
+  g.restarts = registry->gauge("solver.restarts", labels, /*monotone=*/true);
+  g.clauses_exported =
+      registry->gauge("solver.clauses_exported", labels, /*monotone=*/true);
+  g.clauses_imported =
+      registry->gauge("solver.clauses_imported", labels, /*monotone=*/true);
+  g.learnt_clauses = registry->gauge("solver.learnt_clauses", labels);
+  g.trail = registry->gauge("solver.trail", labels);
+  g.level = registry->gauge("solver.level", labels);
+  g.phase = registry->gauge("solver.phase", labels);
+  g.clause_db_bytes = registry->gauge("solver.clause_db_bytes", labels);
+  g.implication_graph_bytes =
+      registry->gauge("solver.implication_graph_bytes", labels);
+  g.interval_store_bytes =
+      registry->gauge("solver.interval_store_bytes", labels);
+  g.lbd = registry->histogram("solver.lbd", labels);
+  return g;
+}
+
+}  // namespace rtlsat::metrics

@@ -1,0 +1,268 @@
+#include "metrics/trajectory.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <thread>
+
+#include "trace/json.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace rtlsat::metrics {
+
+Fingerprint local_fingerprint() {
+  Fingerprint fp;
+  fp.threads = static_cast<int>(std::thread::hardware_concurrency());
+  fp.host = "unknown";
+  fp.cpu = "unknown";
+#ifdef __linux__
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    fp.host = host;
+  }
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (colon == nullptr) break;
+      std::string cpu = colon + 1;
+      while (!cpu.empty() && (cpu.front() == ' ' || cpu.front() == '\t')) {
+        cpu.erase(cpu.begin());
+      }
+      while (!cpu.empty() && (cpu.back() == '\n' || cpu.back() == ' ')) {
+        cpu.pop_back();
+      }
+      if (!cpu.empty()) fp.cpu = cpu;
+      break;
+    }
+    std::fclose(f);
+  }
+#endif
+  return fp;
+}
+
+std::string utc_date_string() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#ifdef __linux__
+  gmtime_r(&now, &tm_utc);
+#else
+  tm_utc = *std::gmtime(&now);
+#endif
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02d", tm_utc.tm_year + 1900,
+                tm_utc.tm_mon + 1, tm_utc.tm_mday);
+  return buf;
+}
+
+std::string git_sha_or_fallback() {
+  if (const char* env = std::getenv("RTLSAT_GIT_SHA")) {
+    if (*env != '\0') return env;
+  }
+#ifdef __linux__
+  if (std::FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    std::string sha;
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    const int status = pclose(p);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == ' ')) {
+      sha.pop_back();
+    }
+    if (status == 0 && !sha.empty()) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+std::string default_trajectory_filename(const Trajectory& t) {
+  return "BENCH_" + t.utc_date + "_" + t.git_sha + ".json";
+}
+
+std::string trajectory_to_json(const Trajectory& t) {
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(t.schema);
+  w.key("utc_date").value(t.utc_date);
+  w.key("git_sha").value(t.git_sha);
+  w.key("fingerprint").begin_object();
+  w.key("host").value(t.fingerprint.host);
+  w.key("cpu").value(t.fingerprint.cpu);
+  w.key("threads").value(t.fingerprint.threads);
+  w.end_object();
+  w.key("rss_peak_kb").value(t.rss_peak_kb);
+  w.key("metrics_samples").value(t.metrics_samples);
+  w.key("benches").begin_array();
+  for (const BenchResult& b : t.benches) {
+    w.begin_object();
+    w.key("name").value(b.name);
+    w.key("repeats").value(b.repeats);
+    w.key("median_s").value(b.median_s);
+    w.key("min_s").value(b.min_s);
+    w.key("max_s").value(b.max_s);
+    w.key("counters").begin_object();
+    for (const auto& [name, value] : b.counters) w.key(name).value(value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+bool want_string(const trace::JsonValue& obj, const char* name,
+                 std::string* out, std::string* error) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr || !v->is_string()) {
+    if (error != nullptr) *error = std::string("missing string field ") + name;
+    return false;
+  }
+  *out = v->string;
+  return true;
+}
+
+bool want_number(const trace::JsonValue& obj, const char* name, double* out,
+                 std::string* error) {
+  const trace::JsonValue* v = obj.find(name);
+  if (v == nullptr || !v->is_number()) {
+    if (error != nullptr) *error = std::string("missing number field ") + name;
+    return false;
+  }
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+bool trajectory_from_json(const std::string& text, Trajectory* out,
+                          std::string* error) {
+  trace::JsonValue doc;
+  if (!trace::json_parse(text, &doc, error)) return false;
+  if (!doc.is_object()) {
+    if (error != nullptr) *error = "trajectory: top level is not an object";
+    return false;
+  }
+  Trajectory t;
+  if (!want_string(doc, "schema", &t.schema, error)) return false;
+  if (t.schema != kTrajectorySchema) {
+    if (error != nullptr) *error = "unknown schema '" + t.schema + "'";
+    return false;
+  }
+  if (!want_string(doc, "utc_date", &t.utc_date, error)) return false;
+  if (!want_string(doc, "git_sha", &t.git_sha, error)) return false;
+  const trace::JsonValue* fp = doc.find("fingerprint");
+  if (fp == nullptr || !fp->is_object()) {
+    if (error != nullptr) *error = "missing fingerprint object";
+    return false;
+  }
+  if (!want_string(*fp, "host", &t.fingerprint.host, error)) return false;
+  if (!want_string(*fp, "cpu", &t.fingerprint.cpu, error)) return false;
+  double threads = 0;
+  if (!want_number(*fp, "threads", &threads, error)) return false;
+  t.fingerprint.threads = static_cast<int>(threads);
+  double rss = 0;
+  if (!want_number(doc, "rss_peak_kb", &rss, error)) return false;
+  t.rss_peak_kb = static_cast<std::int64_t>(rss);
+  double samples = 0;
+  if (!want_number(doc, "metrics_samples", &samples, error)) return false;
+  t.metrics_samples = static_cast<std::int64_t>(samples);
+  const trace::JsonValue* benches = doc.find("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    if (error != nullptr) *error = "missing benches array";
+    return false;
+  }
+  for (const trace::JsonValue& row : benches->array) {
+    if (!row.is_object()) {
+      if (error != nullptr) *error = "bench row is not an object";
+      return false;
+    }
+    BenchResult b;
+    if (!want_string(row, "name", &b.name, error)) return false;
+    double repeats = 0;
+    if (!want_number(row, "repeats", &repeats, error)) return false;
+    b.repeats = static_cast<int>(repeats);
+    if (!want_number(row, "median_s", &b.median_s, error)) return false;
+    if (!want_number(row, "min_s", &b.min_s, error)) return false;
+    if (!want_number(row, "max_s", &b.max_s, error)) return false;
+    const trace::JsonValue* counters = row.find("counters");
+    if (counters == nullptr || !counters->is_object()) {
+      if (error != nullptr) *error = "bench row missing counters object";
+      return false;
+    }
+    for (const auto& [name, value] : counters->object) {
+      if (!value.is_number()) {
+        if (error != nullptr) *error = "counter " + name + " is not a number";
+        return false;
+      }
+      b.counters[name] = value.exact_integer
+                             ? value.integer
+                             : static_cast<std::int64_t>(value.number);
+    }
+    t.benches.push_back(std::move(b));
+  }
+  *out = std::move(t);
+  return true;
+}
+
+CompareReport compare_trajectories(const Trajectory& baseline,
+                                   const Trajectory& current,
+                                   const CompareOptions& options) {
+  CompareReport report;
+  if (!baseline.fingerprint.compatible(current.fingerprint) && !options.force) {
+    report.status = CompareReport::Status::kSkipped;
+    report.lines.push_back(
+        "fingerprint mismatch (baseline: " + baseline.fingerprint.cpu + " x" +
+        std::to_string(baseline.fingerprint.threads) +
+        ", current: " + current.fingerprint.cpu + " x" +
+        std::to_string(current.fingerprint.threads) +
+        ") — cross-machine wall times are not comparable; skipping");
+    return report;
+  }
+  for (const BenchResult& cur : current.benches) {
+    const BenchResult* base = nullptr;
+    for (const BenchResult& b : baseline.benches) {
+      if (b.name == cur.name) {
+        base = &b;
+        break;
+      }
+    }
+    char line[256];
+    if (base == nullptr) {
+      std::snprintf(line, sizeof(line), "%-28s %10.4fs (new, no baseline)",
+                    cur.name.c_str(), cur.median_s);
+      report.lines.push_back(line);
+      continue;
+    }
+    const double floor =
+        base->median_s > options.min_seconds ? base->median_s
+                                             : options.min_seconds;
+    const double ratio = cur.median_s / floor;
+    const bool regressed = cur.median_s > options.max_ratio * floor;
+    std::snprintf(line, sizeof(line), "%-28s %10.4fs vs %10.4fs  x%.2f%s",
+                  cur.name.c_str(), cur.median_s, base->median_s, ratio,
+                  regressed ? "  REGRESSION" : "");
+    report.lines.push_back(line);
+    if (regressed) report.regressions.push_back(line);
+  }
+  for (const BenchResult& base : baseline.benches) {
+    bool found = false;
+    for (const BenchResult& cur : current.benches) {
+      found = found || cur.name == base.name;
+    }
+    if (!found) {
+      report.lines.push_back(base.name + ": present in baseline only");
+    }
+  }
+  if (!report.regressions.empty()) {
+    report.status = CompareReport::Status::kRegression;
+  }
+  return report;
+}
+
+}  // namespace rtlsat::metrics

@@ -1,0 +1,91 @@
+// Bench trajectory format + regression comparison (the CI perf gate the
+// ROADMAP asks for: "emit a BENCH_*.json perf trajectory from CI so the
+// next re-anchor can see the curve").
+//
+// A trajectory file (schema "rtlsat_trajectory_v1") captures one run of the
+// standard bench suite: machine fingerprint, git sha, UTC date, peak RSS,
+// and per-bench median/min/max wall time over N repeats plus key solver
+// counters. bench/trajectory_runner.cpp produces them; bench/bench_compare.cpp
+// diffs two of them with compare_trajectories() and exits nonzero on a
+// regression, which is what gates CI (docs/observability.md "Bench
+// trajectory & regression gating").
+//
+// Comparisons across different machines are meaningless, so a fingerprint
+// mismatch yields kSkipped (exit 0 in bench_compare) unless forced.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rtlsat::metrics {
+
+inline constexpr const char* kTrajectorySchema = "rtlsat_trajectory_v1";
+
+struct Fingerprint {
+  std::string host;
+  std::string cpu;      // /proc/cpuinfo "model name" ("unknown" elsewhere)
+  int threads = 0;      // std::thread::hardware_concurrency
+
+  bool compatible(const Fingerprint& other) const {
+    return cpu == other.cpu && threads == other.threads;
+  }
+};
+Fingerprint local_fingerprint();
+
+struct BenchResult {
+  std::string name;
+  int repeats = 0;
+  double median_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  // Key solver counters from the first repeat, time.* stripped (wall time
+  // lives in median_s; the counters are there to tell a "got slower" from a
+  // "does more work" regression).
+  std::map<std::string, std::int64_t> counters;
+};
+
+struct Trajectory {
+  std::string schema = kTrajectorySchema;
+  std::string utc_date;  // YYYYMMDD
+  std::string git_sha;
+  Fingerprint fingerprint;
+  std::int64_t rss_peak_kb = 0;      // VmHWM at end of run
+  std::int64_t metrics_samples = 0;  // sampler lines behind this run (0 = unsampled)
+  std::vector<BenchResult> benches;
+};
+
+std::string trajectory_to_json(const Trajectory& t);
+bool trajectory_from_json(const std::string& text, Trajectory* out,
+                          std::string* error);
+
+// "BENCH_<utc_date>_<git_sha>.json"
+std::string default_trajectory_filename(const Trajectory& t);
+
+std::string utc_date_string();
+// RTLSAT_GIT_SHA env override, else `git rev-parse --short HEAD`, else
+// "unknown" (the override is what CI and tests pin).
+std::string git_sha_or_fallback();
+
+struct CompareOptions {
+  // Regression when current_median > max_ratio * max(baseline_median,
+  // min_seconds); the floor keeps microsecond-scale benches from flapping
+  // on scheduler noise.
+  double max_ratio = 1.5;
+  double min_seconds = 0.005;
+  bool force = false;  // compare even across differing fingerprints
+};
+
+struct CompareReport {
+  enum class Status { kOk, kSkipped, kRegression };
+  Status status = Status::kOk;
+  std::vector<std::string> lines;        // one human-readable line per bench
+  std::vector<std::string> regressions;  // subset that crossed the threshold
+};
+
+CompareReport compare_trajectories(const Trajectory& baseline,
+                                   const Trajectory& current,
+                                   const CompareOptions& options);
+
+}  // namespace rtlsat::metrics

@@ -6,6 +6,9 @@
 #include <thread>
 
 #include "bitblast/bitblast.h"
+#include "metrics/solver_gauges.h"
+#include "trace/progress.h"
+#include "trace/sink.h"
 #include "util/stop_token.h"
 #include "util/timer.h"
 
@@ -86,6 +89,11 @@ struct WorkerSlot {
   WorkerConfig config;
   std::unique_ptr<PoolExchange> exchange;
   std::unique_ptr<core::HdpllSolver> solver;  // HDPLL workers only
+  // Per-worker telemetry, registered before the race so the sampler sees
+  // every worker from its first scrape (and lifetime safely spans the
+  // post-race cross-check, which still publishes final counters).
+  metrics::SolverGauges gauges;
+  std::unique_ptr<trace::ProgressReporter> progress;
   char verdict = '?';
   double seconds = 0;
   std::unordered_map<NetId, std::int64_t> model;
@@ -134,6 +142,20 @@ PortfolioResult Portfolio::solve() {
     slots[i].config = lineup_[i];
     if (share && !lineup_[i].bitblast)
       slots[i].exchange = std::make_unique<PoolExchange>(&pool, i);
+    if (options_.metrics != nullptr) {
+      slots[i].gauges = metrics::make_solver_gauges(
+          options_.metrics,
+          {{"worker", std::to_string(i)}, {"name", lineup_[i].name}});
+    }
+    if (options_.progress_sink != nullptr) {
+      trace::ProgressOptions progress_options;
+      progress_options.banner = false;
+      progress_options.interval_seconds = options_.progress_interval_seconds;
+      progress_options.sink = options_.progress_sink;
+      progress_options.label = std::to_string(i) + ":" + lineup_[i].name;
+      slots[i].progress =
+          std::make_unique<trace::ProgressReporter>(progress_options);
+    }
   }
 
   StopSource source;
@@ -151,6 +173,8 @@ PortfolioResult Portfolio::solve() {
       sat_options.stop = token;
       sat_options.self_check = options_.self_check;
       sat_options.tracer = options_.tracer;
+      if (options_.metrics != nullptr) sat_options.gauges = &slot.gauges;
+      sat_options.progress = slot.progress.get();
       const bitblast::CheckResult check =
           bitblast::check_sat(circuit_, goal_, goal_value_, sat_options);
       slot.verdict = sat_verdict(check.result);
@@ -161,6 +185,8 @@ PortfolioResult Portfolio::solve() {
       hdpll_options.self_check = options_.self_check;
       hdpll_options.tracer = options_.tracer;
       hdpll_options.exchange = slot.exchange.get();
+      if (options_.metrics != nullptr) hdpll_options.gauges = &slot.gauges;
+      hdpll_options.progress = slot.progress.get();
       slot.solver =
           std::make_unique<core::HdpllSolver>(circuit_, hdpll_options);
       slot.solver->assume_bool(goal_, goal_value_);

@@ -71,6 +71,8 @@ void Engine::record_event(NetId net, const Interval& next, ReasonKind kind,
                     static_cast<std::int64_t>(next.count()));
   }
   trail_.push_back(std::move(ev));
+  antecedent_bytes_ += static_cast<std::int64_t>(
+      trail_.back().antecedents.capacity() * sizeof(std::int32_t));
   enqueue_neighbourhood(net);
 }
 
@@ -148,6 +150,8 @@ void Engine::rollback_to(std::size_t mark) {
     const Event& ev = trail_.back();
     domain_[ev.net] = ev.prev;
     latest_[ev.net] = ev.prev_on_net;
+    antecedent_bytes_ -= static_cast<std::int64_t>(
+        ev.antecedents.capacity() * sizeof(std::int32_t));
     trail_.pop_back();
   }
   for (NetId q : queue_) in_queue_[q] = false;

@@ -133,6 +133,18 @@ class Engine {
     return num_datapath_narrowings_;
   }
 
+  // Instrumented heap accounting for the metrics sampler (O(1) reads; see
+  // src/metrics/memory.h). The implication graph is the trail plus the
+  // per-event antecedent arrays, tracked incrementally as events are
+  // recorded and rolled back; the interval store is the domain vector.
+  std::int64_t implication_graph_bytes() const {
+    return static_cast<std::int64_t>(trail_.capacity() * sizeof(Event)) +
+           antecedent_bytes_;
+  }
+  std::int64_t interval_store_bytes() const {
+    return static_cast<std::int64_t>(domain_.capacity() * sizeof(Interval));
+  }
+
   // Observability: conflicts are recorded as kPropConflict events and, when
   // the tracer is verbose, every narrowing as a kNarrowing event. Defaults
   // to trace::global() (disabled unless RTLSAT_TRACE is set); the owning
@@ -176,6 +188,7 @@ class Engine {
   static constexpr std::int32_t kStopCheckInterval = 4096;
   std::size_t low_water_ = 0;
   std::uint32_t level_ = 0;
+  std::int64_t antecedent_bytes_ = 0;
   std::int64_t num_propagations_ = 0;
   std::int64_t num_datapath_narrowings_ = 0;
   std::vector<Narrowing> scratch_;

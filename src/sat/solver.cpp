@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "metrics/solver_gauges.h"
 #include "proof/drat.h"
 #include "trace/progress.h"
 #include "trace/trace.h"
@@ -37,7 +38,8 @@ Solver::Solver(SolverOptions options)
       h_learned_len_(stats_.histogram("sat.learned_clause_len")),
       h_backjump_(stats_.histogram("sat.backjump_distance")),
       tracer_(options.tracer != nullptr ? options.tracer : &trace::global()),
-      progress_(options.progress) {
+      progress_(options.progress),
+      gauges_(options.gauges) {
   drat_ = options.drat;
 }
 
@@ -97,6 +99,8 @@ void Solver::add_clause(std::vector<Lit> lits) {
   Clause c;
   c.lits = std::move(kept);
   clauses_.push_back(std::move(c));
+  lits_heap_bytes_ += static_cast<std::int64_t>(
+      clauses_.back().lits.capacity() * sizeof(Lit));
   attach(static_cast<ClauseRef>(clauses_.size() - 1));
 }
 
@@ -331,6 +335,8 @@ void Solver::reduce_db() {
     if (locked[learnts[i]]) continue;
     // The 'd' line must capture the literals before they are freed.
     if (drat_ != nullptr) drat_->deleted(to_dimacs(clauses_[learnts[i]].lits));
+    lits_heap_bytes_ -= static_cast<std::int64_t>(
+        clauses_[learnts[i]].lits.capacity() * sizeof(Lit));
     clauses_[learnts[i]].deleted = true;
     clauses_[learnts[i]].lits.clear();
     clauses_[learnts[i]].lits.shrink_to_fit();
@@ -508,12 +514,42 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     s.level = static_cast<std::uint32_t>(trail_lim_.size());
     progress_->finish(s);
   }
+  publish_metrics();
+  if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kIdle);
   tracer_->flush();
   return result;
 }
 
+void Solver::publish_metrics() {
+  if (gauges_ == nullptr) return;
+  gauges_->decisions->set(n_decisions_);
+  gauges_->conflicts->set(n_conflicts_);
+  gauges_->propagations->set(n_propagations_);
+  gauges_->restarts->set(n_restarts_);
+  gauges_->learnt_clauses->set(static_cast<std::int64_t>(learnt_count_));
+  gauges_->trail->set(static_cast<std::int64_t>(trail_.size()));
+  gauges_->level->set(static_cast<std::int64_t>(trail_lim_.size()));
+  gauges_->clause_db_bytes->set(memory_bytes());
+  // The trail with its reason/level side arrays is this solver's analogue
+  // of the hybrid implication graph; there is no interval store.
+  gauges_->implication_graph_bytes->set(static_cast<std::int64_t>(
+      trail_.capacity() * sizeof(Lit) + reason_.capacity() * sizeof(ClauseRef) +
+      level_.capacity() * sizeof(int)));
+}
+
+void Solver::record_lbd(const std::vector<Lit>& learnt) {
+  if (gauges_ == nullptr || gauges_->lbd == nullptr) return;
+  lbd_scratch_.clear();
+  for (const Lit l : learnt) lbd_scratch_.push_back(level_[l.var()]);
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  const auto distinct = std::unique(lbd_scratch_.begin(), lbd_scratch_.end()) -
+                        lbd_scratch_.begin();
+  gauges_->lbd->observe(static_cast<std::int64_t>(distinct));
+}
+
 Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::kUnsat;
+  if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kSearch);
   Timer timer;
   const StopToken stop = options_.stop.with_deadline(options_.timeout_seconds);
   max_learnts_ = std::max<std::size_t>(clauses_.size() / 3, 1000);
@@ -559,6 +595,8 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
       if (drat_ != nullptr) drat_->learned(to_dimacs(learnt));
       h_learned_len_.add(static_cast<std::int64_t>(learnt.size()));
       h_backjump_.add(static_cast<std::int64_t>(level) - bt_level);
+      record_lbd(learnt);
+      publish_metrics();
       tracer_->record(trace::EventKind::kLearnedClause, level,
                       static_cast<std::int64_t>(learnt.size()), bt_level);
       tracer_->record(trace::EventKind::kBacktrack, level, level, bt_level);
@@ -571,6 +609,8 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
         c.learnt = true;
         c.activity = clause_inc_;
         clauses_.push_back(std::move(c));
+        lits_heap_bytes_ += static_cast<std::int64_t>(
+            clauses_.back().lits.capacity() * sizeof(Lit));
         attach(static_cast<ClauseRef>(clauses_.size() - 1));
         ++learnt_count_;
         enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));

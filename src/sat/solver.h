@@ -27,6 +27,10 @@ namespace rtlsat::proof {
 class DratWriter;
 }  // namespace rtlsat::proof
 
+namespace rtlsat::metrics {
+struct SolverGauges;
+}  // namespace rtlsat::metrics
+
 namespace rtlsat::sat {
 
 using Var = std::uint32_t;
@@ -90,6 +94,12 @@ struct SolverOptions {
   // refutation concluded) — nothing on the propagation hot path changes.
   // Borrowed; must outlive the solver.
   proof::DratWriter* drat = nullptr;
+
+  // Live telemetry (src/metrics), mirroring HdpllOptions::gauges: counter,
+  // memory and LBD publication into registry handles at conflict
+  // boundaries. Null (the default) costs one predicted branch per conflict.
+  // Borrowed; must outlive the solver.
+  metrics::SolverGauges* gauges = nullptr;
 };
 
 class Solver {
@@ -121,6 +131,12 @@ class Solver {
 
   const Stats& stats() const { return stats_; }
 
+  // Instrumented heap bytes: clause vector + literal arrays (maintained by
+  // add_clause/learnt push/reduce_db) — watch lists excluded, same
+  // convention as core::ClauseDb::memory_bytes(). Defined below the class
+  // (needs the private Clause type complete).
+  std::int64_t memory_bytes() const;
+
  private:
   struct Clause {
     std::vector<Lit> lits;
@@ -150,6 +166,12 @@ class Solver {
   void reduce_db();
   void attach(ClauseRef c);
   static std::int64_t luby(std::int64_t i);
+  // Live-telemetry publication (no-ops when options_.gauges is null); the
+  // LBD of a learned clause is read off level_ before the backtrack and
+  // recorded only into the registry histogram (not stats_), keeping bench
+  // output byte-identical with and without sampling.
+  void publish_metrics();
+  void record_lbd(const std::vector<Lit>& learnt);
 
   SolverOptions options_;
   std::vector<Clause> clauses_;
@@ -191,6 +213,14 @@ class Solver {
   Histogram& h_backjump_;
   trace::Tracer* tracer_;              // never null after construction
   trace::ProgressReporter* progress_;  // may be null
+  metrics::SolverGauges* gauges_;      // may be null
+  std::int64_t lits_heap_bytes_ = 0;
+  std::vector<int> lbd_scratch_;
 };
+
+inline std::int64_t Solver::memory_bytes() const {
+  return static_cast<std::int64_t>(clauses_.capacity() * sizeof(Clause)) +
+         lits_heap_bytes_;
+}
 
 }  // namespace rtlsat::sat

@@ -1,0 +1,80 @@
+#include "trace/crash.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace rtlsat::trace {
+
+namespace {
+
+struct Registration {
+  int id = 0;
+  CrashFlushFn fn = nullptr;
+  void* ctx = nullptr;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Registration> entries;
+  int next_id = 1;
+};
+
+// Leaked on purpose: the signal/atexit hooks may fire during static
+// destruction, after a normal static would already be gone.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void handle_fatal_signal(int sig) {
+  run_crash_flush(/*finalize=*/true);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void atexit_hook() { run_crash_flush(/*finalize=*/false); }
+
+void install_hooks_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::atexit(atexit_hook);
+    std::signal(SIGINT, handle_fatal_signal);
+    std::signal(SIGTERM, handle_fatal_signal);
+    std::signal(SIGABRT, handle_fatal_signal);
+  });
+}
+
+}  // namespace
+
+int register_crash_flush(CrashFlushFn fn, void* ctx) {
+  install_hooks_once();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const int id = r.next_id++;
+  r.entries.push_back({id, fn, ctx});
+  return id;
+}
+
+void unregister_crash_flush(int id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto it = r.entries.begin(); it != r.entries.end(); ++it) {
+    if (it->id == id) {
+      r.entries.erase(it);
+      return;
+    }
+  }
+}
+
+void run_crash_flush(bool finalize) {
+  Registry& r = registry();
+  // try_lock: if the crash interrupted a register/unregister we skip rather
+  // than deadlock — this whole path is best-effort.
+  std::unique_lock<std::mutex> lock(r.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  for (const Registration& reg : r.entries) reg.fn(reg.ctx, finalize);
+}
+
+}  // namespace rtlsat::trace

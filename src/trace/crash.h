@@ -1,0 +1,34 @@
+// Best-effort flush of buffered telemetry sinks on abnormal exit.
+//
+// The Tracer amortises file I/O over a ring of ~16k events, so a run killed
+// by Ctrl-C, a timeout SIGTERM, or an assertion abort() used to lose up to a
+// ring's worth of tail events (and the Chrome trace was left without its
+// closing footer, unparseable). Objects owning buffered sinks register a
+// flush callback here; the callbacks run
+//   - from an atexit hook (covers std::exit paths that skip local
+//     destructors), and
+//   - from fatal-signal handlers for SIGINT, SIGTERM and SIGABRT, which
+//     flush, restore the default disposition and re-raise.
+// SIGSEGV/SIGBUS are deliberately NOT hooked: the sanitizer runtimes own
+// those, and flushing from a corrupted process is not worth racing them.
+//
+// Callbacks must be best-effort re-entrancy-safe: use try_lock, skip work
+// if the lock is held, never allocate. `finalize` is true on the signal
+// path (no destructors will run afterwards — write footers), false on the
+// atexit path (destructors may still finalize the files properly).
+#pragma once
+
+namespace rtlsat::trace {
+
+using CrashFlushFn = void (*)(void* ctx, bool finalize);
+
+// Registers a callback; returns an id for unregister_crash_flush. The first
+// registration installs the atexit hook and signal handlers (once per
+// process). Thread-safe.
+int register_crash_flush(CrashFlushFn fn, void* ctx);
+void unregister_crash_flush(int id);
+
+// Runs every registered callback (used by the hooks; exposed for tests).
+void run_crash_flush(bool finalize);
+
+}  // namespace rtlsat::trace

@@ -49,10 +49,11 @@ void ProgressReporter::emit(const ProgressSnapshot& snapshot, double now) {
                  static_cast<long long>(snapshot.trail), snapshot.level);
     std::fflush(options_.stream);
   }
-  if (jsonl_file_ != nullptr) {
+  if (jsonl_file_ != nullptr || options_.sink != nullptr) {
     JsonWriter w;
     w.begin_object();
     w.key("t_s").value(now);
+    if (!options_.label.empty()) w.key("worker").value(options_.label);
     w.key("conflicts").value(snapshot.conflicts);
     w.key("decisions").value(snapshot.decisions);
     w.key("propagations").value(snapshot.propagations);
@@ -61,8 +62,11 @@ void ProgressReporter::emit(const ProgressSnapshot& snapshot, double now) {
     w.key("trail").value(snapshot.trail);
     w.key("level").value(static_cast<std::int64_t>(snapshot.level));
     w.end_object();
-    std::fprintf(jsonl_file_, "%s\n", w.str().c_str());
-    std::fflush(jsonl_file_);
+    if (jsonl_file_ != nullptr) {
+      std::fprintf(jsonl_file_, "%s\n", w.str().c_str());
+      std::fflush(jsonl_file_);
+    }
+    if (options_.sink != nullptr) options_.sink->write_line(w.str());
   }
   if (options_.tracer != nullptr) {
     options_.tracer->record(EventKind::kProgress, snapshot.level,

@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "trace/sink.h"
 #include "trace/trace.h"
 
 namespace rtlsat::trace {
@@ -38,6 +39,11 @@ struct ProgressOptions {
   // Tests substitute a fake clock to verify the cadence.
   std::function<double()> clock;
   Tracer* tracer = nullptr;      // also emit kProgress events; may be null
+  // Shared heartbeat sink (portfolio mode): each worker's reporter writes
+  // into one JsonlSink, tagging lines with `label` as a "worker" field so
+  // the streams stay distinguishable. May be combined with jsonl_path.
+  JsonlSink* sink = nullptr;
+  std::string label;
 };
 
 class ProgressReporter {

@@ -1,0 +1,33 @@
+#include "trace/sink.h"
+
+namespace rtlsat::trace {
+
+JsonlSink::JsonlSink(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+JsonlSink::~JsonlSink() { close(); }
+
+void JsonlSink::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+std::int64_t JsonlSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void JsonlSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace rtlsat::trace

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "trace/crash.h"
 #include "trace/json.h"
 #include "util/assert.h"
 
@@ -98,6 +99,13 @@ Tracer::Tracer(TracerOptions options) : options_(std::move(options)) {
   }
   if (any_sink) ring_.reserve(options_.ring_capacity);
   enabled_.store(any_sink, std::memory_order_relaxed);
+  if (jsonl_file_ != nullptr || chrome_file_ != nullptr) {
+    crash_id_ = register_crash_flush(
+        [](void* ctx, bool finalize) {
+          static_cast<Tracer*>(ctx)->crash_flush(finalize);
+        },
+        this);
+  }
 }
 
 Tracer::~Tracer() { close(); }
@@ -234,19 +242,39 @@ void Tracer::flush() {
 }
 
 void Tracer::close() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (closed_) return;
-  closed_ = true;
-  flush_locked();
-  enabled_.store(false, std::memory_order_relaxed);
-  if (jsonl_file_ != nullptr) {
-    std::fclose(jsonl_file_);
-    jsonl_file_ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    flush_locked();
+    enabled_.store(false, std::memory_order_relaxed);
+    if (jsonl_file_ != nullptr) {
+      std::fclose(jsonl_file_);
+      jsonl_file_ = nullptr;
+    }
+    if (chrome_file_ != nullptr) {
+      if (!chrome_footer_written_) std::fputs("]}\n", chrome_file_);
+      std::fclose(chrome_file_);
+      chrome_file_ = nullptr;
+    }
   }
+  if (crash_id_ >= 0) {
+    unregister_crash_flush(crash_id_);
+    crash_id_ = -1;
+  }
+}
+
+void Tracer::crash_flush(bool finalize) {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock() || closed_) return;
+  flush_locked();
+  if (jsonl_file_ != nullptr) std::fflush(jsonl_file_);
   if (chrome_file_ != nullptr) {
-    std::fputs("]}\n", chrome_file_);
-    std::fclose(chrome_file_);
-    chrome_file_ = nullptr;
+    if (finalize && !chrome_footer_written_) {
+      std::fputs("]}\n", chrome_file_);
+      chrome_footer_written_ = true;
+    }
+    std::fflush(chrome_file_);
   }
 }
 

@@ -123,6 +123,11 @@ class Tracer {
   // Flushes and finalizes the sink files (writes the Chrome JSON footer).
   // The tracer is disabled afterwards. Idempotent; also run by ~Tracer.
   void close();
+  // Best-effort flush for the crash.h registry (atexit / fatal signal):
+  // try_lock, drain the ring, fflush; with `finalize` also write the Chrome
+  // footer since no destructor will run. Never blocks, never allocates the
+  // lock. A tracer with file sinks registers itself automatically.
+  void crash_flush(bool finalize);
 
   std::int64_t events_recorded() const;
   // collect_in_memory mode: moves out everything recorded so far.
@@ -149,7 +154,9 @@ class Tracer {
   std::FILE* jsonl_file_ = nullptr;
   std::FILE* chrome_file_ = nullptr;
   bool chrome_first_event_ = true;
+  bool chrome_footer_written_ = false;
   bool closed_ = false;
+  int crash_id_ = -1;
 };
 
 // Process-wide tracer, initialized once from RTLSAT_TRACE (see header
