@@ -1,0 +1,319 @@
+// Load generator for rtlsat-serve (docs/serve.md "Load generation").
+//
+// Drives N concurrent client connections against a server — an in-process
+// one by default, or an external daemon via --port — and reports p50/p99
+// request latency and jobs/sec for three workloads:
+//
+//   cold   every request solved fresh (cache bypassed via cache:false)
+//   warm   one priming solve, then every request is a structural cache hit
+//   mixed  round-robin over K distinct instances with the cache on — the
+//          first touch of each instance misses, the rest hit
+//
+// The warm/cold p50 ratio is the headline number for the result cache; the
+// serve-smoke CI job runs `--check-speedup 10` and fails the build when a
+// warm hit is not at least 10x faster than a cold solve.
+//
+//   $ ./loadgen [--port P] [--clients N] [--requests M] [--instances K]
+//               [--bound B] [--workers W] [--jobs J] [--json PATH]
+//               [--check-speedup X] [--workload cold|warm|mixed|all]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bmc/unroll.h"
+#include "itc99/itc99.h"
+#include "parser/rtl_format.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "trace/json.h"
+#include "util/timer.h"
+
+using namespace rtlsat;
+
+namespace {
+
+struct Args {
+  int port = 0;          // 0 = spawn an in-process server
+  int clients = 4;
+  int requests = 8;      // per client, per workload
+  int instances = 4;     // distinct instances for the mixed workload
+  int bound = 6;         // BMC unroll depth of the generated instances
+  int workers = 2;       // in-process server: solve workers
+  int jobs = 2;          // portfolio width per job
+  std::string json_path;
+  double check_speedup = 0;  // 0 = no gate
+  std::string workload = "all";
+};
+
+struct Instance {
+  std::string rtl;
+  std::string goal;
+};
+
+struct WorkloadReport {
+  std::string name;
+  int clients = 0;
+  int requests = 0;  // total across clients
+  int ok = 0;
+  int errors = 0;
+  int cache_hits = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  double jobs_per_second = 0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// K distinct BMC instances: the same ITC'99 model at different bounds, so
+// the cones differ structurally and never collide in the cache.
+std::vector<Instance> make_instances(int count, int base_bound) {
+  std::vector<Instance> out;
+  const ir::SeqCircuit seq = itc99::build_b01();
+  for (int i = 0; i < count; ++i) {
+    bmc::BmcInstance bmc = bmc::unroll(seq, "1", base_bound + i);
+    // The unroller's display name ("b01_1(6)") is not an .rtl token; give
+    // the serialized circuit a parseable one.
+    bmc.circuit.set_name("b01_1_k" + std::to_string(base_bound + i));
+    Instance inst;
+    inst.rtl = parser::write_circuit(bmc.circuit);
+    inst.goal = bmc.circuit.net_name(bmc.goal);
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+WorkloadReport run_workload(const Args& args, int port,
+                            const std::string& name,
+                            const std::vector<Instance>& instances,
+                            bool use_cache) {
+  WorkloadReport report;
+  report.name = name;
+  report.clients = args.clients;
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(args.clients));
+  std::vector<int> oks(static_cast<std::size_t>(args.clients), 0);
+  std::vector<int> errors(static_cast<std::size_t>(args.clients), 0);
+  std::vector<int> hits(static_cast<std::size_t>(args.clients), 0);
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(args.clients));
+  for (int c = 0; c < args.clients; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      std::string error;
+      if (!client.connect("127.0.0.1", port, &error)) {
+        errors[static_cast<std::size_t>(c)] = args.requests;
+        return;
+      }
+      for (int r = 0; r < args.requests; ++r) {
+        // Interleave clients across instances so concurrent identical
+        // queries happen (the dequeue-time cache recheck's territory).
+        const Instance& inst =
+            instances[static_cast<std::size_t>(c + r) % instances.size()];
+        serve::SolveRequest request;
+        request.rtl = inst.rtl;
+        request.goal = inst.goal;
+        request.use_cache = use_cache;
+        request.jobs = args.jobs;
+        serve::ResultMsg result;
+        Timer latency;
+        if (!client.solve(request, &result, &error)) {
+          ++errors[static_cast<std::size_t>(c)];
+          if (!client.connected() &&
+              !client.connect("127.0.0.1", port, &error)) {
+            errors[static_cast<std::size_t>(c)] += args.requests - r - 1;
+            return;
+          }
+          continue;
+        }
+        latencies[static_cast<std::size_t>(c)].push_back(latency.seconds() *
+                                                         1e3);
+        ++oks[static_cast<std::size_t>(c)];
+        if (result.cache_hit) ++hits[static_cast<std::size_t>(c)];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_seconds = wall.seconds();
+
+  std::vector<double> all;
+  for (int c = 0; c < args.clients; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    all.insert(all.end(), latencies[ci].begin(), latencies[ci].end());
+    report.ok += oks[ci];
+    report.errors += errors[ci];
+    report.cache_hits += hits[ci];
+  }
+  report.requests = args.clients * args.requests;
+  std::sort(all.begin(), all.end());
+  report.p50_ms = percentile(all, 0.5);
+  report.p99_ms = percentile(all, 0.99);
+  double sum = 0;
+  for (const double ms : all) sum += ms;
+  report.mean_ms = all.empty() ? 0 : sum / static_cast<double>(all.size());
+  report.jobs_per_second =
+      wall_seconds > 0 ? static_cast<double>(report.ok) / wall_seconds : 0;
+  return report;
+}
+
+void print_report(const WorkloadReport& r) {
+  std::printf("%-6s clients=%d requests=%d ok=%d errors=%d hits=%d  "
+              "p50=%.3fms p99=%.3fms mean=%.3fms  %.1f jobs/s\n",
+              r.name.c_str(), r.clients, r.requests, r.ok, r.errors,
+              r.cache_hits, r.p50_ms, r.p99_ms, r.mean_ms,
+              r.jobs_per_second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  const auto next_arg = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--port") == 0) args.port = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--clients") == 0) args.clients = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--requests") == 0) args.requests = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--instances") == 0) args.instances = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--bound") == 0) args.bound = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--workers") == 0) args.workers = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--jobs") == 0) args.jobs = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--json") == 0) args.json_path = next_arg(&i);
+    else if (std::strcmp(arg, "--check-speedup") == 0) args.check_speedup = std::atof(next_arg(&i));
+    else if (std::strcmp(arg, "--workload") == 0) args.workload = next_arg(&i);
+    else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+
+  const std::vector<Instance> instances =
+      make_instances(std::max(args.instances, 1), args.bound);
+  const std::vector<Instance> single(instances.begin(),
+                                     instances.begin() + 1);
+
+  std::unique_ptr<serve::Server> server;
+  int port = args.port;
+  if (port == 0) {
+    serve::ServerOptions options;
+    options.solve_workers = args.workers;
+    options.solve_jobs = args.jobs;
+    server = std::make_unique<serve::Server>(options);
+    std::string error;
+    if (!server->start(&error)) {
+      std::fprintf(stderr, "error: cannot start server: %s\n", error.c_str());
+      return 1;
+    }
+    port = server->port();
+    std::printf("in-process server on port %d (%d workers)\n", port,
+                args.workers);
+  }
+
+  const bool all = args.workload == "all";
+  std::vector<WorkloadReport> reports;
+  double cold_p50 = 0;
+  double warm_p50 = 0;
+  if (all || args.workload == "cold") {
+    reports.push_back(run_workload(args, port, "cold", single, false));
+    cold_p50 = reports.back().p50_ms;
+    print_report(reports.back());
+  }
+  if (all || args.workload == "warm") {
+    // Prime the cache once so every timed request can hit.
+    serve::Client primer;
+    std::string error;
+    serve::ResultMsg primed;
+    serve::SolveRequest prime;
+    prime.rtl = single[0].rtl;
+    prime.goal = single[0].goal;
+    if (!primer.connect("127.0.0.1", port, &error) ||
+        !primer.solve(prime, &primed, &error)) {
+      std::fprintf(stderr, "error: warm priming failed: %s\n", error.c_str());
+      return 1;
+    }
+    reports.push_back(run_workload(args, port, "warm", single, true));
+    warm_p50 = reports.back().p50_ms;
+    print_report(reports.back());
+  }
+  if (all || args.workload == "mixed") {
+    reports.push_back(run_workload(args, port, "mixed", instances, true));
+    print_report(reports.back());
+  }
+
+  double speedup = 0;
+  if (cold_p50 > 0 && warm_p50 > 0) {
+    speedup = cold_p50 / warm_p50;
+    std::printf("warm speedup: %.1fx (cold p50 %.3fms / warm p50 %.3fms)\n",
+                speedup, cold_p50, warm_p50);
+  }
+
+  int total_errors = 0;
+  for (const WorkloadReport& r : reports) total_errors += r.errors;
+
+  if (!args.json_path.empty()) {
+    trace::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value("loadgen");
+    w.key("workloads").begin_array();
+    for (const WorkloadReport& r : reports) {
+      w.begin_object();
+      w.key("workload").value(r.name);
+      w.key("clients").value(r.clients);
+      w.key("requests").value(r.requests);
+      w.key("ok").value(r.ok);
+      w.key("errors").value(r.errors);
+      w.key("cache_hits").value(r.cache_hits);
+      w.key("p50_ms").value(r.p50_ms);
+      w.key("p99_ms").value(r.p99_ms);
+      w.key("mean_ms").value(r.mean_ms);
+      w.key("jobs_per_s").value(r.jobs_per_second);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("warm_speedup").value(speedup);
+    w.end_object();
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   args.json_path.c_str());
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  if (server != nullptr) {
+    server->drain();
+    server->wait();
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr, "FAIL: %d request errors\n", total_errors);
+    return 1;
+  }
+  if (args.check_speedup > 0 && speedup < args.check_speedup) {
+    std::fprintf(stderr, "FAIL: warm speedup %.1fx below the %.1fx gate\n",
+                 speedup, args.check_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -23,7 +23,10 @@
 
 #include "bench_common.h"
 #include "metrics/trajectory.h"
+#include "parser/rtl_format.h"
 #include "sat/solver.h"
+#include "serve/client.h"
+#include "serve/server.h"
 
 using namespace rtlsat;
 using namespace rtlsat::bench;
@@ -114,6 +117,38 @@ std::vector<Workload> workloads() {
                                              true, options);
                    const portfolio::PortfolioResult result = race.solve();
                    counters_from_stats(result.stats, counters);
+                 }});
+  out.push_back({"serve.warm_cache", [](auto* counters) {
+                   // Warm-cache serve throughput: one priming solve, then
+                   // 256 byte-identical queries over a real TCP loopback
+                   // connection, all expected to hit the exact-text cache
+                   // tier. A regression here means the hit path (framing,
+                   // cache lookup, result encode) got slower.
+                   const ir::SeqCircuit seq = itc99::build("b01");
+                   bmc::BmcInstance bmc = bmc::unroll(seq, "1", 6);
+                   bmc.circuit.set_name("b01_1_k6");
+                   serve::Server server{serve::ServerOptions{}};
+                   std::string error;
+                   if (!server.start(&error)) return;
+                   serve::Client client;
+                   if (!client.connect("127.0.0.1", server.port(), &error))
+                     return;
+                   serve::SolveRequest request;
+                   request.rtl = parser::write_circuit(bmc.circuit);
+                   request.goal = bmc.circuit.net_name(bmc.goal);
+                   request.deterministic = true;
+                   constexpr int kQueries = 256;
+                   std::int64_t hits = 0;
+                   for (int i = 0; i < kQueries + 1; ++i) {
+                     serve::ResultMsg result;
+                     if (!client.solve(request, &result, &error)) break;
+                     if (result.cache_hit) ++hits;
+                   }
+                   (*counters)["serve.requests"] = kQueries + 1;
+                   (*counters)["serve.cache_hits"] = hits;
+                   client.disconnect();
+                   server.drain();
+                   server.wait();
                  }});
   return out;
 }

@@ -8,6 +8,7 @@
 //   $ ./bench_json_validate jsonl  out.jsonl           # tracer JSONL lines
 //   $ ./bench_json_validate timeseries ts.jsonl        # sampler time series
 //   $ ./bench_json_validate trajectory BENCH_*.json    # trajectory runner
+//   $ ./bench_json_validate loadgen loadgen.json       # serve loadgen --json
 //   $ ./bench_json_validate counters a.json b.json     # two bench --json
 //                              # files must have identical solver counters
 //                              # (time.* stripped) — the zero-drift gate
@@ -187,12 +188,17 @@ bool validate_chrome(const std::string& text) {
 }
 
 // One JSON object per line, each with t_us/kind (trace events) or
-// t_seconds/conflicts (progress heartbeats).
+// t_seconds/conflicts (progress heartbeats). Heartbeats come in two
+// accepted forms: the pre-versioning shape (no "v") and the versioned
+// shape, which must carry v == 1 and a numeric, per-stream non-decreasing
+// sequence number "seq" (streams are keyed by the optional "worker" label —
+// the serve wire protocol relies on both fields to detect dropped lines).
 bool validate_jsonl(const std::string& text) {
   std::istringstream lines(text);
   std::string line;
   std::size_t count = 0;
   std::size_t lineno = 0;
+  std::map<std::string, double> last_seq;
   while (std::getline(lines, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -214,6 +220,21 @@ bool validate_jsonl(const std::string& text) {
     } else {
       if (!require_number(doc, "conflicts", where)) return false;
       if (!require_number(doc, "decisions", where)) return false;
+      const JsonValue* version = doc.find("v");
+      if (version != nullptr) {
+        if (!version->is_number() || version->number != 1)
+          return fail(where + ": unsupported heartbeat schema version");
+        if (!require_number(doc, "seq", where)) return false;
+        const JsonValue* worker = doc.find("worker");
+        const std::string stream =
+            worker != nullptr && worker->is_string() ? worker->string : "";
+        const double seq = doc.find("seq")->number;
+        const auto it = last_seq.find(stream);
+        if (it != last_seq.end() && seq <= it->second)
+          return fail(where + ": heartbeat seq did not advance for stream '" +
+                      stream + "'");
+        last_seq[stream] = seq;
+      }
     }
     ++count;
   }
@@ -292,6 +313,56 @@ bool validate_trajectory(const std::string& text) {
   return true;
 }
 
+// Serve loadgen output (docs/serve.md "Load generation"):
+// {"bench": "loadgen", "workloads": [{workload, clients, requests, ok,
+//  errors, cache_hits, p50_ms, p99_ms, mean_ms, jobs_per_s}],
+//  "warm_speedup": X}. The CI serve-smoke job additionally requires the
+// warm workload to be all cache hits and every request to have succeeded.
+bool validate_loadgen(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  if (!json_parse(text, &doc, &error)) return fail(error);
+  if (!doc.is_object()) return fail("top level is not an object");
+  const JsonValue* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string != "loadgen")
+    return fail("top level: 'bench' is not \"loadgen\"");
+  if (!require_number(doc, "warm_speedup", "top level")) return false;
+  const JsonValue* workloads = doc.find("workloads");
+  if (workloads == nullptr || !workloads->is_array())
+    return fail("top level: missing array field 'workloads'");
+  if (workloads->array.empty()) return fail("no workloads");
+  for (std::size_t i = 0; i < workloads->array.size(); ++i) {
+    const JsonValue& w = workloads->array[i];
+    const std::string where = "workloads[" + std::to_string(i) + "]";
+    if (!w.is_object()) return fail(where + ": not an object");
+    if (!require_string(w, "workload", where)) return false;
+    const std::string& name = w.find("workload")->string;
+    if (name != "cold" && name != "warm" && name != "mixed")
+      return fail(where + ": workload '" + name + "' is not cold/warm/mixed");
+    for (const char* field : {"clients", "requests", "ok", "errors",
+                              "cache_hits", "p50_ms", "p99_ms", "mean_ms",
+                              "jobs_per_s"}) {
+      if (!require_number(w, field, where)) return false;
+    }
+    const double requests = w.find("requests")->number;
+    const double ok = w.find("ok")->number;
+    const double errors = w.find("errors")->number;
+    const double hits = w.find("cache_hits")->number;
+    if (ok + errors != requests)
+      return fail(where + ": ok + errors != requests");
+    if (errors != 0) return fail(where + ": has request errors");
+    if (name == "cold" && hits != 0)
+      return fail(where + ": cold workload saw cache hits");
+    if (name == "warm" && hits != ok)
+      return fail(where + ": warm workload was not all cache hits");
+    if (w.find("p50_ms")->number > w.find("p99_ms")->number)
+      return fail(where + ": p50 exceeds p99");
+  }
+  std::printf("ok: %zu loadgen workloads, warm speedup %.1fx\n",
+              workloads->array.size(), doc.find("warm_speedup")->number);
+  return true;
+}
+
 // Flattens a bench --json document into "instance|config|counter" -> value,
 // dropping time.* (wall-clock buckets legitimately differ run to run).
 bool counter_map(const std::string& text, const std::string& label,
@@ -350,8 +421,8 @@ int main(int argc, char** argv) {
   const int want_files = mode == "counters" ? 2 : 1;
   if (argc != 2 + want_files) {
     std::fprintf(stderr,
-                 "usage: %s <bench|race|chrome|jsonl|timeseries|trajectory> "
-                 "<file>\n       %s counters <file> <file>\n",
+                 "usage: %s <bench|race|chrome|jsonl|timeseries|trajectory"
+                 "|loadgen> <file>\n       %s counters <file> <file>\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -370,6 +441,8 @@ int main(int argc, char** argv) {
     ok = validate_timeseries(text);
   } else if (mode == "trajectory") {
     ok = validate_trajectory(text);
+  } else if (mode == "loadgen") {
+    ok = validate_loadgen(text);
   } else if (mode == "counters") {
     std::string text_b;
     if (!read_file(argv[3], &text_b)) return 1;

@@ -1,0 +1,170 @@
+// Command-line client for rtlsat-serve (docs/serve.md).
+//
+//   $ ./rtlsat_client [--host H] --port P solve <file.rtl> <goal>
+//         [--value 0|1] [--budget S] [--jobs N] [--deterministic]
+//         [--no-cache] [--no-bank] [--progress] [--no-wait]
+//   $ ./rtlsat_client --port P cancel <job>
+//   $ ./rtlsat_client --port P stats
+//   $ ./rtlsat_client --port P ping
+//   $ ./rtlsat_client --port P shutdown
+//
+// solve submits and (unless --no-wait) blocks for the verdict; --progress
+// re-emits the per-worker heartbeat JSONL lines on stdout as they stream.
+// Exit codes: 0 sat/unsat, 1 timeout/cancelled, 2 usage or error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+using namespace rtlsat;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] --port P solve <file.rtl> <goal>\n"
+      "          [--value 0|1] [--budget S] [--jobs N] [--deterministic]\n"
+      "          [--no-cache] [--no-bank] [--progress] [--no-wait]\n"
+      "       %s [--host H] --port P cancel <job> | stats | ping | shutdown\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  serve::SolveRequest request;
+  bool wait_for_result = true;
+  std::vector<const char*> positional;
+
+  const auto next_arg = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0) host = next_arg(&i);
+    else if (std::strcmp(arg, "--port") == 0) port = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--value") == 0) request.value = std::atoi(next_arg(&i)) != 0;
+    else if (std::strcmp(arg, "--budget") == 0) request.budget_seconds = std::atof(next_arg(&i));
+    else if (std::strcmp(arg, "--jobs") == 0) request.jobs = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--deterministic") == 0) request.deterministic = true;
+    else if (std::strcmp(arg, "--no-cache") == 0) request.use_cache = false;
+    else if (std::strcmp(arg, "--no-bank") == 0) request.use_bank = false;
+    else if (std::strcmp(arg, "--progress") == 0) request.progress = true;
+    else if (std::strcmp(arg, "--no-wait") == 0) wait_for_result = false;
+    else positional.push_back(arg);
+  }
+  if (positional.empty() || port <= 0) return usage(argv[0]);
+  const std::string command = positional[0];
+
+  serve::Client client;
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (command == "ping") {
+    if (!client.ping(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (!client.shutdown_server(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("server draining\n");
+    return 0;
+  }
+  if (command == "stats") {
+    serve::ServerStats stats;
+    if (!client.stats(&stats, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("uptime_s         %.1f\n", stats.uptime_seconds);
+    std::printf("connections      %lld\n", static_cast<long long>(stats.connections));
+    std::printf("queue_depth      %lld\n", static_cast<long long>(stats.queue_depth));
+    std::printf("in_flight        %lld\n", static_cast<long long>(stats.in_flight));
+    std::printf("jobs_done        %lld\n", static_cast<long long>(stats.jobs_done));
+    std::printf("jobs_per_s       %.2f\n", stats.jobs_per_second);
+    std::printf("cache_hits       %lld\n", static_cast<long long>(stats.cache_hits));
+    std::printf("cache_misses     %lld\n", static_cast<long long>(stats.cache_misses));
+    std::printf("cache_hit_ratio  %.2f\n", stats.cache_hit_ratio);
+    std::printf("cache_entries    %lld\n", static_cast<long long>(stats.cache_entries));
+    std::printf("bank_pools       %lld\n", static_cast<long long>(stats.bank_pools));
+    return 0;
+  }
+  if (command == "cancel") {
+    if (positional.size() < 2) return usage(argv[0]);
+    const std::uint64_t job =
+        static_cast<std::uint64_t>(std::strtoull(positional[1], nullptr, 10));
+    if (!client.cancel(job, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("cancel requested for job %llu\n",
+                static_cast<unsigned long long>(job));
+    return 0;
+  }
+  if (command != "solve" || positional.size() < 3) return usage(argv[0]);
+
+  if (!read_file(positional[1], &request.rtl)) {
+    std::fprintf(stderr, "error: cannot read %s\n", positional[1]);
+    return 2;
+  }
+  request.goal = positional[2];
+
+  std::uint64_t job = 0;
+  if (!client.submit(request, &job, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "job %llu queued\n",
+               static_cast<unsigned long long>(job));
+  if (!wait_for_result) return 0;
+
+  serve::ResultMsg result;
+  const auto on_progress = [](const std::string& heartbeat) {
+    std::printf("%s\n", heartbeat.c_str());
+  };
+  if (!client.wait(job, &result, &error,
+                   request.progress ? serve::Client::ProgressFn(on_progress)
+                                    : serve::Client::ProgressFn())) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s%s (solve %.3fs, service %.3fs%s%s)\n",
+              result.verdict.c_str(), result.cache_hit ? " [cache hit]" : "",
+              result.solve_seconds, result.service_seconds,
+              result.winner.empty() ? "" : ", winner ",
+              result.winner.c_str());
+  for (const auto& [name, value] : result.model)
+    std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
+  return (result.verdict == "sat" || result.verdict == "unsat") ? 0 : 1;
+}

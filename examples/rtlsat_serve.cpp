@@ -1,0 +1,128 @@
+// The rtlsat-serve daemon: a concurrent solve service with a structural-
+// hash result cache (docs/serve.md).
+//
+//   $ ./rtlsat_serve [--host H] [--port P] [--port-file F] [--workers N]
+//                    [--jobs N] [--queue-cap N] [--cache-cap N]
+//                    [--bank-cap N] [--budget S] [--max-budget S]
+//                    [--metrics <base>] [--sample-ms MS] [--no-verify-hits]
+//
+// Prints "listening on port <P>" once ready (CI and loadgen parse it;
+// --port-file additionally writes the bare port number to F for scripts
+// that start the daemon in the background). SIGTERM/SIGINT drain: stop
+// accepting, finish queued jobs, then exit; a second signal cancels
+// in-flight jobs and exits as soon as they acknowledge.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "serve/server.h"
+#include "trace/sink.h"
+#include "util/log.h"
+
+using namespace rtlsat;
+
+int main(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::string port_file;
+  std::string metrics_base;
+  double sample_ms = 500;
+
+  const auto next_arg = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[*i]);
+      std::exit(2);
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--host") == 0) options.host = next_arg(&i);
+    else if (std::strcmp(arg, "--port") == 0) options.port = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--port-file") == 0) port_file = next_arg(&i);
+    else if (std::strcmp(arg, "--workers") == 0) options.solve_workers = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--jobs") == 0) options.solve_jobs = std::atoi(next_arg(&i));
+    else if (std::strcmp(arg, "--queue-cap") == 0) options.queue_capacity = static_cast<std::size_t>(std::atoi(next_arg(&i)));
+    else if (std::strcmp(arg, "--cache-cap") == 0) options.cache_capacity = static_cast<std::size_t>(std::atoi(next_arg(&i)));
+    else if (std::strcmp(arg, "--bank-cap") == 0) options.bank_capacity = static_cast<std::size_t>(std::atoi(next_arg(&i)));
+    else if (std::strcmp(arg, "--budget") == 0) options.default_budget_seconds = std::atof(next_arg(&i));
+    else if (std::strcmp(arg, "--max-budget") == 0) options.max_budget_seconds = std::atof(next_arg(&i));
+    else if (std::strcmp(arg, "--metrics") == 0) metrics_base = next_arg(&i);
+    else if (std::strcmp(arg, "--sample-ms") == 0) sample_ms = std::atof(next_arg(&i));
+    else if (std::strcmp(arg, "--no-verify-hits") == 0) options.verify_cache_hits = false;
+    else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+
+  // Block the drain signals before any thread exists so every thread
+  // inherits the mask and only the dedicated sigwait thread sees them.
+  sigset_t drain_set;
+  sigemptyset(&drain_set);
+  sigaddset(&drain_set, SIGTERM);
+  sigaddset(&drain_set, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_set, nullptr);
+
+  metrics::MetricsRegistry registry;
+  std::unique_ptr<trace::JsonlSink> metrics_sink;
+  std::unique_ptr<metrics::Sampler> sampler;
+  if (!metrics_base.empty()) {
+    metrics_sink =
+        std::make_unique<trace::JsonlSink>(metrics_base + ".metrics.jsonl");
+    options.metrics = &registry;
+    metrics::SamplerOptions sopts;
+    sopts.sink = metrics_sink.get();
+    sopts.interval_seconds = sample_ms / 1000.0;
+    sampler = std::make_unique<metrics::Sampler>(&registry, sopts);
+  }
+
+  serve::Server server(options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (sampler != nullptr) sampler->start();
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d\n", server.port());
+      std::fclose(f);
+    }
+  }
+  std::printf("listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  // First signal drains, second gives up on in-flight work. Detached: once
+  // wait() returns the process exits and takes the sigwait with it.
+  std::thread([&server, drain_set] {
+    for (int signals = 0;; ++signals) {
+      int sig = 0;
+      if (sigwait(&drain_set, &sig) != 0) return;
+      if (signals == 0) {
+        std::fprintf(stderr, "draining (signal %d)...\n", sig);
+        server.drain();
+      } else {
+        std::fprintf(stderr, "cancelling in-flight jobs...\n");
+        server.shutdown_now();
+        return;
+      }
+    }
+  }).detach();
+
+  server.wait();
+  if (sampler != nullptr) sampler->stop();
+  const serve::ServerStats stats = server.snapshot();
+  std::fprintf(stderr,
+               "served %lld jobs in %.1fs (%.2f jobs/s, cache hit ratio "
+               "%.2f)\n",
+               static_cast<long long>(stats.jobs_done), stats.uptime_seconds,
+               stats.jobs_per_second, stats.cache_hit_ratio);
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "interval/interval_ops.h"
+#include "ir/cone.h"
 #include "ir/structure_check.h"
 
 namespace rtlsat::ir {
@@ -477,6 +478,10 @@ void Circuit::validate() const {
                  defect.message)
                     .c_str());
   });
+}
+
+std::uint64_t Circuit::cone_hash(NetId goal) const {
+  return canonical_cone(*this, goal).hash;
 }
 
 Circuit::OpCounts Circuit::op_counts() const {

@@ -151,6 +151,14 @@ class Circuit {
 
   std::string to_dot() const;
 
+  // Canonical digest of `goal`'s fan-in cone: name-independent, dead-node-
+  // independent, commutative-operand-normalized — isomorphic property cones
+  // hash equal. This is the serve result-cache key (delegates to
+  // ir::canonical_cone, see ir/cone.h; use that directly when the full
+  // canonical text or the input mapping is needed — the 64-bit digest alone
+  // must not be trusted for cache equality).
+  std::uint64_t cone_hash(NetId goal) const;
+
  private:
   NetId push(Node node);
   // Hash-consing lookup; returns kNoNet when no identical node exists.

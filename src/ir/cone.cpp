@@ -1,0 +1,190 @@
+#include "ir/cone.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+
+namespace rtlsat::ir {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the value's bytes, one 64-bit gulp at a time is too weak
+  // for small integers; splitmix the value first so op/width enums spread
+  // over the whole word.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  h ^= v;
+  h *= kFnvPrime;
+  return h;
+}
+
+bool is_commutative(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAdd:
+    case Op::kMin:
+    case Op::kMax:
+    case Op::kEq:
+    case Op::kNe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t node_signature(const Node& n) {
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, static_cast<std::uint64_t>(n.op));
+  h = mix(h, static_cast<std::uint64_t>(n.width));
+  h = mix(h, static_cast<std::uint64_t>(n.imm));
+  h = mix(h, static_cast<std::uint64_t>(n.imm2));
+  return h;
+}
+
+}  // namespace
+
+CanonicalCone canonical_cone(const Circuit& circuit, NetId goal) {
+  RTLSAT_ASSERT(goal < circuit.num_nets());
+  const std::vector<bool> in_cone = cone_of_influence(circuit, goal);
+  const std::size_t n = circuit.num_nets();
+
+  // ---- pass 1 (bottom-up): structural color ignoring node identity.
+  // Node ids are topologically ordered (the builder is append-only), so a
+  // single ascending sweep sees every operand before its reader. Inputs of
+  // equal width start indistinguishable; the top-down pass separates them
+  // by how the cone *uses* them.
+  std::vector<std::uint64_t> down(n, 0);
+  for (NetId id = 0; id < n; ++id) {
+    if (!in_cone[id]) continue;
+    const Node& node = circuit.node(id);
+    std::uint64_t h = node_signature(node);
+    if (is_commutative(node.op)) {
+      std::vector<std::uint64_t> child;
+      child.reserve(node.operands.size());
+      for (NetId o : node.operands) child.push_back(down[o]);
+      std::sort(child.begin(), child.end());
+      for (std::uint64_t c : child) h = mix(h, c);
+    } else {
+      for (NetId o : node.operands) h = mix(h, down[o]);
+    }
+    down[id] = h;
+  }
+
+  // ---- pass 2 (top-down): context color. Walking ids descending visits
+  // every reader before its operands (reverse topological order), so each
+  // node's context is complete before it is propagated further down. The
+  // operand position feeds in only for non-commutative readers, and sibling
+  // contributions combine by wrapping addition — order-independent, as
+  // required for the color to be a graph invariant.
+  std::vector<std::uint64_t> up(n, 0);
+  up[goal] = mix(kFnvOffset, 0x60a1u);  // the goal is the distinguished root
+  for (NetId id = n; id-- > 0;) {
+    if (!in_cone[id]) continue;
+    const Node& node = circuit.node(id);
+    const bool comm = is_commutative(node.op);
+    const std::uint64_t base = mix(mix(up[id], down[id]),
+                                   static_cast<std::uint64_t>(node.op));
+    for (std::size_t p = 0; p < node.operands.size(); ++p) {
+      up[node.operands[p]] += mix(base, comm ? 0 : p + 1);
+    }
+  }
+
+  std::vector<std::uint64_t> color(n, 0);
+  for (NetId id = 0; id < n; ++id) {
+    if (in_cone[id]) color[id] = mix(down[id], up[id]);
+  }
+
+  // ---- canonical order: iterative post-order DFS from the goal, operands
+  // of commutative nodes sorted by color (stable on ties). Every node
+  // finishes after its operands, so the serialization below can reference
+  // operands by canonical index; the goal always finishes last.
+  struct Frame {
+    NetId id;
+    std::size_t next = 0;
+    std::vector<NetId> ops;
+  };
+  const auto ordered_operands = [&](NetId id) {
+    std::vector<NetId> ops = circuit.node(id).operands;
+    if (is_commutative(circuit.node(id).op)) {
+      std::stable_sort(ops.begin(), ops.end(), [&](NetId a, NetId b) {
+        return color[a] < color[b];
+      });
+    }
+    return ops;
+  };
+
+  constexpr NetId kUnvisited = kNoNet;
+  std::vector<NetId> canon(n, kUnvisited);
+  std::vector<bool> entered(n, false);
+  std::vector<NetId> order;  // canonical index -> source NetId
+  std::vector<Frame> stack;
+  stack.push_back({goal, 0, ordered_operands(goal)});
+  entered[goal] = true;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < f.ops.size()) {
+      const NetId child = f.ops[f.next++];
+      if (!entered[child]) {
+        entered[child] = true;
+        stack.push_back({child, 0, ordered_operands(child)});
+      }
+    } else {
+      canon[f.id] = static_cast<NetId>(order.size());
+      order.push_back(f.id);
+      stack.pop_back();
+    }
+  }
+
+  // ---- serialization: one line per cone node in canonical order, names
+  // omitted, operands by canonical index (commutative ones in color order).
+  CanonicalCone out;
+  out.num_nodes = order.size();
+  std::string& text = out.text;
+  text = "cone v1\n";
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const NetId id = order[k];
+    const Node& node = circuit.node(id);
+    text += std::to_string(k);
+    text += ' ';
+    text += op_name(node.op);
+    text += ' ';
+    text += std::to_string(node.width);
+    if (node.op == Op::kConst || node.op == Op::kMulC ||
+        node.op == Op::kShlC || node.op == Op::kShrC ||
+        node.op == Op::kExtract) {
+      text += ' ';
+      text += std::to_string(node.imm);
+      if (node.op == Op::kExtract) {
+        text += ' ';
+        text += std::to_string(node.imm2);
+      }
+    }
+    if (node.op == Op::kInput) {
+      out.inputs.push_back(id);
+    } else {
+      for (const NetId o : ordered_operands(id)) {
+        text += ' ';
+        text += std::to_string(canon[o]);
+      }
+    }
+    text += '\n';
+  }
+
+  std::uint64_t h = kFnvOffset;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  out.hash = h;
+  return out;
+}
+
+}  // namespace rtlsat::ir

@@ -1,0 +1,53 @@
+// Canonical property-cone serialization — the structural cache key behind
+// rtlsat-serve's result cache (docs/serve.md).
+//
+// Two solve jobs ask the same question exactly when the transitive fan-in
+// cones of their goal nets are isomorphic: same DAG shape, same operator
+// vocabulary, same constants — regardless of net names, node numbering,
+// commutative operand order, or dead logic outside the cone. canonical_cone
+// computes a textual canonical form with those properties quotiented out:
+//
+//   * dead nodes        — only the goal's cone of influence is serialized;
+//   * names/numbering   — nodes are renumbered in a structure-determined
+//                         traversal order and names are never emitted;
+//   * commutative ops   — operands of and/or/xor/add/eq/ne/min/max are
+//                         ordered by a bottom-up ⊕ top-down structural
+//                         color, not by builder order.
+//
+// Equal text ⟹ the cones are isomorphic as labeled DAGs (the text is a
+// faithful serialization, so this direction is exact — the 64-bit digest is
+// only a bucketing hint, never trusted alone). The converse is approximate:
+// isomorphic cones produce equal text unless two *distinct* sibling
+// subtrees collide on their structural color, in which case the tie-break
+// may order them differently — a false cache miss, never a false hit.
+//
+// The model-transfer contract: `inputs` lists the cone's primary inputs in
+// canonical order. If two circuits produce equal text, assigning value v_i
+// to inputs[i] in each circuit yields identical goal values — which is what
+// lets the serve cache replay a SAT model recorded on one circuit into any
+// isomorphic later query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace rtlsat::ir {
+
+struct CanonicalCone {
+  // FNV-1a digest of `text` (Circuit::cone_hash returns exactly this).
+  std::uint64_t hash = 0;
+  // The canonical serialization; compare with == for exact isomorphism.
+  std::string text;
+  // Cone primary inputs in canonical order: canonical input index i is
+  // driven by net inputs[i] of the source circuit.
+  std::vector<NetId> inputs;
+  // Nodes in the cone (inputs and constants included).
+  std::size_t num_nodes = 0;
+};
+
+CanonicalCone canonical_cone(const Circuit& circuit, NetId goal);
+
+}  // namespace rtlsat::ir

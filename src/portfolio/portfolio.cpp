@@ -129,19 +129,25 @@ PortfolioResult Portfolio::solve() {
   PortfolioResult result;
   const int n = static_cast<int>(lineup_.size());
 
-  ClausePool pool(ClausePoolOptions{.max_clause_len = options_.share_max_len});
-  // Sharing needs at least two HDPLL workers; otherwise skip the endpoints
-  // entirely so a 1-worker portfolio matches a direct solve (the
-  // bench/micro_portfolio overhead guard).
+  ClausePool local_pool(
+      ClausePoolOptions{.max_clause_len = options_.share_max_len});
+  ClausePool* pool = options_.pool != nullptr ? options_.pool : &local_pool;
+  // With a race-local pool, sharing needs at least two HDPLL workers;
+  // otherwise skip the endpoints entirely so a 1-worker portfolio matches a
+  // direct solve (the bench/micro_portfolio overhead guard). An external
+  // cross-job pool shares regardless — the peers are other jobs.
   const int hdpll_workers = static_cast<int>(
       std::count_if(lineup_.begin(), lineup_.end(),
                     [](const WorkerConfig& w) { return !w.bitblast; }));
-  const bool share = options_.share_clauses && hdpll_workers >= 2;
+  const bool share = options_.share_clauses &&
+                     (options_.pool != nullptr || hdpll_workers >= 2);
   std::vector<WorkerSlot> slots(lineup_.size());
   for (int i = 0; i < n; ++i) {
     slots[i].config = lineup_[i];
-    if (share && !lineup_[i].bitblast)
-      slots[i].exchange = std::make_unique<PoolExchange>(&pool, i);
+    if (share && !lineup_[i].bitblast) {
+      slots[i].exchange =
+          std::make_unique<PoolExchange>(pool, options_.worker_id_base + i);
+    }
     if (options_.metrics != nullptr) {
       slots[i].gauges = metrics::make_solver_gauges(
           options_.metrics,
@@ -221,11 +227,12 @@ PortfolioResult Portfolio::solve() {
           options_.budget_seconds <= 0
               ? 0
               : std::max(options_.budget_seconds - timer.seconds(), 1e-3);
-      run_worker(i, StopToken::after(remaining));
+      run_worker(i, options_.stop.with_deadline(remaining));
     }
   } else {
-    const StopToken token =
-        source.token().with_deadline(options_.budget_seconds);
+    const StopToken token = source.token()
+                                .combined(options_.stop)
+                                .with_deadline(options_.budget_seconds);
     std::vector<std::thread> threads;
     threads.reserve(lineup_.size());
     for (int i = 0; i < n; ++i)
@@ -262,7 +269,7 @@ PortfolioResult Portfolio::solve() {
   }
   result.stats.add("portfolio.workers", n);
   result.stats.add("portfolio.pool_clauses",
-                   static_cast<std::int64_t>(pool.size()));
+                   static_cast<std::int64_t>(pool->size()));
 
   result.winner = winner_index;
   if (winner_index >= 0) {
@@ -272,7 +279,13 @@ PortfolioResult Portfolio::solve() {
                                        : core::SolveStatus::kUnsat;
     result.input_model = std::move(win.model);
   } else {
-    result.status = core::SolveStatus::kTimeout;
+    // No decisive worker: if the *caller's* token fired (serve cancel,
+    // shutdown) the race was cancelled; otherwise the budget ran out. The
+    // internal first-verdict-wins source never trips this — it only fires
+    // alongside a winner.
+    result.status = options_.stop.stop_requested()
+                        ? core::SolveStatus::kCancelled
+                        : core::SolveStatus::kTimeout;
   }
 
   if (options_.crosscheck && winner_index >= 0) {

@@ -61,6 +61,23 @@ struct PortfolioOptions {
   std::size_t share_max_len = 8;
   double budget_seconds = 0;    // wall-clock budget for the race; 0 = none
   bool deterministic = false;   // sequential mode (see file comment)
+  // External cancellation (serve job cancel, CLI interrupt): combined with
+  // the internal first-verdict-wins source, so a fired token stops every
+  // worker within milliseconds and the race returns without a verdict.
+  // Default-constructed = never fires.
+  StopToken stop;
+  // Cross-job clause exchange (rtlsat-serve): when set, workers publish to
+  // and import from this pool instead of a race-local one, so a later job
+  // on the *same instance* (same circuit object layout, same goal — the
+  // caller owns that equivalence, see serve/bank.h) starts with the
+  // earlier jobs' learned clauses. Sharing is enabled even for a 1-worker
+  // portfolio in this mode, since the peers are in other jobs. Borrowed;
+  // must outlive solve(). Null = race-local pool.
+  ClausePool* pool = nullptr;
+  // Pool worker-id namespace offset. Worker i publishes as id `base + i`;
+  // concurrent jobs sharing one pool must use disjoint ranges or same-index
+  // workers would skip each other's clauses on fetch.
+  int worker_id_base = 0;
   // Cross-check the winner's verdict against the losers after the race:
   // decisive verdicts must agree, a SAT model must satisfy the goal under
   // circuit evaluation, and every HDPLL loser's level-0 interval store

@@ -1,0 +1,44 @@
+#include "serve/bank.h"
+
+namespace rtlsat::serve {
+
+BankCheckout ClauseBank::checkout(const std::string& rtl,
+                                  const std::string& goal, bool value,
+                                  int workers) {
+  // goal cannot contain '\n' (it is one .rtl token), so the separator makes
+  // the concatenation injective.
+  std::string key = goal;
+  key += value ? "\n1\n" : "\n0\n";
+  key += rtl;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (capacity_ == 0) {
+      // Bank disabled: hand out an unshared pool so callers need no
+      // special case (it behaves exactly like the portfolio's local pool).
+      return BankCheckout{std::make_shared<portfolio::ClausePool>(), 0};
+    }
+    lru_.push_front(
+        Entry{std::move(key), std::make_shared<portfolio::ClausePool>(), 0});
+    index_.emplace(lru_.front().key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();  // running checkouts keep the pool alive
+    }
+    it = index_.find(lru_.front().key);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  Entry& entry = *it->second;
+  BankCheckout out{entry.pool, entry.next_worker_id};
+  entry.next_worker_id += workers > 0 ? workers : 1;
+  return out;
+}
+
+std::size_t ClauseBank::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace rtlsat::serve

@@ -1,0 +1,67 @@
+// Cross-job clause bank: keeps a portfolio::ClausePool alive per *exact*
+// solve instance so a later job on the same instance starts with the
+// earlier jobs' learned clauses (and concurrent jobs on the same instance
+// share as they go).
+//
+// Keying is deliberately stricter than the result cache's: learned clauses
+// reference concrete NetIds and HDPLL applies the goal as a level-0
+// assumption, so a clause bank entry is only sound for a byte-identical
+// (rtl text, goal name, goal value) triple — the parse then assigns the
+// same NetIds and the clauses are consequences of the same assumed
+// formula. Isomorphic-but-renumbered circuits must NOT share a pool;
+// translating clauses through the canonical form is future work tracked
+// in ROADMAP item 1 (incremental solving).
+//
+// Each checkout also reserves a disjoint worker-id range in the pool's
+// namespace (PortfolioOptions::worker_id_base): ClausePool::fetch skips a
+// worker's own ids, so two concurrent jobs reusing ids 0..N-1 would
+// silently refuse each other's clauses.
+//
+// Capacity is a bounded LRU over *idle* pools; an entry checked out by a
+// running job is pinned by shared ownership and simply drops out of the
+// bank's index when evicted, the checkout keeps working, and later jobs on
+// that key start a fresh pool.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "portfolio/clause_pool.h"
+
+namespace rtlsat::serve {
+
+struct BankCheckout {
+  std::shared_ptr<portfolio::ClausePool> pool;
+  int worker_id_base = 0;
+};
+
+class ClauseBank {
+ public:
+  explicit ClauseBank(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the pool for this exact instance (creating it on first use)
+  // plus a worker-id base no other checkout of the same pool received.
+  // `workers` is how many ids the caller's portfolio will occupy.
+  BankCheckout checkout(const std::string& rtl, const std::string& goal,
+                        bool value, int workers);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<portfolio::ClausePool> pool;
+    int next_worker_id = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace rtlsat::serve

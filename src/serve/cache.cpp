@@ -1,0 +1,95 @@
+#include "serve/cache.h"
+
+namespace rtlsat::serve {
+
+std::optional<ResultMsg> ExactCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ExactCache::insert(const std::string& key, ResultMsg result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ == 0) return;
+  lru_.push_front(Entry{key, std::move(result)});
+  index_.emplace(lru_.front().key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::size_t ExactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::int64_t ExactCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::optional<CachedResult> ResultCache::lookup(const ir::CanonicalCone& cone,
+                                                bool value) {
+  const std::string key = make_key(cone, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void ResultCache::insert(const ir::CanonicalCone& cone, bool value,
+                         CachedResult result) {
+  if (result.status != core::SolveStatus::kSat &&
+      result.status != core::SolveStatus::kUnsat) {
+    return;
+  }
+  std::string key = make_key(cone, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (capacity_ == 0) return;
+  lru_.push_front(Entry{std::move(key), std::move(result)});
+  index_.emplace(lru_.front().key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::int64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::int64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace rtlsat::serve

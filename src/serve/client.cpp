@@ -1,0 +1,156 @@
+#include "serve/client.h"
+
+#include "serve/net.h"
+
+namespace rtlsat::serve {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool Client::connect(const std::string& host, int port, std::string* error) {
+  disconnect();
+  fd_ = connect_tcp(host, port, error);
+  expect_seq_ = 0;
+  return fd_ >= 0;
+}
+
+void Client::disconnect() {
+  close_fd(fd_);
+  fd_ = -1;
+}
+
+bool Client::send(const Request& request, std::string* error) {
+  if (fd_ < 0) return fail(error, "not connected");
+  if (!write_frame(fd_, encode_request(request))) {
+    disconnect();
+    return fail(error, "connection lost while sending");
+  }
+  return true;
+}
+
+bool Client::read_msg(ServerMsg* out, std::string* error) {
+  std::string frame;
+  std::string frame_error;
+  if (!read_frame(fd_, &frame, &frame_error)) {
+    disconnect();
+    return fail(error, frame_error.empty() ? "server closed the connection"
+                                           : frame_error);
+  }
+  std::string parse_error;
+  if (!parse_server_msg(frame, out, &parse_error))
+    return fail(error, "bad server frame: " + parse_error);
+  if (out->seq != expect_seq_) {
+    return fail(error, "sequence gap: expected " +
+                           std::to_string(expect_seq_) + ", got " +
+                           std::to_string(out->seq));
+  }
+  ++expect_seq_;
+  return true;
+}
+
+bool Client::submit(const SolveRequest& request, std::uint64_t* job,
+                    std::string* error) {
+  Request r;
+  r.kind = Request::Kind::kSolve;
+  r.solve = request;
+  if (!send(r, error)) return false;
+  ServerMsg msg;
+  if (!read_msg(&msg, error)) return false;
+  if (msg.kind == ServerMsg::Kind::kError)
+    return fail(error, "server: " + msg.message);
+  if (msg.kind != ServerMsg::Kind::kQueued)
+    return fail(error, "expected a queued frame");
+  *job = msg.job;
+  return true;
+}
+
+bool Client::wait(std::uint64_t job, ResultMsg* out, std::string* error,
+                  const ProgressFn& on_progress) {
+  for (;;) {
+    ServerMsg msg;
+    if (!read_msg(&msg, error)) return false;
+    switch (msg.kind) {
+      case ServerMsg::Kind::kProgress:
+        if (msg.job == job && on_progress) on_progress(msg.hb);
+        break;
+      case ServerMsg::Kind::kResult:
+        if (msg.job == job) {
+          *out = std::move(msg.result);
+          return true;
+        }
+        break;
+      case ServerMsg::Kind::kError:
+        if (!msg.has_job || msg.job == job)
+          return fail(error, "server: " + msg.message);
+        break;
+      default:
+        // A stats/pong reply to a request interleaved by the caller; not
+        // ours to consume semantics from, but seq already validated it.
+        break;
+    }
+  }
+}
+
+bool Client::solve(const SolveRequest& request, ResultMsg* out,
+                   std::string* error, const ProgressFn& on_progress) {
+  std::uint64_t job = 0;
+  if (!submit(request, &job, error)) return false;
+  return wait(job, out, error, on_progress);
+}
+
+bool Client::cancel(std::uint64_t job, std::string* error) {
+  Request r;
+  r.kind = Request::Kind::kCancel;
+  r.job = job;
+  return send(r, error);
+}
+
+bool Client::stats(ServerStats* out, std::string* error) {
+  Request r;
+  r.kind = Request::Kind::kStats;
+  if (!send(r, error)) return false;
+  for (;;) {
+    ServerMsg msg;
+    if (!read_msg(&msg, error)) return false;
+    if (msg.kind == ServerMsg::Kind::kStats) {
+      *out = msg.stats;
+      return true;
+    }
+    if (msg.kind == ServerMsg::Kind::kError)
+      return fail(error, "server: " + msg.message);
+  }
+}
+
+bool Client::ping(std::string* error) {
+  Request r;
+  r.kind = Request::Kind::kPing;
+  if (!send(r, error)) return false;
+  for (;;) {
+    ServerMsg msg;
+    if (!read_msg(&msg, error)) return false;
+    if (msg.kind == ServerMsg::Kind::kPong) return true;
+    if (msg.kind == ServerMsg::Kind::kError)
+      return fail(error, "server: " + msg.message);
+  }
+}
+
+bool Client::shutdown_server(std::string* error) {
+  Request r;
+  r.kind = Request::Kind::kShutdown;
+  if (!send(r, error)) return false;
+  for (;;) {
+    ServerMsg msg;
+    if (!read_msg(&msg, error)) return false;
+    if (msg.kind == ServerMsg::Kind::kBye) return true;
+    if (msg.kind == ServerMsg::Kind::kError)
+      return fail(error, "server: " + msg.message);
+  }
+}
+
+}  // namespace rtlsat::serve

@@ -1,0 +1,183 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtlsat::serve {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool resolve(const std::string& host, int port, sockaddr_in* addr,
+             std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(port));
+  // Numeric IPv4 only — the service binds loopback in every deployment the
+  // docs describe; name resolution would drag in getaddrinfo's thread and
+  // signal caveats for no benefit.
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "not a numeric IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+// write(2) with EINTR retry and SIGPIPE suppressed.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads exactly `len` bytes; false on EOF or error. *eof distinguishes a
+// clean close before the first byte.
+bool read_exact(int fd, char* data, std::size_t len, bool* eof) {
+  *eof = false;
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {
+      *eof = got == 0;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& host, int port, int* port_out,
+               std::string* error) {
+  sockaddr_in addr;
+  if (!resolve(host, port, &addr, error)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    if (error != nullptr) *error = errno_string("bind/listen");
+    ::close(fd);
+    return -1;
+  }
+  if (port_out != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      *port_out = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+int connect_tcp(const std::string& host, int port, std::string* error) {
+  sockaddr_in addr;
+  if (!resolve(host, port, &addr, error)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_string("socket");
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (error != nullptr) *error = errno_string("connect");
+    ::close(fd);
+    return -1;
+  }
+  // Frames are small and latency-sensitive (progress heartbeats, verdicts);
+  // Nagle would batch them behind ACKs.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int accept_one(int listen_fd) {
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool write_frame(int fd, const std::string& json) {
+  std::string frame = std::to_string(json.size());
+  frame += '\n';
+  frame += json;
+  frame += '\n';
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool read_frame(int fd, std::string* json, std::string* error) {
+  if (error != nullptr) error->clear();
+  // Length line: ASCII digits then '\n', read byte-by-byte — the line is
+  // tiny and the payload read below is the bulk transfer.
+  std::size_t len = 0;
+  std::size_t digits = 0;
+  for (;;) {
+    char c;
+    bool eof;
+    if (!read_exact(fd, &c, 1, &eof)) {
+      if (!eof && error != nullptr) *error = "read error in frame header";
+      return false;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || ++digits > 9) {
+      if (error != nullptr) *error = "malformed frame length";
+      return false;
+    }
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (digits == 0 || len > kMaxFrameBytes) {
+    if (error != nullptr) *error = "frame length out of range";
+    return false;
+  }
+  json->resize(len + 1);
+  bool eof;
+  if (!read_exact(fd, json->data(), len + 1, &eof)) {
+    if (error != nullptr) *error = "truncated frame body";
+    return false;
+  }
+  if (json->back() != '\n') {
+    if (error != nullptr) *error = "missing frame terminator";
+    return false;
+  }
+  json->pop_back();
+  return true;
+}
+
+}  // namespace rtlsat::serve

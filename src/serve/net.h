@@ -1,0 +1,50 @@
+// Minimal POSIX TCP plumbing for rtlsat-serve: bind/listen/accept/connect
+// helpers and the length-framed message transport both sides speak.
+//
+// Framing (docs/serve.md "Wire protocol"): every message is one JSON
+// document on one line, prefixed by its byte length in ASCII decimal —
+//
+//   <len>\n<json>\n
+//
+// where <len> counts exactly the <json> bytes (neither newline). The
+// length prefix lets a reader allocate once and detect truncation; the
+// trailing newline keeps a captured stream valid JSONL, so the same
+// validators (bench_json_validate jsonl) work on a protocol transcript.
+//
+// All calls handle EINTR; writers use MSG_NOSIGNAL so a peer hangup is a
+// return code, not SIGPIPE. Blocking I/O throughout — the server gives
+// every connection its own thread (docs/serve.md "Threading model").
+#pragma once
+
+#include <string>
+
+namespace rtlsat::serve {
+
+// Messages above this are a protocol violation (a runaway or hostile
+// peer), not a capacity knob; 64 MiB clears any realistic .rtl payload.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+// Binds and listens on host:port (port 0 = ephemeral). Returns the
+// listening fd and stores the actual port in *port_out; -1 on failure with
+// *error set.
+int listen_tcp(const std::string& host, int port, int* port_out,
+               std::string* error);
+
+// Connects to host:port. Returns the fd, or -1 with *error set.
+int connect_tcp(const std::string& host, int port, std::string* error);
+
+// Accepts one connection; -1 on error/shutdown (errno preserved).
+int accept_one(int listen_fd);
+
+void close_fd(int fd);
+
+// Writes one framed message. Returns false on any short write / peer
+// hangup (the connection is unusable afterwards).
+bool write_frame(int fd, const std::string& json);
+
+// Reads one framed message into *json. Returns false on EOF, malformed
+// framing, or an over-long frame; *error distinguishes clean EOF (empty
+// error) from a protocol violation.
+bool read_frame(int fd, std::string* json, std::string* error);
+
+}  // namespace rtlsat::serve

@@ -120,6 +120,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  comma();
+  out_ += json;
+  return *this;
+}
+
 const JsonValue* JsonValue::find(std::string_view name) const {
   if (kind != Kind::kObject) return nullptr;
   for (const auto& [key, value] : object) {

@@ -37,6 +37,10 @@ class JsonWriter {
   JsonWriter& value(double number);
   JsonWriter& value(bool boolean);
   JsonWriter& null();
+  // Splices `json` in verbatim as one value — the caller guarantees it is a
+  // complete JSON document. Used by the serve protocol to embed an
+  // already-encoded heartbeat record without reparsing it.
+  JsonWriter& raw_value(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }

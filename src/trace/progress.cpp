@@ -52,6 +52,13 @@ void ProgressReporter::emit(const ProgressSnapshot& snapshot, double now) {
   if (jsonl_file_ != nullptr || options_.sink != nullptr) {
     JsonWriter w;
     w.begin_object();
+    // Schema version + per-reporter sequence number: a streaming consumer
+    // (the serve wire protocol, a tailing dashboard) detects dropped or
+    // reordered lines by a gap or regression in `seq`. reports_ was
+    // incremented above, so seq starts at 0 and advances by exactly 1 per
+    // emitted line.
+    w.key("v").value(kHeartbeatSchemaVersion);
+    w.key("seq").value(reports_ - 1);
     w.key("t_s").value(now);
     if (!options_.label.empty()) w.key("worker").value(options_.label);
     w.key("conflicts").value(snapshot.conflicts);

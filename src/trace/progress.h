@@ -18,6 +18,12 @@
 
 namespace rtlsat::trace {
 
+// JSONL heartbeat schema version, carried as field "v" on every line
+// together with a per-reporter sequence number "seq" (0-based, +1 per
+// line) so streaming consumers can detect dropped or reordered records.
+// Bump on any incompatible change to the heartbeat record shape.
+inline constexpr int kHeartbeatSchemaVersion = 1;
+
 // What the solver loop hands to tick(). All fields are running totals
 // except `trail` and `level`, which are instantaneous.
 struct ProgressSnapshot {

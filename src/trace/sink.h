@@ -21,8 +21,12 @@ namespace rtlsat::trace {
 
 class JsonlSink {
  public:
+  // A sink with no backing file: write_line only counts lines. Subclasses
+  // (the serve daemon's per-connection progress forwarder) override
+  // write_line to redirect the stream somewhere that is not a file.
+  JsonlSink() = default;
   explicit JsonlSink(const std::string& path);
-  ~JsonlSink();
+  virtual ~JsonlSink();
   JsonlSink(const JsonlSink&) = delete;
   JsonlSink& operator=(const JsonlSink&) = delete;
 
@@ -31,7 +35,7 @@ class JsonlSink {
 
   // Writes `line` (without a trailing newline; one is appended) atomically
   // with respect to other writers, then flushes. No-op after close().
-  void write_line(const std::string& line);
+  virtual void write_line(const std::string& line);
 
   std::int64_t lines_written() const;
 

@@ -26,6 +26,8 @@
 #include <chrono>
 #include <memory>
 
+#include "util/assert.h"
+
 namespace rtlsat {
 
 class StopToken {
@@ -52,9 +54,35 @@ class StopToken {
     return t;
   }
 
+  // A token observing both this token's and `other`'s cancellation flags,
+  // with the sooner of the two deadlines. A token holds at most two flag
+  // slots — enough for the one real nesting in the tree (an external
+  // owner's token, e.g. a serve job, combined with the portfolio's internal
+  // first-verdict-wins source); combining two already-combined tokens is a
+  // programming error and asserts.
+  StopToken combined(const StopToken& other) const {
+    StopToken t = *this;
+    for (const auto& flag : {other.flag_, other.flag2_}) {
+      if (flag == nullptr || flag == t.flag_ || flag == t.flag2_) continue;
+      if (t.flag_ == nullptr) {
+        t.flag_ = flag;
+      } else {
+        RTLSAT_ASSERT_MSG(t.flag2_ == nullptr,
+                          "StopToken::combined: more than two stop flags");
+        t.flag2_ = flag;
+      }
+    }
+    if (other.deadline_armed_) {
+      t.end_ = t.deadline_armed_ ? std::min(t.end_, other.end_) : other.end_;
+      t.deadline_armed_ = true;
+    }
+    return t;
+  }
+
   // True once the owning StopSource called request_stop().
   bool cancelled() const {
-    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+    return (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) ||
+           (flag2_ != nullptr && flag2_->load(std::memory_order_relaxed));
   }
   bool deadline_armed() const { return deadline_armed_; }
   bool deadline_expired() const {
@@ -72,7 +100,8 @@ class StopToken {
   friend class StopSource;
   using Clock = std::chrono::steady_clock;
 
-  std::shared_ptr<const std::atomic<bool>> flag_;  // null = never cancelled
+  std::shared_ptr<const std::atomic<bool>> flag_;   // null = never cancelled
+  std::shared_ptr<const std::atomic<bool>> flag2_;  // second combined() slot
   bool deadline_armed_ = false;
   Clock::time_point end_{};
 };

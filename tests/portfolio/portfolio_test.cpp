@@ -249,5 +249,51 @@ TEST(PortfolioTest, DefaultLineupShape) {
   EXPECT_NE(lineup[5].hdpll.random_seed, lineup[4].hdpll.random_seed);
 }
 
+TEST(PortfolioTest, ExternalStopTokenCancelsWholeRace) {
+  // The serve path: the caller owns a StopSource (cancel requests,
+  // shutdown_now) and the race must come back kCancelled shortly after it
+  // fires, regardless of the internal first-verdict-wins source.
+  const bmc::BmcInstance instance = b13(200);
+  StopSource source;
+  PortfolioOptions options;
+  options.jobs = 2;
+  options.stop = source.token();
+  Portfolio race(instance.circuit, instance.goal, true, options);
+  PortfolioResult result;
+  std::thread solver([&] { result = race.solve(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Timer latency;
+  source.request_stop();
+  solver.join();
+  EXPECT_EQ(result.status, core::SolveStatus::kCancelled);
+  EXPECT_LT(latency.seconds(), 2.0);
+}
+
+TEST(PortfolioTest, SharedPoolCarriesClausesAcrossRuns) {
+  // Cross-job clause exchange (serve/bank.h): two sequential races share
+  // one caller-owned pool with disjoint worker-id ranges. The second run
+  // must still be sound, and the pool retains the first run's clauses so
+  // the second can import them.
+  const bmc::BmcInstance instance = b13(20);
+  ClausePool pool;
+  PortfolioOptions first;
+  first.jobs = 2;
+  first.pool = &pool;
+  first.worker_id_base = 0;
+  Portfolio race1(instance.circuit, instance.goal, true, first);
+  EXPECT_EQ(race1.solve().status, core::SolveStatus::kUnsat);
+  const std::size_t after_first = pool.size();
+
+  PortfolioOptions second;
+  second.jobs = 2;
+  second.pool = &pool;
+  second.worker_id_base = 2;  // disjoint ids, so fetch sees run 1's clauses
+  Portfolio race2(instance.circuit, instance.goal, true, second);
+  const PortfolioResult result = race2.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  EXPECT_TRUE(result.crosscheck_violations.empty());
+  EXPECT_GE(pool.size(), after_first);
+}
+
 }  // namespace
 }  // namespace rtlsat::portfolio

@@ -1,0 +1,104 @@
+// Fuzz-oracle cache-soundness mode (docs/serve.md "Cache soundness"):
+// generated instances are replayed through the serve cache twice — the
+// second query must be a cache hit whose verdict matches both the first
+// answer and a fresh deterministic portfolio solve, and every SAT model
+// handed out by the cache must replay through Circuit::evaluate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "fuzz/generator.h"
+#include "ir/circuit.h"
+#include "parser/rtl_format.h"
+#include "portfolio/portfolio.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace rtlsat::serve {
+namespace {
+
+const char* verdict_of(core::SolveStatus status) {
+  switch (status) {
+    case core::SolveStatus::kSat: return "sat";
+    case core::SolveStatus::kUnsat: return "unsat";
+    default: return "undecided";
+  }
+}
+
+TEST(CacheFuzz, CachedVerdictsAndModelsMatchFreshSolves) {
+  ServerOptions options;
+  options.solve_workers = 2;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+
+  Rng rng(20260807);
+  fuzz::GeneratorOptions gopts;
+  gopts.min_width = 2;
+  gopts.max_width = 8;
+  gopts.max_steps = 20;
+  gopts.wide_stress_percent = 10;
+  constexpr int kInstances = 25;
+  int sat_seen = 0, unsat_seen = 0;
+  for (int i = 0; i < kInstances; ++i) {
+    fuzz::FuzzInstance inst = fuzz::generate(rng, gopts);
+    inst.circuit.set_name("fuzz_" + std::to_string(i));
+    inst.circuit.set_net_name(inst.goal, "fuzz_goal");
+    SolveRequest request;
+    request.rtl = parser::write_circuit(inst.circuit);
+    request.goal = "fuzz_goal";
+    request.deterministic = true;
+    request.budget_seconds = 30;
+
+    ResultMsg fresh, cached;
+    ASSERT_TRUE(client.solve(request, &fresh, &error))
+        << inst.description << ": " << error;
+    ASSERT_TRUE(client.solve(request, &cached, &error))
+        << inst.description << ": " << error;
+    ASSERT_TRUE(fresh.verdict == "sat" || fresh.verdict == "unsat")
+        << inst.description << " did not decide: " << fresh.verdict;
+    // The first query may legitimately hit too — small generated cones can
+    // be isomorphic to an earlier instance's (the canonical tier at work);
+    // the byte-identical second query must always hit.
+    EXPECT_TRUE(cached.cache_hit) << inst.description;
+    EXPECT_EQ(cached.verdict, fresh.verdict) << inst.description;
+
+    // Reference: a fresh portfolio solve outside the server entirely.
+    portfolio::PortfolioOptions popts;
+    popts.jobs = 2;
+    popts.deterministic = true;
+    popts.budget_seconds = 30;
+    portfolio::Portfolio reference(inst.circuit, inst.goal, true, popts);
+    const portfolio::PortfolioResult ref = reference.solve();
+    EXPECT_EQ(cached.verdict, verdict_of(ref.status)) << inst.description;
+
+    if (cached.verdict == "sat") {
+      ++sat_seen;
+      // The cached witness must actually satisfy the goal.
+      std::unordered_map<ir::NetId, std::int64_t> model;
+      for (const auto& [name, value] : cached.model) {
+        const ir::NetId net = inst.circuit.find_net(name);
+        ASSERT_NE(net, ir::kNoNet) << inst.description;
+        model[net] = value;
+      }
+      const std::vector<std::int64_t> values = inst.circuit.evaluate(model);
+      EXPECT_NE(values[inst.goal], 0) << inst.description;
+    } else {
+      ++unsat_seen;
+    }
+  }
+  // The corpus must exercise both verdict paths of the cache.
+  EXPECT_GT(sat_seen, 0);
+  EXPECT_GT(unsat_seen, 0);
+
+  client.disconnect();
+  server.drain();
+  server.wait();
+}
+
+}  // namespace
+}  // namespace rtlsat::serve

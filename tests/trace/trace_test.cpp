@@ -355,6 +355,46 @@ TEST(Progress, JsonlHeartbeatCarriesCounters) {
   std::filesystem::remove(path);
 }
 
+TEST(Progress, HeartbeatsCarrySchemaVersionAndSequence) {
+  // Every heartbeat line carries v = kHeartbeatSchemaVersion and a
+  // 0-based seq that advances by exactly 1 per line, tagged with the
+  // worker label when one is set — the contract the serve protocol and
+  // bench_json_validate's jsonl mode both rely on.
+  struct CollectSink : JsonlSink {
+    std::vector<std::string> lines;
+    void write_line(const std::string& line) override {
+      lines.push_back(line);
+    }
+  } sink;
+  double now = 0.0;
+  ProgressOptions options;
+  options.banner = false;
+  options.interval_seconds = 1.0;
+  options.clock = [&now] { return now; };
+  options.sink = &sink;
+  options.label = "w3";
+  ProgressReporter reporter(options);
+  ProgressSnapshot snapshot;
+  for (int i = 1; i <= 3; ++i) {
+    snapshot.conflicts = i;
+    now = static_cast<double>(i) * 1.5;
+    reporter.tick(snapshot);
+  }
+  reporter.finish(snapshot);
+  ASSERT_EQ(sink.lines.size(), 4u);
+  for (std::size_t i = 0; i < sink.lines.size(); ++i) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(json_parse(sink.lines[i], &doc, &error)) << error;
+    ASSERT_NE(doc.find("v"), nullptr);
+    EXPECT_EQ(doc.find("v")->number, kHeartbeatSchemaVersion);
+    ASSERT_NE(doc.find("seq"), nullptr);
+    EXPECT_EQ(doc.find("seq")->number, static_cast<double>(i));
+    ASSERT_NE(doc.find("worker"), nullptr);
+    EXPECT_EQ(doc.find("worker")->string, "w3");
+  }
+}
+
 TEST(Progress, BannerPrintsHeaderOnceAndRows) {
   std::FILE* stream = std::tmpfile();
   ASSERT_NE(stream, nullptr);
