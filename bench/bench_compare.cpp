@@ -103,6 +103,7 @@ int self_test() {
 int main(int argc, char** argv) {
   metrics::CompareOptions options;
   std::string baseline_path, current_path;
+  double min_bmc_speedup = 1.5;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--self-test") == 0) {
       return self_test();
@@ -110,6 +111,9 @@ int main(int argc, char** argv) {
       options.max_ratio = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--min-seconds") == 0 && i + 1 < argc) {
       options.min_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-bmc-speedup") == 0 &&
+               i + 1 < argc) {
+      min_bmc_speedup = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--force") == 0) {
       options.force = true;
     } else if (argv[i][0] == '-') {
@@ -126,7 +130,8 @@ int main(int argc, char** argv) {
   }
   if (baseline_path.empty() || current_path.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--max-ratio R] [--min-seconds S] [--force] "
+                 "usage: %s [--max-ratio R] [--min-seconds S] "
+                 "[--min-bmc-speedup X] [--force] "
                  "<baseline.json> <current.json>\n       %s --self-test\n",
                  argv[0], argv[0]);
     return 2;
@@ -136,6 +141,36 @@ int main(int argc, char** argv) {
   if (!load_trajectory(baseline_path, &baseline) ||
       !load_trajectory(current_path, &current)) {
     return 2;
+  }
+
+  // Absolute gate, independent of the baseline (it is a ratio of two runs
+  // inside one trajectory, so machine fingerprints don't matter): the
+  // bmc.incremental workload publishes 100 * fresh / incremental sweep
+  // wall time as bmc.speedup_pct, and the incremental path must stay at
+  // least --min-bmc-speedup (default 1.5x) ahead — plus verdict-for-
+  // verdict agreement, counted by the workload itself.
+  for (const metrics::BenchResult& b : current.benches) {
+    const auto speedup = b.counters.find("bmc.speedup_pct");
+    if (speedup == b.counters.end()) continue;
+    if (static_cast<double>(speedup->second) < min_bmc_speedup * 100) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s incremental-vs-fresh speedup x%.2f is "
+                   "below the x%.2f floor\n",
+                   b.name.c_str(),
+                   static_cast<double>(speedup->second) / 100.0,
+                   min_bmc_speedup);
+      return 1;
+    }
+    const auto agree = b.counters.find("bmc.verdicts_agree");
+    if (agree != b.counters.end() && agree->second != 1) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s incremental and fresh sweeps disagree\n",
+                   b.name.c_str());
+      return 1;
+    }
+    std::printf("%-28s incremental-vs-fresh x%.2f (floor x%.2f)\n",
+                b.name.c_str(), static_cast<double>(speedup->second) / 100.0,
+                min_bmc_speedup);
   }
 
   const metrics::CompareReport report =

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bmc/sweep.h"
 #include "metrics/trajectory.h"
 #include "parser/rtl_format.h"
 #include "sat/solver.h"
@@ -105,6 +106,44 @@ std::vector<Workload> workloads() {
                                       counters);
                    run_hdpll_workload("b13", "5", 20, Config::kStructuralPred,
                                       counters);
+                 }});
+  out.push_back({"bmc.incremental", [](auto* counters) {
+                   // Incremental-vs-fresh deep sweep (docs/incremental.md):
+                   // both paths solve every bound of the same sweep; the
+                   // counters carry the wall-time split and the speedup as
+                   // bmc.speedup_pct = 100 * fresh / incremental, which
+                   // bench_compare gates at >= 150 (the 1.5x floor).
+                   const ir::SeqCircuit seq = itc99::build("b13");
+                   bmc::SweepOptions options;
+                   options.solver =
+                       make_options(Config::kStructuralPred, 120, 2000);
+                   options.stop_at_sat = false;  // solve all bounds
+                   options.incremental = true;
+                   Timer inc_timer;
+                   const bmc::SweepResult inc = bmc::sweep(seq, "2", 24,
+                                                           options);
+                   const double inc_s = inc_timer.seconds();
+                   options.incremental = false;
+                   Timer fresh_timer;
+                   const bmc::SweepResult fresh = bmc::sweep(seq, "2", 24,
+                                                             options);
+                   const double fresh_s = fresh_timer.seconds();
+                   (*counters)["bmc.bounds"] =
+                       static_cast<std::int64_t>(inc.frames.size());
+                   (*counters)["bmc.verdicts_agree"] =
+                       inc.frames.size() == fresh.frames.size() ? 1 : 0;
+                   for (std::size_t i = 0; i < inc.frames.size() &&
+                                           i < fresh.frames.size();
+                        ++i) {
+                     if (inc.frames[i].status != fresh.frames[i].status)
+                       (*counters)["bmc.verdicts_agree"] = 0;
+                   }
+                   (*counters)["bmc.incremental_us"] =
+                       static_cast<std::int64_t>(inc_s * 1e6);
+                   (*counters)["bmc.fresh_us"] =
+                       static_cast<std::int64_t>(fresh_s * 1e6);
+                   (*counters)["bmc.speedup_pct"] = static_cast<std::int64_t>(
+                       100.0 * fresh_s / std::max(inc_s, 1e-9));
                  }});
   out.push_back({"portfolio.b13_1_b15", [](auto* counters) {
                    const ir::SeqCircuit seq = itc99::build("b13");

@@ -3,6 +3,8 @@
 //   $ ./rtlsat_client [--host H] --port P solve <file.rtl> <goal>
 //         [--value 0|1] [--budget S] [--jobs N] [--deterministic]
 //         [--no-cache] [--no-bank] [--progress] [--no-wait]
+//   $ ./rtlsat_client --port P bmc <seq.rtl> <property> <bound>
+//         [--cumulative] [--budget S] [--no-cache] [--no-bank]
 //   $ ./rtlsat_client --port P cancel <job>
 //   $ ./rtlsat_client --port P stats
 //   $ ./rtlsat_client --port P ping
@@ -10,7 +12,10 @@
 //
 // solve submits and (unless --no-wait) blocks for the verdict; --progress
 // re-emits the per-worker heartbeat JSONL lines on stdout as they stream.
-// Exit codes: 0 sat/unsat, 1 timeout/cancelled, 2 usage or error.
+// bmc asks one bound of a sequential design; successive bounds over the
+// same design land on the server's warm incremental session
+// (docs/incremental.md). Exit codes: 0 sat/unsat, 1 timeout/cancelled,
+// 2 usage or error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,8 +45,10 @@ int usage(const char* argv0) {
       "usage: %s [--host H] --port P solve <file.rtl> <goal>\n"
       "          [--value 0|1] [--budget S] [--jobs N] [--deterministic]\n"
       "          [--no-cache] [--no-bank] [--progress] [--no-wait]\n"
+      "       %s [--host H] --port P bmc <seq.rtl> <property> <bound>\n"
+      "          [--cumulative] [--budget S] [--no-cache] [--no-bank]\n"
       "       %s [--host H] --port P cancel <job> | stats | ping | shutdown\n",
-      argv0, argv0);
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
     else if (std::strcmp(arg, "--deterministic") == 0) request.deterministic = true;
     else if (std::strcmp(arg, "--no-cache") == 0) request.use_cache = false;
     else if (std::strcmp(arg, "--no-bank") == 0) request.use_bank = false;
+    else if (std::strcmp(arg, "--cumulative") == 0) request.cumulative = true;
     else if (std::strcmp(arg, "--progress") == 0) request.progress = true;
     else if (std::strcmp(arg, "--no-wait") == 0) wait_for_result = false;
     else positional.push_back(arg);
@@ -118,6 +126,7 @@ int main(int argc, char** argv) {
     std::printf("cache_hit_ratio  %.2f\n", stats.cache_hit_ratio);
     std::printf("cache_entries    %lld\n", static_cast<long long>(stats.cache_entries));
     std::printf("bank_pools       %lld\n", static_cast<long long>(stats.bank_pools));
+    std::printf("bmc_sessions     %lld\n", static_cast<long long>(stats.bmc_sessions));
     return 0;
   }
   if (command == "cancel") {
@@ -132,13 +141,24 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(job));
     return 0;
   }
-  if (command != "solve" || positional.size() < 3) return usage(argv[0]);
-
-  if (!read_file(positional[1], &request.rtl)) {
+  if (command == "bmc") {
+    // BMC mode: the file is a sequential design, solved at one bound on the
+    // server's warm incremental session for that design (docs/incremental.md).
+    if (positional.size() < 4) return usage(argv[0]);
+    if (!read_file(positional[1], &request.seq_rtl)) {
+      std::fprintf(stderr, "error: cannot read %s\n", positional[1]);
+      return 2;
+    }
+    request.property = positional[2];
+    request.bound = std::atoi(positional[3]);
+  } else if (command != "solve" || positional.size() < 3) {
+    return usage(argv[0]);
+  } else if (!read_file(positional[1], &request.rtl)) {
     std::fprintf(stderr, "error: cannot read %s\n", positional[1]);
     return 2;
+  } else {
+    request.goal = positional[2];
   }
-  request.goal = positional[2];
 
   std::uint64_t job = 0;
   if (!client.submit(request, &job, &error)) {

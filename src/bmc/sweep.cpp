@@ -1,34 +1,81 @@
 #include "bmc/sweep.h"
 
 #include <cctype>
+#include <memory>
 #include <utility>
 
+#include "bmc/incremental.h"
 #include "bmc/unroll.h"
 #include "proof/word_check.h"
 #include "proof/word_writer.h"
+#include "util/strings.h"
 
 namespace rtlsat::bmc {
 
 namespace {
 
-// "<dir>/<name>.cert.jsonl" with the instance name made filesystem-safe
-// ("b13_2(4)" → "b13_2_4_").
+// "<dir>/<name>.cert.jsonl" with the instance name made filesystem-safe.
+// Sanitizing alone is lossy — "b13_2(4)" and "b13_2[4]" both collapse to
+// "b13_2_4_" and would silently overwrite each other's certificate — so a
+// name that needed any replacement gets a hash of the original appended.
 std::string cert_path(const std::string& dir, const std::string& name) {
   std::string file = name;
+  bool lossy = false;
   for (char& ch : file) {
     if (!std::isalnum(static_cast<unsigned char>(ch)) && ch != '_' &&
-        ch != '-')
+        ch != '-') {
       ch = '_';
+      lossy = true;
+    }
+  }
+  if (lossy) {
+    // FNV-1a over the original name: deterministic, filename-safe.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char ch : name) {
+      h ^= static_cast<unsigned char>(ch);
+      h *= 1099511628211ull;
+    }
+    file += str_format("-%08x", static_cast<std::uint32_t>(h ^ (h >> 32)));
   }
   return dir + "/" + file + ".cert.jsonl";
 }
 
 }  // namespace
 
+std::string cert_path_for_testing(const std::string& dir,
+                                  const std::string& name) {
+  return cert_path(dir, name);
+}
+
 SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
                   int max_bound, const SweepOptions& options) {
   SweepResult result;
+  // Certification forces fresh-per-frame solving: a certificate must be
+  // self-contained, while the incremental solver's later frames derive
+  // from clauses learned in earlier ones.
+  const bool incremental = options.incremental && !options.certify;
+  std::unique_ptr<IncrementalBmc> inc;
+  if (incremental) {
+    inc = std::make_unique<IncrementalBmc>(seq, property, options.solver,
+                                           options.cumulative);
+  }
   for (int bound = 1; bound <= max_bound; ++bound) {
+    if (incremental) {
+      FrameResult frame;
+      frame.bound = bound;
+      frame.name = inc->name(bound);
+      const core::SolveResult solve = inc->solve_bound(bound);
+      frame.status = solve.status;
+      frame.seconds = solve.seconds;
+      const bool sat = frame.status == core::SolveStatus::kSat;
+      result.frames.push_back(std::move(frame));
+      if (sat) {
+        result.first_sat_bound = bound;
+        if (options.stop_at_sat) break;
+      }
+      continue;
+    }
+
     const BmcInstance instance = options.cumulative
                                      ? unroll_any(seq, property, bound)
                                      : unroll(seq, property, bound);

@@ -32,6 +32,13 @@ struct SweepOptions {
   // Stop at the first SAT frame (the counterexample bound) instead of
   // solving every bound up to max_bound.
   bool stop_at_sat = true;
+  // Reuse one growing unrolling and one persistent solver across bounds
+  // (bmc/incremental.h) so each frame starts from everything the previous
+  // frames learned. Verdicts are interchangeable with fresh-per-frame
+  // solving (the fuzz oracle enforces this). Ignored — the sweep falls
+  // back to fresh-per-frame — when `certify` is set, because certificates
+  // must be self-contained per frame.
+  bool incremental = true;
 };
 
 struct FrameResult {
@@ -66,5 +73,11 @@ struct SweepResult {
 // bmc::unroll / bmc::unroll_any. Deterministic given (seq, options).
 SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
                   int max_bound, const SweepOptions& options = {});
+
+// Exposes the certificate-file naming for tests ("<dir>/<sanitized>.cert
+// .jsonl", hash-suffixed when sanitization was lossy so distinct instance
+// names can never share a file).
+std::string cert_path_for_testing(const std::string& dir,
+                                  const std::string& name);
 
 }  // namespace rtlsat::bmc

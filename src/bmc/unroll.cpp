@@ -11,11 +11,8 @@ using ir::NetId;
 using ir::Node;
 using ir::Op;
 
-namespace {
+namespace detail {
 
-// Copies the comb core into `out` for one time-frame. `state` maps each
-// register's q net to its value net for this frame; free inputs get fresh
-// per-frame inputs. Returns the map from seq nets to unrolled nets.
 std::vector<NetId> copy_frame(const ir::SeqCircuit& seq, Circuit& out,
                               int frame,
                               const std::vector<std::pair<NetId, NetId>>& state) {
@@ -99,6 +96,12 @@ std::vector<NetId> copy_frame(const ir::SeqCircuit& seq, Circuit& out,
   }
   return map;
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::copy_frame;
 
 BmcInstance unroll_impl(const ir::SeqCircuit& seq, std::string_view property,
                         int bound, bool any_frame) {

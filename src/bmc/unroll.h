@@ -34,4 +34,16 @@ BmcInstance unroll(const ir::SeqCircuit& seq, std::string_view property,
 BmcInstance unroll_any(const ir::SeqCircuit& seq, std::string_view property,
                        int bound);
 
+namespace detail {
+// Copies the comb core into `out` for one time-frame. `state` maps each
+// register's q net to its value net for this frame; free inputs get fresh
+// per-frame inputs named "<name>@<frame>". Returns the map from seq nets
+// to unrolled nets. Shared between the one-shot unroller above and the
+// frame-by-frame incremental unroller (bmc/incremental.h), which must
+// produce identical per-frame logic.
+std::vector<ir::NetId> copy_frame(
+    const ir::SeqCircuit& seq, ir::Circuit& out, int frame,
+    const std::vector<std::pair<ir::NetId, ir::NetId>>& state);
+}  // namespace detail
+
 }  // namespace rtlsat::bmc

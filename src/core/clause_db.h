@@ -38,6 +38,16 @@ class ClauseDb {
 
   std::uint32_t add(HybridClause clause);
 
+  // Adopts nets appended to the circuit since construction: extends the
+  // per-net watch/occurrence/weight tables. Existing clauses and watches
+  // are untouched (the circuit is append-only, so old ids keep meaning).
+  void sync_circuit(const ir::Circuit& circuit) {
+    watchers_.resize(circuit.num_nets());
+    occurrences_.resize(circuit.num_nets());
+    net_weight_.resize(circuit.num_nets(), 0);
+    literal_weight_.resize(circuit.num_nets(), {0, 0});
+  }
+
   const HybridClause& clause(std::uint32_t id) const { return clauses_[id]; }
   std::size_t size() const { return clauses_.size(); }
   std::size_t learnt_count() const { return learnt_count_; }

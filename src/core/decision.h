@@ -17,6 +17,15 @@ class ActivityHeap {
   explicit ActivityHeap(std::size_t num_nets)
       : activity_(num_nets, 0.0), pos_(num_nets, -1) {}
 
+  // Extends the per-net tables for nets appended to the circuit. New nets
+  // start at activity 0 and outside the heap; the owner seeds and inserts
+  // them as the constructor path does.
+  void grow(std::size_t num_nets) {
+    if (num_nets <= activity_.size()) return;
+    activity_.resize(num_nets, 0.0);
+    pos_.resize(num_nets, -1);
+  }
+
   void set_activity(ir::NetId net, double a) {
     activity_[net] = a;
     if (pos_[net] >= 0) sift_up(pos_[net]);

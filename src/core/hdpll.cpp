@@ -256,19 +256,36 @@ bool HdpllSolver::handle_conflict() {
   publish_metrics();
   if (engine_.level() == 0) {
     if (proof_log_ != nullptr) proof_log_->log_conflict0();
+    root_unsat_ = true;
+    return false;
+  }
+  if (engine_.level() <= assumption_levels()) {
+    // The conflict is at (or below) a per-call assumption level: it refutes
+    // the assumption set, not the instance — report per-call kUnsat and
+    // learn nothing. Learning here would be unsound: analysis would expand
+    // the current level's assumption event (an antecedent-free pseudo-
+    // decision) instead of emitting its negation as a literal, producing a
+    // clause that over-claims once the assumption is retracted.
     return false;
   }
 
   if (!options_.conflict_learning) {
-    // Chronological DPLL: flip the deepest unflipped decision.
+    // Chronological DPLL: flip the deepest unflipped decision. Assumption
+    // pseudo-decisions are never flipped — the search exhausting every real
+    // decision under the assumptions refutes the assumption set.
     while (!decision_stack_.empty() && decision_stack_.back().flipped) {
       backtrack_to(static_cast<std::uint32_t>(decision_stack_.size() - 1));
     }
-    if (decision_stack_.empty()) return false;
+    if (decision_stack_.empty()) {
+      root_unsat_ = true;
+      return false;
+    }
+    if (decision_stack_.back().is_assumption) return false;
     LevelInfo info = decision_stack_.back();
     backtrack_to(static_cast<std::uint32_t>(decision_stack_.size() - 1));
     engine_.push_level();
-    decision_stack_.push_back({info.net, !info.value, true});
+    decision_stack_.push_back(
+        {.net = info.net, .value = !info.value, .flipped = true});
     const bool ok =
         engine_.narrow(info.net, Interval::point(info.value ? 0 : 1),
                        prop::ReasonKind::kDecision);
@@ -282,6 +299,7 @@ bool HdpllSolver::handle_conflict() {
   if (proof_log_ != nullptr) proof_log_->capture_learn(analysis);
   if (analysis.empty_clause) {
     if (proof_log_ != nullptr) proof_log_->commit_learn(-1);
+    root_unsat_ = true;
     return false;
   }
   const auto clause_len =
@@ -358,6 +376,11 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
       RTLSAT_ASSERT_MSG(interval.contains(values[net]),
                         "model verification failed: assumption violated");
     }
+    for (const auto& [net, interval] : call_assumptions_) {
+      RTLSAT_ASSERT_MSG(
+          interval.contains(values[net]),
+          "model verification failed: per-call assumption violated");
+    }
   }
   if (options_.self_check) {
     stats_.add("hdpll.self_checks", 1);
@@ -372,7 +395,39 @@ SolveResult HdpllSolver::finish_sat(const ArithCheckResult& arith,
   return result;
 }
 
-SolveResult HdpllSolver::solve() {
+SolveResult HdpllSolver::solve() { return solve({}); }
+
+void HdpllSolver::sync_circuit() {
+  // Lazy cleanup of the previous call's branch state first; growth is only
+  // legal at root level. (Guarded like solve_impl's: a no-op backtrack
+  // would still discard the engine's pending propagation queue.)
+  if (engine_.level() > 0 || engine_.in_conflict()) backtrack_to(0);
+  const auto old_nets = static_cast<NetId>(phase_.size());
+  if (old_nets == circuit_.num_nets()) return;
+  engine_.sync_circuit();
+  db_.sync_circuit(circuit_);
+  heap_.grow(circuit_.num_nets());
+  phase_.resize(circuit_.num_nets(), false);
+  // Seed the appended Boolean nets exactly as the constructor seeds the
+  // originals. Recomputing fanouts also reflects new readers of old nets,
+  // but re-seeding old activities would erase learned bumps — skip them.
+  const auto fanout = ir::fanout_counts(circuit_);
+  for (NetId id = old_nets; id < circuit_.num_nets(); ++id) {
+    if (!circuit_.is_bool(id)) continue;
+    if (circuit_.node(id).op == ir::Op::kConst) continue;
+    heap_.set_activity(id, static_cast<double>(fanout[id]));
+    heap_.insert(id);
+  }
+  // The justifier's candidate order is computed from the whole circuit.
+  if (options_.structural_decisions)
+    justifier_ = std::make_unique<Justifier>(circuit_);
+}
+
+SolveResult HdpllSolver::solve(
+    const std::vector<std::pair<ir::NetId, Interval>>& assumptions) {
+  for ([[maybe_unused]] const auto& [net, interval] : assumptions)
+    RTLSAT_ASSERT(!interval.is_empty());
+  call_assumptions_ = assumptions;
   SolveResult result = solve_impl();
   if (proof_log_ != nullptr) {
     switch (result.status) {
@@ -426,18 +481,47 @@ SolveResult HdpllSolver::solve_impl() {
   // propagation or FME call could overshoot the timeout by seconds.)
   stop_ = options_.stop.with_deadline(options_.timeout_seconds);
   SolveResult result;
-  reduction_budget_ = options_.reduction_base;
+  result.learning = learning_report_;
+  if (root_unsat_) {
+    // The instance itself was refuted on an earlier call; no assumption
+    // set can revive it.
+    result.status = SolveStatus::kUnsat;
+    result.seconds = timer.seconds();
+    return result;
+  }
+  // Lazily retract the previous call's branch (a kSat return parks at the
+  // satisfying leaf so the caller could have inspected it; a per-call
+  // kUnsat return parks at the conflict). Guarded: an unconditional
+  // backtrack would discard the engine's seeded propagation queue on the
+  // first call, losing initial bounds consistency.
+  if (engine_.level() > 0 || engine_.in_conflict()) backtrack_to(0);
+  if (!clean_exit_) {
+    // The previous call exited on a fired token mid-propagation; the
+    // engine's queue was discarded, so bounds consistency cannot be
+    // trusted. Re-seed every node — the next deduce() restores the
+    // fixpoint.
+    engine_.enqueue_all_nodes();
+    clean_exit_ = true;
+  }
+  // First call only: later calls continue the grown schedule.
+  if (reduction_budget_ == 0) reduction_budget_ = options_.reduction_base;
   selfcheck_countdown_ = options_.self_check_interval;
   conflicts_until_restart_ = options_.restart_interval;
 
   // Chronological mode is not certified: its flip "derivations" have no
   // clausal justification, so the logger only arms with conflict learning.
-  if (options_.proof != nullptr && options_.conflict_learning) {
+  // A repeat call (or one with retractable assumptions) is not certified
+  // either: its derivations cite clauses the certificate cannot re-derive.
+  proof_log_.reset();
+  if (!call_assumptions_.empty()) proof_disarmed_ = true;
+  if (options_.proof != nullptr && options_.conflict_learning &&
+      !proof_disarmed_) {
     proof_log_ = std::make_unique<WordProofLogger>(engine_, options_.proof);
     proof_log_->begin(assumptions_);
     // The learn records replay the interior of the analysis cut; premise
     // recording is off by default to keep analysis allocation-lean.
     options_.analyze.record_premises = true;
+    proof_disarmed_ = true;  // one certificate stream per solver
   }
 
   if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kPreprocess);
@@ -445,13 +529,14 @@ SolveResult HdpllSolver::solve_impl() {
     trace::ScopedPhase phase(tracer_, &stats_, "preprocess");
     if (!apply_assumptions()) {
       if (proof_log_ != nullptr) proof_log_->log_conflict0();
+      root_unsat_ = true;  // persistent assumptions, level-0 conflict
       result.status = SolveStatus::kUnsat;
       result.seconds = timer.seconds();
       return result;
     }
   }
 
-  if (options_.predicate_learning) {
+  if (options_.predicate_learning && !predicates_learned_) {
     if (gauges_ != nullptr) {
       gauges_->set_phase(metrics::SolverPhase::kPredicateLearning);
     }
@@ -463,7 +548,13 @@ SolveResult HdpllSolver::solve_impl() {
     const std::size_t first_learned = db_.size();
     result.learning = run_predicate_learning(engine_, db_, &clause_cursor_,
                                              learn_options);
+    // Run once: §3 relations are consequences of the formula alone, live in
+    // the clause database, and persist across calls. The report is kept so
+    // every later call's result can replay it.
+    predicates_learned_ = true;
+    learning_report_ = result.learning;
     if (result.learning.proven_unsat) {
+      root_unsat_ = true;
       result.status = SolveStatus::kUnsat;
       result.seconds = timer.seconds();
       return result;
@@ -471,6 +562,7 @@ SolveResult HdpllSolver::solve_impl() {
     // §3 relations are consequences of the formula alone — share them all.
     export_clauses(first_learned);
     if (stop_.stop_requested()) {
+      clean_exit_ = false;
       result.status = stopped_status();
       result.seconds = timer.seconds();
       return result;
@@ -506,9 +598,43 @@ SolveResult HdpllSolver::solve_impl() {
     // check keeps the incomplete propagation from feeding a decision or
     // an arith_check. Unarmed tokens make both reads trivially cheap.
     if (stop_.stop_requested()) {
+      clean_exit_ = false;
       result.status = stopped_status();
       result.seconds = timer.seconds();
       return result;
+    }
+
+    // Plant the next pending per-call assumption as a pseudo-decision:
+    // level i+1 asserts call_assumptions_[i], so every assumption sits
+    // strictly below every real decision (re-established after backjumps
+    // and restarts carry the search below level m). A level is pushed even
+    // when the assumption is already entailed — a dummy level, marked
+    // has_event = false — so the level↔assumption correspondence stays
+    // exact for handle_conflict's soundness test and the FME cut.
+    if (engine_.level() < assumption_levels()) {
+      const auto& [net, interval] = call_assumptions_[engine_.level()];
+      engine_.push_level();
+      LevelInfo info;
+      info.net = net;
+      info.is_assumption = true;
+      info.interval = interval;
+      tracer_->record(trace::EventKind::kDecision, engine_.level(), net, 2);
+      if (!engine_.narrow(net, interval, prop::ReasonKind::kAssumption)) {
+        decision_stack_.push_back(info);
+        if (!handle_conflict()) {
+          result.status = SolveStatus::kUnsat;
+          result.seconds = timer.seconds();
+          return result;
+        }
+        continue;
+      }
+      const std::int32_t ev = engine_.latest_event(net);
+      info.has_event =
+          ev >= 0 &&
+          engine_.trail()[static_cast<std::size_t>(ev)].level ==
+              engine_.level();
+      decision_stack_.push_back(info);
+      continue;  // deduce to a fixpoint before the next assumption
     }
 
     const auto decision = pick_decision();
@@ -542,6 +668,7 @@ SolveResult HdpllSolver::solve_impl() {
       if (arith.stopped) {
         // FME abandoned the check on a fired token — neither a model nor a
         // refutation; learning a decision cut here would be unsound.
+        clean_exit_ = false;
         result.status = stopped_status();
         result.seconds = timer.seconds();
         return result;
@@ -557,18 +684,46 @@ SolveResult HdpllSolver::solve_impl() {
       ++n_arith_conflicts_;
       if (engine_.level() == 0) {
         if (proof_log_ != nullptr) proof_log_->log_fme0(arith_capture);
+        root_unsat_ = true;
+        result.status = SolveStatus::kUnsat;
+        result.seconds = timer.seconds();
+        return result;
+      }
+      if (engine_.level() <= assumption_levels()) {
+        // Every level on the trail is an assumption pseudo-decision (all
+        // real decisions were entailed), so the refutation condemns the
+        // assumption set — report per-call kUnsat without learning. If no
+        // assumption actually narrowed anything (all dummy levels), the
+        // refuted box is the level-0 box and the instance itself is UNSAT.
+        bool any_event = false;
+        for (const LevelInfo& info : decision_stack_)
+          any_event = any_event || info.has_event;
+        if (!any_event) root_unsat_ = true;
         result.status = SolveStatus::kUnsat;
         result.seconds = timer.seconds();
         return result;
       }
       if (options_.conflict_learning) {
         // Learn the decision cut: ¬(d₁ ∧ … ∧ d_k). The asserting literal
-        // is the deepest decision's negation.
+        // is the deepest decision's negation. Assumption levels join the
+        // cut as their interval's negation — the clause must stay valid
+        // after the assumptions are retracted; dummy levels asserted
+        // nothing and contribute nothing.
         HybridClause cut;
         cut.learnt = true;
         cut.origin = HybridClause::Origin::kConflict;
         for (auto it = decision_stack_.rbegin(); it != decision_stack_.rend();
              ++it) {
+          if (it->is_assumption) {
+            if (!it->has_event) continue;
+            if (circuit_.is_bool(it->net) && it->interval.is_point()) {
+              cut.lits.push_back(
+                  HybridLit::boolean(it->net, it->interval.lo() == 0));
+            } else {
+              cut.lits.push_back(HybridLit::word_not_in(it->net, it->interval));
+            }
+            continue;
+          }
           cut.lits.push_back(HybridLit::boolean(it->net, !it->value));
         }
         // The cut record replays the decision levels; the trail is gone
@@ -596,7 +751,7 @@ SolveResult HdpllSolver::solve_impl() {
     engine_.push_level();
     tracer_->record(trace::EventKind::kDecision, engine_.level(),
                     decision->net, decision->value ? 1 : 0);
-    decision_stack_.push_back({decision->net, decision->value, false});
+    decision_stack_.push_back({.net = decision->net, .value = decision->value});
     if (!engine_.narrow(decision->net,
                         Interval::point(decision->value ? 1 : 0),
                         prop::ReasonKind::kDecision)) {

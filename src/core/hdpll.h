@@ -151,13 +151,56 @@ class HdpllSolver {
   explicit HdpllSolver(const ir::Circuit& circuit, HdpllOptions options = {});
 
   // Instance constraints, applied at level 0 when solve() starts. The
-  // proposition under test is an assumption (e.g. goal net = 1).
+  // proposition under test is an assumption (e.g. goal net = 1). These are
+  // *persistent*: once applied they hold for every later call, and level-0
+  // facts deduced from them are never undone. Callable between solve()
+  // calls to strengthen the instance.
   void assume(ir::NetId net, const Interval& interval);
   void assume_bool(ir::NetId net, bool value) {
     assume(net, Interval::point(value ? 1 : 0));
   }
 
   SolveResult solve();
+  // Incremental interface: solve under per-call (net, interval)
+  // assumptions layered *above* the persistent assume() constraints. Each
+  // assumption occupies one trail level (1..m, a dummy level when already
+  // entailed), strictly below every real decision, and is retracted when
+  // the call returns — while learned hybrid clauses, predicate relations,
+  // activities, saved phases, and the level-0 interval store all persist.
+  // Retraction is sound because anything learned while an assumption was
+  // live carries that assumption's negation as a literal: conflict
+  // analysis emits assumption events below the conflict level as literals,
+  // FME decision cuts explicitly include the assumption levels, and
+  // conflicts *at* an assumption level learn nothing at all (the call just
+  // reports kUnsat). A kUnsat answer therefore only condemns the
+  // assumption set unless root_unsat() also flipped; the solver stays
+  // reusable either way. Word-certificate proof logging is incompatible
+  // with retractable assumptions and is disarmed for calls that pass any
+  // (a multi-call certificate would cite underivable prior-call clauses).
+  SolveResult solve(
+      const std::vector<std::pair<ir::NetId, Interval>>& assumptions);
+
+  // True once the instance itself (circuit + persistent assumptions) was
+  // refuted at level 0; every later solve() answers kUnsat immediately.
+  bool root_unsat() const { return root_unsat_; }
+
+  // Re-arm the budget between solve() calls: the next call derives its
+  // effective token from these (0 seconds = no deadline, default token =
+  // never cancelled). Lets one incremental solver serve a sequence of
+  // differently-budgeted queries (the serve layer's warm BMC sessions).
+  void set_budget(double timeout_seconds, StopToken stop = {}) {
+    options_.timeout_seconds = timeout_seconds;
+    options_.stop = stop;
+  }
+
+  // Adopts nets appended to the circuit since construction (the circuit
+  // reference handed to the constructor must still be alive and must only
+  // have grown). Extends the engine/clause-db/heap tables, seeds the new
+  // Boolean nets' decision activities, and rebuilds the structural
+  // justifier. The level-0 trail and all learned clauses survive — they
+  // remain valid because the circuit is append-only. The incremental BMC
+  // unroller calls this once per new time-frame.
+  void sync_circuit();
 
   // Portfolio cross-check: replays `input_model` (a winner's SAT model)
   // against this solver's circuit view at level 0 — evaluate the circuit on
@@ -181,6 +224,11 @@ class HdpllSolver {
 
   bool apply_assumptions();
   SolveResult solve_impl();
+  // Number of per-call assumption levels in the current call (m): trail
+  // levels 1..m are assumption levels, real decisions live above.
+  std::uint32_t assumption_levels() const {
+    return static_cast<std::uint32_t>(call_assumptions_.size());
+  }
   // The no-verdict status for a fired stop token: kCancelled for an
   // external request, kTimeout when (only) the deadline expired.
   SolveStatus stopped_status() const;
@@ -224,15 +272,40 @@ class HdpllSolver {
   StopToken stop_;
   Rng rng_;
   std::vector<std::pair<ir::NetId, Interval>> assumptions_;
+  // The current call's retractable assumptions (level i+1 holds entry i).
+  std::vector<std::pair<ir::NetId, Interval>> call_assumptions_;
   std::vector<bool> phase_;
-  // Chronological mode bookkeeping: the decision taken at each level and
-  // whether its complement was already explored.
+  // Per-level bookkeeping: the decision taken at each level and whether
+  // its complement was already explored (chronological mode), or — for
+  // per-call assumption levels — the asserted interval, so FME decision
+  // cuts can negate the assumption into the learned clause. A dummy
+  // assumption level (already-entailed assumption) has has_event = false
+  // and contributes nothing to a cut.
   struct LevelInfo {
     ir::NetId net = ir::kNoNet;
     bool value = false;
     bool flipped = false;
+    bool is_assumption = false;
+    bool has_event = false;
+    Interval interval{};
   };
   std::vector<LevelInfo> decision_stack_;
+  // Set by a level-0 refutation: the instance itself is UNSAT, not merely
+  // the current assumption set.
+  bool root_unsat_ = false;
+  // False while the previous call exited on a fired stop token: the
+  // engine's propagation queue was discarded mid-flight, so the next call
+  // re-seeds it with every node before trusting bounds consistency.
+  bool clean_exit_ = true;
+  // Predicate learning (§3) runs once, on the first solve() call — its
+  // relations are consequences of the formula alone and persist. The
+  // report is replayed into every later call's result.
+  bool predicates_learned_ = false;
+  PredicateLearningReport learning_report_;
+  // One certificate stream per solver: set once a proof has been emitted
+  // (or once a call passed retractable assumptions) — later calls would
+  // cite clauses the certificate cannot re-derive, so they are not logged.
+  bool proof_disarmed_ = false;
   std::unique_ptr<WordProofLogger> proof_log_;  // null unless options_.proof
   double activity_bump_ = 1.0;
   std::size_t reduction_budget_ = 0;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "bitblast/bitblast.h"
+#include "bmc/incremental.h"
+#include "bmc/unroll.h"
 #include "core/hdpll.h"
 #include "core/selfcheck.h"
 #include "portfolio/portfolio.h"
@@ -273,6 +275,55 @@ OracleReport run_oracle(const ir::Circuit& circuit, ir::NetId goal,
   h.check_consensus();
   h.replay_models();
   return h.report;
+}
+
+std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
+                                           const std::string& property,
+                                           int max_bound,
+                                           const OracleOptions& options) {
+  std::vector<std::string> mismatches;
+  for (const bool cumulative : {false, true}) {
+    core::HdpllOptions solver_options;
+    solver_options.structural_decisions = true;
+    solver_options.predicate_learning = true;
+    solver_options.timeout_seconds = options.timeout_seconds;
+    bmc::IncrementalBmc inc(seq, property, solver_options, cumulative);
+    for (int bound = 1; bound <= max_bound; ++bound) {
+      const core::SolveResult warm = inc.solve_bound(bound);
+
+      const bmc::BmcInstance fresh =
+          cumulative ? bmc::unroll_any(seq, property, bound)
+                     : bmc::unroll(seq, property, bound);
+      core::HdpllSolver cold(fresh.circuit, solver_options);
+      cold.assume_bool(fresh.goal, true);
+      const core::SolveResult fresh_result = cold.solve();
+
+      const char w = status_char(warm.status);
+      const char f = status_char(fresh_result.status);
+      if (w == 'T' || f == 'T') continue;  // abstain, as in run_oracle
+      if (w != f) {
+        std::ostringstream os;
+        os << inc.name(bound) << (cumulative ? " (cumulative)" : "")
+           << ": incremental=" << w << " fresh=" << f;
+        mismatches.push_back(os.str());
+        continue;
+      }
+      if (warm.status == core::SolveStatus::kSat) {
+        // The witness must replay by simulation on the growing circuit —
+        // independent of the solver that produced it, so a clause leaked
+        // across frames shows up here even when both verdicts say SAT.
+        const auto values = inc.circuit().evaluate(warm.input_model);
+        if (values[inc.ensure_bound(bound)] != 1) {
+          std::ostringstream os;
+          os << inc.name(bound) << (cumulative ? " (cumulative)" : "")
+             << ": incremental witness failed replay "
+             << model_to_string(inc.circuit(), warm.input_model);
+          mismatches.push_back(os.str());
+        }
+      }
+    }
+  }
+  return mismatches;
 }
 
 }  // namespace rtlsat::fuzz

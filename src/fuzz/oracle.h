@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "ir/circuit.h"
+#include "ir/seq.h"
 
 namespace rtlsat::fuzz {
 
@@ -70,5 +71,18 @@ struct OracleReport {
 // 1-bit net. Deterministic given (circuit, options).
 OracleReport run_oracle(const ir::Circuit& circuit, ir::NetId goal,
                         const OracleOptions& options = {});
+
+// Differential check of the incremental BMC path (bmc/incremental.h: one
+// growing circuit, one persistent solver, per-bound assumptions) against
+// fresh-per-frame unroll+solve, over every bound ≤ max_bound and both
+// goal shapes (exactly-k and cumulative). Rules mirror run_oracle's:
+// decisive verdicts must match at every bound, each incremental SAT
+// witness must replay (goal = 1) on the growing circuit by simulation,
+// and timeouts abstain. Returns the rule violations; empty ⟺ the two
+// paths agree.
+std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
+                                           const std::string& property,
+                                           int max_bound,
+                                           const OracleOptions& options = {});
 
 }  // namespace rtlsat::fuzz

@@ -124,7 +124,10 @@ char sat_verdict(sat::Result result) {
 
 }  // namespace
 
-PortfolioResult Portfolio::solve() {
+PortfolioResult Portfolio::solve() { return solve({}); }
+
+PortfolioResult Portfolio::solve(
+    const std::vector<std::pair<ir::NetId, Interval>>& assumptions) {
   Timer timer;
   PortfolioResult result;
   const int n = static_cast<int>(lineup_.size());
@@ -175,6 +178,15 @@ PortfolioResult Portfolio::solve() {
     slot.ran = true;
     Timer worker_timer;
     if (slot.config.bitblast) {
+      if (!assumptions.empty()) {
+        // No word-level assumption channel into the bit-blast baseline;
+        // racing it on the unstrengthened instance would produce verdicts
+        // for a different question. Sit this one out.
+        slot.verdict = '?';
+        slot.seconds = worker_timer.seconds();
+        slot.end_time = Clock::now();
+        return;
+      }
       sat::SolverOptions sat_options;
       sat_options.stop = token;
       sat_options.self_check = options_.self_check;
@@ -196,7 +208,7 @@ PortfolioResult Portfolio::solve() {
       slot.solver =
           std::make_unique<core::HdpllSolver>(circuit_, hdpll_options);
       slot.solver->assume_bool(goal_, goal_value_);
-      const core::SolveResult solved = slot.solver->solve();
+      const core::SolveResult solved = slot.solver->solve(assumptions);
       slot.verdict = hdpll_verdict(solved.status);
       if (solved.status == core::SolveStatus::kSat)
         slot.model = solved.input_model;
@@ -305,6 +317,12 @@ PortfolioResult Portfolio::solve() {
         result.crosscheck_violations.push_back(
             "winner model does not satisfy the goal under circuit "
             "evaluation");
+      }
+      for (const auto& [net, interval] : assumptions) {
+        if (!interval.contains(values[net])) {
+          result.crosscheck_violations.push_back(
+              "winner model violates assumption on " + circuit_.net_name(net));
+        }
       }
       for (int i = 0; i < n; ++i) {
         if (i == winner_index || slots[i].solver == nullptr) continue;

@@ -144,6 +144,15 @@ class Portfolio {
 
   PortfolioResult solve();
 
+  // Race under per-call retractable (net, interval) assumptions, layered
+  // above the goal exactly as in core::HdpllSolver::solve(assumptions)
+  // (docs/incremental.md). Bit-blast workers cannot take word-level
+  // assumptions, so a non-empty set sidelines them for this race (verdict
+  // '?'); the HDPLL workers all solve the same strengthened instance, so
+  // the verdict cross-check stays meaningful.
+  PortfolioResult solve(
+      const std::vector<std::pair<ir::NetId, Interval>>& assumptions);
+
  private:
   const ir::Circuit& circuit_;
   ir::NetId goal_;

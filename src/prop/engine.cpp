@@ -30,6 +30,30 @@ Engine::Engine(const ir::Circuit& circuit)
   for (NetId id = 0; id < circuit.num_nets(); ++id) enqueue_node(id);
 }
 
+void Engine::sync_circuit() {
+  RTLSAT_ASSERT_MSG(level_ == 0, "sync_circuit: engine must be at root level");
+  const NetId old_nets = static_cast<NetId>(domain_.size());
+  if (old_nets == circuit_.num_nets()) return;
+  fanout_ = ir::fanouts(circuit_);
+  domain_.reserve(circuit_.num_nets());
+  latest_.resize(circuit_.num_nets(), -1);
+  in_queue_.resize(circuit_.num_nets(), false);
+  for (NetId id = old_nets; id < circuit_.num_nets(); ++id) {
+    const ir::Node& n = circuit_.node(id);
+    domain_.push_back(n.op == ir::Op::kConst ? Interval::point(n.imm)
+                                             : circuit_.domain(id));
+    // New nodes read old (possibly already-narrowed) nets; queue them so
+    // the next propagate() tightens the appended logic. Old nodes need no
+    // re-examination: their operand domains did not change.
+    enqueue_node(id);
+  }
+}
+
+void Engine::enqueue_all_nodes() {
+  for (NetId id = 0; id < static_cast<NetId>(domain_.size()); ++id)
+    enqueue_node(id);
+}
+
 bool Engine::narrow(NetId net, const Interval& to, ReasonKind kind,
                     std::uint32_t reason_id,
                     std::vector<std::int32_t> antecedents) {

@@ -78,6 +78,20 @@ class Engine {
   std::uint32_t level() const { return level_; }
   void push_level() { ++level_; }
 
+  // Adopts nets appended to the circuit since construction (the circuit is
+  // append-only, so existing ids keep their meaning): extends the domain /
+  // event bookkeeping, recomputes fanouts (old nets may have gained
+  // readers), and queues the new nodes so the next propagate() makes the
+  // grown circuit bounds consistent. Level 0 only — the level-0 trail
+  // survives untouched, which is exactly what incremental BMC reuses.
+  void sync_circuit();
+
+  // Re-queues every node for examination. Needed when a previous
+  // propagation round was abandoned mid-flight (a stop token fired and the
+  // queue was later cleared by a rollback): the domains are sound but the
+  // fixpoint was never reached, so seed the queue as the constructor does.
+  void enqueue_all_nodes();
+
   // Externally narrow a net (assumption, decision, or clause implication).
   // Returns false and records a conflict when the result is empty. A
   // narrowing that does not change the interval is a silent no-op.

@@ -548,7 +548,11 @@ void Solver::record_lbd(const std::vector<Lit>& learnt) {
 }
 
 Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
+  failed_.clear();
   if (!ok_) return Result::kUnsat;
+  // Defensive: every exit below restores root level, but start clean even
+  // if a previous call was interrupted mid-abort.
+  backtrack(0);
   if (gauges_ != nullptr) gauges_->set_phase(metrics::SolverPhase::kSearch);
   Timer timer;
   const StopToken stop = options_.stop.with_deadline(options_.timeout_seconds);
@@ -563,8 +567,10 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
   while (true) {
     // Polled at the top so conflict-streak iterations (which `continue`
     // past the decision code) still observe a fired token promptly.
-    if (stop.stop_requested())
+    if (stop.stop_requested()) {
+      backtrack(0);
       return stop.cancelled() ? Result::kCancelled : Result::kTimeout;
+    }
     const ClauseRef conflict = propagate();
     if (conflict != kNoReason) {
       ++n_conflicts_;
@@ -639,42 +645,88 @@ Result Solver::solve_impl(const std::vector<Lit>& assumptions) {
       continue;
     }
 
-    // Apply assumptions, then decide.
-    bool assumption_pending = false;
-    for (const Lit a : assumptions) {
-      if (value(a) == Value::kTrue) continue;
-      if (value(a) == Value::kFalse) return Result::kUnsat;
-      trail_lim_.push_back(trail_.size());
-      enqueue(a, kNoReason);
-      assumption_pending = true;
-      break;
-    }
-    if (assumption_pending) continue;
-
-    if (trail_.size() == num_vars()) {
-      if (options_.self_check) {
-        stats_.add("sat.self_checks", 1);
-        enforce(check_invariants(), "sat model");
+    // Apply assumptions, then decide. Level i (1-based) is permanently
+    // assumption i's level — an already-true assumption still gets a dummy
+    // level — so real decisions sit strictly above every assumption and a
+    // backjump can never strand the correspondence. This is what lets
+    // analyze_final read assumption pseudo-decisions off the trail by
+    // their kNoReason marker alone.
+    Lit branch;
+    bool branch_is_assumption = false;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      if (value(a) == Value::kTrue) {
+        trail_lim_.push_back(trail_.size());  // dummy level
+      } else if (value(a) == Value::kFalse) {
+        // Refuted under the *assumptions*, not outright: compute the core,
+        // restore root level, and leave ok_ alone.
+        analyze_final(a);
+        backtrack(0);
+        return Result::kUnsat;
+      } else {
+        branch = a;
+        branch_is_assumption = true;
+        break;
       }
-      return Result::kSat;
     }
-    ++n_decisions_;
+
+    if (!branch_is_assumption) {
+      if (trail_.size() == num_vars()) {
+        if (options_.self_check) {
+          stats_.add("sat.self_checks", 1);
+          enforce(check_invariants(), "sat model");
+        }
+        // Snapshot the model before restoring root level so the answer
+        // stays readable while the solver is reusable.
+        model_.assign(assigns_.begin(), assigns_.end());
+        backtrack(0);
+        return Result::kSat;
+      }
+      ++n_decisions_;
+      branch = pick_branch();
+      if (tracer_->verbose()) {
+        // Decisions are far more frequent than conflicts —
+        // event-per-decision is only worth it when someone asked for the
+        // firehose.
+        tracer_->record(trace::EventKind::kDecision,
+                        static_cast<std::uint32_t>(trail_lim_.size() + 1),
+                        branch.var(), branch.positive() ? 1 : 0);
+      }
+    }
     trail_lim_.push_back(trail_.size());
-    const Lit branch = pick_branch();
-    if (tracer_->verbose()) {
-      // Decisions are far more frequent than conflicts — event-per-decision
-      // is only worth it when someone asked for the firehose.
-      tracer_->record(trace::EventKind::kDecision,
-                      static_cast<std::uint32_t>(trail_lim_.size()),
-                      branch.var(), branch.positive() ? 1 : 0);
-    }
     enqueue(branch, kNoReason);
   }
 }
 
+void Solver::analyze_final(Lit a) {
+  failed_.clear();
+  failed_.push_back(a);
+  if (trail_lim_.empty()) return;  // ~a is a root fact: {a} is the core
+  seen_[a.var()] = true;
+  for (std::size_t i = trail_.size(); i > trail_lim_[0]; --i) {
+    const Var x = trail_[i - 1].var();
+    if (!seen_[x]) continue;
+    const ClauseRef r = reason_[x];
+    if (r == kNoReason) {
+      // Pseudo-decision: when an assumption is found false the check loop
+      // has not placed any real decision yet, so every kNoReason trail
+      // entry above root is an assumption — including ~a itself when the
+      // caller passed a contradictory pair.
+      failed_.push_back(trail_[i - 1]);
+    } else {
+      for (const Lit q : clauses_[r].lits) {
+        if (level_[q.var()] > 0) seen_[q.var()] = true;
+      }
+    }
+    seen_[x] = false;
+  }
+  seen_[a.var()] = false;
+}
+
 bool Solver::model_value(Var v) const {
-  RTLSAT_ASSERT(assigns_[v] != Value::kUnassigned);
-  return assigns_[v] == Value::kTrue;
+  RTLSAT_ASSERT(v < model_.size());
+  RTLSAT_ASSERT(model_[v] != Value::kUnassigned);
+  return model_[v] == Value::kTrue;
 }
 
 // ---------------------------------------------------------------- heap

@@ -110,14 +110,42 @@ class Solver {
   std::size_t num_vars() const { return activity_.size(); }
 
   // Adds a clause (empty ⟹ immediate UNSAT; duplicates/tautologies are
-  // simplified). Must be called before solve().
+  // simplified). Callable before the first solve() and between solve()
+  // calls — every solve() returns with the trail restored to root level,
+  // so the clause lands on a clean level-0 state.
   void add_clause(std::vector<Lit> lits);
 
   Result solve();
-  // Incremental interface: solve under the given assumptions.
+  // Incremental interface: solve under the given assumptions. Assumptions
+  // are per-call pseudo-decisions (one trail level each, strictly below
+  // all real decisions); learned clauses, variable activities, and saved
+  // phases persist across calls. An UNSAT verdict under assumptions does
+  // NOT make the instance permanently UNSAT — only a root-level conflict
+  // does — and the failed-assumption core is available afterwards via
+  // failed_assumptions().
   Result solve(const std::vector<Lit>& assumptions);
 
-  // Model access after kSat.
+  // After a kUnsat return from solve(assumptions): a subset of the passed
+  // assumptions whose conjunction is already refuted by the clause
+  // database (an assumption core, not guaranteed minimal). Empty when the
+  // instance is UNSAT outright (ok() is false).
+  const std::vector<Lit>& failed_assumptions() const { return failed_; }
+
+  // False once a root-level conflict proved the clause database itself
+  // UNSAT; assumption-UNSAT answers leave it true.
+  bool ok() const { return ok_; }
+
+  // Re-arm the budget between solve() calls: the next call derives its
+  // effective token from these (0 seconds = no deadline, default token =
+  // never cancelled). This is what lets one solver serve a sequence of
+  // differently-budgeted incremental queries.
+  void set_budget(double timeout_seconds, StopToken stop = {}) {
+    options_.timeout_seconds = timeout_seconds;
+    options_.stop = stop;
+  }
+
+  // Model access after kSat (reads the snapshot taken at the SAT answer,
+  // which survives the trail's restoration to root level).
   bool model_value(Var v) const;
 
   // Invariant audit (the Boolean half of the solver self-check layer; the
@@ -154,6 +182,10 @@ class Solver {
   }
 
   Result solve_impl(const std::vector<Lit>& assumptions);
+  // Computes failed_ from a falsified assumption `a`: walks the trail
+  // backwards from the assumption levels, expanding reason clauses, and
+  // collects the assumption pseudo-decisions that imply ~a.
+  void analyze_final(Lit a);
   void enqueue(Lit l, ClauseRef reason);
   ClauseRef propagate();  // kNoReason when no conflict
   void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
@@ -196,6 +228,11 @@ class Solver {
   bool heap_less(Var a, Var b) const { return activity_[a] > activity_[b]; }
 
   std::vector<bool> seen_;
+  // Model snapshot taken at each kSat answer, before the trail is restored
+  // to root level; model_value reads this, never the live assignment.
+  std::vector<Value> model_;
+  // Failed-assumption core of the most recent assumption-UNSAT answer.
+  std::vector<Lit> failed_;
   bool ok_ = true;
   std::size_t learnt_count_ = 0;
   std::size_t max_learnts_ = 0;

@@ -41,4 +41,34 @@ std::size_t ClauseBank::size() const {
   return lru_.size();
 }
 
+std::shared_ptr<BmcSession> BmcSessionBank::checkout(
+    const std::string& seq_rtl, const std::string& property,
+    bool cumulative) {
+  // property cannot contain '\n' (it is one .rtl token), so the separator
+  // makes the concatenation injective.
+  std::string key = property;
+  key += cumulative ? "\nA\n" : "\nK\n";
+  key += seq_rtl;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    if (capacity_ == 0) return std::make_shared<BmcSession>();
+    lru_.push_front(Entry{std::move(key), std::make_shared<BmcSession>()});
+    index_.emplace(lru_.front().key, lru_.begin());
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();  // running checkouts keep the session alive
+    }
+    return lru_.front().session;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->session;
+}
+
+std::size_t BmcSessionBank::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
 }  // namespace rtlsat::serve

@@ -30,6 +30,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "bmc/incremental.h"
+#include "ir/seq.h"
 #include "portfolio/clause_pool.h"
 
 namespace rtlsat::serve {
@@ -56,6 +58,54 @@ class ClauseBank {
     std::string key;
     std::shared_ptr<portfolio::ClausePool> pool;
     int next_worker_id = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+// One warm incremental-BMC solver, shared across jobs. The clause bank
+// above shares learned *clauses* between fresh solvers; a BMC session goes
+// further and shares the whole solver — the growing unrolling, the learned
+// hybrid clauses, predicate relations, activities, and phases all persist,
+// so a client sweeping bounds k = 1, 2, 3… pays unrolling and clause
+// discovery once (bmc/incremental.h).
+//
+// The session mutex serializes solves: HdpllSolver is single-threaded and
+// its state *is* the asset being shared, so concurrent jobs on one session
+// queue up rather than fork. `bmc` is constructed lazily by the first job,
+// under `mu`, from that job's parsed circuit (`seq` lives here because
+// IncrementalBmc borrows its SeqCircuit).
+struct BmcSession {
+  std::mutex mu;
+  ir::SeqCircuit seq{""};                    // guarded by mu until bmc is set
+  std::unique_ptr<bmc::IncrementalBmc> bmc;  // guarded by mu
+  std::int64_t bounds_solved = 0;            // guarded by mu
+};
+
+// Bounded LRU of BmcSessions, keyed — like ClauseBank, and for the same
+// NetId-identity reason — by the byte-identical (seq_rtl, property,
+// cumulative) triple. Eviction drops the index entry; running jobs keep
+// their session alive through shared ownership.
+class BmcSessionBank {
+ public:
+  explicit BmcSessionBank(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns the session for this exact instance, creating it (empty — the
+  // caller constructs the IncrementalBmc under the session mutex) on first
+  // use. capacity 0 ⟹ a fresh unshared session per call.
+  std::shared_ptr<BmcSession> checkout(const std::string& seq_rtl,
+                                       const std::string& property,
+                                       bool cumulative);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<BmcSession> session;
   };
 
   mutable std::mutex mu_;

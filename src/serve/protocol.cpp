@@ -67,6 +67,12 @@ std::string encode_request(const Request& request) {
       if (!s.use_cache) w.key("cache").value(false);
       if (!s.use_bank) w.key("bank").value(false);
       if (s.progress) w.key("progress").value(true);
+      if (s.is_bmc()) {
+        w.key("seq_rtl").value(s.seq_rtl);
+        w.key("property").value(s.property);
+        w.key("bound").value(s.bound);
+        if (s.cumulative) w.key("cumulative").value(true);
+      }
       break;
     }
     case Request::Kind::kCancel:
@@ -99,10 +105,24 @@ bool parse_request(const std::string& json, Request* out, std::string* error) {
   if (type == "solve") {
     out->kind = Request::Kind::kSolve;
     SolveRequest& s = out->solve;
-    if (!get_string(doc, "rtl", &s.rtl))
-      return fail(error, "solve missing string \"rtl\"");
-    if (!get_string(doc, "goal", &s.goal))
-      return fail(error, "solve missing string \"goal\"");
+    get_string(doc, "seq_rtl", &s.seq_rtl);
+    if (s.is_bmc()) {
+      // BMC mode: the sequential text replaces rtl/goal (both optional and
+      // ignored when present).
+      if (!get_string(doc, "property", &s.property))
+        return fail(error, "bmc solve missing string \"property\"");
+      s.bound = static_cast<int>(get_int(doc, "bound", 0));
+      if (s.bound < 1)
+        return fail(error, "bmc solve missing positive \"bound\"");
+      s.cumulative = get_bool(doc, "cumulative", false);
+      get_string(doc, "rtl", &s.rtl);
+      get_string(doc, "goal", &s.goal);
+    } else {
+      if (!get_string(doc, "rtl", &s.rtl))
+        return fail(error, "solve missing string \"rtl\"");
+      if (!get_string(doc, "goal", &s.goal))
+        return fail(error, "solve missing string \"goal\"");
+    }
     s.value = get_bool(doc, "value", true);
     s.budget_seconds = get_number(doc, "budget_s", 0);
     s.jobs = static_cast<int>(get_int(doc, "jobs", 0));
@@ -186,6 +206,7 @@ std::string encode_stats(std::int64_t seq, const ServerStats& stats) {
   w.key("cache_misses").value(stats.cache_misses);
   w.key("cache_entries").value(stats.cache_entries);
   w.key("bank_pools").value(stats.bank_pools);
+  w.key("bmc_sessions").value(stats.bmc_sessions);
   w.key("cache_hit_ratio").value(stats.cache_hit_ratio);
   w.key("jobs_per_s").value(stats.jobs_per_second);
   w.end_object();
@@ -288,6 +309,7 @@ bool parse_server_msg(const std::string& json, ServerMsg* out,
     s.cache_misses = get_int(doc, "cache_misses", 0);
     s.cache_entries = get_int(doc, "cache_entries", 0);
     s.bank_pools = get_int(doc, "bank_pools", 0);
+    s.bmc_sessions = get_int(doc, "bmc_sessions", 0);
     s.cache_hit_ratio = get_number(doc, "cache_hit_ratio", 0);
     s.jobs_per_second = get_number(doc, "jobs_per_s", 0);
     return true;

@@ -37,6 +37,21 @@ struct SolveRequest {
   bool use_cache = true;  // structural-hash result cache (serve/cache.h)
   bool use_bank = true;   // cross-job clause bank (serve/bank.h)
   bool progress = false;  // stream worker heartbeats to this client
+
+  // BMC mode (additive fields, v stays 1): when `seq_rtl` is non-empty the
+  // request is a bounded-model-checking query "property violated at
+  // (exactly | within, see `cumulative`) `bound` steps" on a *sequential*
+  // .rtl circuit, and `rtl`/`goal` are ignored. Successive bounds on the
+  // byte-identical (seq_rtl, property, cumulative) triple reuse one warm
+  // incremental solver on the server (serve/bank.h's BmcSessionBank) when
+  // `use_bank` is set, so a client sweeping k = 1, 2, 3… pays the
+  // unrolling and the learned-clause discovery only once.
+  std::string seq_rtl;    // sequential circuit text; non-empty ⟹ BMC mode
+  std::string property;   // property name inside the seq circuit
+  int bound = 0;          // time-frames (≥ 1)
+  bool cumulative = false;  // violation in ANY frame ≤ bound
+
+  bool is_bmc() const { return !seq_rtl.empty(); }
 };
 
 struct Request {
@@ -62,6 +77,7 @@ struct ServerStats {
   std::int64_t cache_misses = 0;
   std::int64_t cache_entries = 0;
   std::int64_t bank_pools = 0;      // live cross-job clause pools
+  std::int64_t bmc_sessions = 0;    // warm incremental BMC solver sessions
   double cache_hit_ratio = 0;       // hits / (hits + misses), 0 when idle
   double jobs_per_second = 0;       // jobs_done / uptime
 };

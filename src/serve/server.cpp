@@ -55,6 +55,7 @@ struct Job {
   NetId goal = ir::kNoNet;
   ir::CanonicalCone cone;  // only populated when request.use_cache
   std::string exact_key;   // ditto; exact-text tier key for this request
+  ir::SeqCircuit seq{""};  // BMC only: parsed at submit, seeds the session
   SolveRequest request;
   StopSource stop;        // fired by cancel / shutdown_now
   Timer service_timer;    // started at submit
@@ -103,13 +104,25 @@ void fill_model_names(const Job& job,
   }
 }
 
+// Exact-cache "goal" token for a BMC request: folds bound and goal shape
+// into one '\n'-free token. Injective — the suffix after the last '#' is
+// digits plus an optional '+', which no earlier split can mimic.
+std::string bmc_goal_token(const SolveRequest& request) {
+  std::string token = request.property;
+  token += '#';
+  token += std::to_string(request.bound);
+  if (request.cumulative) token += '+';
+  return token;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       exact_cache_(options_.cache_capacity),
-      bank_(options_.bank_capacity) {}
+      bank_(options_.bank_capacity),
+      bmc_bank_(options_.bmc_session_capacity) {}
 
 Server::~Server() {
   if (started_.load()) {
@@ -190,6 +203,7 @@ ServerStats Server::snapshot() const {
   s.cache_misses = cache_.misses();
   s.cache_entries = static_cast<std::int64_t>(cache_.size());
   s.bank_pools = static_cast<std::int64_t>(bank_.size());
+  s.bmc_sessions = static_cast<std::int64_t>(bmc_bank_.size());
   const double lookups = static_cast<double>(s.cache_hits + s.cache_misses);
   s.cache_hit_ratio =
       lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0;
@@ -291,6 +305,65 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn,
     });
     return;
   }
+  // BMC requests have their own job pipeline: no canonical-cone tier (the
+  // canonicalization is per-circuit, and the instance is the *growing*
+  // unrolling), and the solve runs on a warm shared session rather than a
+  // fresh portfolio.
+  if (request.is_bmc()) {
+    std::string exact_key;
+    if (request.use_cache) {
+      exact_key = exact_request_key(request.seq_rtl, bmc_goal_token(request),
+                                    /*value=*/true);
+      if (auto hit = exact_cache_.lookup(exact_key); hit.has_value()) {
+        const std::uint64_t job_id = next_job_.fetch_add(1);
+        Timer service_timer;
+        conn->send(
+            [&](std::int64_t seq) { return encode_queued(seq, job_id); });
+        hit->service_seconds = service_timer.seconds();
+        conn->send([&](std::int64_t seq) {
+          return encode_result(seq, job_id, *hit);
+        });
+        jobs_done_.fetch_add(1);
+        publish_gauges();
+        return;
+      }
+    }
+    // Parse and validate at submit so malformed requests fail before a job
+    // id exists, exactly like the combinational path. A warm session makes
+    // this parse redundant — but only the session knows that, under its
+    // own lock, and submit must not block on a running solve.
+    ir::SeqCircuit seq{""};
+    try {
+      seq = parser::parse_seq_circuit(request.seq_rtl);
+    } catch (const std::exception& e) {
+      conn->send([&](std::int64_t seq_no) {
+        return encode_error(seq_no, std::string("parse error: ") + e.what());
+      });
+      return;
+    }
+    if (seq.property(request.property) == ir::kNoNet) {
+      conn->send([&](std::int64_t seq_no) {
+        return encode_error(seq_no,
+                            "unknown property: " + request.property);
+      });
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->id = next_job_.fetch_add(1);
+    job->conn = conn;
+    job->seq = std::move(seq);
+    job->exact_key = std::move(exact_key);
+    job->request = std::move(request);
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      active_.emplace(job->id, job);
+    }
+    conn->send(
+        [&](std::int64_t seq_no) { return encode_queued(seq_no, job->id); });
+    enqueue_job(job);
+    return;
+  }
+
   // Exact-text fast path, checked before the request is even parsed: a
   // byte-identical repeat costs one string hash, not a parse plus a
   // canonicalization, which is what keeps warm-cache latency in the
@@ -356,6 +429,10 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn,
   // from the cache without ever touching the queue.
   if (job->request.use_cache && try_cache_hit(job)) return;
 
+  enqueue_job(job);
+}
+
+void Server::enqueue_job(const std::shared_ptr<Job>& job) {
   bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -367,7 +444,7 @@ void Server::handle_solve(const std::shared_ptr<Connection>& conn,
     }
   }
   if (rejected) {
-    conn->send([&](std::int64_t seq) {
+    job->conn->send([&](std::int64_t seq) {
       return encode_job_error(seq, job->id, "queue full");
     });
     std::lock_guard<std::mutex> lock(jobs_mu_);
@@ -464,6 +541,10 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     finish_job(job, msg);
     return;
   }
+  if (job->request.is_bmc()) {
+    run_bmc_job(job);
+    return;
+  }
   // Dequeue-time recheck: an identical job solved while this one queued.
   if (job->request.use_cache && try_cache_hit(job)) return;
 
@@ -543,16 +624,100 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   finish_job(job, msg);
 }
 
+void Server::run_bmc_job(const std::shared_ptr<Job>& job) {
+  const SolveRequest& request = job->request;
+  // Dequeue-time recheck: an identical bound solved while this one queued.
+  if (request.use_cache) {
+    if (auto hit = exact_cache_.lookup(job->exact_key); hit.has_value()) {
+      hit->service_seconds = job->service_timer.seconds();
+      finish_job(job, *hit);
+      return;
+    }
+  }
+  const double budget =
+      request.budget_seconds > 0
+          ? std::min(request.budget_seconds, options_.max_budget_seconds)
+          : options_.default_budget_seconds;
+  // use_bank gates session reuse just like it gates clause-pool reuse: off
+  // ⟹ a private throwaway session, still the same solve path.
+  std::shared_ptr<BmcSession> session =
+      request.use_bank
+          ? bmc_bank_.checkout(request.seq_rtl, request.property,
+                               request.cumulative)
+          : std::make_shared<BmcSession>();
+
+  ResultMsg msg;
+  bool decisive = false;
+  {
+    // The session *is* the shared state; solves on it are serialized.
+    // Cancellation still lands mid-solve through the job's stop token.
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->bmc == nullptr) {
+      session->seq = std::move(job->seq);
+      session->bmc = std::make_unique<bmc::IncrementalBmc>(
+          session->seq, request.property, options_.bmc_solver,
+          request.cumulative);
+    }
+    session->bmc->solver().set_budget(budget, job->stop.token());
+    Timer solve_timer;
+    const core::SolveResult solved = session->bmc->solve_bound(request.bound);
+    msg.solve_seconds = solve_timer.seconds();
+    ++session->bounds_solved;
+    switch (solved.status) {
+      case core::SolveStatus::kSat: {
+        msg.verdict = "sat";
+        const ir::Circuit& circuit = session->bmc->circuit();
+        // Replay the witness on the growing circuit before trusting it —
+        // the session solver carries clauses from every earlier bound, so
+        // this is the cheap independent check that none of them leaked
+        // into an unsound model.
+        const ir::NetId goal = session->bmc->ensure_bound(request.bound);
+        const auto values = circuit.evaluate(solved.input_model);
+        if (values[goal] != 1) {
+          RTLSAT_WARN("serve: bmc witness failed replay for job %llu",
+                      static_cast<unsigned long long>(job->id));
+          msg.verdict = "timeout";  // do not serve (or cache) a bad witness
+          break;
+        }
+        decisive = true;
+        for (const NetId input : circuit.inputs()) {
+          const auto it = solved.input_model.find(input);
+          msg.model.emplace_back(
+              circuit.net_name(input),
+              it != solved.input_model.end() ? it->second : 0);
+        }
+        break;
+      }
+      case core::SolveStatus::kUnsat:
+        msg.verdict = "unsat";
+        decisive = true;
+        break;
+      default:
+        msg.verdict = job->stop.stop_requested() ? "cancelled" : "timeout";
+        break;
+    }
+  }
+  if (request.use_cache && decisive) {
+    ResultMsg exact = msg;
+    exact.cache_hit = true;
+    exact_cache_.insert(job->exact_key, std::move(exact));
+  }
+  msg.service_seconds = job->service_timer.seconds();
+  finish_job(job, msg);
+}
+
 void Server::finish_job(const std::shared_ptr<Job>& job,
                         const ResultMsg& msg) {
-  job->conn->send(
-      [&](std::int64_t seq) { return encode_result(seq, job->id, msg); });
+  // Bookkeeping before the result frame: a client that reads its verdict
+  // and immediately asks for stats must see this job in jobs_done.
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_.erase(job->id);
   }
   jobs_done_.fetch_add(1);
   publish_gauges();
+  job->conn->send(
+      [&](std::int64_t seq) { return encode_result(seq, job->id, msg); });
 }
 
 }  // namespace rtlsat::serve

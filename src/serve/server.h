@@ -47,6 +47,15 @@ class MetricsRegistry;
 
 namespace rtlsat::serve {
 
+// The strongest single-solver configuration (+S+P): BMC sessions run one
+// persistent solver, so it should be the best one.
+inline core::HdpllOptions default_bmc_solver_options() {
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  return options;
+}
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;                   // 0 = ephemeral; Server::port() has the pick
@@ -57,6 +66,13 @@ struct ServerOptions {
   double max_budget_seconds = 120;   // client budgets are clamped to this
   std::size_t cache_capacity = 1024;
   std::size_t bank_capacity = 64;
+  // Warm incremental-BMC sessions (serve/bank.h's BmcSessionBank). 0
+  // disables reuse: every BMC job gets a throwaway session.
+  std::size_t bmc_session_capacity = 16;
+  // Solver configuration for BMC sessions. One persistent HDPLL instance
+  // per session — the portfolio does not apply, because the solver's
+  // carried state is exactly what the session exists to reuse.
+  core::HdpllOptions bmc_solver = default_bmc_solver_options();
   // Replay every cache-hit SAT model through Circuit::evaluate before
   // trusting it; a failed replay falls back to a fresh solve. One linear
   // pass per hit — cheap insurance on the canonicalization, on by default.
@@ -95,6 +111,7 @@ class Server {
   ResultCache& cache() { return cache_; }
   ExactCache& exact_cache() { return exact_cache_; }
   ClauseBank& bank() { return bank_; }
+  BmcSessionBank& bmc_bank() { return bmc_bank_; }
 
  private:
   void accept_loop();
@@ -104,7 +121,9 @@ class Server {
                     SolveRequest request);
   void handle_cancel(const std::shared_ptr<Connection>& conn,
                      std::uint64_t job_id);
+  void enqueue_job(const std::shared_ptr<Job>& job);
   void run_job(const std::shared_ptr<Job>& job);
+  void run_bmc_job(const std::shared_ptr<Job>& job);
   void finish_job(const std::shared_ptr<Job>& job, const ResultMsg& result);
   // Cache-hit fast path: reconstructs the witness for `job`'s circuit from
   // the canonical-order model and (optionally) replays it. False ⟹ treat
@@ -145,6 +164,7 @@ class Server {
   ResultCache cache_;
   ExactCache exact_cache_;
   ClauseBank bank_;
+  BmcSessionBank bmc_bank_;
   std::atomic<std::int64_t> jobs_done_{0};
   std::atomic<std::int64_t> in_flight_{0};
   std::atomic<std::int64_t> open_connections_{0};

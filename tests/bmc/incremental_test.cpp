@@ -1,0 +1,148 @@
+// Incremental BMC: one growing unrolling + one persistent solver must give
+// verdicts interchangeable with fresh-per-frame unroll()+solve(), and SAT
+// witnesses must replay on the growing circuit independently of the
+// solver.
+#include <gtest/gtest.h>
+
+#include "bmc/incremental.h"
+#include "bmc/sweep.h"
+#include "bmc/unroll.h"
+#include "itc99/itc99.h"
+
+namespace rtlsat::bmc {
+namespace {
+
+core::HdpllOptions solver_options() {
+  core::HdpllOptions options;
+  options.structural_decisions = true;
+  options.predicate_learning = true;
+  options.timeout_seconds = 60;
+  return options;
+}
+
+core::SolveStatus fresh_verdict(const ir::SeqCircuit& seq,
+                                const std::string& property, int bound,
+                                bool cumulative) {
+  const BmcInstance instance = cumulative ? unroll_any(seq, property, bound)
+                                          : unroll(seq, property, bound);
+  core::HdpllSolver solver(instance.circuit, solver_options());
+  solver.assume_bool(instance.goal, true);
+  return solver.solve().status;
+}
+
+TEST(IncrementalBmc, MatchesFreshUnrollAcrossBounds) {
+  // b01 property 1: UNSAT through bound 9, first counterexample at 10.
+  const ir::SeqCircuit seq = itc99::build("b01");
+  IncrementalBmc inc(seq, "1", solver_options());
+  for (int bound = 1; bound <= 10; ++bound) {
+    const core::SolveResult r = inc.solve_bound(bound);
+    EXPECT_EQ(r.status, fresh_verdict(seq, "1", bound, /*cumulative=*/false))
+        << inc.name(bound);
+  }
+  EXPECT_FALSE(inc.solver().root_unsat());
+}
+
+TEST(IncrementalBmc, SatWitnessReplaysOnGrowingCircuit) {
+  const ir::SeqCircuit seq = itc99::build("b01");
+  IncrementalBmc inc(seq, "1", solver_options());
+  const core::SolveResult r = inc.solve_bound(10);
+  ASSERT_EQ(r.status, core::SolveStatus::kSat);
+  // Replay independently of the solver: the model must drive the bound-10
+  // goal (= ¬P in frame 10) to 1 on the circuit itself.
+  const ir::NetId goal = inc.ensure_bound(10);
+  const auto values = inc.circuit().evaluate(r.input_model);
+  EXPECT_EQ(values[goal], 1);
+}
+
+TEST(IncrementalBmc, GrowingCircuitMatchesOneShotFrames) {
+  // Frame-for-frame structural equivalence with the one-shot unroller:
+  // after ensure_bound(k) the circuit holds exactly unroll(k)'s nets, in
+  // the same order with the same per-frame input names.
+  const ir::SeqCircuit seq = itc99::build("b02");
+  IncrementalBmc inc(seq, "1", solver_options());
+  inc.ensure_bound(3);
+  const BmcInstance one_shot = unroll(seq, "1", 3);
+  ASSERT_EQ(inc.frame_map().size(), one_shot.frame_map.size());
+  for (std::size_t f = 0; f < one_shot.frame_map.size(); ++f)
+    EXPECT_EQ(inc.frame_map()[f], one_shot.frame_map[f]) << "frame " << f;
+  for (ir::NetId id = 0; id < one_shot.circuit.num_nets(); ++id) {
+    EXPECT_EQ(inc.circuit().node(id).op, one_shot.circuit.node(id).op)
+        << "net " << id;
+  }
+}
+
+TEST(IncrementalBmc, CumulativeGoalMatchesUnrollAny) {
+  const ir::SeqCircuit seq = itc99::build("b01");
+  IncrementalBmc inc(seq, "1", solver_options(), /*cumulative=*/true);
+  for (int bound = 1; bound <= 11; ++bound) {
+    const core::SolveResult r = inc.solve_bound(bound);
+    EXPECT_EQ(r.status, fresh_verdict(seq, "1", bound, /*cumulative=*/true))
+        << inc.name(bound);
+  }
+}
+
+TEST(IncrementalBmc, BoundsCanRepeatAndGoBackwards) {
+  const ir::SeqCircuit seq = itc99::build("b02");
+  IncrementalBmc inc(seq, "1", solver_options());
+  const auto s3 = inc.solve_bound(3).status;
+  const auto s1 = inc.solve_bound(1).status;
+  const auto s3_again = inc.solve_bound(3).status;
+  EXPECT_EQ(s1, fresh_verdict(seq, "1", 1, false));
+  EXPECT_EQ(s3, fresh_verdict(seq, "1", 3, false));
+  EXPECT_EQ(s3_again, s3);
+}
+
+TEST(IncrementalSweep, AgreesWithFreshSweep) {
+  const ir::SeqCircuit seq = itc99::build("b01");
+  SweepOptions fresh;
+  fresh.solver = solver_options();
+  fresh.incremental = false;
+  SweepOptions incremental = fresh;
+  incremental.incremental = true;
+  const SweepResult a = sweep(seq, "1", 12, fresh);
+  const SweepResult b = sweep(seq, "1", 12, incremental);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  EXPECT_EQ(a.first_sat_bound, b.first_sat_bound);
+  for (std::size_t i = 0; i < a.frames.size(); ++i) {
+    EXPECT_EQ(a.frames[i].status, b.frames[i].status) << a.frames[i].name;
+    EXPECT_EQ(a.frames[i].name, b.frames[i].name);
+  }
+}
+
+TEST(IncrementalSweep, CertifyFallsBackToSelfContainedFrames) {
+  // certify + incremental: the sweep must still produce per-frame
+  // certificates (the incremental solver cannot), so it falls back.
+  const ir::SeqCircuit seq = itc99::build("b02");
+  SweepOptions options;
+  options.solver = solver_options();
+  options.certify = true;
+  options.incremental = true;
+  const SweepResult result = sweep(seq, "1", 2, options);
+  ASSERT_EQ(result.frames.size(), 2u);
+  for (const FrameResult& frame : result.frames) {
+    EXPECT_TRUE(frame.certified) << frame.name << ": " << frame.cert_error;
+    EXPECT_GT(frame.cert_records, 0) << frame.name;
+  }
+}
+
+TEST(CertPath, DistinctNamesNeverCollide) {
+  // The old sanitizer mapped every non-filename character to '_', so
+  // "b13_2(4)" and "b13_2[4]" shared one certificate file and the second
+  // frame silently overwrote the first.
+  const std::string a = cert_path_for_testing("certs", "b13_2(4)");
+  const std::string b = cert_path_for_testing("certs", "b13_2[4]");
+  EXPECT_NE(a, b);
+  // Still filesystem-safe and stable for clean names.
+  EXPECT_EQ(cert_path_for_testing("certs", "plain-name_1"),
+            "certs/plain-name_1.cert.jsonl");
+  for (const std::string& p : {a, b}) {
+    for (const char ch : p.substr(6)) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+                  ch == '-' || ch == '.')
+          << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::bmc

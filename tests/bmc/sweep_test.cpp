@@ -41,8 +41,9 @@ TEST(CertifyingSweep, StopsAtCounterexampleBound) {
   ASSERT_EQ(result.first_sat_bound, 10);
   ASSERT_EQ(result.frames.size(), 10u);
   for (const FrameResult& frame : result.frames) {
-    if (frame.bound < 10)
+    if (frame.bound < 10) {
       EXPECT_EQ(frame.status, core::SolveStatus::kUnsat) << frame.name;
+    }
     EXPECT_TRUE(frame.certified) << frame.name << ": " << frame.cert_error;
   }
   EXPECT_EQ(result.frames.back().status, core::SolveStatus::kSat);

@@ -1,0 +1,220 @@
+// Incremental solve(assumptions) on the hybrid solver: per-call (net,
+// interval) assumptions are retracted between calls while learned clauses,
+// predicate relations, activities, and level-0 facts persist. Every test
+// runs under all four paper configurations (including chronological mode,
+// whose flip search must never flip an assumption pseudo-decision).
+#include <gtest/gtest.h>
+
+#include "core/hdpll.h"
+
+namespace rtlsat::core {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+std::vector<HdpllOptions> all_configs() {
+  HdpllOptions base;
+  HdpllOptions s = base;
+  s.structural_decisions = true;
+  HdpllOptions sp = s;
+  sp.predicate_learning = true;
+  HdpllOptions chrono = base;
+  chrono.conflict_learning = false;
+  return {base, s, sp, chrono};
+}
+
+class IncrementalAllConfigs : public ::testing::TestWithParam<int> {
+ protected:
+  HdpllOptions options() const { return all_configs()[GetParam()]; }
+};
+
+// a + b == 100 ∧ a < 20, with p = (x < y) and q = (y < x) as retractable
+// propositions on a second pair of inputs.
+struct Instance {
+  Circuit c{"inc"};
+  NetId a, b, x, y, goal, p, q;
+  Instance() {
+    a = c.add_input("a", 8);
+    b = c.add_input("b", 8);
+    x = c.add_input("x", 8);
+    y = c.add_input("y", 8);
+    goal = c.add_and(c.add_eq(c.add_add(a, b), c.add_const(100, 8)),
+                     c.add_lt(a, c.add_const(20, 8)));
+    p = c.add_lt(x, y);
+    q = c.add_lt(y, x);
+  }
+};
+
+TEST_P(IncrementalAllConfigs, BackToBackAssumptionCallsAreIndependent) {
+  Instance inst;
+  HdpllSolver solver(inst.c, options());
+  solver.assume_bool(inst.goal, true);
+
+  // Call 1: additionally force p. Call 2 retracts p and forces q — the two
+  // are individually satisfiable but jointly contradictory, so any leak of
+  // call 1's assumption into call 2 turns it kUnsat.
+  SolveResult r1 = solver.solve({{inst.p, Interval::point(1)}});
+  ASSERT_EQ(r1.status, SolveStatus::kSat);
+  auto v1 = inst.c.evaluate(r1.input_model);
+  EXPECT_EQ(v1[inst.goal], 1);
+  EXPECT_LT(v1[inst.x], v1[inst.y]);
+
+  SolveResult r2 = solver.solve({{inst.q, Interval::point(1)}});
+  ASSERT_EQ(r2.status, SolveStatus::kSat);
+  auto v2 = inst.c.evaluate(r2.input_model);
+  EXPECT_EQ(v2[inst.goal], 1);
+  EXPECT_LT(v2[inst.y], v2[inst.x]);
+}
+
+TEST_P(IncrementalAllConfigs, AssumptionUnsatDoesNotPoisonSolver) {
+  Instance inst;
+  HdpllSolver solver(inst.c, options());
+  solver.assume_bool(inst.goal, true);
+
+  // p ∧ q is x < y ∧ y < x: unsatisfiable, but only under these
+  // assumptions.
+  SolveResult r1 = solver.solve(
+      {{inst.p, Interval::point(1)}, {inst.q, Interval::point(1)}});
+  EXPECT_EQ(r1.status, SolveStatus::kUnsat);
+  EXPECT_FALSE(solver.root_unsat());
+
+  SolveResult r2 = solver.solve({{inst.p, Interval::point(1)}});
+  ASSERT_EQ(r2.status, SolveStatus::kSat);
+  EXPECT_EQ(inst.c.evaluate(r2.input_model)[inst.goal], 1);
+
+  SolveResult r3 = solver.solve();
+  EXPECT_EQ(r3.status, SolveStatus::kSat);
+}
+
+TEST_P(IncrementalAllConfigs, WordIntervalAssumptions) {
+  Instance inst;
+  HdpllSolver solver(inst.c, options());
+  solver.assume_bool(inst.goal, true);
+
+  // a ∈ [5, 10] is compatible with a < 20; the witness must respect it.
+  SolveResult r1 = solver.solve({{inst.a, Interval(5, 10)}});
+  ASSERT_EQ(r1.status, SolveStatus::kSat);
+  const auto v1 = inst.c.evaluate(r1.input_model);
+  EXPECT_GE(v1[inst.a], 5);
+  EXPECT_LE(v1[inst.a], 10);
+  EXPECT_EQ(v1[inst.goal], 1);
+
+  // a ∈ [200, 250] contradicts the persistent a < 20 — per-call kUnsat.
+  SolveResult r2 = solver.solve({{inst.a, Interval(200, 250)}});
+  EXPECT_EQ(r2.status, SolveStatus::kUnsat);
+  EXPECT_FALSE(solver.root_unsat());
+
+  EXPECT_EQ(solver.solve().status, SolveStatus::kSat);
+}
+
+TEST_P(IncrementalAllConfigs, RootUnsatSticksAcrossCalls) {
+  Circuit c("root_unsat");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId goal = c.add_and(c.add_lt(x, y), c.add_lt(y, x));
+  HdpllSolver solver(c, options());
+  solver.assume_bool(goal, true);
+  EXPECT_EQ(solver.solve().status, SolveStatus::kUnsat);
+  EXPECT_TRUE(solver.root_unsat());
+  // The refutation is of the instance itself: every later call answers
+  // kUnsat immediately, whatever it assumes.
+  EXPECT_EQ(solver.solve({{x, Interval::point(3)}}).status,
+            SolveStatus::kUnsat);
+  EXPECT_TRUE(solver.root_unsat());
+}
+
+TEST_P(IncrementalAllConfigs, LearnedStatePersistsAcrossCalls) {
+  // g ⇒ (x < y ∧ y < x): forcing g is unsatisfiable; retracting it is not.
+  Circuit c("persist");
+  const NetId g = c.add_input("g", 1);
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId top =
+      c.add_implies(g, c.add_and(c.add_lt(x, y), c.add_lt(y, x)));
+  HdpllSolver solver(c, options());
+  solver.assume_bool(top, true);
+
+  const auto g1 = Interval::point(1);
+  EXPECT_EQ(solver.solve({{g, g1}}).status, SolveStatus::kUnsat);
+  EXPECT_FALSE(solver.root_unsat());
+  const std::size_t learnt_after_first = solver.clauses().learnt_count();
+
+  // Clauses learned under the assumption carry ¬g and survive retraction.
+  EXPECT_EQ(solver.solve({{g, g1}}).status, SolveStatus::kUnsat);
+  EXPECT_GE(solver.clauses().learnt_count(), learnt_after_first);
+
+  SolveResult sat = solver.solve();
+  ASSERT_EQ(sat.status, SolveStatus::kSat);
+  EXPECT_EQ(c.evaluate(sat.input_model)[top], 1);
+}
+
+TEST_P(IncrementalAllConfigs, SyncCircuitAdoptsAppendedLogic) {
+  Circuit c("grow");
+  const NetId x = c.add_input("x", 8);
+  const NetId y = c.add_input("y", 8);
+  const NetId p = c.add_lt(x, y);
+  HdpllSolver solver(c, options());
+  solver.assume_bool(p, true);
+  ASSERT_EQ(solver.solve().status, SolveStatus::kSat);
+
+  // Grow the circuit underneath the live solver (append-only), then adopt.
+  const NetId q = c.add_lt(y, x);
+  solver.sync_circuit();
+  EXPECT_EQ(solver.solve({{q, Interval::point(1)}}).status,
+            SolveStatus::kUnsat);
+  EXPECT_FALSE(solver.root_unsat());
+
+  SolveResult r = solver.solve({{q, Interval::point(0)}});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  const auto v = r.input_model;
+  EXPECT_LT(c.evaluate(v)[q], 1);
+}
+
+TEST_P(IncrementalAllConfigs, CancelledCallLeavesSolverReusable) {
+  Instance inst;
+  HdpllOptions opts = options();
+  StopSource source;
+  source.request_stop();  // already fired: the call must bail out cleanly
+  opts.stop = source.token();
+  HdpllSolver solver(inst.c, opts);
+  solver.assume_bool(inst.goal, true);
+  EXPECT_EQ(solver.solve().status, SolveStatus::kCancelled);
+
+  // Re-arm with no budget limits; the dirty exit must not corrupt bounds
+  // consistency (the engine re-seeds its propagation queue).
+  solver.set_budget(/*timeout_seconds=*/0);
+  SolveResult r = solver.solve({{inst.p, Interval::point(1)}});
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  const auto v = inst.c.evaluate(r.input_model);
+  EXPECT_EQ(v[inst.goal], 1);
+  EXPECT_LT(v[inst.x], v[inst.y]);
+}
+
+TEST_P(IncrementalAllConfigs, AlternatingSequenceStaysSound) {
+  Instance inst;
+  HdpllSolver solver(inst.c, options());
+  solver.assume_bool(inst.goal, true);
+  for (int round = 0; round < 6; ++round) {
+    const bool want_unsat = round % 2 == 1;
+    std::vector<std::pair<NetId, Interval>> assumptions;
+    assumptions.emplace_back(inst.p, Interval::point(1));
+    if (want_unsat) assumptions.emplace_back(inst.q, Interval::point(1));
+    const SolveResult r = solver.solve(assumptions);
+    if (want_unsat) {
+      EXPECT_EQ(r.status, SolveStatus::kUnsat) << "round " << round;
+      EXPECT_FALSE(solver.root_unsat());
+    } else {
+      ASSERT_EQ(r.status, SolveStatus::kSat) << "round " << round;
+      const auto v = inst.c.evaluate(r.input_model);
+      EXPECT_EQ(v[inst.goal], 1);
+      EXPECT_LT(v[inst.x], v[inst.y]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, IncrementalAllConfigs,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace rtlsat::core

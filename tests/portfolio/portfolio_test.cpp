@@ -24,10 +24,12 @@ bmc::BmcInstance b13(int bound) {
 // a + b == 100 ∧ a < 20 — satisfiable, with an independently checkable goal.
 struct SatProblem {
   ir::Circuit circuit{"sat"};
+  ir::NetId a = ir::kNoNet;
+  ir::NetId b = ir::kNoNet;
   ir::NetId goal = ir::kNoNet;
   SatProblem() {
-    const ir::NetId a = circuit.add_input("a", 8);
-    const ir::NetId b = circuit.add_input("b", 8);
+    a = circuit.add_input("a", 8);
+    b = circuit.add_input("b", 8);
     goal = circuit.add_and(
         circuit.add_eq(circuit.add_add(a, b), circuit.add_const(100, 8)),
         circuit.add_lt(a, circuit.add_const(20, 8)));
@@ -133,6 +135,49 @@ TEST(PortfolioTest, SatRaceModelCrosschecksAgainstLosers) {
   EXPECT_EQ(values.at(problem.goal), 1);  // model verified independently
 }
 
+TEST(PortfolioTest, RaceUnderRetractableAssumptions) {
+  // The race accepts the same per-call (net, interval) assumptions as
+  // core::HdpllSolver::solve(assumptions). One Portfolio object answers a
+  // sequence of differently-assumed questions: the strengthened instance
+  // stays SAT, an assumption contradicting the goal yields UNSAT without
+  // poisoning the next call, and bit-blast workers (no word-level
+  // assumption channel) sit assumed races out as '?'.
+  SatProblem problem;
+  PortfolioOptions options;
+  options.jobs = 4;
+  options.self_check = true;
+  options.deterministic = true;
+  Portfolio race(problem.circuit, problem.goal, true, options);
+
+  // a in [5, 10]: compatible with a < 20, still SAT.
+  const PortfolioResult sat =
+      race.solve({{problem.a, Interval(5, 10)}});
+  ASSERT_EQ(sat.status, core::SolveStatus::kSat);
+  EXPECT_TRUE(sat.crosscheck_violations.empty())
+      << sat.crosscheck_violations.front();
+  const auto values = problem.circuit.evaluate(sat.input_model);
+  EXPECT_EQ(values.at(problem.goal), 1);
+  EXPECT_GE(values.at(problem.a), 5);
+  EXPECT_LE(values.at(problem.a), 10);
+  for (const WorkerReport& worker : sat.workers) {
+    if (worker.name.find("bitblast") != std::string::npos ||
+        worker.name.find("cdcl") != std::string::npos) {
+      EXPECT_EQ(worker.verdict, '?') << worker.name;
+    }
+  }
+
+  // a in [30, 50]: contradicts a < 20 — UNSAT under the assumption only.
+  const PortfolioResult unsat =
+      race.solve({{problem.a, Interval(30, 50)}});
+  EXPECT_EQ(unsat.status, core::SolveStatus::kUnsat);
+
+  // No assumptions again: back to the full lineup and a SAT verdict.
+  const PortfolioResult plain = race.solve();
+  ASSERT_EQ(plain.status, core::SolveStatus::kSat);
+  EXPECT_TRUE(plain.crosscheck_violations.empty())
+      << plain.crosscheck_violations.front();
+}
+
 TEST(PortfolioTest, SharedClauseImportPreservesSoundness) {
   // Deterministic sequential mode maximizes sharing (later workers import
   // everything earlier workers proved); with self-checks on, an unsound
@@ -161,7 +206,9 @@ TEST(PortfolioTest, SharedClauseImportPreservesSoundness) {
     for (std::size_t other = 0; other < result.workers.size(); ++other) {
       const std::int64_t n =
           worker.stats.get("hdpll.imported_from." + std::to_string(other));
-      if (other == w) EXPECT_EQ(n, 0) << "worker " << w << " self-import";
+      if (other == w) {
+        EXPECT_EQ(n, 0) << "worker " << w << " self-import";
+      }
       attributed += n;
     }
     EXPECT_EQ(attributed, worker.clauses_imported) << "worker " << w;

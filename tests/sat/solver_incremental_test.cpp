@@ -1,0 +1,238 @@
+// Regression tests for the incremental solve(assumptions) interface: the
+// re-entrancy bugs fixed alongside it (dirty trail on the kSat,
+// assumption-kUnsat, and timeout return paths) made every second call on
+// one solver unsound, so these tests lean on back-to-back calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sat/solver.h"
+
+namespace rtlsat::sat {
+namespace {
+
+void add_pigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<Lit> clause;
+    for (Var v : row) clause.push_back(Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int i = 0; i < pigeons; ++i)
+      for (int j = i + 1; j < pigeons; ++j)
+        s.add_clause({Lit(p[i][h], false), Lit(p[j][h], false)});
+}
+
+bool core_contains(const std::vector<Lit>& core, Lit l) {
+  return std::find(core.begin(), core.end(), l) != core.end();
+}
+
+// The historical bug: solve(assumptions) returned kSat without restoring
+// root level, so the assumptions stayed on the trail as pseudo-decisions
+// and the *next* call saw them as facts. Here the second call's verdict
+// flips from the correct kSat to kUnsat on the broken code.
+TEST(SolverIncremental, BackToBackAssumptionsAreIndependent) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({Lit(a, false), Lit(b, true)});  // a → b
+  ASSERT_EQ(s.solve({Lit(a, true)}), Result::kSat);
+  EXPECT_TRUE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  // ¬b is consistent with the clause (choose ¬a) — but not with a stale
+  // trail still holding a = b = true.
+  EXPECT_EQ(s.solve({Lit(b, false)}), Result::kSat);
+  EXPECT_FALSE(s.model_value(b));
+  EXPECT_FALSE(s.model_value(a));
+}
+
+// Second historical bug: a falsified assumption returned kUnsat with the
+// earlier assumptions still enqueued, so even assumption-free follow-up
+// calls inherited them.
+TEST(SolverIncremental, AssumptionUnsatDoesNotPoisonSolver) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({Lit(a, false), Lit(b, true)});  // a → b
+  s.add_clause({Lit(b, false), Lit(c, true)});  // b → c
+  ASSERT_EQ(s.solve({Lit(a, true), Lit(c, false)}), Result::kUnsat);
+  // The database itself is untouched: still satisfiable without (and with
+  // compatible) assumptions.
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.solve({Lit(c, false)}), Result::kSat);
+  EXPECT_FALSE(s.model_value(a));
+}
+
+TEST(SolverIncremental, FailedAssumptionCoreIsReported) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  const Var free_var = s.new_var();
+  s.add_clause({Lit(a, false), Lit(b, true)});  // a → b
+  s.add_clause({Lit(b, false), Lit(c, true)});  // b → c
+  ASSERT_EQ(
+      s.solve({Lit(free_var, true), Lit(a, true), Lit(c, false)}),
+      Result::kUnsat);
+  const std::vector<Lit>& core = s.failed_assumptions();
+  // {a, ¬c} is jointly refuted; the unrelated assumption must not appear.
+  EXPECT_TRUE(core_contains(core, Lit(a, true)));
+  EXPECT_TRUE(core_contains(core, Lit(c, false)));
+  EXPECT_FALSE(core_contains(core, Lit(free_var, true)));
+}
+
+TEST(SolverIncremental, ContradictoryAssumptionPairCore) {
+  Solver s;
+  const Var a = s.new_var();
+  s.new_var();
+  ASSERT_EQ(s.solve({Lit(a, true), Lit(a, false)}), Result::kUnsat);
+  EXPECT_TRUE(s.ok());
+  const std::vector<Lit>& core = s.failed_assumptions();
+  EXPECT_TRUE(core_contains(core, Lit(a, true)));
+  EXPECT_TRUE(core_contains(core, Lit(a, false)));
+}
+
+TEST(SolverIncremental, RootUnsatClearsOkAndStays) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({Lit(a, true)});
+  s.add_clause({Lit(a, false)});
+  EXPECT_EQ(s.solve({Lit(a, true)}), Result::kUnsat);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.failed_assumptions().empty());
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SolverIncremental, ModelSurvivesTrailRestoration) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({Lit(a, true), Lit(b, true)});
+  ASSERT_EQ(s.solve({Lit(a, false)}), Result::kSat);
+  // The trail is back at root level, but the snapshot must still answer.
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_TRUE(s.check_invariants().empty());
+}
+
+TEST(SolverIncremental, ClausesCanBeAddedBetweenSolves) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  ASSERT_EQ(s.solve({Lit(a, true), Lit(b, true)}), Result::kSat);
+  s.add_clause({Lit(a, false), Lit(b, false)});  // ¬(a ∧ b)
+  EXPECT_EQ(s.solve({Lit(a, true), Lit(b, true)}), Result::kUnsat);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.solve({Lit(a, true)}), Result::kSat);
+  EXPECT_FALSE(s.model_value(b));
+}
+
+// Learned clauses persist across calls: a pigeonhole instance guarded by
+// an activation variable g (every clause weakened with g) is UNSAT only
+// under the assumption ¬g. The first refutation distills the unit clause
+// {g}; the second identical query must answer from it without searching.
+TEST(SolverIncremental, LearnedClausesPersistAcrossCalls) {
+  Solver s;
+  const Var g = s.new_var();
+  constexpr int kPigeons = 6, kHoles = 5;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<Lit> clause{Lit(g, true)};
+    for (Var v : row) clause.push_back(Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h)
+    for (int i = 0; i < kPigeons; ++i)
+      for (int j = i + 1; j < kPigeons; ++j)
+        s.add_clause(
+            {Lit(g, true), Lit(p[i][h], false), Lit(p[j][h], false)});
+
+  ASSERT_EQ(s.solve({Lit(g, false)}), Result::kUnsat);
+  EXPECT_TRUE(s.ok());  // refuted only under ¬g
+  const std::int64_t first_conflicts = s.stats().get("sat.conflicts");
+  EXPECT_GT(first_conflicts, 0);
+  ASSERT_EQ(s.solve({Lit(g, false)}), Result::kUnsat);
+  // The persisted learning answers the repeat query outright.
+  EXPECT_EQ(s.stats().get("sat.conflicts"), first_conflicts);
+  // And the database stays satisfiable with the guard released.
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.model_value(g));
+}
+
+TEST(SolverIncremental, TimeoutLeavesSolverReusable) {
+  Solver s;
+  add_pigeonhole(s, 8);  // hard enough to out-run a microscopic budget
+  s.set_budget(1e-9);
+  const Result budgeted = s.solve();
+  ASSERT_EQ(budgeted, Result::kTimeout);
+  EXPECT_TRUE(s.check_invariants().empty());
+  // Re-arm with no deadline: the same solver finishes the job.
+  s.set_budget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SolverIncremental, CancelLeavesSolverReusable) {
+  StopSource source;
+  Solver s;
+  add_pigeonhole(s, 6);
+  source.request_stop();
+  s.set_budget(0, source.token());
+  ASSERT_EQ(s.solve(), Result::kCancelled);
+  EXPECT_TRUE(s.check_invariants().empty());
+  s.set_budget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Stress: a long alternating sequence of assumption sets over one solver.
+// An at-most-one chain over selectors x0..x3 (SAT) plus a g-guarded
+// pigeonhole core (UNSAT only when ¬g is assumed) flips each round
+// between a satisfiable and an assumption-refuted query; every call must
+// answer correctly with the invariants intact.
+TEST(SolverIncremental, AlternatingAssumptionSequenceStaysSound) {
+  Solver s;
+  const Var g = s.new_var();
+  std::vector<Var> x;
+  for (int i = 0; i < 4; ++i) x.push_back(s.new_var());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    for (std::size_t j = i + 1; j < x.size(); ++j)
+      s.add_clause({Lit(x[i], false), Lit(x[j], false)});  // at-most-one
+  constexpr int kPigeons = 5, kHoles = 4;
+  std::vector<std::vector<Var>> p(kPigeons, std::vector<Var>(kHoles));
+  for (auto& row : p)
+    for (Var& v : row) v = s.new_var();
+  for (auto& row : p) {
+    std::vector<Lit> clause{Lit(g, true)};
+    for (Var v : row) clause.push_back(Lit(v, true));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < kHoles; ++h)
+    for (int i = 0; i < kPigeons; ++i)
+      for (int j = i + 1; j < kPigeons; ++j)
+        s.add_clause(
+            {Lit(g, true), Lit(p[i][h], false), Lit(p[j][h], false)});
+
+  for (int round = 0; round < 12; ++round) {
+    const Var chosen = x[static_cast<std::size_t>(round) % x.size()];
+    if (round % 2 == 0) {
+      ASSERT_EQ(s.solve({Lit(chosen, true)}), Result::kSat) << round;
+      EXPECT_TRUE(s.model_value(chosen));
+    } else {
+      ASSERT_EQ(s.solve({Lit(g, false), Lit(chosen, true)}), Result::kUnsat)
+          << round;
+      EXPECT_TRUE(s.ok());
+      EXPECT_TRUE(core_contains(s.failed_assumptions(), Lit(g, false)));
+    }
+    ASSERT_TRUE(s.check_invariants().empty()) << round;
+  }
+}
+
+}  // namespace
+}  // namespace rtlsat::sat

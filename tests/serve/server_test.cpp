@@ -277,6 +277,107 @@ TEST(ServerTest, DrainRejectsNewSolvesThenExitsCleanly) {
   server.wait();  // must return: no jobs, no readers, accept unblocked
 }
 
+// ---- BMC over the wire ----------------------------------------------------
+
+SolveRequest bmc_request(const std::string& seq_rtl, int bound) {
+  SolveRequest request;
+  request.seq_rtl = seq_rtl;
+  request.property = "1";
+  request.bound = bound;
+  return request;
+}
+
+TEST(ServerBmcTest, SweepingBoundsReusesOneWarmSession) {
+  Harness h;
+  const ir::SeqCircuit seq = itc99::build("b01");
+  const std::string seq_rtl = parser::write_seq_circuit(seq);
+  std::string error;
+  // b01 property 1: UNSAT through bound 9, first counterexample at 10. All
+  // ten bounds run on one warm incremental session server-side; use_cache
+  // off so every bound genuinely solves.
+  ResultMsg last;
+  for (int bound = 1; bound <= 10; ++bound) {
+    SolveRequest request = bmc_request(seq_rtl, bound);
+    request.use_cache = false;
+    ASSERT_TRUE(h.client.solve(request, &last, &error)) << error;
+    EXPECT_EQ(last.verdict, bound < 10 ? "unsat" : "sat") << "bound " << bound;
+    EXPECT_FALSE(last.cache_hit);
+  }
+  ServerStats stats;
+  ASSERT_TRUE(h.client.stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.bmc_sessions, 1);
+  EXPECT_EQ(stats.jobs_done, 10);
+
+  // The growing circuit is node-for-node unroll(10)'s, so the witness's
+  // frame-stamped input names must replay on a fresh one-shot unrolling.
+  const bmc::BmcInstance one_shot = bmc::unroll(seq, "1", 10);
+  std::unordered_map<ir::NetId, std::int64_t> inputs;
+  for (const auto& [name, value] : last.model) {
+    const ir::NetId net = one_shot.circuit.find_net(name);
+    ASSERT_NE(net, ir::kNoNet) << "model names unknown net " << name;
+    inputs[net] = value;
+  }
+  const std::vector<std::int64_t> values = one_shot.circuit.evaluate(inputs);
+  EXPECT_EQ(values[one_shot.goal], 1);
+}
+
+TEST(ServerBmcTest, ByteIdenticalBoundHitsExactTier) {
+  Harness h;
+  const std::string seq_rtl = parser::write_seq_circuit(itc99::build("b01"));
+  const SolveRequest request = bmc_request(seq_rtl, 3);
+  ResultMsg first, second;
+  std::string error;
+  ASSERT_TRUE(h.client.solve(request, &first, &error)) << error;
+  ASSERT_TRUE(h.client.solve(request, &second, &error)) << error;
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.verdict, first.verdict);
+  // A different bound on the same design is a different cache entry (but
+  // the same warm session).
+  SolveRequest deeper = bmc_request(seq_rtl, 4);
+  ResultMsg third;
+  ASSERT_TRUE(h.client.solve(deeper, &third, &error)) << error;
+  EXPECT_FALSE(third.cache_hit);
+  ServerStats stats;
+  ASSERT_TRUE(h.client.stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.bmc_sessions, 1);
+}
+
+TEST(ServerBmcTest, BankBypassUsesThrowawaySessions) {
+  Harness h;
+  const std::string seq_rtl = parser::write_seq_circuit(itc99::build("b02"));
+  SolveRequest request = bmc_request(seq_rtl, 2);
+  request.use_cache = false;
+  request.use_bank = false;
+  ResultMsg result;
+  std::string error;
+  ASSERT_TRUE(h.client.solve(request, &result, &error)) << error;
+  EXPECT_EQ(result.verdict, "unsat");
+  ServerStats stats;
+  ASSERT_TRUE(h.client.stats(&stats, &error)) << error;
+  EXPECT_EQ(stats.bmc_sessions, 0);
+}
+
+TEST(ServerBmcTest, RejectsBadSeqRtlAndUnknownProperty) {
+  Harness h;
+  SolveRequest request = bmc_request("this is not rtl", 2);
+  ResultMsg result;
+  std::string error;
+  EXPECT_FALSE(h.client.solve(request, &result, &error));
+  EXPECT_NE(error.find("parse error"), std::string::npos) << error;
+
+  const std::string seq_rtl = parser::write_seq_circuit(itc99::build("b02"));
+  request = bmc_request(seq_rtl, 2);
+  request.property = "no_such_property";
+  EXPECT_FALSE(h.client.solve(request, &result, &error));
+  EXPECT_NE(error.find("unknown property"), std::string::npos) << error;
+
+  // The connection survives rejected requests.
+  request.property = "1";
+  EXPECT_TRUE(h.client.solve(request, &result, &error)) << error;
+  EXPECT_EQ(result.verdict, "unsat");
+}
+
 TEST(ServerTest, ShutdownRequestDrainsServer) {
   Server server{ServerOptions{}};
   std::string error;
