@@ -19,6 +19,7 @@
 #include "metrics/sampler.h"
 #include "metrics/solver_gauges.h"
 #include "portfolio/portfolio.h"
+#include "presolve/simplify.h"
 #include "trace/sink.h"
 #include "proof/drat.h"
 #include "proof/drat_check.h"
@@ -170,6 +171,40 @@ inline RunResult run_bitblast(const bmc::BmcInstance& instance,
   return out;
 }
 
+// The presolve lane: interval presolve (src/presolve/) first, then HDPLL on
+// the simplified instance when the presolver does not decide outright. The
+// row's counters carry the presolve.* rewrite totals next to the solver's,
+// so the bench JSON shows what the static pass bought. No proof logging —
+// certificates must reference the original instance (see bmc/sweep.h).
+inline RunResult run_hdpll_presolved(const bmc::BmcInstance& instance,
+                                     const core::HdpllOptions& options) {
+  Timer timer;
+  const presolve::GoalPresolve pre =
+      presolve::presolve_goal(instance.circuit, instance.goal, true);
+  RunResult out;
+  pre.stats.add_to(out.stats);
+  if (pre.decided) {
+    out.verdict = pre.sat ? 'S' : 'U';
+    out.seconds = timer.seconds();
+    out.stats.add("presolve.decided", 1);
+    return out;
+  }
+  core::HdpllSolver solver(pre.circuit, options);
+  solver.assume_bool(pre.goal, true);
+  const core::SolveResult result = solver.solve();
+  out.seconds = timer.seconds();
+  out.learning = result.learning;
+  out.datapath_implications = solver.engine().num_datapath_narrowings();
+  out.stats.merge(solver.stats());
+  switch (result.status) {
+    case core::SolveStatus::kSat: out.verdict = 'S'; break;
+    case core::SolveStatus::kUnsat: out.verdict = 'U'; break;
+    case core::SolveStatus::kTimeout: out.verdict = 'T'; break;
+    case core::SolveStatus::kCancelled: out.verdict = 'C'; break;
+  }
+  return out;
+}
+
 inline std::string cell(const RunResult& r) {
   return format_runtime(r.seconds, r.verdict == 'T', false);
 }
@@ -216,6 +251,7 @@ inline PortfolioRunResult run_portfolio(
 //   --no-share      disable the portfolio's predicate-clause sharing
 //   --metrics <path> sample live telemetry into a JSONL time series
 //   --sample-ms N   sampling interval for --metrics (default 100)
+//   --presolve      add a presolve-on lane next to each solver row
 struct BenchArgs {
   bool full = false;
   bool smoke = false;
@@ -224,6 +260,7 @@ struct BenchArgs {
   bool share = true;
   std::string metrics_path;
   int sample_ms = 100;
+  bool presolve = false;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -243,6 +280,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
       args.sample_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--presolve") == 0) {
+      args.presolve = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       std::exit(2);

@@ -173,6 +173,22 @@ int main(int argc, char** argv) {
                 min_bmc_speedup);
   }
 
+  // Presolve soundness gate, also absolute: the presolve.table1 workload
+  // cross-checks the presolve lane's verdict against the direct solver on
+  // every instance and publishes the conjunction. Any disagreement is an
+  // unsoundness, never a perf tradeoff, so it fails the gate outright.
+  for (const metrics::BenchResult& b : current.benches) {
+    const auto agree = b.counters.find("presolve.verdicts_agree");
+    if (agree == b.counters.end()) continue;
+    if (agree->second != 1) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s presolved and direct verdicts disagree\n",
+                   b.name.c_str());
+      return 1;
+    }
+    std::printf("%-28s presolve verdicts agree\n", b.name.c_str());
+  }
+
   const metrics::CompareReport report =
       metrics::compare_trajectories(baseline, current, options);
   for (const std::string& line : report.lines)

@@ -107,6 +107,17 @@ int main(int argc, char** argv) {
                 learned.learning.seconds, cell(plain).c_str(),
                 paper_cell(row.paper_plain).c_str(), cell(learned).c_str(),
                 paper_cell(row.paper_learn).c_str());
+    if (args.presolve) {
+      const RunResult presolved = run_hdpll_presolved(instance, learn_options);
+      json.add_row(name, "HDPLL+PredLearn+presolve", presolved);
+      std::printf("%-14s   +presolve %8s (removed %lld nets, shaved %lld "
+                  "bits)\n",
+                  name.c_str(), cell(presolved).c_str(),
+                  static_cast<long long>(
+                      presolved.stats.get("presolve.nets_removed")),
+                  static_cast<long long>(
+                      presolved.stats.get("presolve.width_bits_shaved")));
+    }
     std::fflush(stdout);
   }
   std::printf(

@@ -152,6 +152,20 @@ int main(int argc, char** argv) {
       std::printf(" | %10s", cell(race.run).c_str());
     }
     std::printf("\n");
+    if (args.presolve) {
+      const RunResult presolved = run_hdpll_presolved(
+          instance,
+          with_gauges(make_options(Config::kStructuralPred, timeout,
+                                   threshold)));
+      json.add_row(name, "HDPLL+S+P+presolve", presolved);
+      std::printf("%-14s   +presolve %7s (removed %lld nets, shaved %lld "
+                  "bits)\n",
+                  name.c_str(), cell(presolved).c_str(),
+                  static_cast<long long>(
+                      presolved.stats.get("presolve.nets_removed")),
+                  static_cast<long long>(
+                      presolved.stats.get("presolve.width_bits_shaved")));
+    }
     std::fflush(stdout);
   }
   std::printf(

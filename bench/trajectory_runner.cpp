@@ -107,6 +107,29 @@ std::vector<Workload> workloads() {
                    run_hdpll_workload("b13", "5", 20, Config::kStructuralPred,
                                       counters);
                  }});
+  out.push_back({"presolve.table1", [](auto* counters) {
+                   // The table1 smoke rows through the presolve lane, with
+                   // a verdict cross-check against the direct solver. The
+                   // presolve.* counters land in the trajectory so a rewrite
+                   // that silently stops firing (or starts flipping
+                   // verdicts) shows up in bench_compare.
+                   const std::tuple<const char*, const char*, int> rows[] = {
+                       {"b01", "1", 10}, {"b02", "1", 10}, {"b13", "5", 10}};
+                   (*counters)["presolve.verdicts_agree"] = 1;
+                   for (const auto& [ckt, prop, bound] : rows) {
+                     const ir::SeqCircuit seq = itc99::build(ckt);
+                     const bmc::BmcInstance instance =
+                         bmc::unroll(seq, prop, bound);
+                     const core::HdpllOptions options =
+                         make_options(Config::kStructuralPred, 120, 2000);
+                     const RunResult direct = run_hdpll(instance, options);
+                     const RunResult presolved =
+                         run_hdpll_presolved(instance, options);
+                     if (presolved.verdict != direct.verdict)
+                       (*counters)["presolve.verdicts_agree"] = 0;
+                     counters_from_stats(presolved.stats, counters);
+                   }
+                 }});
   out.push_back({"bmc.incremental", [](auto* counters) {
                    // Incremental-vs-fresh deep sweep (docs/incremental.md):
                    // both paths solve every bound of the same sweep; the

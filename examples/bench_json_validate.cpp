@@ -103,6 +103,32 @@ bool validate_proof_counters(const JsonValue& counters,
   return true;
 }
 
+// Presolve-lane rows (config contains "presolve", emitted by the table
+// benches under --presolve) must carry the presolve.* rewrite counters:
+// every one a non-negative number, and at least one present — a lane that
+// stops exporting them would otherwise go green while the bench trajectory
+// silently loses its presolve signal.
+bool validate_presolve_counters(const JsonValue& row,
+                                const JsonValue& counters,
+                                const std::string& where, std::size_t* seen) {
+  std::size_t in_row = 0;
+  for (const auto& [key, value] : counters.object) {
+    if (key.rfind("presolve.", 0) != 0) continue;
+    if (!value.is_number() || value.number < 0)
+      return fail(where + ": counter '" + key +
+                  "' is not a non-negative number");
+    ++in_row;
+  }
+  const JsonValue* config = row.find("config");
+  const bool presolve_row =
+      config != nullptr && config->is_string() &&
+      config->string.find("presolve") != std::string::npos;
+  if (presolve_row && in_row == 0)
+    return fail(where + ": presolve row carries no presolve.* counters");
+  *seen += in_row;
+  return true;
+}
+
 // {"bench": "...", "rows": [{instance, config, verdict, seconds, ...}]}
 bool validate_bench(const std::string& text) {
   JsonValue doc;
@@ -114,6 +140,7 @@ bool validate_bench(const std::string& text) {
   if (rows == nullptr || !rows->is_array())
     return fail("top level: missing array field 'rows'");
   std::size_t proof_counters = 0;
+  std::size_t presolve_counters = 0;
   for (std::size_t i = 0; i < rows->array.size(); ++i) {
     const JsonValue& row = rows->array[i];
     const std::string where = "rows[" + std::to_string(i) + "]";
@@ -130,12 +157,17 @@ bool validate_bench(const std::string& text) {
       return fail(where + ": missing object field 'counters'");
     if (!validate_proof_counters(*counters, where, &proof_counters))
       return false;
+    if (!validate_presolve_counters(row, *counters, where,
+                                    &presolve_counters)) {
+      return false;
+    }
     // Portfolio rows additionally carry a per-worker array.
     const JsonValue* workers = row.find("workers");
     if (workers != nullptr && !validate_workers(*workers, where)) return false;
   }
-  std::printf("ok: %zu bench rows (%zu proof counters)\n",
-              rows->array.size(), proof_counters);
+  std::printf("ok: %zu bench rows (%zu proof counters, %zu presolve "
+              "counters)\n",
+              rows->array.size(), proof_counters, presolve_counters);
   return true;
 }
 

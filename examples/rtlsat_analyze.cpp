@@ -1,0 +1,208 @@
+// Word-level static analysis driver — runs the presolve analyzer
+// (src/presolve/) over netlists and prints facts, findings, and (for
+// sequential targets) per-register reach invariants.
+//
+//   $ ./rtlsat_analyze [--json] [--facts] <target>...
+//
+// A <target> is an ITC'99 model name ("b01"…), the word "all" (every
+// registry model), or a path to a .rtl file (sequential or combinational
+// format — tried in that order). By default only findings and invariants
+// are printed; --facts adds every net whose proven range is strictly
+// tighter than its width's domain. Exit status: 0 on success, 2 on usage
+// or load errors.
+//
+// Try it:
+//   $ ./rtlsat_analyze all
+//   $ ./rtlsat_analyze --json --facts b13
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "itc99/itc99.h"
+#include "parser/rtl_format.h"
+#include "presolve/analyze.h"
+#include "presolve/facts.h"
+#include "presolve/findings.h"
+#include "trace/json.h"
+
+using namespace rtlsat;
+
+namespace {
+
+bool is_registry_model(const std::string& target) {
+  for (const std::string& name : itc99::available()) {
+    if (name == target) return true;
+  }
+  return false;
+}
+
+struct Analysis {
+  std::string target;
+  bool sequential = false;
+  ir::SeqCircuit seq{"empty"};
+  presolve::FactTable facts;
+  std::vector<presolve::Finding> findings;
+  std::vector<Interval> invariants;  // empty for combinational targets
+};
+
+const char* parity_name(presolve::Parity p) {
+  switch (p) {
+    case presolve::Parity::kEven: return "even";
+    case presolve::Parity::kOdd: return "odd";
+    default: return "unknown";
+  }
+}
+
+// A fact is worth printing when it proves something the width alone does
+// not: a range tighter than the domain, or a known parity.
+bool nontrivial(const Analysis& a, ir::NetId id) {
+  const ir::Circuit& c = a.seq.comb();
+  if (c.node(id).op == ir::Op::kConst) return false;
+  return a.facts.range[id] != c.domain(id) ||
+         a.facts.parity[id] != presolve::Parity::kUnknown;
+}
+
+std::string to_text(const Analysis& a, bool print_facts) {
+  const ir::Circuit& c = a.seq.comb();
+  std::ostringstream os;
+  os << a.target << ": " << c.num_nets() << " nets, " << a.findings.size()
+     << " finding" << (a.findings.size() == 1 ? "" : "s") << '\n';
+  for (const presolve::Finding& f : a.findings) {
+    os << "  " << presolve::kind_name(f.kind) << " net n" << f.net << " '"
+       << c.net_name(f.net) << "': " << f.message << '\n';
+  }
+  if (print_facts) {
+    for (ir::NetId id = 0; id < c.num_nets(); ++id) {
+      if (!nontrivial(a, id)) continue;
+      os << "  fact net n" << id << " '" << c.net_name(id) << "': range "
+         << a.facts.range[id].to_string();
+      if (a.facts.parity[id] != presolve::Parity::kUnknown)
+        os << " parity " << parity_name(a.facts.parity[id]);
+      os << '\n';
+    }
+  }
+  const std::vector<ir::Register>& regs = a.seq.registers();
+  for (std::size_t i = 0; i < a.invariants.size(); ++i) {
+    os << "  invariant " << regs[i].name << ": "
+       << a.invariants[i].to_string() << " of domain "
+       << c.domain(regs[i].q).to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::string to_json(const Analysis& a, bool print_facts) {
+  const ir::Circuit& c = a.seq.comb();
+  trace::JsonWriter w;
+  w.begin_object();
+  w.key("target").value(a.target);
+  w.key("sequential").value(a.sequential);
+  w.key("nets").value(static_cast<std::int64_t>(c.num_nets()));
+  w.key("findings").begin_array();
+  for (const presolve::Finding& f : a.findings) {
+    w.begin_object();
+    w.key("kind").value(presolve::kind_name(f.kind));
+    w.key("net").value(static_cast<std::int64_t>(f.net));
+    w.key("name").value(c.net_name(f.net));
+    w.key("lo").value(f.range.lo());
+    w.key("hi").value(f.range.hi());
+    w.key("message").value(f.message);
+    w.end_object();
+  }
+  w.end_array();
+  if (print_facts) {
+    w.key("facts").begin_array();
+    for (ir::NetId id = 0; id < c.num_nets(); ++id) {
+      if (!nontrivial(a, id)) continue;
+      w.begin_object();
+      w.key("net").value(static_cast<std::int64_t>(id));
+      w.key("name").value(c.net_name(id));
+      w.key("lo").value(a.facts.range[id].lo());
+      w.key("hi").value(a.facts.range[id].hi());
+      w.key("parity").value(parity_name(a.facts.parity[id]));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.key("invariants").begin_array();
+  const std::vector<ir::Register>& regs = a.seq.registers();
+  for (std::size_t i = 0; i < a.invariants.size(); ++i) {
+    w.begin_object();
+    w.key("register").value(regs[i].name);
+    w.key("lo").value(a.invariants[i].lo());
+    w.key("hi").value(a.invariants[i].hi());
+    w.key("domain_hi").value(c.domain(regs[i].q).hi());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take() + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool print_facts = false;
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--facts") == 0) {
+      print_facts = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      targets.emplace_back(argv[i]);
+    }
+  }
+  if (targets.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json] [--facts] <target>...\n"
+                 "a target is an ITC'99 model name, 'all', or a .rtl path\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<std::string> expanded;
+  for (const std::string& target : targets) {
+    if (target == "all") {
+      for (const std::string& name : itc99::available())
+        expanded.push_back(name);
+    } else {
+      expanded.push_back(target);
+    }
+  }
+
+  for (const std::string& target : expanded) {
+    Analysis a;
+    a.target = target;
+    if (is_registry_model(target)) {
+      a.seq = itc99::build(target);
+      a.sequential = true;
+    } else {
+      try {
+        a.seq = parser::load_seq_circuit(target);
+        a.sequential = true;
+      } catch (const std::exception&) {
+        try {
+          ir::SeqCircuit wrapper(target);
+          wrapper.comb() = parser::load_circuit(target);
+          a.seq = std::move(wrapper);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: %s: %s\n", target.c_str(), e.what());
+          return 2;
+        }
+      }
+    }
+    a.facts = presolve::analyze(a.seq.comb());
+    a.findings = presolve::findings(a.seq.comb(), a.facts);
+    if (a.sequential) a.invariants = presolve::reach_invariants(a.seq);
+    const std::string text = json ? to_json(a, print_facts)
+                                  : to_text(a, print_facts);
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}

@@ -36,7 +36,7 @@ struct Args {
   double seconds = 0;    // 0 ⟹ use iters
   int iters = 100;
   std::uint64_t seed = 1;
-  std::string mode = "all";  // all | circuits | ops | fme
+  std::string mode = "all";  // all | circuits | ops | fme | presolve
   std::string out_dir = "fuzz-repros";
   std::string replay_path;
   int max_width = 12;
@@ -53,7 +53,7 @@ int usage(const char* argv0) {
       << "  --seconds S       run until S wall-clock seconds elapse\n"
       << "  --iters N         run N iterations (default 100; ignored with --seconds)\n"
       << "  --seed K          base RNG seed (default 1)\n"
-      << "  --mode M          all | circuits | ops | fme (default all)\n"
+      << "  --mode M          all | circuits | ops | fme | presolve (default all)\n"
       << "  --out DIR         repro output directory (default fuzz-repros)\n"
       << "  --max-width W     largest base word width (default 12)\n"
       << "  --timeout T       per-engine solver timeout in seconds (default 10)\n"
@@ -94,13 +94,8 @@ void report_mismatch(const std::string& what,
 // engines alone re-derive any disagreement the portfolio can.
 void reduce_and_write(const ir::Circuit& circuit, ir::NetId goal,
                       const Args& args, Counters& counters,
-                      std::uint64_t instance_seed) {
-  fuzz::OracleOptions probe = oracle_options(args);
-  probe.run_portfolio = false;
-  const fuzz::Interesting still_failing =
-      [&probe](const ir::Circuit& c, ir::NetId g) {
-        return !fuzz::run_oracle(c, g, probe).ok();
-      };
+                      std::uint64_t instance_seed,
+                      const fuzz::Interesting& still_failing) {
   fuzz::ReduceResult reduced;
   try {
     reduced = fuzz::reduce(circuit, goal, still_failing);
@@ -148,7 +143,42 @@ void run_circuit_instance(const Args& args, std::uint64_t instance_seed,
   report_mismatch("instance seed " + std::to_string(instance_seed) + " (" +
                       inst.description + ")",
                   report.mismatches);
-  reduce_and_write(inst.circuit, inst.goal, args, counters, instance_seed);
+  fuzz::OracleOptions probe = oracle_options(args);
+  probe.run_portfolio = false;
+  reduce_and_write(inst.circuit, inst.goal, args, counters, instance_seed,
+                   [&probe](const ir::Circuit& c, ir::NetId g) {
+                     return !fuzz::run_oracle(c, g, probe).ok();
+                   });
+}
+
+// The presolve soundness mode: presolved-vs-original differential check
+// (verdicts, witness transfer through the net map, fact audits).
+void run_presolve_instance(const Args& args, std::uint64_t instance_seed,
+                           Counters& counters) {
+  Rng rng(instance_seed);
+  fuzz::GeneratorOptions gen;
+  gen.max_width = args.max_width;
+  gen.sequential_percent = args.seq_percent;
+  gen.wide_stress_percent = args.wide_percent;
+  const fuzz::FuzzInstance inst = fuzz::generate(rng, gen);
+
+  const std::vector<std::string> violations =
+      fuzz::compare_presolve(inst.circuit, inst.goal, oracle_options(args));
+  ++counters.instances;
+  if (!args.quiet) {
+    std::cout << "[" << instance_seed << "] presolve " << inst.description
+              << (violations.empty() ? ": ok" : ": MISMATCH") << '\n';
+  }
+  if (violations.empty()) return;
+  counters.mismatches += static_cast<std::int64_t>(violations.size());
+  report_mismatch("presolve, instance seed " + std::to_string(instance_seed) +
+                      " (" + inst.description + ")",
+                  violations);
+  fuzz::OracleOptions probe = oracle_options(args);
+  reduce_and_write(inst.circuit, inst.goal, args, counters, instance_seed,
+                   [&probe](const ir::Circuit& c, ir::NetId g) {
+                     return !fuzz::compare_presolve(c, g, probe).empty();
+                   });
 }
 
 void run_op_round(std::uint64_t round_seed, Counters& counters,
@@ -216,7 +246,7 @@ int main(int argc, char** argv) {
     else return usage(argv[0]);
   }
   if (args.mode != "all" && args.mode != "circuits" && args.mode != "ops" &&
-      args.mode != "fme") {
+      args.mode != "fme" && args.mode != "presolve") {
     return usage(argv[0]);
   }
   if (args.max_width < 2 || args.max_width > ir::kMaxWidth) {
@@ -248,10 +278,15 @@ int main(int argc, char** argv) {
       } else if (args.mode == "fme") {
         run_op_round(instance_seed, counters, /*include_fme=*/true,
                      /*include_intervals=*/false);
+      } else if (args.mode == "presolve") {
+        run_presolve_instance(args, instance_seed, counters);
       } else {
-        // Mode all: mostly circuits, with op/fme rounds interleaved.
+        // Mode all: mostly circuits, with op/fme and presolve rounds
+        // interleaved.
         if (i % 10 == 8) {
           run_op_round(instance_seed, counters, true, true);
+        } else if (i % 10 == 4) {
+          run_presolve_instance(args, instance_seed, counters);
         } else {
           run_circuit_instance(args, instance_seed, counters);
         }

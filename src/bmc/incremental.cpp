@@ -1,6 +1,7 @@
 #include "bmc/incremental.h"
 
 #include "bmc/unroll.h"
+#include "presolve/analyze.h"
 #include "trace/trace.h"
 #include "util/assert.h"
 #include "util/strings.h"
@@ -11,9 +12,10 @@ using ir::NetId;
 
 IncrementalBmc::IncrementalBmc(const ir::SeqCircuit& seq, std::string property,
                                core::HdpllOptions solver_options,
-                               bool cumulative)
+                               bool cumulative, bool presolve)
     : seq_(seq), property_(std::move(property)), cumulative_(cumulative) {
   seq_.validate();
+  if (presolve) invariants_ = presolve::reach_invariants(seq_);
   prop_net_ = seq_.property(property_);
   RTLSAT_ASSERT_MSG(prop_net_ != ir::kNoNet, "unknown property");
   circuit_.set_name(
@@ -71,6 +73,24 @@ ir::NetId IncrementalBmc::ensure_bound(int bound) {
 core::SolveResult IncrementalBmc::solve_bound(int bound) {
   const NetId goal = ensure_bound(bound);
   solver_->sync_circuit();
+  // Install the reach invariants on any frames built since the last call.
+  // A frame-f state net computes the register's value after f transitions
+  // from reset, so every assignment yields a reachable state and the
+  // invariant bound is a sound persistent assumption. Frame 0 nets are the
+  // reset constants and full-domain invariants say nothing — skip both.
+  if (!invariants_.empty()) {
+    const std::vector<ir::Register>& regs = seq_.registers();
+    for (; invariant_frames_done_ < frame_map_.size();
+         ++invariant_frames_done_) {
+      for (std::size_t i = 0; i < regs.size(); ++i) {
+        const NetId q = frame_map_[invariant_frames_done_][regs[i].q];
+        if (circuit_.node(q).op == ir::Op::kConst) continue;
+        if (invariants_[i].contains(circuit_.domain(q))) continue;
+        solver_->assume(q, invariants_[i]);
+        ++invariants_assumed_;
+      }
+    }
+  }
   return solver_->solve({{goal, Interval::point(1)}});
 }
 

@@ -47,10 +47,14 @@ class IncrementalBmc {
  public:
   // `seq` is borrowed and must outlive the unroller. `cumulative` asks
   // each bound as "violation in ANY frame ≤ k" (unroll_any's goal shape)
-  // instead of "violation at exactly k".
+  // instead of "violation at exactly k". `presolve` computes the
+  // sequential reach invariants (presolve/analyze.h) once up front and
+  // installs each non-trivial register invariant as a persistent solver
+  // assumption on every frame's state net — sound because a frame-f state
+  // net evaluates to a reachable state under every input assignment.
   IncrementalBmc(const ir::SeqCircuit& seq, std::string property,
                  core::HdpllOptions solver_options = {},
-                 bool cumulative = false);
+                 bool cumulative = false, bool presolve = false);
 
   // Extends the unrolling to `bound` time-frames (no-op when already
   // there) and returns the goal net whose assertion asks "property
@@ -84,6 +88,9 @@ class IncrementalBmc {
   core::HdpllSolver& solver() { return *solver_; }
   const core::HdpllSolver& solver() const { return *solver_; }
 
+  // Reach-invariant assumptions installed so far (presolve mode only).
+  std::int64_t invariants_assumed() const { return invariants_assumed_; }
+
  private:
   void build_frame();  // appends one time-frame to the circuit
 
@@ -100,6 +107,12 @@ class IncrementalBmc {
   // Per-bound goal nets, built once (a cumulative goal is an OR node).
   std::map<int, ir::NetId> goal_;
   std::unique_ptr<core::HdpllSolver> solver_;
+  // Presolve mode: per-register reach invariants (empty = off), the next
+  // frame whose state nets still need their invariant assumptions, and how
+  // many assume() calls were installed.
+  std::vector<Interval> invariants_;
+  std::size_t invariant_frames_done_ = 0;
+  std::int64_t invariants_assumed_ = 0;
 };
 
 }  // namespace rtlsat::bmc

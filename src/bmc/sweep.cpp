@@ -6,9 +6,11 @@
 
 #include "bmc/incremental.h"
 #include "bmc/unroll.h"
+#include "presolve/simplify.h"
 #include "proof/word_check.h"
 #include "proof/word_writer.h"
 #include "util/strings.h"
+#include "util/timer.h"
 
 namespace rtlsat::bmc {
 
@@ -54,10 +56,13 @@ SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
   // self-contained, while the incremental solver's later frames derive
   // from clauses learned in earlier ones.
   const bool incremental = options.incremental && !options.certify;
+  // Certificates must reference the original frame instance, so presolve
+  // is dropped alongside incrementality when certification is on.
+  const bool presolve = options.presolve && !options.certify;
   std::unique_ptr<IncrementalBmc> inc;
   if (incremental) {
     inc = std::make_unique<IncrementalBmc>(seq, property, options.solver,
-                                           options.cumulative);
+                                           options.cumulative, presolve);
   }
   for (int bound = 1; bound <= max_bound; ++bound) {
     if (incremental) {
@@ -83,11 +88,38 @@ SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
     frame.bound = bound;
     frame.name = instance.name;
 
+    // Presolve the frame instance; a decided frame skips the solver, an
+    // undecided one hands the simplified circuit to it. `pre` must outlive
+    // the solver below — it owns the circuit the solver borrows.
+    presolve::GoalPresolve pre;
+    if (presolve) {
+      Timer presolve_timer;
+      pre = presolve::presolve_goal(instance.circuit, instance.goal, true);
+      pre.stats.add_to(result.stats);
+      if (pre.decided) {
+        frame.status = pre.sat ? core::SolveStatus::kSat
+                               : core::SolveStatus::kUnsat;
+        frame.seconds = presolve_timer.seconds();
+        result.stats.add("presolve.decided_frames", 1);
+        const bool sat = frame.status == core::SolveStatus::kSat;
+        result.frames.push_back(std::move(frame));
+        if (sat) {
+          result.first_sat_bound = bound;
+          if (options.stop_at_sat) break;
+        }
+        continue;
+      }
+    }
+    const bool simplified = presolve && !pre.decided;
+    const ir::Circuit& frame_circuit =
+        simplified ? pre.circuit : instance.circuit;
+    const ir::NetId frame_goal = simplified ? pre.goal : instance.goal;
+
     proof::WordCertWriter cert;
     core::HdpllOptions solver_options = options.solver;
     if (options.certify) solver_options.proof = &cert;
-    core::HdpllSolver solver(instance.circuit, solver_options);
-    solver.assume_bool(instance.goal, true);
+    core::HdpllSolver solver(frame_circuit, solver_options);
+    solver.assume_bool(frame_goal, true);
     const core::SolveResult solve = solver.solve();
     frame.status = solve.status;
     frame.seconds = solve.seconds;
@@ -121,6 +153,9 @@ SweepResult sweep(const ir::SeqCircuit& seq, const std::string& property,
       result.first_sat_bound = bound;
       if (options.stop_at_sat) break;
     }
+  }
+  if (inc != nullptr && presolve) {
+    result.stats.add("presolve.invariants_assumed", inc->invariants_assumed());
   }
   return result;
 }

@@ -15,6 +15,7 @@
 
 #include "core/hdpll.h"
 #include "ir/seq.h"
+#include "util/stats.h"
 
 namespace rtlsat::bmc {
 
@@ -39,6 +40,16 @@ struct SweepOptions {
   // back to fresh-per-frame — when `certify` is set, because certificates
   // must be self-contained per frame.
   bool incremental = true;
+  // Run the interval presolver (src/presolve) ahead of the solver. On the
+  // fresh-per-frame path each frame's instance goes through
+  // presolve::presolve_goal first: a presolve-decided frame skips the
+  // solver entirely, an undecided one solves the simplified instance
+  // (verdict-equivalent by construction; the presolve fuzz mode enforces
+  // it). On the incremental path the sequential reach invariants become
+  // persistent solver assumptions on every frame's state nets. Ignored
+  // when `certify` is set — certificates must speak about the original
+  // frame instance, not a rewrite of it.
+  bool presolve = false;
 };
 
 struct FrameResult {
@@ -59,6 +70,10 @@ struct SweepResult {
   std::vector<FrameResult> frames;
   // Smallest bound with a counterexample; -1 if none was found.
   int first_sat_bound = -1;
+  // presolve.* counters (frames decided without a solver call, rewrite
+  // effect sizes, invariant assumptions applied). Empty when the presolve
+  // option was off.
+  Stats stats;
 
   // Every decisive frame carries a verified certificate (vacuously true
   // when certification was off and no frame was rejected).

@@ -11,6 +11,8 @@
 #include "core/hdpll.h"
 #include "core/selfcheck.h"
 #include "portfolio/portfolio.h"
+#include "presolve/analyze.h"
+#include "presolve/simplify.h"
 #include "proof/drat.h"
 #include "proof/drat_check.h"
 #include "proof/word_check.h"
@@ -288,8 +290,14 @@ std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
     solver_options.predicate_learning = true;
     solver_options.timeout_seconds = options.timeout_seconds;
     bmc::IncrementalBmc inc(seq, property, solver_options, cumulative);
+    // Third path: the same growing solver with presolve's reach invariants
+    // installed as persistent assumptions. An unsound invariant (one that
+    // excludes a reachable state) flips a SAT bound to UNSAT here.
+    bmc::IncrementalBmc inc_pre(seq, property, solver_options, cumulative,
+                                /*presolve=*/true);
     for (int bound = 1; bound <= max_bound; ++bound) {
       const core::SolveResult warm = inc.solve_bound(bound);
+      const core::SolveResult warm_pre = inc_pre.solve_bound(bound);
 
       const bmc::BmcInstance fresh =
           cumulative ? bmc::unroll_any(seq, property, bound)
@@ -299,7 +307,23 @@ std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
       const core::SolveResult fresh_result = cold.solve();
 
       const char w = status_char(warm.status);
+      const char wp = status_char(warm_pre.status);
       const char f = status_char(fresh_result.status);
+      if (f != 'T' && wp != 'T' && wp != f) {
+        std::ostringstream os;
+        os << inc_pre.name(bound) << (cumulative ? " (cumulative)" : "")
+           << ": incremental+presolve=" << wp << " fresh=" << f;
+        mismatches.push_back(os.str());
+      } else if (wp == 'S') {
+        const auto values = inc_pre.circuit().evaluate(warm_pre.input_model);
+        if (values[inc_pre.ensure_bound(bound)] != 1) {
+          std::ostringstream os;
+          os << inc_pre.name(bound) << (cumulative ? " (cumulative)" : "")
+             << ": incremental+presolve witness failed replay "
+             << model_to_string(inc_pre.circuit(), warm_pre.input_model);
+          mismatches.push_back(os.str());
+        }
+      }
       if (w == 'T' || f == 'T') continue;  // abstain, as in run_oracle
       if (w != f) {
         std::ostringstream os;
@@ -320,6 +344,111 @@ std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
              << model_to_string(inc.circuit(), warm.input_model);
           mismatches.push_back(os.str());
         }
+      }
+    }
+  }
+  return mismatches;
+}
+
+std::vector<std::string> compare_presolve(const ir::Circuit& circuit,
+                                          ir::NetId goal,
+                                          const OracleOptions& options) {
+  RTLSAT_ASSERT(circuit.is_bool(goal));
+  std::vector<std::string> mismatches;
+  core::HdpllOptions solver_options;
+  solver_options.structural_decisions = true;
+  solver_options.predicate_learning = true;
+  solver_options.timeout_seconds = options.timeout_seconds;
+  solver_options.verify_models = true;
+
+  // Unconditioned facts must admit every model any path produces — the
+  // audit that catches a too-narrow transfer function before it ever
+  // flips a verdict.
+  const presolve::FactTable facts = presolve::analyze(circuit);
+  const auto audit_model = [&](const std::string& who, const Model& model) {
+    const std::vector<std::int64_t> values = circuit.evaluate(model);
+    if (values[goal] != 1) {
+      mismatches.push_back(who + ": SAT model does not satisfy the goal: " +
+                           model_to_string(circuit, model));
+    }
+    for (NetId id = 0; id < circuit.num_nets(); ++id) {
+      if (!facts.range[id].contains(values[id])) {
+        std::ostringstream os;
+        os << who << ": net " << id << " (" << circuit.net_name(id)
+           << ") value " << values[id] << " escapes unconditioned fact "
+           << facts.range[id].to_string() << " under model "
+           << model_to_string(circuit, model);
+        mismatches.push_back(os.str());
+      }
+      if (facts.parity[id] != presolve::Parity::kUnknown &&
+          facts.parity[id] != presolve::parity_of(values[id])) {
+        std::ostringstream os;
+        os << who << ": net " << id << " (" << circuit.net_name(id)
+           << ") value " << values[id] << " contradicts its parity fact";
+        mismatches.push_back(os.str());
+      }
+    }
+  };
+
+  // Reference: direct solve of the original instance.
+  core::HdpllSolver direct(circuit, solver_options);
+  direct.assume_bool(goal, true);
+  const core::SolveResult ref = direct.solve();
+  const char ref_verdict = status_char(ref.status);
+  if (ref_verdict == 'S') audit_model("direct", ref.input_model);
+
+  presolve::GoalPresolve pre = presolve::presolve_goal(circuit, goal, true);
+  if (pre.decided) {
+    const char verdict = pre.sat ? 'S' : 'U';
+    if (ref_verdict != 'T' && ref_verdict != verdict) {
+      mismatches.push_back(std::string("presolve decided ") + verdict +
+                           " but direct solve says " + ref_verdict);
+    }
+    if (pre.sat) {
+      audit_model("presolve-decided",
+                  Model(pre.model.begin(), pre.model.end()));
+    }
+    return mismatches;
+  }
+
+  // Undecided: solve the simplified instance with the same configuration.
+  core::HdpllSolver simplified(pre.circuit, solver_options);
+  simplified.assume_bool(pre.goal, true);
+  const core::SolveResult simp = simplified.solve();
+  const char simp_verdict = status_char(simp.status);
+  if (ref_verdict != 'T' && simp_verdict != 'T' &&
+      ref_verdict != simp_verdict) {
+    mismatches.push_back(std::string("simplified instance says ") +
+                         simp_verdict + " but direct solve says " +
+                         ref_verdict);
+  }
+  if (simp_verdict == 'S') {
+    // Witness transfer by input name; an input the rewrite erased is
+    // unconstrained in the original, so 0 completes the model.
+    Model simp_model = simp.input_model;
+    for (const NetId in : pre.circuit.inputs()) {
+      if (simp_model.find(in) == simp_model.end()) simp_model[in] = 0;
+    }
+    Model orig_model;
+    for (const NetId in : circuit.inputs()) {
+      const NetId mapped = pre.circuit.find_net(circuit.net_name(in));
+      const auto it = mapped == ir::kNoNet ? simp_model.end()
+                                           : simp_model.find(mapped);
+      orig_model[in] = it == simp_model.end() ? 0 : it->second;
+    }
+    audit_model("presolve-transfer", orig_model);
+    // Net-by-net witness-transfer audit: every surviving net must compute
+    // the same value on both sides of the net map.
+    const std::vector<std::int64_t> v_orig = circuit.evaluate(orig_model);
+    const std::vector<std::int64_t> v_simp = pre.circuit.evaluate(simp_model);
+    for (NetId id = 0; id < circuit.num_nets(); ++id) {
+      if (pre.net_map[id] == ir::kNoNet) continue;
+      if (v_orig[id] != v_simp[pre.net_map[id]]) {
+        std::ostringstream os;
+        os << "net map diverges at net " << id << " ("
+           << circuit.net_name(id) << "): original computes " << v_orig[id]
+           << " but its image computes " << v_simp[pre.net_map[id]];
+        mismatches.push_back(os.str());
       }
     }
   }

@@ -85,4 +85,22 @@ std::vector<std::string> compare_bmc_paths(const ir::SeqCircuit& seq,
                                            int max_bound,
                                            const OracleOptions& options = {});
 
+// Differential check of the presolve path (presolve/simplify.h) against a
+// direct HDPLL+S+P solve of the original instance. Rules:
+//   * a presolve-decided verdict must match the direct one (timeouts
+//     abstain), and a decided-SAT model must satisfy the goal by
+//     simulation;
+//   * an undecided presolve hands the simplified circuit to the same
+//     solver configuration: verdicts must match, and a SAT model must
+//     transfer back through the input names — satisfying the original goal
+//     AND agreeing net-by-net with the original evaluation through the
+//     net map (the witness-transfer audit);
+//   * every model seen (direct or transferred) must lie inside every
+//     unconditioned analyzer fact — range and parity — so a narrowing bug
+//     is caught even when it never flips a verdict.
+// Returns the rule violations; empty ⟺ presolve is sound on the instance.
+std::vector<std::string> compare_presolve(const ir::Circuit& circuit,
+                                          ir::NetId goal,
+                                          const OracleOptions& options = {});
+
 }  // namespace rtlsat::fuzz

@@ -1,10 +1,12 @@
 #include "fuzz/reduce.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "ir/analysis.h"
 #include "parser/rtl_format.h"
 #include "util/assert.h"
 
@@ -169,8 +171,6 @@ void push_candidates(const Circuit& c, NetId id, std::vector<Rewrite>& out) {
   }
 }
 
-std::vector<NetId> cone_of(const Circuit& c, NetId goal);
-
 // Nets to try rewrites on, highest id first (outputs before leaves) so the
 // big cuts are tried before the small ones. In dead-preserving mode every
 // net is a candidate, not just the goal cone.
@@ -182,26 +182,8 @@ std::vector<NetId> reduction_order(const Circuit& c, NetId goal,
       all.push_back(id);
     return all;
   }
-  return cone_of(c, goal);
-}
-
-std::vector<NetId> cone_of(const Circuit& c, NetId goal) {
-  std::vector<bool> in_cone(c.num_nets(), false);
-  std::vector<NetId> stack{goal};
-  in_cone[goal] = true;
-  while (!stack.empty()) {
-    const NetId id = stack.back();
-    stack.pop_back();
-    for (const NetId operand : c.node(id).operands) {
-      if (!in_cone[operand]) {
-        in_cone[operand] = true;
-        stack.push_back(operand);
-      }
-    }
-  }
-  std::vector<NetId> cone;
-  for (NetId id = static_cast<NetId>(c.num_nets()); id-- > 0;)
-    if (in_cone[id]) cone.push_back(id);
+  std::vector<NetId> cone = ir::fanin_cone(c, goal).members;
+  std::reverse(cone.begin(), cone.end());
   return cone;
 }
 

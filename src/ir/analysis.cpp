@@ -31,24 +31,28 @@ std::vector<int> fanout_counts(const Circuit& circuit) {
   return count;
 }
 
-std::vector<bool> cone_of_influence(const Circuit& circuit, NetId root) {
-  return cone_of_influence(circuit, std::vector<NetId>{root});
+FaninCone fanin_cone(const Circuit& circuit, NetId root) {
+  return fanin_cone(circuit, std::vector<NetId>{root});
 }
 
-std::vector<bool> cone_of_influence(const Circuit& circuit,
-                                    const std::vector<NetId>& roots) {
-  std::vector<bool> in_cone(circuit.num_nets(), false);
+FaninCone fanin_cone(const Circuit& circuit, const std::vector<NetId>& roots) {
+  FaninCone cone;
+  cone.mask.assign(circuit.num_nets(), false);
   std::vector<NetId> stack(roots);
   while (!stack.empty()) {
     const NetId id = stack.back();
     stack.pop_back();
-    if (in_cone[id]) continue;
-    in_cone[id] = true;
+    if (cone.mask[id]) continue;
+    cone.mask[id] = true;
     for (NetId o : circuit.node(id).operands) {
-      if (!in_cone[o]) stack.push_back(o);
+      if (!cone.mask[o]) stack.push_back(o);
     }
   }
-  return in_cone;
+  cone.members.reserve(circuit.num_nets());
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    if (cone.mask[id]) cone.members.push_back(id);
+  }
+  return cone;
 }
 
 std::vector<PredicateInfo> extract_predicates(const Circuit& circuit) {
@@ -89,11 +93,12 @@ std::vector<NetId> predicate_logic_cone(const Circuit& circuit) {
   for (const auto& p : preds) bool_roots.push_back(p.net);
   // Everything Boolean reachable upstream of a predicate, plus all Boolean
   // gates (control logic proper).
-  const auto cone = cone_of_influence(circuit, bool_roots);
+  const auto cone = fanin_cone(circuit, bool_roots);
   std::vector<NetId> result;
   for (NetId id = 0; id < circuit.num_nets(); ++id) {
     if (!circuit.is_bool(id)) continue;
-    if (cone[id] || is_boolean_gate(circuit.node(id).op)) result.push_back(id);
+    if (cone.mask[id] || is_boolean_gate(circuit.node(id).op))
+      result.push_back(id);
   }
   return result;
 }

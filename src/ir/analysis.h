@@ -20,10 +20,18 @@ std::vector<std::vector<NetId>> fanouts(const Circuit& circuit);
 // seed weight per §2.4).
 std::vector<int> fanout_counts(const Circuit& circuit);
 
-// Transitive fan-in cone of `root` (including root), as a membership mask.
-std::vector<bool> cone_of_influence(const Circuit& circuit, NetId root);
-std::vector<bool> cone_of_influence(const Circuit& circuit,
-                                    const std::vector<NetId>& roots);
+// Transitive fan-in cone of one or more roots (including the roots) — the
+// single dependency-tracking primitive shared by the rebuilder
+// (ir/transform), canonical hashing (ir/cone), the presolve analyzer, and
+// the fuzz reducer. `mask[i]` answers membership in O(1); `members` lists
+// the cone in ascending net-id order, which — the builder being append-only
+// — is a topological order (operands before readers).
+struct FaninCone {
+  std::vector<bool> mask;
+  std::vector<NetId> members;
+};
+FaninCone fanin_cone(const Circuit& circuit, NetId root);
+FaninCone fanin_cone(const Circuit& circuit, const std::vector<NetId>& roots);
 
 // Predicate extraction (§3 step 1): the 1-bit nets where control meets
 // data-path — comparator outputs, and Boolean nets steering word-level

@@ -53,7 +53,7 @@ std::uint64_t node_signature(const Node& n) {
 
 CanonicalCone canonical_cone(const Circuit& circuit, NetId goal) {
   RTLSAT_ASSERT(goal < circuit.num_nets());
-  const std::vector<bool> in_cone = cone_of_influence(circuit, goal);
+  const std::vector<bool> in_cone = fanin_cone(circuit, goal).mask;
   const std::size_t n = circuit.num_nets();
 
   // ---- pass 1 (bottom-up): structural color ignoring node identity.

@@ -15,9 +15,9 @@ class Rebuilder {
     TransformResult result;
     result.circuit.set_name(source_.name());
     result.net_map.assign(source_.num_nets(), kNoNet);
-    const auto in_cone = cone_of_influence(source_, roots);
-    for (NetId id = 0; id < source_.num_nets(); ++id) {
-      if (in_cone[id]) result.net_map[id] = rebuild(result.circuit, id, result.net_map);
+    const auto cone = fanin_cone(source_, roots);
+    for (const NetId id : cone.members) {
+      result.net_map[id] = rebuild(result.circuit, id, result.net_map);
     }
     // Preserve the names of surviving nets.
     for (NetId id = 0; id < source_.num_nets(); ++id) {

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "ir/structure_check.h"
+#include "presolve/analyze.h"
+#include "presolve/findings.h"
 #include "util/strings.h"
 
 namespace rtlsat::lint {
@@ -52,6 +54,16 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"missed-const-fold", Severity::kWarning,
        "node the builder would have constant-folded survived (netlist was "
        "built outside the canonicalizing builder)"},
+      // Analyzer-backed rules (presolve/findings.h): interval facts proved
+      // to hold for every input assignment.
+      {"constant-net", Severity::kWarning,
+       "non-source net provably computes a single constant value"},
+      {"constant-comparator", Severity::kWarning,
+       "comparator's verdict is provable from its operand ranges alone"},
+      {"dead-mux-arm", Severity::kWarning,
+       "mux select is provably constant, so one arm can never be taken"},
+      {"oversized-net", Severity::kInfo,
+       "net is wider than its proven value range ever needs"},
       // Sequential rules.
       {"unbound-register", Severity::kError,
        "register has no bound next-state net", /*seq_only=*/true},
@@ -68,6 +80,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        /*seq_only=*/true},
       {"duplicate-register", Severity::kWarning,
        "two registers share the same state net", /*seq_only=*/true},
+      {"invariant-constant-register", Severity::kWarning,
+       "register's reachable values collapse to one constant despite "
+       "non-trivial next-state logic", /*seq_only=*/true},
   };
   return catalog;
 }
@@ -261,6 +276,33 @@ void run_const_fold_rule(const Circuit& circuit, Collector& out) {
   }
 }
 
+// Re-emits the interval analyzer's structured findings as lint
+// diagnostics; the finding kind names double as the rule ids.
+void run_presolve_rules(const Circuit& circuit, Collector& out) {
+  const presolve::FactTable facts = presolve::analyze(circuit);
+  if (facts.conflict) return;  // over-narrowing bug; nothing to report on
+  for (const presolve::Finding& f : presolve::findings(circuit, facts)) {
+    out.emit(presolve::kind_name(f.kind), f.net, f.message);
+  }
+}
+
+// A register whose reach invariant is a single point never leaves its
+// reset value even though its next-state cone looks like real logic (the
+// d == q case is the plain constant-register rule's).
+void run_reach_invariant_rule(const SeqCircuit& seq, Collector& out) {
+  const std::vector<Interval> invariants = presolve::reach_invariants(seq);
+  for (std::size_t i = 0; i < seq.registers().size(); ++i) {
+    const ir::Register& r = seq.registers()[i];
+    if (r.d == ir::kNoNet || r.d == r.q) continue;
+    if (!invariants[i].is_point()) continue;
+    out.emit("invariant-constant-register", r.q,
+             str_format("register '%s' provably holds %lld in every "
+                        "reachable state",
+                        r.name.empty() ? "<unnamed>" : r.name.c_str(),
+                        static_cast<long long>(invariants[i].lo())));
+  }
+}
+
 void run_seq_rules(const SeqCircuit& seq, Collector& out) {
   const Circuit& comb = seq.comb();
   std::unordered_map<NetId, std::size_t> q_seen;
@@ -342,6 +384,10 @@ LintReport run(const Circuit& circuit, const SeqCircuit* seq,
     }
     run_dead_net_rule(circuit, sinks, out);
     run_const_fold_rule(circuit, out);
+    run_presolve_rules(circuit, out);
+    // The reach walk follows register bindings, so it additionally needs
+    // the sequential error rules to have stayed silent.
+    if (seq != nullptr && !out.has_errors()) run_reach_invariant_rule(*seq, out);
   }
   return std::move(out).finish();
 }

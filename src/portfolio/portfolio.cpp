@@ -7,6 +7,7 @@
 
 #include "bitblast/bitblast.h"
 #include "metrics/solver_gauges.h"
+#include "presolve/simplify.h"
 #include "trace/progress.h"
 #include "trace/sink.h"
 #include "util/stop_token.h"
@@ -124,7 +125,63 @@ char sat_verdict(sat::Result result) {
 
 }  // namespace
 
-PortfolioResult Portfolio::solve() { return solve({}); }
+PortfolioResult Portfolio::solve() {
+  if (!options_.presolve) return solve({});
+  Timer timer;
+  presolve::GoalPresolve pre =
+      presolve::presolve_goal(circuit_, goal_, goal_value_);
+  if (pre.decided) {
+    // Decided without a single solver call: no race, no workers.
+    PortfolioResult result;
+    result.status =
+        pre.sat ? core::SolveStatus::kSat : core::SolveStatus::kUnsat;
+    result.winner_name = "presolve";
+    if (pre.sat) result.input_model = std::move(pre.model);
+    pre.stats.add_to(result.stats);
+    result.stats.add("presolve.decided", 1);
+    if (options_.crosscheck && result.status == core::SolveStatus::kSat) {
+      const auto values = circuit_.evaluate(result.input_model);
+      if ((values[goal_] != 0) != goal_value_) {
+        result.crosscheck_violations.push_back(
+            "presolve model does not satisfy the goal under circuit "
+            "evaluation");
+      }
+    }
+    result.seconds = timer.seconds();
+    return result;
+  }
+  // Undecided: race the simplified instance (presolve off — one level of
+  // rewriting is all there is) and translate the verdict back.
+  PortfolioOptions inner_options = options_;
+  inner_options.presolve = false;
+  Portfolio inner(pre.circuit, pre.goal, goal_value_, inner_options, lineup_);
+  PortfolioResult result = inner.solve();
+  pre.stats.add_to(result.stats);
+  if (result.status == core::SolveStatus::kSat) {
+    // Model transfer by input name: every simplified input is the image of
+    // a same-named original input; an input the rewrite erased is
+    // unconstrained, so any value — 0 — completes the witness.
+    std::unordered_map<NetId, std::int64_t> model;
+    for (const NetId in : circuit_.inputs()) {
+      const NetId mapped = pre.circuit.find_net(circuit_.net_name(in));
+      const auto it = mapped == ir::kNoNet ? result.input_model.end()
+                                           : result.input_model.find(mapped);
+      model[in] = it == result.input_model.end() ? 0 : it->second;
+    }
+    result.input_model = std::move(model);
+    if (options_.crosscheck) {
+      // The inner race already cross-checked the simplified instance; this
+      // pass catches net-map bugs in the rewrite itself.
+      const auto values = circuit_.evaluate(result.input_model);
+      if ((values[goal_] != 0) != goal_value_) {
+        result.crosscheck_violations.push_back(
+            "presolve-mapped model does not satisfy the original goal");
+      }
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
 
 PortfolioResult Portfolio::solve(
     const std::vector<std::pair<ir::NetId, Interval>>& assumptions) {

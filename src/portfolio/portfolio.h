@@ -83,6 +83,14 @@ struct PortfolioOptions {
   // circuit evaluation, and every HDPLL loser's level-0 interval store
   // must admit the model (core/selfcheck.h's soundness audit).
   bool crosscheck = true;
+  // Run the interval presolver (src/presolve) before the race: a
+  // presolve-decided instance returns immediately with winner_name
+  // "presolve" (and, on SAT, a model over the original inputs); an
+  // undecided one races the simplified circuit and maps the winner's model
+  // back through the input names. Applies to solve() only — an assumption
+  // race (solve(assumptions)) names nets of the original circuit, which a
+  // rewrite may have erased, so it ignores this flag.
+  bool presolve = false;
   // Forwarded to every HDPLL worker.
   int learn_threshold = 2000;
   bool self_check = kSelfCheckBuild;

@@ -1,0 +1,493 @@
+#include "presolve/analyze.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "interval/interval_ops.h"
+#include "ir/analysis.h"
+#include "util/assert.h"
+
+namespace rtlsat::presolve {
+
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+
+class Analyzer {
+ public:
+  Analyzer(const Circuit& circuit, const AnalyzeOptions& options)
+      : c_(circuit), opts_(options) {}
+
+  FactTable run() {
+    const NetId n = static_cast<NetId>(c_.num_nets());
+    facts_.range.resize(n);
+    facts_.parity.assign(n, Parity::kUnknown);
+    facts_.conditioned = !opts_.assumptions.empty();
+    budget_.resize(n);
+    queued_.assign(n, false);
+    for (NetId id = 0; id < n; ++id) {
+      budget_[id] = opts_.narrow_budget > 0 ? opts_.narrow_budget
+                                            : 2 * c_.width(id) + 8;
+    }
+    readers_ = ir::fanouts(c_);
+
+    // Initial forward sweep: ascending ids visit operands before readers
+    // (the builder is append-only), so one pass is the DAG's fixpoint.
+    for (NetId id = 0; id < n; ++id) facts_.range[id] = forward(id);
+    // Parity sweep; endpoint refinements enqueue the nets they tighten.
+    for (NetId id = 0; id < n; ++id) {
+      facts_.parity[id] = parity_forward(id);
+      refine_by_parity(id);
+    }
+    for (const auto& [net, iv] : opts_.assumptions) {
+      RTLSAT_ASSERT(net < n);
+      refine(net, iv);
+    }
+
+    while (!worklist_.empty() && !facts_.conflict) {
+      const NetId id = worklist_.back();
+      worklist_.pop_back();
+      queued_[id] = false;
+      for (const NetId r : readers_[id]) {
+        refine(r, forward(r));
+        if (facts_.conflict) break;
+        if (backward_on()) backward(r);
+        if (facts_.conflict) break;
+      }
+      if (facts_.conflict) break;
+      if (backward_on()) backward(id);
+    }
+    return std::move(facts_);
+  }
+
+ private:
+  bool backward_on() const { return facts_.conditioned && opts_.backward; }
+
+  // Intersects net `id`'s range with `v`. An empty result flags a conflict
+  // (conditioned mode); in unconditioned mode it would mean a transfer-
+  // function bug, so the sound wider interval is kept instead. A net whose
+  // narrowing budget is spent also keeps its wider interval — that is what
+  // bounds the worklist (see header).
+  void refine(NetId id, const Interval& v) {
+    const Interval nv = facts_.range[id].intersect(v);
+    if (nv == facts_.range[id]) return;
+    if (nv.is_empty()) {
+      if (!facts_.conditioned) return;
+      facts_.range[id] = nv;
+      facts_.conflict = true;
+      return;
+    }
+    if (budget_[id] <= 0) return;
+    --budget_[id];
+    facts_.range[id] = nv;
+    if (!queued_[id]) {
+      queued_[id] = true;
+      worklist_.push_back(id);
+    }
+  }
+
+  Interval forward(NetId id) {
+    const Node& n = c_.node(id);
+    for (const NetId o : n.operands) {
+      if (facts_.range[o].is_empty()) return Interval::empty();
+    }
+    auto X = [&](std::size_t i) -> const Interval& {
+      return facts_.range[n.operands[i]];
+    };
+    const int w = n.width;
+    Interval out;
+    switch (n.op) {
+      case Op::kInput:
+        out = c_.domain(id);
+        break;
+      case Op::kConst:
+        out = Interval::point(n.imm);
+        break;
+      case Op::kAnd: {  // n-ary AND of booleans is the componentwise min
+        Interval::Value lo = 1, hi = 1;
+        for (const NetId o : n.operands) {
+          lo = std::min(lo, facts_.range[o].lo());
+          hi = std::min(hi, facts_.range[o].hi());
+        }
+        out = Interval(lo, hi);
+        break;
+      }
+      case Op::kOr: {  // … and OR is the componentwise max
+        Interval::Value lo = 0, hi = 0;
+        for (const NetId o : n.operands) {
+          lo = std::max(lo, facts_.range[o].lo());
+          hi = std::max(hi, facts_.range[o].hi());
+        }
+        out = Interval(lo, hi);
+        break;
+      }
+      case Op::kNot:
+        out = Interval(1 - X(0).hi(), 1 - X(0).lo());
+        break;
+      case Op::kXor:
+        out = (X(0).is_point() && X(1).is_point())
+                  ? Interval::point(X(0).lo() ^ X(1).lo())
+                  : Interval::booleans();
+        break;
+      case Op::kMux:
+        if (X(0) == Interval::point(1)) out = X(1);
+        else if (X(0) == Interval::point(0)) out = X(2);
+        else out = X(1).hull(X(2));
+        break;
+      case Op::kAdd:
+        out = iops::fwd_add_wrap(X(0), X(1), w);
+        break;
+      case Op::kSub:
+        out = iops::fwd_sub_wrap(X(0), X(1), w);
+        break;
+      case Op::kMulC:
+        out = iops::fwd_mod(iops::fwd_mul_const(X(0), n.imm),
+                            Interval::Value{1} << w);
+        break;
+      case Op::kShlC:
+        out = iops::fwd_shl(X(0), static_cast<int>(n.imm), w);
+        break;
+      case Op::kShrC:
+        out = iops::fwd_lshr(X(0), static_cast<int>(n.imm));
+        break;
+      case Op::kNotW:
+        out = iops::fwd_not(X(0), w);
+        break;
+      case Op::kConcat:
+        out = iops::fwd_concat(X(0), X(1), c_.width(n.operands[1]));
+        break;
+      case Op::kExtract:
+        out = iops::fwd_extract(X(0), static_cast<int>(n.imm),
+                                static_cast<int>(n.imm2));
+        break;
+      case Op::kZext:
+        out = X(0);
+        break;
+      case Op::kMin:
+        out = iops::fwd_min(X(0), X(1));
+        break;
+      case Op::kMax:
+        out = iops::fwd_max(X(0), X(1));
+        break;
+      case Op::kEq:
+        out = iops::fwd_eq(X(0), X(1));
+        break;
+      case Op::kNe: {
+        const Interval e = iops::fwd_eq(X(0), X(1));
+        out = Interval(1 - e.hi(), 1 - e.lo());
+        break;
+      }
+      case Op::kLt:
+        out = iops::fwd_lt(X(0), X(1));
+        break;
+      case Op::kLe:
+        out = iops::fwd_le(X(0), X(1));
+        break;
+    }
+    return out.intersect(c_.domain(id));
+  }
+
+  Parity parity_forward(NetId id) {
+    if (facts_.range[id].is_point()) return parity_of(facts_.range[id].lo());
+    const Node& n = c_.node(id);
+    auto P = [&](std::size_t i) { return facts_.parity[n.operands[i]]; };
+    switch (n.op) {
+      case Op::kAdd:
+      case Op::kSub: {
+        // Wrapping at width ≥ 1 preserves the sum's parity (2^w is even).
+        const Parity a = P(0), b = P(1);
+        if (a == Parity::kUnknown || b == Parity::kUnknown)
+          return Parity::kUnknown;
+        return a == b ? Parity::kEven : Parity::kOdd;
+      }
+      case Op::kMulC:
+        return (n.imm & 1) == 0 ? Parity::kEven : P(0);
+      case Op::kShlC:
+        return n.imm >= 1 ? Parity::kEven : P(0);
+      case Op::kShrC:
+        return n.imm == 0 ? P(0) : Parity::kUnknown;
+      case Op::kNotW:
+        return flip(P(0));  // 2^w − 1 − x: an odd constant minus x
+      case Op::kConcat:
+        return P(1);  // bit 0 comes from the low part
+      case Op::kExtract:
+        return n.imm2 == 0 ? P(0) : Parity::kUnknown;
+      case Op::kZext:
+        return P(0);
+      case Op::kMux: {
+        const Interval& sel = facts_.range[n.operands[0]];
+        if (sel == Interval::point(1)) return P(1);
+        if (sel == Interval::point(0)) return P(2);
+        return P(1) == P(2) ? P(1) : Parity::kUnknown;
+      }
+      case Op::kMin:
+      case Op::kMax:
+        return P(0) == P(1) ? P(0) : Parity::kUnknown;
+      default:
+        return Parity::kUnknown;
+    }
+  }
+
+  void refine_by_parity(NetId id) {
+    const Parity p = facts_.parity[id];
+    if (p == Parity::kUnknown) return;
+    const Interval r = facts_.range[id];
+    if (r.is_empty() || r.is_point()) return;
+    Interval::Value lo = r.lo(), hi = r.hi();
+    if (parity_of(lo) != p) ++lo;
+    if (parity_of(hi) != p) --hi;
+    if (lo > hi) return;  // sound facts never contradict; keep the range
+    refine(id, Interval(lo, hi));
+  }
+
+  // Narrows the operands of node `id` from its (already refined) range.
+  // Conflicts need no special casing here: any contradiction surfaces as
+  // an empty intersection in refine() or in a forward re-evaluation.
+  void backward(NetId id) {
+    const Node& n = c_.node(id);
+    if (n.operands.empty()) return;
+    const Interval z = facts_.range[id];
+    if (z.is_empty()) return;
+    auto X = [&](std::size_t i) -> const Interval& {
+      return facts_.range[n.operands[i]];
+    };
+    auto R = [&](std::size_t i, const Interval& v) {
+      refine(n.operands[i], v);
+    };
+    const int w = n.width;
+    switch (n.op) {
+      case Op::kInput:
+      case Op::kConst:
+        return;
+      case Op::kAnd:
+        if (z == Interval::point(1)) {
+          for (const NetId o : n.operands) refine(o, Interval::point(1));
+        } else if (z == Interval::point(0)) {
+          // All operands but one forced true ⟹ the free one is false.
+          std::size_t free = n.operands.size();
+          for (std::size_t i = 0; i < n.operands.size(); ++i) {
+            if (X(i).lo() == 1) continue;
+            if (free != n.operands.size()) return;  // two free: no narrowing
+            free = i;
+          }
+          if (free != n.operands.size()) R(free, Interval::point(0));
+        }
+        return;
+      case Op::kOr:
+        if (z == Interval::point(0)) {
+          for (const NetId o : n.operands) refine(o, Interval::point(0));
+        } else if (z == Interval::point(1)) {
+          std::size_t free = n.operands.size();
+          for (std::size_t i = 0; i < n.operands.size(); ++i) {
+            if (X(i).hi() == 0) continue;
+            if (free != n.operands.size()) return;
+            free = i;
+          }
+          if (free != n.operands.size()) R(free, Interval::point(1));
+        }
+        return;
+      case Op::kNot:
+        R(0, Interval(1 - z.hi(), 1 - z.lo()));
+        return;
+      case Op::kXor:
+        if (z.is_point()) {
+          if (X(0).is_point()) R(1, Interval::point(z.lo() ^ X(0).lo()));
+          else if (X(1).is_point()) R(0, Interval::point(z.lo() ^ X(1).lo()));
+        }
+        return;
+      case Op::kMux:
+        if (X(0) == Interval::point(1)) {
+          R(1, z);
+        } else if (X(0) == Interval::point(0)) {
+          R(2, z);
+        } else {
+          // An arm whose range misses z entirely cannot be the selected
+          // one — the select's polarity is implied.
+          if (!z.intersects(X(1))) R(0, Interval::point(0));
+          if (!z.intersects(X(2))) R(0, Interval::point(1));
+        }
+        return;
+      case Op::kAdd:
+        R(0, iops::back_add_wrap_x(z, X(1), X(0), w));
+        R(1, iops::back_add_wrap_x(z, X(0), X(1), w));
+        return;
+      case Op::kSub:
+        R(0, iops::back_sub_wrap_x(z, X(1), X(0), w));
+        R(1, iops::back_sub_wrap_y(z, X(0), X(1), w));
+        return;
+      case Op::kMulC: {
+        if (n.imm == 0) return;
+        // back_mul_const inverts the exact product; sound only when the
+        // wrap provably cannot fire (k·x stays inside the width).
+        const Interval prod = iops::fwd_mul_const(X(0), n.imm);
+        if (!prod.is_empty() && !endpoint_saturated(prod.lo()) &&
+            !endpoint_saturated(prod.hi()) && c_.domain(id).contains(prod)) {
+          R(0, iops::back_mul_const(z, n.imm));
+        }
+        return;
+      }
+      case Op::kShlC: {
+        const int k = static_cast<int>(n.imm);
+        if (k == 0) {
+          R(0, z);
+          return;
+        }
+        // No-wrap condition: x < 2^(w−k), so z = x·2^k exactly.
+        const Interval::Value max_x =
+            w > k ? (Interval::Value{1} << (w - k)) - 1 : 0;
+        if (X(0).hi() <= max_x) R(0, iops::fwd_lshr(z, k));
+        return;
+      }
+      case Op::kShrC:
+        R(0, iops::back_lshr(z, static_cast<int>(n.imm)));
+        return;
+      case Op::kNotW:
+        R(0, iops::back_not(z, w));
+        return;
+      case Op::kConcat: {
+        const int lw = c_.width(n.operands[1]);
+        R(0, iops::back_concat_hi(z, lw));
+        R(1, iops::back_concat_lo(z, X(0), X(1), lw));
+        return;
+      }
+      case Op::kExtract:
+        R(0, iops::back_extract(z, X(0), static_cast<int>(n.imm),
+                                static_cast<int>(n.imm2)));
+        return;
+      case Op::kZext:
+        R(0, z);
+        return;
+      case Op::kMin:
+        R(0, iops::back_min_x(z, X(1), X(0)));
+        R(1, iops::back_min_x(z, X(0), X(1)));
+        return;
+      case Op::kMax:
+        R(0, iops::back_max_x(z, X(1), X(0)));
+        R(1, iops::back_max_x(z, X(0), X(1)));
+        return;
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kLt:
+      case Op::kLe: {
+        if (!z.is_point()) return;
+        const bool t = z.lo() == 1;
+        iops::Pair p;
+        bool swapped = false;  // p narrows (operand 1, operand 0) instead
+        if (n.op == Op::kEq) {
+          p = t ? iops::narrow_eq(X(0), X(1)) : iops::narrow_ne(X(0), X(1));
+        } else if (n.op == Op::kNe) {
+          p = t ? iops::narrow_ne(X(0), X(1)) : iops::narrow_eq(X(0), X(1));
+        } else if (n.op == Op::kLt) {
+          if (t) {
+            p = iops::narrow_lt(X(0), X(1));
+          } else {  // ¬(x < y) ⟺ y ≤ x
+            p = iops::narrow_le(X(1), X(0));
+            swapped = true;
+          }
+        } else {
+          if (t) {
+            p = iops::narrow_le(X(0), X(1));
+          } else {  // ¬(x ≤ y) ⟺ y < x
+            p = iops::narrow_lt(X(1), X(0));
+            swapped = true;
+          }
+        }
+        R(swapped ? 1 : 0, p.x);
+        R(swapped ? 0 : 1, p.y);
+        return;
+      }
+    }
+  }
+
+  const Circuit& c_;
+  const AnalyzeOptions& opts_;
+  FactTable facts_;
+  std::vector<int> budget_;
+  std::vector<bool> queued_;
+  std::vector<NetId> worklist_;
+  std::vector<std::vector<NetId>> readers_;
+};
+
+}  // namespace
+
+FactTable analyze(const ir::Circuit& circuit, const AnalyzeOptions& options) {
+  return Analyzer(circuit, options).run();
+}
+
+std::vector<Interval> reach_invariants(const ir::SeqCircuit& seq,
+                                       const ReachOptions& options) {
+  const ir::Circuit& c = seq.comb();
+  const auto& regs = seq.registers();
+  std::vector<Interval> state(regs.size());
+  std::vector<int> grew_lo(regs.size(), 0), grew_hi(regs.size(), 0);
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    state[i] = Interval::point(regs[i].init).intersect(c.domain(regs[i].q));
+    if (state[i].is_empty()) state[i] = c.domain(regs[i].q);
+  }
+  const int widen_after = std::max(1, options.widen_after);
+  // Terminates without an iteration cap: every `changed` round strictly
+  // grows at least one register side, and each side grows at most
+  // `widen_after` times before it is widened to its domain rail (where it
+  // can grow no further) — at most 2·R·widen_after rounds.
+  for (bool changed = true; changed;) {
+    changed = false;
+    AnalyzeOptions ao;
+    ao.backward = false;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      ao.assumptions.emplace_back(regs[i].q, state[i]);
+    }
+    const FactTable f = analyze(c, ao);
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      const Interval domain = c.domain(regs[i].q);
+      if (regs[i].d == ir::kNoNet) {  // unbound next-state: no information
+        if (state[i] != domain) {
+          state[i] = domain;
+          changed = true;
+        }
+        continue;
+      }
+      Interval next = state[i].hull(f.range[regs[i].d].intersect(domain));
+      if (next == state[i]) continue;
+      if (next.lo() < state[i].lo() && ++grew_lo[i] >= widen_after) {
+        next = Interval(domain.lo(), next.hi());
+      }
+      if (next.hi() > state[i].hi() && ++grew_hi[i] >= widen_after) {
+        next = Interval(next.lo(), domain.hi());
+      }
+      state[i] = next;
+      changed = true;
+    }
+  }
+  // Narrowing phase: the widened `state` is a post-fixpoint (its image is
+  // contained in it), so re-applying init ∪ image can only shrink it while
+  // every reachable state stays covered — this claws back the precision a
+  // rail jump overshot (e.g. a counter saturating below its domain top).
+  for (int round = 0; round < 4; ++round) {
+    AnalyzeOptions ao;
+    ao.backward = false;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      ao.assumptions.emplace_back(regs[i].q, state[i]);
+    }
+    const FactTable f = analyze(c, ao);
+    bool shrunk = false;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      if (regs[i].d == ir::kNoNet) continue;
+      const Interval domain = c.domain(regs[i].q);
+      const Interval next = Interval::point(regs[i].init)
+                                .intersect(domain)
+                                .hull(f.range[regs[i].d].intersect(domain))
+                                .intersect(state[i]);
+      if (next.is_empty() || next == state[i]) continue;
+      state[i] = next;
+      shrunk = true;
+    }
+    if (!shrunk) break;
+  }
+  return state;
+}
+
+}  // namespace rtlsat::presolve

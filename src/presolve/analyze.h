@@ -1,0 +1,69 @@
+// Interval abstract interpretation over a netlist (the presolve analyzer).
+//
+// The analyzer runs the solver's own transfer functions (interval/
+// interval_ops.h) as a static dataflow pass: one forward sweep in net-id
+// order (the builder is append-only, so ascending ids are a topological
+// order) reaches the forward fixpoint of the combinational DAG in a single
+// pass; a parity sweep refines interval endpoints; and, when assumptions
+// are given, a worklist loop interleaves forward re-evaluation with
+// backward (inverse) narrowing until a fixpoint.
+//
+// Termination is by construction, not by luck:
+//  * every refinement strictly shrinks an interval (the rules are
+//    monotonic), and
+//  * each net carries a narrowing budget (~2·width + 8); once spent,
+//    further refinements of that net are ignored — keeping a larger
+//    interval is always a sound over-approximation.
+// So the worklist drains after at most Σ budgets refinements, independent
+// of the int64-sized value lattice. docs/presolve.md works the argument
+// through.
+//
+// Sequential circuits: reach_invariants computes a per-register interval
+// invariant over-approximating every reachable state, by iterating the
+// image of the comb core from the reset values with widening — a register
+// bound that grows `widen_after` times on the same side jumps to the
+// domain rail, so each register widens each side at most once and the
+// iteration provably terminates.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "ir/seq.h"
+#include "presolve/facts.h"
+
+namespace rtlsat::presolve {
+
+struct AnalyzeOptions {
+  // Per-net restrictions the facts become consequences of. Empty ⟹ the
+  // result is unconditioned (valid for all inputs, usable by the
+  // simplifier); non-empty ⟹ FactTable::conditioned is set.
+  std::vector<std::pair<ir::NetId, Interval>> assumptions;
+  // Run backward (inverse) narrowing in the worklist loop. Only meaningful
+  // with assumptions: without them the forward ranges are already the
+  // per-net value images. reach_invariants turns this off — it only needs
+  // the forward image of the next-state nets.
+  bool backward = true;
+  // Per-net refinement budget; 0 = default (2·width + 8).
+  int narrow_budget = 0;
+};
+
+FactTable analyze(const ir::Circuit& circuit,
+                  const AnalyzeOptions& options = {});
+
+struct ReachOptions {
+  // Consecutive growths of one interval side before that side is widened
+  // to its domain rail.
+  int widen_after = 3;
+};
+
+// Per-register interval invariants (indexed like seq.registers()): each
+// contains every value its register can hold in any reachable state.
+// Sound to assume on the state nets of an unrolled circuit — every frame's
+// state is reachable, so constraining it to a superset of the reachable
+// values preserves the model set exactly (docs/presolve.md).
+std::vector<Interval> reach_invariants(const ir::SeqCircuit& seq,
+                                       const ReachOptions& options = {});
+
+}  // namespace rtlsat::presolve

@@ -1,0 +1,57 @@
+// Per-net fact table produced by the presolve analyzer (analyze.h).
+//
+// A fact is an over-approximation of the values a net can take: a value
+// interval (the same ⟨lo,hi⟩ lattice the solver's domains use, §2.1) plus a
+// parity element from {unknown, even, odd}. Facts come in two strengths,
+// recorded in `conditioned`:
+//
+//  * unconditioned — valid for EVERY input assignment. These may drive
+//    equivalence-preserving rewrites (simplify.h): substituting a net the
+//    facts prove constant never changes any net's value under any input.
+//  * conditioned — consequences of the assumptions the analyzer was given
+//    (e.g. "goal = 1"). Valid only for inputs satisfying the assumptions,
+//    so they may seed solver assumptions or detect unsatisfiability
+//    (`conflict`), but must never feed the simplifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval.h"
+#include "ir/circuit.h"
+
+namespace rtlsat::presolve {
+
+// Parity of a net's value, a three-element lattice ordered
+// kUnknown ⊒ {kEven, kOdd}. Wrapping at any width ≥ 1 preserves parity
+// (2^w is even), which is what makes the parity transfer functions exact
+// through the IR's modular arithmetic.
+enum class Parity : std::uint8_t { kUnknown, kEven, kOdd };
+
+inline Parity parity_of(std::int64_t v) {
+  return (v & 1) != 0 ? Parity::kOdd : Parity::kEven;
+}
+inline Parity flip(Parity p) {
+  if (p == Parity::kEven) return Parity::kOdd;
+  if (p == Parity::kOdd) return Parity::kEven;
+  return Parity::kUnknown;
+}
+
+struct FactTable {
+  // Indexed by NetId; always sized to the analyzed circuit's num_nets().
+  std::vector<Interval> range;
+  std::vector<Parity> parity;
+
+  // True ⟹ the facts hold only for inputs satisfying the analyzer's
+  // assumptions (see file comment). The simplifier rejects such tables.
+  bool conditioned = false;
+  // True ⟹ some net's range became empty: the assumptions are
+  // unsatisfiable (meaningless when !conditioned — an unconditioned
+  // conflict would mean the circuit has no behavior at all).
+  bool conflict = false;
+
+  bool is_const(ir::NetId id) const { return range[id].is_point(); }
+  std::int64_t const_value(ir::NetId id) const { return range[id].lo(); }
+};
+
+}  // namespace rtlsat::presolve

@@ -1,0 +1,84 @@
+#include "presolve/findings.h"
+
+#include <bit>
+
+#include "ir/op.h"
+#include "util/assert.h"
+
+namespace rtlsat::presolve {
+
+namespace {
+
+using ir::NetId;
+using ir::Node;
+using ir::Op;
+
+int bits_for(Interval::Value v) {
+  if (v <= 0) return 1;
+  return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+const char* kind_name(Finding::Kind kind) {
+  switch (kind) {
+    case Finding::Kind::kConstantNet: return "constant-net";
+    case Finding::Kind::kConstantComparator: return "constant-comparator";
+    case Finding::Kind::kDeadMuxArm: return "dead-mux-arm";
+    case Finding::Kind::kOversizedNet: return "oversized-net";
+  }
+  return "?";
+}
+
+std::vector<Finding> findings(const ir::Circuit& circuit,
+                              const FactTable& facts) {
+  RTLSAT_ASSERT_MSG(!facts.conditioned,
+                    "findings need unconditioned facts");
+  RTLSAT_ASSERT(facts.range.size() == circuit.num_nets());
+  std::vector<Finding> out;
+  const auto emit = [&](Finding::Kind kind, NetId net, std::string message) {
+    Finding f;
+    f.kind = kind;
+    f.net = net;
+    f.range = facts.range[net];
+    f.message = std::move(message);
+    out.push_back(std::move(f));
+  };
+  for (NetId id = 0; id < circuit.num_nets(); ++id) {
+    const Node& n = circuit.node(id);
+    if (ir::is_source(n.op)) continue;
+    const Interval& r = facts.range[id];
+    if (r.is_empty()) continue;
+    if (r.is_point()) {
+      if (ir::is_comparator(n.op)) {
+        emit(Finding::Kind::kConstantComparator, id,
+             "comparator " + circuit.net_name(id) + " is provably " +
+                 (r.lo() == 1 ? "true" : "false"));
+      } else {
+        emit(Finding::Kind::kConstantNet, id,
+             "net " + circuit.net_name(id) + " is provably constant " +
+                 std::to_string(r.lo()));
+      }
+      continue;  // the width finding would be redundant for a constant
+    }
+    if (n.op == Op::kMux) {
+      const Interval& sel = facts.range[n.operands[0]];
+      if (sel.is_point()) {
+        emit(Finding::Kind::kDeadMuxArm, id,
+             "mux " + circuit.net_name(id) + " never selects its " +
+                 (sel.lo() == 1 ? "else" : "then") + " arm (select is " +
+                 std::to_string(sel.lo()) + ")");
+      }
+    }
+    const int need = bits_for(r.hi());
+    if (need < n.width) {
+      emit(Finding::Kind::kOversizedNet, id,
+           "net " + circuit.net_name(id) + " is " + std::to_string(n.width) +
+               " bits wide but provably fits " + std::to_string(need) +
+               " (range " + r.to_string() + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace rtlsat::presolve

@@ -85,6 +85,10 @@ struct CachedResult {
   std::vector<std::int64_t> model;
   double solve_seconds = 0;   // wall time of the original solve
   std::string winner;         // portfolio worker that produced the verdict
+  // presolve.* counters of the original solve (empty when presolve was
+  // off); served back verbatim on a hit so the client's counters don't
+  // depend on who populated the cache.
+  std::vector<std::pair<std::string, std::int64_t>> presolve;
 };
 
 class ResultCache {

@@ -67,6 +67,7 @@ std::string encode_request(const Request& request) {
       if (!s.use_cache) w.key("cache").value(false);
       if (!s.use_bank) w.key("bank").value(false);
       if (s.progress) w.key("progress").value(true);
+      if (s.presolve) w.key("presolve").value(true);
       if (s.is_bmc()) {
         w.key("seq_rtl").value(s.seq_rtl);
         w.key("property").value(s.property);
@@ -130,6 +131,7 @@ bool parse_request(const std::string& json, Request* out, std::string* error) {
     s.use_cache = get_bool(doc, "cache", true);
     s.use_bank = get_bool(doc, "bank", true);
     s.progress = get_bool(doc, "progress", false);
+    s.presolve = get_bool(doc, "presolve", false);
     return true;
   }
   if (type == "cancel") {
@@ -173,6 +175,11 @@ std::string encode_result(std::int64_t seq, std::uint64_t job,
   if (!result.model.empty()) {
     w.key("model").begin_object();
     for (const auto& [name, value] : result.model) w.key(name).value(value);
+    w.end_object();
+  }
+  if (!result.presolve.empty()) {
+    w.key("presolve").begin_object();
+    for (const auto& [name, value] : result.presolve) w.key(name).value(value);
     w.end_object();
   }
   w.end_object();
@@ -287,6 +294,13 @@ bool parse_server_msg(const std::string& json, ServerMsg* out,
       for (const auto& [name, value] : model->object) {
         if (!value.is_int()) return fail(error, "non-integer model value");
         r.model.emplace_back(name, value.integer);
+      }
+    }
+    if (const JsonValue* pre = doc.find("presolve");
+        pre != nullptr && pre->is_object()) {
+      for (const auto& [name, value] : pre->object) {
+        if (!value.is_int()) return fail(error, "non-integer presolve value");
+        r.presolve.emplace_back(name, value.integer);
       }
     }
     return true;

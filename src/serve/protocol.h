@@ -37,6 +37,10 @@ struct SolveRequest {
   bool use_cache = true;  // structural-hash result cache (serve/cache.h)
   bool use_bank = true;   // cross-job clause bank (serve/bank.h)
   bool progress = false;  // stream worker heartbeats to this client
+  // Run the interval presolver before the race (portfolio.h's presolve
+  // option; combinational solves only — BMC-mode requests ignore it).
+  // Additive field, v stays 1.
+  bool presolve = false;
 
   // BMC mode (additive fields, v stays 1): when `seq_rtl` is non-empty the
   // request is a bounded-model-checking query "property violated at
@@ -90,6 +94,10 @@ struct ResultMsg {
   std::string winner;         // portfolio worker name, "" when undecided
   // SAT only: value for every primary input, keyed by net name.
   std::vector<std::pair<std::string, std::int64_t>> model;
+  // presolve.* counters from the solve (empty unless the request asked for
+  // presolve); cached alongside the verdict so a cache hit replays them.
+  // Additive field, v stays 1.
+  std::vector<std::pair<std::string, std::int64_t>> presolve;
 };
 
 struct ServerMsg {

@@ -485,6 +485,7 @@ bool Server::try_cache_hit(const std::shared_ptr<Job>& job) {
   msg.cache_hit = true;
   msg.solve_seconds = hit->solve_seconds;
   msg.winner = hit->winner;
+  msg.presolve = hit->presolve;
   if (hit->status == core::SolveStatus::kSat) {
     msg.verdict = "sat";
     const auto model = rebuild_model(*job, hit->model);
@@ -557,6 +558,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
           ? std::min(request.budget_seconds, options_.max_budget_seconds)
           : options_.default_budget_seconds;
   popts.deterministic = request.deterministic;
+  popts.presolve = request.presolve;
   popts.stop = job->stop.token();
   popts.metrics = options_.metrics;
   popts.progress_interval_seconds = options_.progress_interval_seconds;
@@ -583,6 +585,11 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
   ResultMsg msg;
   msg.solve_seconds = solve_timer.seconds();
   msg.winner = solved.winner_name;
+  if (request.presolve) {
+    for (const auto& [name, value] : solved.stats.all()) {
+      if (name.rfind("presolve.", 0) == 0) msg.presolve.emplace_back(name, value);
+    }
+  }
   switch (solved.status) {
     case core::SolveStatus::kSat:
       msg.verdict = "sat";
@@ -606,6 +613,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     cached.status = solved.status;
     cached.solve_seconds = msg.solve_seconds;
     cached.winner = solved.winner_name;
+    cached.presolve = msg.presolve;
     if (solved.status == core::SolveStatus::kSat) {
       cached.model.reserve(job->cone.inputs.size());
       for (const NetId input : job->cone.inputs) {

@@ -73,5 +73,89 @@ TEST(CertifyingSweep, UncertifiedSweepStillSolves) {
   EXPECT_TRUE(result.all_certified());  // vacuously: nothing rejected
 }
 
+// A saturating counter whose property "1" (q <= 10) holds by intervals
+// alone: presolve decides every frame without touching the solver, and the
+// register's reach invariant ⟨0,10⟩ is a strict subset of its domain.
+ir::SeqCircuit saturating_counter() {
+  ir::SeqCircuit seq("satctr");
+  const ir::NetId q = seq.add_register("x", 4, 0);
+  ir::Circuit& c = seq.comb();
+  const ir::NetId step = c.add_zext(c.add_input("i", 1), 4);
+  seq.bind_next(q, c.add_min_raw(c.add_add(q, step), c.add_const(10, 4)));
+  seq.add_property("1", c.add_le(q, c.add_const(10, 4)));
+  return seq;
+}
+
+TEST(PresolveSweep, FreshPathAgreesWithPlainSweep) {
+  // b01 property 1: nine UNSAT frames then SAT at 10. Presolve must not
+  // change any verdict or the first counterexample bound.
+  const ir::SeqCircuit seq = itc99::build("b01");
+  SweepOptions plain;
+  plain.solver.timeout_seconds = 60;
+  plain.incremental = false;
+  SweepOptions pre = plain;
+  pre.presolve = true;
+  const SweepResult a = sweep(seq, "1", 12, plain);
+  const SweepResult b = sweep(seq, "1", 12, pre);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  EXPECT_EQ(a.first_sat_bound, b.first_sat_bound);
+  for (std::size_t i = 0; i < a.frames.size(); ++i)
+    EXPECT_EQ(a.frames[i].status, b.frames[i].status) << a.frames[i].name;
+}
+
+TEST(PresolveSweep, DecidedFramesSkipTheSolver) {
+  const ir::SeqCircuit seq = saturating_counter();
+  SweepOptions options;
+  options.solver.timeout_seconds = 60;
+  options.incremental = false;
+  options.presolve = true;
+  const SweepResult result = sweep(seq, "1", 5, options);
+  ASSERT_EQ(result.frames.size(), 5u);
+  for (const FrameResult& frame : result.frames)
+    EXPECT_EQ(frame.status, core::SolveStatus::kUnsat) << frame.name;
+  EXPECT_EQ(result.stats.get("presolve.decided_frames"), 5);
+}
+
+TEST(PresolveSweep, IncrementalPathAssumesReachInvariants) {
+  const ir::SeqCircuit seq = saturating_counter();
+  SweepOptions plain;
+  plain.solver.timeout_seconds = 60;
+  plain.incremental = true;
+  SweepOptions pre = plain;
+  pre.presolve = true;
+  const SweepResult a = sweep(seq, "1", 4, plain);
+  const SweepResult b = sweep(seq, "1", 4, pre);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  for (std::size_t i = 0; i < a.frames.size(); ++i)
+    EXPECT_EQ(a.frames[i].status, b.frames[i].status) << a.frames[i].name;
+  // Frame 0's state net is the constant init, so frames 1..4 each assume
+  // the one register's ⟨0,10⟩ invariant.
+  EXPECT_EQ(b.stats.get("presolve.invariants_assumed"), 4);
+}
+
+TEST(PresolveSweep, IncrementalPresolveKeepsSatVerdicts) {
+  // Invariant assumptions must never turn a reachable counterexample UNSAT.
+  const ir::SeqCircuit seq = itc99::build("b01");
+  SweepOptions options;
+  options.solver.timeout_seconds = 60;
+  options.incremental = true;
+  options.presolve = true;
+  const SweepResult result = sweep(seq, "1", 12, options);
+  EXPECT_EQ(result.first_sat_bound, 10);
+}
+
+TEST(PresolveSweep, CertifyIgnoresPresolve) {
+  // Certificates must reference the original instance, so certify wins.
+  const ir::SeqCircuit seq = itc99::build("b02");
+  SweepOptions options = certified_options();
+  options.presolve = true;
+  const SweepResult result = sweep(seq, "1", 2, options);
+  ASSERT_EQ(result.frames.size(), 2u);
+  EXPECT_TRUE(result.all_certified());
+  EXPECT_EQ(result.stats.get("presolve.decided_frames"), 0);
+  for (const FrameResult& frame : result.frames)
+    EXPECT_GT(frame.cert_records, 0) << frame.name;
+}
+
 }  // namespace
 }  // namespace rtlsat::bmc

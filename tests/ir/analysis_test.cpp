@@ -37,14 +37,20 @@ TEST(Fanouts, ListsReaders) {
   EXPECT_EQ(counts[f.m], 0);
 }
 
-TEST(ConeOfInfluence, Transitive) {
+TEST(FaninCone, Transitive) {
   Fixture f;
-  const auto cone = cone_of_influence(f.c, f.g);
-  EXPECT_TRUE(cone[f.g]);
-  EXPECT_TRUE(cone[f.lt]);
-  EXPECT_TRUE(cone[f.sel]);
-  EXPECT_TRUE(cone[f.a]);
-  EXPECT_FALSE(cone[f.m]);  // downstream of the root
+  const auto cone = fanin_cone(f.c, f.g);
+  EXPECT_TRUE(cone.mask[f.g]);
+  EXPECT_TRUE(cone.mask[f.lt]);
+  EXPECT_TRUE(cone.mask[f.sel]);
+  EXPECT_TRUE(cone.mask[f.a]);
+  EXPECT_FALSE(cone.mask[f.m]);  // downstream of the root
+  // `members` agrees with the mask and is in ascending (topological) order.
+  std::size_t n_masked = 0;
+  for (const auto b : cone.mask) n_masked += b ? 1 : 0;
+  EXPECT_EQ(cone.members.size(), n_masked);
+  for (std::size_t i = 0; i + 1 < cone.members.size(); ++i)
+    EXPECT_LT(cone.members[i], cone.members[i + 1]);
 }
 
 TEST(Predicates, ComparatorOutputsAndMuxSelects) {

@@ -248,6 +248,49 @@ TEST(LintRules, DuplicateRegister) {
   expect_rule(lint_seq_circuit(seq), "duplicate-register");
 }
 
+TEST(LintRules, AnalyzerBackedConstantComparator) {
+  Circuit c("analyzer");
+  const NetId a = c.add_input("a", 3);
+  const NetId za = c.add_zext(a, 8);
+  c.add_lt(za, c.add_const(16, 8));  // 0..7 < 16, provably true
+  expect_rule(lint_circuit(c), "constant-comparator");
+}
+
+TEST(LintRules, AnalyzerBackedConstantNet) {
+  Circuit c("analyzer");
+  const NetId a = c.add_input("a", 4);
+  // min(a, 0) is provably 0 — a non-comparator constant net.
+  const NetId m = c.add_min_raw(a, c.add_const(0, 4));
+  c.add_add(m, c.add_input("b", 4));
+  expect_rule(lint_circuit(c), "constant-net");
+}
+
+TEST(LintRules, AnalyzerBackedDeadMuxArm) {
+  Circuit c("analyzer");
+  const NetId a = c.add_input("a", 3);
+  const NetId sel = c.add_lt(c.add_zext(a, 4), c.add_const(8, 4));  // true
+  c.add_mux(sel, c.add_input("t", 4), c.add_input("e", 4));
+  expect_rule(lint_circuit(c), "dead-mux-arm");
+}
+
+TEST(LintRules, AnalyzerBackedOversizedNet) {
+  Circuit c("analyzer");
+  const NetId a = c.add_input("a", 3);
+  const NetId za = c.add_zext(a, 12);  // 12 bits for a ≤ 7 value
+  c.add_add(za, c.add_input("b", 12));
+  expect_rule(lint_circuit(c), "oversized-net");
+}
+
+TEST(LintRules, AnalyzerBackedInvariantConstantRegister) {
+  // d = min(q, 0) with init 0: real logic in the next-state cone, yet the
+  // register provably never leaves 0.
+  SeqCircuit seq("analyzer");
+  Circuit& c = seq.comb();
+  const NetId q = seq.add_register("r", 4, 0);
+  seq.bind_next(q, c.add_min_raw(q, c.add_const(0, 4)));
+  expect_rule(lint_seq_circuit(seq), "invariant-constant-register");
+}
+
 TEST(LintRules, DiagnosticsArriveInCatalogOrder) {
   Circuit c("bad");
   c.add_unchecked(make_node(Op::kInput, 4, {}));           // unnamed

@@ -342,5 +342,68 @@ TEST(PortfolioTest, SharedPoolCarriesClausesAcrossRuns) {
   EXPECT_GE(pool.size(), after_first);
 }
 
+TEST(PortfolioPresolve, DecidedUnsatSkipsTheRace) {
+  // eq(zext(a), 200) with a 4-bit is refuted by intervals alone: the race
+  // never starts and the verdict is attributed to the presolver.
+  ir::Circuit c("dec");
+  const ir::NetId a = c.add_input("a", 4);
+  const ir::NetId goal =
+      c.add_eq(c.add_zext(a, 8), c.add_const(200, 8));
+  PortfolioOptions options;
+  options.presolve = true;
+  Portfolio race(c, goal, true, options);
+  const PortfolioResult result = race.solve();
+  EXPECT_EQ(result.status, core::SolveStatus::kUnsat);
+  EXPECT_EQ(result.winner_name, "presolve");
+  EXPECT_TRUE(result.workers.empty());
+  EXPECT_EQ(result.stats.get("presolve.decided"), 1);
+}
+
+TEST(PortfolioPresolve, DecidedSatModelSatisfiesOriginalGoal) {
+  ir::Circuit c("dec");
+  const ir::NetId a = c.add_input("a", 4);
+  const ir::NetId goal =
+      c.add_le(c.add_zext(a, 8), c.add_const(20, 8));
+  PortfolioOptions options;
+  options.presolve = true;
+  Portfolio race(c, goal, true, options);
+  const PortfolioResult result = race.solve();
+  ASSERT_EQ(result.status, core::SolveStatus::kSat);
+  EXPECT_EQ(result.winner_name, "presolve");
+  EXPECT_TRUE(result.crosscheck_violations.empty())
+      << result.crosscheck_violations.front();
+  EXPECT_EQ(c.evaluate(result.input_model).at(goal), 1);
+}
+
+TEST(PortfolioPresolve, UndecidedRaceMapsModelToOriginalInputs) {
+  // a + b == 100 ∧ a < 20 is interval-undecidable, so the race runs on the
+  // simplified circuit and the winner's model must transfer back.
+  SatProblem problem;
+  PortfolioOptions options;
+  options.jobs = 2;
+  options.presolve = true;
+  Portfolio race(problem.circuit, problem.goal, true, options);
+  const PortfolioResult result = race.solve();
+  ASSERT_EQ(result.status, core::SolveStatus::kSat);
+  EXPECT_TRUE(result.crosscheck_violations.empty())
+      << result.crosscheck_violations.front();
+  const auto values = problem.circuit.evaluate(result.input_model);
+  EXPECT_EQ(values.at(problem.goal), 1);
+}
+
+TEST(PortfolioPresolve, UnsatVerdictAgreesWithPlainRace) {
+  const bmc::BmcInstance instance = b13(5);
+  PortfolioOptions plain;
+  plain.jobs = 2;
+  PortfolioOptions pre = plain;
+  pre.presolve = true;
+  Portfolio race_plain(instance.circuit, instance.goal, true, plain);
+  Portfolio race_pre(instance.circuit, instance.goal, true, pre);
+  const PortfolioResult a = race_plain.solve();
+  const PortfolioResult b = race_pre.solve();
+  EXPECT_EQ(a.status, core::SolveStatus::kUnsat);
+  EXPECT_EQ(b.status, a.status);
+}
+
 }  // namespace
 }  // namespace rtlsat::portfolio

@@ -1,0 +1,153 @@
+// Analyzer unit tests: forward ranges, parity, conditioned narrowing,
+// conflicts, fixpoint termination, and sequential reach invariants with
+// widening (including the crafted oscillating cycle).
+#include "presolve/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/circuit.h"
+#include "ir/seq.h"
+
+namespace rtlsat::presolve {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+
+TEST(Analyze, ForwardRangesOnDag) {
+  Circuit c("fwd");
+  const NetId a = c.add_input("a", 3);              // ⟨0,7⟩
+  const NetId za = c.add_zext(a, 8);                // ⟨0,7⟩
+  const NetId s = c.add_add(za, c.add_const(3, 8)); // ⟨3,10⟩
+  const NetId lt = c.add_lt(s, c.add_const(16, 8)); // provably true
+  const FactTable f = analyze(c);
+  EXPECT_FALSE(f.conditioned);
+  EXPECT_FALSE(f.conflict);
+  EXPECT_EQ(f.range[a], Interval(0, 7));
+  EXPECT_EQ(f.range[za], Interval(0, 7));
+  EXPECT_EQ(f.range[s], Interval(3, 10));
+  EXPECT_EQ(f.range[lt], Interval::point(1));
+}
+
+TEST(Analyze, ParityFactsRefineEndpoints) {
+  Circuit c("parity");
+  const NetId a = c.add_input("a", 4);
+  const NetId e = c.add_shl(a, 1);                  // even
+  const NetId s = c.add_add(e, c.add_const(3, 4));  // even + odd = odd
+  const FactTable f = analyze(c);
+  EXPECT_EQ(f.parity[e], Parity::kEven);
+  EXPECT_EQ(f.parity[s], Parity::kOdd);
+  // Parity tightens the interval endpoints to matching values.
+  EXPECT_EQ(f.range[e].lo() % 2, 0);
+  EXPECT_EQ(f.range[e].hi() % 2, 0);
+  EXPECT_EQ(f.range[s].lo() % 2, 1);
+  EXPECT_EQ(f.range[s].hi() % 2, 1);
+}
+
+TEST(Analyze, ConditionedBackwardNarrowsInputs) {
+  Circuit c("cond");
+  const NetId a = c.add_input("a", 6);
+  const NetId lt = c.add_lt(a, c.add_const(10, 6));
+  AnalyzeOptions opts;
+  opts.assumptions.emplace_back(lt, Interval::point(1));
+  const FactTable f = analyze(c, opts);
+  EXPECT_TRUE(f.conditioned);
+  EXPECT_FALSE(f.conflict);
+  EXPECT_EQ(f.range[a], Interval(0, 9));
+}
+
+TEST(Analyze, ConditionedConflictOnContradiction) {
+  Circuit c("conflict");
+  const NetId a = c.add_input("a", 4);
+  // eq lowers to a pair of ≤ constraints; conjoining x=3 with x=5 is UNSAT.
+  const NetId goal = c.add_and(c.add_eqc(a, 3), c.add_eqc(a, 5));
+  AnalyzeOptions opts;
+  opts.assumptions.emplace_back(goal, Interval::point(1));
+  const FactTable f = analyze(c, opts);
+  EXPECT_TRUE(f.conflict);
+}
+
+TEST(Analyze, MuxArmMissImpliesSelectPolarity) {
+  Circuit c("muxsel");
+  const NetId sel = c.add_input("sel", 1);
+  const NetId x = c.add_input("x", 4);
+  const NetId lo = c.add_extract(x, 1, 0);           // ⟨0,3⟩
+  const NetId hi = c.add_add(c.add_zext(lo, 4), c.add_const(8, 4));  // ⟨8,11⟩
+  const NetId m = c.add_mux(sel, hi, c.add_zext(lo, 4));
+  AnalyzeOptions opts;
+  // m ≥ 8 rules out the else arm (⟨0,3⟩), so sel must be 1.
+  opts.assumptions.emplace_back(m, Interval(8, 15));
+  const FactTable f = analyze(c, opts);
+  EXPECT_FALSE(f.conflict);
+  EXPECT_EQ(f.range[sel], Interval::point(1));
+}
+
+TEST(Analyze, TerminatesOnReconvergentNarrowingChains) {
+  // A ladder of wrapping adds with reconvergent fan-out; the narrowing
+  // budget bounds the worklist no matter how the refinements interleave.
+  Circuit c("ladder");
+  const NetId a = c.add_input("a", 12);
+  const NetId b = c.add_input("b", 12);
+  NetId x = a, y = b;
+  for (int i = 0; i < 20; ++i) {
+    const NetId s = c.add_add(x, y);
+    const NetId d = c.add_sub(s, x);
+    x = s;
+    y = d;
+  }
+  const NetId goal = c.add_lt(x, c.add_const(100, 12));
+  AnalyzeOptions opts;
+  opts.assumptions.emplace_back(goal, Interval::point(1));
+  const FactTable f = analyze(c, opts);  // must return, not spin
+  EXPECT_TRUE(f.conditioned);
+  SUCCEED();
+}
+
+TEST(Reach, OscillatingCycleTerminatesAndCovers) {
+  // x' = ¬x oscillates 0 ↔ 15: the invariant must terminate (widening)
+  // and contain both phases.
+  ir::SeqCircuit seq("osc");
+  const NetId q = seq.add_register("x", 4, 0);
+  seq.bind_next(q, seq.comb().add_notw(q));
+  const auto inv = reach_invariants(seq);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv[0].contains(0));
+  EXPECT_TRUE(inv[0].contains(15));
+}
+
+TEST(Reach, FreeRunningCounterWidensToDomain) {
+  ir::SeqCircuit seq("ctr");
+  const NetId q = seq.add_register("x", 4, 0);
+  seq.bind_next(q, seq.comb().add_inc(q));
+  const auto inv = reach_invariants(seq);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], Interval(0, 15));
+}
+
+TEST(Reach, SaturatingCounterKeepsTightInvariant) {
+  // x' = min(x+1, 10): the exact invariant ⟨0,10⟩ is representable, so
+  // widening must not fire and the bound must stay tight.
+  ir::SeqCircuit seq("sat");
+  const NetId q = seq.add_register("x", 4, 0);
+  Circuit& c = seq.comb();
+  seq.bind_next(q, c.add_min_raw(c.add_inc(q), c.add_const(10, 4)));
+  const auto inv = reach_invariants(seq);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0], Interval(0, 10));
+}
+
+TEST(Reach, InitValueOutsideImageStaysCovered) {
+  // Init 12 jumps into a low band and stays there; the invariant must keep
+  // covering the init state.
+  ir::SeqCircuit seq("init");
+  const NetId q = seq.add_register("x", 4, 12);
+  Circuit& c = seq.comb();
+  seq.bind_next(q, c.add_min_raw(q, c.add_const(3, 4)));
+  const auto inv = reach_invariants(seq);
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_TRUE(inv[0].contains(12));
+  EXPECT_TRUE(inv[0].contains(3));
+}
+
+}  // namespace
+}  // namespace rtlsat::presolve

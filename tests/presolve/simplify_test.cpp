@@ -1,0 +1,179 @@
+// Simplifier tests: fact-driven rewrites, witness transfer through the net
+// map, the goal-level presolve driver, and the diagnostics findings.
+#include "presolve/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "fuzz/generator.h"
+#include "presolve/analyze.h"
+#include "presolve/findings.h"
+
+namespace rtlsat::presolve {
+namespace {
+
+using ir::Circuit;
+using ir::NetId;
+using ir::Op;
+
+// Every mapped net of the simplified circuit must compute the same value
+// as its source net under the same (name-matched) inputs.
+void expect_net_map_agrees(const Circuit& original, const SimplifyResult& s,
+                           std::uint64_t seed) {
+  std::unordered_map<NetId, std::int64_t> in_orig, in_new;
+  std::uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (const NetId in : original.inputs()) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::int64_t v = static_cast<std::int64_t>(
+        x & ((std::uint64_t{1} << original.width(in)) - 1));
+    in_orig[in] = v;
+    const NetId mapped = s.circuit.find_net(original.net_name(in));
+    if (mapped != ir::kNoNet) in_new[mapped] = v;
+  }
+  // Simplified inputs not present in the original would break replay.
+  for (const NetId in : s.circuit.inputs()) {
+    ASSERT_NE(original.find_net(s.circuit.net_name(in)), ir::kNoNet);
+    if (!in_new.count(in)) in_new[in] = 0;
+  }
+  const auto v_orig = original.evaluate(in_orig);
+  const auto v_new = s.circuit.evaluate(in_new);
+  for (NetId id = 0; id < original.num_nets(); ++id) {
+    if (s.net_map[id] == ir::kNoNet) continue;
+    ASSERT_EQ(v_orig[id], v_new[s.net_map[id]])
+        << "net " << id << " (" << original.net_name(id)
+        << ") diverges through the net map";
+  }
+}
+
+TEST(Simplify, CollapsesProvablyConstantComparatorAndMux) {
+  Circuit c("collapse");
+  const NetId a = c.add_input("a", 3);
+  const NetId t = c.add_input("t", 4);
+  const NetId e = c.add_input("e", 4);
+  const NetId za = c.add_zext(a, 4);
+  const NetId lt = c.add_lt(za, c.add_const(8, 4));  // always true
+  const NetId m = c.add_mux(lt, t, e);
+  const NetId goal = c.add_lt(m, e);
+  const FactTable f = analyze(c);
+  EXPECT_EQ(f.range[lt], Interval::point(1));
+  SimplifyResult s = simplify(c, {goal}, f);
+  EXPECT_GE(s.stats.comparators_reduced, 1);
+  EXPECT_GE(s.stats.mux_arms_removed, 1);
+  EXPECT_LT(s.circuit.num_nets(), c.num_nets());
+  // The mux collapsed onto its then-arm: m maps to t's image.
+  EXPECT_EQ(s.net_map[m], s.net_map[t]);
+  for (std::uint64_t seed = 0; seed < 16; ++seed)
+    expect_net_map_agrees(c, s, seed);
+}
+
+TEST(Simplify, NarrowsAddWidthWhenRangesProveNoCarry) {
+  Circuit c("narrow");
+  const NetId a = c.add_input("a", 3);
+  const NetId b = c.add_input("b", 3);
+  const NetId s8 =
+      c.add_add(c.add_zext(a, 8), c.add_zext(b, 8));  // sum ≤ 14: fits 4 bits
+  const NetId goal = c.add_lt(s8, c.add_const(9, 8));
+  const FactTable f = analyze(c);
+  SimplifyResult s = simplify(c, {goal}, f);
+  EXPECT_GE(s.stats.width_bits_shaved, 4);
+  // Exhaustive agreement over all 64 assignments.
+  for (std::int64_t va = 0; va < 8; ++va) {
+    for (std::int64_t vb = 0; vb < 8; ++vb) {
+      const auto v_orig = c.evaluate({{a, va}, {b, vb}});
+      const NetId na = s.circuit.find_net("a");
+      const NetId nb = s.circuit.find_net("b");
+      ASSERT_NE(na, ir::kNoNet);
+      ASSERT_NE(nb, ir::kNoNet);
+      const auto v_new = s.circuit.evaluate({{na, va}, {nb, vb}});
+      ASSERT_EQ(v_orig[s8], v_new[s.net_map[s8]]);
+      ASSERT_EQ(v_orig[goal], v_new[s.net_map[goal]]);
+    }
+  }
+}
+
+TEST(PresolveGoal, DecidesTautologySat) {
+  Circuit c("taut");
+  const NetId a = c.add_input("a", 4);
+  const NetId goal = c.add_le(c.add_shr(a, 1), c.add_const(7, 4));  // always
+  const GoalPresolve g = presolve_goal(c, goal, true);
+  ASSERT_TRUE(g.decided);
+  EXPECT_TRUE(g.sat);
+  // The reported model must actually satisfy the goal.
+  std::unordered_map<NetId, std::int64_t> model(g.model.begin(),
+                                                g.model.end());
+  ASSERT_TRUE(model.count(a));
+  EXPECT_EQ(c.evaluate(model)[goal], 1);
+}
+
+TEST(PresolveGoal, DecidesRangeContradictionUnsat) {
+  Circuit c("contra");
+  const NetId a = c.add_input("a", 4);
+  // shr(a,1) ≤ 7 always, so asking for value=false is UNSAT.
+  const NetId goal = c.add_le(c.add_shr(a, 1), c.add_const(7, 4));
+  const GoalPresolve g = presolve_goal(c, goal, false);
+  ASSERT_TRUE(g.decided);
+  EXPECT_FALSE(g.sat);
+}
+
+TEST(PresolveGoal, DecidesConditionedConflictUnsat) {
+  Circuit c("cc");
+  const NetId a = c.add_input("a", 4);
+  const NetId goal = c.add_and(c.add_eqc(a, 3), c.add_eqc(a, 5));
+  const GoalPresolve g = presolve_goal(c, goal, true);
+  ASSERT_TRUE(g.decided);
+  EXPECT_FALSE(g.sat);
+}
+
+TEST(PresolveGoal, UndecidedInstanceKeepsGoalAndMap) {
+  Circuit c("open");
+  const NetId a = c.add_input("a", 4);
+  const NetId b = c.add_input("b", 4);
+  const NetId goal = c.add_lt(a, b);
+  const GoalPresolve g = presolve_goal(c, goal, true);
+  ASSERT_FALSE(g.decided);
+  ASSERT_NE(g.goal, ir::kNoNet);
+  EXPECT_EQ(g.net_map[goal], g.goal);
+  EXPECT_TRUE(g.circuit.is_bool(g.goal));
+}
+
+TEST(PresolveGoal, FuzzedInstancesTransferWitnessesThroughNetMap) {
+  fuzz::GeneratorOptions gopts;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1234);
+    fuzz::FuzzInstance inst = fuzz::generate(rng, gopts);
+    const FactTable f = analyze(inst.circuit);
+    SimplifyResult s = simplify(inst.circuit, {inst.goal}, f);
+    for (std::uint64_t probe = 0; probe < 4; ++probe)
+      expect_net_map_agrees(inst.circuit, s, seed * 17 + probe);
+  }
+}
+
+TEST(Findings, ReportsConstantsDeadArmsAndOversizedNets) {
+  Circuit c("diag");
+  const NetId a = c.add_input("a", 3);
+  const NetId t = c.add_input("t", 8);
+  const NetId e = c.add_input("e", 8);
+  const NetId za = c.add_zext(a, 8);  // 8 bits wide, fits 3 → oversized
+  const NetId lt = c.add_lt(za, c.add_const(16, 8));  // provably true
+  c.add_mux(lt, t, e);                                // dead else arm
+  const FactTable f = analyze(c);
+  const auto found = findings(c, f);
+  bool saw_cmp = false, saw_dead = false, saw_oversized = false;
+  for (const Finding& fi : found) {
+    if (fi.kind == Finding::Kind::kConstantComparator && fi.net == lt)
+      saw_cmp = true;
+    if (fi.kind == Finding::Kind::kDeadMuxArm) saw_dead = true;
+    if (fi.kind == Finding::Kind::kOversizedNet && fi.net == za)
+      saw_oversized = true;
+  }
+  EXPECT_TRUE(saw_cmp);
+  EXPECT_TRUE(saw_dead);
+  EXPECT_TRUE(saw_oversized);
+}
+
+}  // namespace
+}  // namespace rtlsat::presolve

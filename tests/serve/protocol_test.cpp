@@ -144,6 +144,40 @@ TEST(Protocol, QueuedResultErrorRoundTrip) {
   EXPECT_EQ(msg.message, "queue full");
 }
 
+TEST(Protocol, PresolveFlagAndCountersRoundTrip) {
+  // The presolve request flag and the result's presolve.* counters are
+  // additive v1 fields: absent on the wire by default, round-tripping
+  // verbatim when set.
+  Request request;
+  request.kind = Request::Kind::kSolve;
+  request.solve.rtl = "(circuit c)";
+  request.solve.goal = "g";
+  EXPECT_EQ(encode_request(request).find("presolve"), std::string::npos);
+  request.solve.presolve = true;
+  Request parsed;
+  std::string error;
+  ASSERT_TRUE(parse_request(encode_request(request), &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.solve.presolve);
+
+  ResultMsg result;
+  result.verdict = "unsat";
+  result.presolve.emplace_back("presolve.decided", 1);
+  result.presolve.emplace_back("presolve.nets_simplified", 12);
+  ServerMsg msg;
+  ASSERT_TRUE(parse_server_msg(encode_result(3, 1, result), &msg, &error))
+      << error;
+  ASSERT_EQ(msg.result.presolve.size(), 2u);
+  EXPECT_EQ(msg.result.presolve[0].first, "presolve.decided");
+  EXPECT_EQ(msg.result.presolve[0].second, 1);
+  EXPECT_EQ(msg.result.presolve[1].first, "presolve.nets_simplified");
+  EXPECT_EQ(msg.result.presolve[1].second, 12);
+
+  // Counter-free results stay byte-compatible with older clients.
+  ResultMsg bare;
+  bare.verdict = "unsat";
+  EXPECT_EQ(encode_result(4, 1, bare).find("presolve"), std::string::npos);
+}
+
 TEST(Protocol, ProgressEmbedsHeartbeatVerbatim) {
   // The heartbeat's own (v, seq) pair is scoped to the worker stream and
   // must survive the embedding untouched.

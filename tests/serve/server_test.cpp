@@ -150,6 +150,45 @@ TEST(ServerTest, CacheBypassSolvesFresh) {
   EXPECT_FALSE(second.cache_hit);
 }
 
+TEST(ServerTest, PresolveSolveReportsCountersAndCacheReplaysThem) {
+  Harness h;
+  // eq(zext(a), 200) with a 4-bit is decided by the presolver alone.
+  ir::Circuit c("dec");
+  const ir::NetId a = c.add_input("a", 4);
+  c.set_net_name(c.add_eq(c.add_zext(a, 8), c.add_const(200, 8)), "goal");
+  SolveRequest request;
+  request.rtl = parser::write_circuit(c);
+  request.goal = "goal";
+  request.presolve = true;
+  ResultMsg first, second;
+  std::string error;
+  ASSERT_TRUE(h.client.solve(request, &first, &error)) << error;
+  EXPECT_EQ(first.verdict, "unsat");
+  EXPECT_FALSE(first.cache_hit);
+  bool decided = false;
+  for (const auto& [name, value] : first.presolve)
+    if (name == "presolve.decided" && value == 1) decided = true;
+  EXPECT_TRUE(decided) << "presolve.decided counter missing from result";
+  // A byte-identical repeat hits the cache and replays the same counters.
+  ASSERT_TRUE(h.client.solve(request, &second, &error)) << error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.presolve, first.presolve);
+}
+
+TEST(ServerTest, PresolveSatSolveKeepsCheckableWitness) {
+  Harness h;
+  const ir::Circuit circuit = sat_circuit("c", "a", "b");
+  SolveRequest request;
+  request.rtl = parser::write_circuit(circuit);
+  request.goal = "goal";
+  request.presolve = true;
+  ResultMsg result;
+  std::string error;
+  ASSERT_TRUE(h.client.solve(request, &result, &error)) << error;
+  EXPECT_EQ(result.verdict, "sat");
+  expect_model_satisfies(circuit, result, true);
+}
+
 TEST(ServerTest, RejectsBadRtlAndUnknownGoal) {
   Harness h;
   SolveRequest request;
